@@ -1,0 +1,81 @@
+// Ablation: interval-tree vs linear-scan parent reconstruction.
+//
+// XSP's design choice (Section III-A) is an interval tree for the
+// set-inclusion queries that rebuild span parent-child links. This
+// google-benchmark ablation measures both against trace sizes from a few
+// hundred spans (one model) to hundreds of thousands (long-running
+// applications), in real host time.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "xsp/common/rng.hpp"
+#include "xsp/trace/interval_tree.hpp"
+
+namespace {
+
+using xsp::trace::IntervalTree;
+using Entry = IntervalTree<int>::Entry;
+
+/// Layer-like intervals: disjoint siblings covering a long timeline.
+std::vector<Entry> make_layers(int n) {
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+  xsp::TimePoint t = 0;
+  xsp::SplitMix64 rng(42);
+  for (int i = 0; i < n; ++i) {
+    const auto len = static_cast<xsp::TimePoint>(1000 + rng.below(20000));
+    entries.push_back({t, t + len, i});
+    t += len + 100;
+  }
+  return entries;
+}
+
+/// Kernel-like query points: a few per layer.
+std::vector<std::pair<xsp::TimePoint, xsp::TimePoint>> make_queries(
+    const std::vector<Entry>& layers, int per_layer) {
+  std::vector<std::pair<xsp::TimePoint, xsp::TimePoint>> qs;
+  xsp::SplitMix64 rng(7);
+  for (const auto& l : layers) {
+    for (int i = 0; i < per_layer; ++i) {
+      const auto lo = l.lo + static_cast<xsp::TimePoint>(rng.below(
+                                 static_cast<std::uint64_t>(l.hi - l.lo) / 2 + 1));
+      qs.emplace_back(lo, lo + 10);
+    }
+  }
+  return qs;
+}
+
+void BM_IntervalTreeCorrelation(benchmark::State& state) {
+  const auto layers = make_layers(static_cast<int>(state.range(0)));
+  const auto queries = make_queries(layers, 3);
+  for (auto _ : state) {
+    IntervalTree<int> tree{std::vector<Entry>(layers)};
+    std::size_t found = 0;
+    for (const auto& [lo, hi] : queries) found += tree.containing(lo, hi).size();
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(queries.size()));
+}
+
+void BM_LinearScanCorrelation(benchmark::State& state) {
+  const auto layers = make_layers(static_cast<int>(state.range(0)));
+  const auto queries = make_queries(layers, 3);
+  for (auto _ : state) {
+    std::size_t found = 0;
+    for (const auto& [lo, hi] : queries) {
+      for (const auto& l : layers) {
+        if (l.lo <= lo && l.hi >= hi) ++found;
+      }
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(queries.size()));
+}
+
+BENCHMARK(BM_IntervalTreeCorrelation)->Arg(256)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_LinearScanCorrelation)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

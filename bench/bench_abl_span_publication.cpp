@@ -1,0 +1,70 @@
+// Ablation: synchronous vs asynchronous span publication.
+//
+// Section III-B: XSP publishes CUPTI-derived spans "asynchronously to
+// avoid added overhead". This google-benchmark ablation measures the real
+// host-side cost a tracer pays per publish under both server modes, and
+// under publisher contention.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "xsp/trace/trace_server.hpp"
+
+namespace {
+
+using xsp::trace::PublishMode;
+using xsp::trace::Span;
+using xsp::trace::TraceServer;
+
+Span make_span(TraceServer& server, int i) {
+  Span s;
+  s.id = server.next_span_id();
+  s.name = "volta_scudnn_128x64_relu_interior_nn_v1";
+  s.begin = i * 100;
+  s.end = i * 100 + 90;
+  return s;
+}
+
+void BM_PublishSync(benchmark::State& state) {
+  TraceServer server(PublishMode::kSync);
+  int i = 0;
+  for (auto _ : state) {
+    server.publish(make_span(server, i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PublishAsync(benchmark::State& state) {
+  TraceServer server(PublishMode::kAsync);
+  int i = 0;
+  for (auto _ : state) {
+    server.publish(make_span(server, i++));
+  }
+  server.flush();
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PublishAsyncContended(benchmark::State& state) {
+  // Multiple tracers publish concurrently (model + layer + GPU tracers).
+  for (auto _ : state) {
+    TraceServer server(PublishMode::kAsync);
+    std::vector<std::thread> tracers;
+    for (int t = 0; t < 4; ++t) {
+      tracers.emplace_back([&server] {
+        for (int i = 0; i < 1000; ++i) server.publish(make_span(server, i));
+      });
+    }
+    for (auto& t : tracers) t.join();
+    server.flush();
+  }
+  state.SetItemsProcessed(state.iterations() * 4000);
+}
+
+BENCHMARK(BM_PublishSync);
+BENCHMARK(BM_PublishAsync);
+BENCHMARK(BM_PublishAsyncContended)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,26 @@
+// Figure 3: throughput of MLPerf_ResNet50_v1.5 across batch sizes on
+// Tesla_V100, plus the A1 optimal-batch computation (paper: optimal 256,
+// max 930.7 inputs/sec, batch latency 275.05 ms).
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Figure 3 / A1 — throughput across batch sizes",
+                "paper Fig. 3 + Section III-D1");
+
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto info = analysis::model_information(runner, bench::resnet50(), 512);
+
+  report::TextTable t({"Batch", "Latency (ms)", "Inputs/sec"});
+  for (const auto& pt : info.points) {
+    t.add_row({std::to_string(pt.batch), fmt_fixed(pt.latency_ms, 2),
+               fmt_fixed(pt.throughput(), 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("optimal batch (5%% doubling rule): %lld   max throughput: %.1f inputs/sec\n",
+              static_cast<long long>(info.optimal_batch), info.max_throughput);
+  std::printf("paper:                             256    930.7 inputs/sec (275.05 ms batch "
+              "latency)\n");
+  bench::footnote_shape();
+  return 0;
+}

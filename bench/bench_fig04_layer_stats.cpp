@@ -1,0 +1,27 @@
+// Figure 4: layer statistics by type for MLPerf_ResNet50_v1.5 —
+// (a) A5 type distribution, (b) A6 latency by type, (c) A7 memory
+// allocation by type.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header(
+      "Figure 4 / A5-A7 — layer statistics aggregated by type",
+      "paper Fig. 4: counts Add 23.5% Mul 22.65% Conv2D 22.65% Relu 20.94% AddN 5.56%; "
+      "latency Conv2D 58.56% Add 11.43% Mul 11.26% Relu 9.71% AddN 6.93%; "
+      "alloc Mul 22.66% Conv2D 22.66% Add 22.52% Relu 19.62% AddN 9.88%");
+
+  const auto result = bench::resnet50_leveled();
+  const auto aggs = analysis::layer_type_aggregation(result.profile);
+
+  report::TextTable t({"Layer Type", "Count", "Count %", "Latency (ms)", "Latency %",
+                       "Alloc (MB)", "Alloc %"});
+  for (const auto& a : aggs) {
+    t.add_row({a.type, std::to_string(a.count), fmt_fixed(a.count_pct, 2),
+               fmt_fixed(a.latency_ms, 2), fmt_fixed(a.latency_pct, 2), fmt_fixed(a.alloc_mb, 1),
+               fmt_fixed(a.alloc_pct, 2)});
+  }
+  std::printf("%s", t.str().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 5: per-layer (a) latency (A3) and (b) memory allocation (A4) in
+// execution order for MLPerf_ResNet50_v1.5, summarized per beginning /
+// middle / end interval (the paper's reading: latency and allocation
+// concentrate in the early layers).
+#include "common.hpp"
+
+namespace {
+
+void print_series(const char* name, const std::vector<double>& xs, const char* unit) {
+  const std::size_t n = xs.size();
+  double sums[3] = {0, 0, 0};
+  double peaks[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t stage = std::min<std::size_t>(2, i * 3 / std::max<std::size_t>(1, n));
+    sums[stage] += xs[i];
+    peaks[stage] = std::max(peaks[stage], xs[i]);
+  }
+  std::printf("%s per interval (%s): beginning %.1f (peak %.1f) | middle %.1f (peak %.1f) | "
+              "end %.1f (peak %.1f)\n",
+              name, unit, sums[0], peaks[0], sums[1], peaks[1], sums[2], peaks[2]);
+}
+
+}  // namespace
+
+int main() {
+  using namespace xsp;
+  bench::header("Figure 5 / A3-A4 — per-layer latency & memory allocation",
+                "paper Fig. 5: both series concentrate in the beginning interval");
+
+  const auto result = bench::resnet50_leveled();
+  const auto latency = analysis::a3_layer_latency_us(result.profile);
+  const auto alloc = analysis::a4_layer_alloc_mb(result.profile);
+
+  print_series("A3 latency", latency, "us");
+  print_series("A4 allocation", alloc, "MB");
+
+  // Emit the full series as CSV for plotting.
+  report::TextTable t({"layer_index", "latency_us", "alloc_mb"});
+  for (std::size_t i = 0; i < latency.size(); ++i) {
+    t.add_row({std::to_string(i), fmt_fixed(latency[i], 1), fmt_fixed(alloc[i], 2)});
+  }
+  std::printf("\nfull series (CSV):\n%s", t.csv().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 6: roofline analysis of all GPU kernels (A9) for
+// MLPerf_ResNet50_v1.5 @ batch 256 on Tesla_V100.
+#include <algorithm>
+
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Figure 6 / A9 — GPU kernel roofline",
+                "paper Fig. 6: the most time-consuming kernels are compute-bound convolutions; "
+                "element-wise kernels sit deep in the memory-bound region");
+
+  const auto result = bench::resnet50_leveled();
+  const auto& gpu = sim::tesla_v100();
+  auto pts = analysis::a9_kernel_roofline(result.profile, gpu);
+
+  int memory_bound = 0;
+  for (const auto& p : pts) memory_bound += p.memory_bound ? 1 : 0;
+  std::printf("ideal arithmetic intensity (roofline knee): %.2f flops/byte\n",
+              gpu.ideal_arithmetic_intensity());
+  std::printf("kernels: %zu total, %d memory-bound, %d compute-bound\n\n", pts.size(),
+              memory_bound, static_cast<int>(pts.size()) - memory_bound);
+
+  std::sort(pts.begin(), pts.end(),
+            [](const auto& a, const auto& b) { return a.latency_ms > b.latency_ms; });
+  report::TextTable t({"Kernel", "AI (flops/B)", "Tflops/s", "Latency (ms)", "Region"});
+  for (std::size_t i = 0; i < pts.size() && i < 10; ++i) {
+    const auto& p = pts[i];
+    t.add_row({p.label, fmt_fixed(p.arithmetic_intensity, 2), fmt_fixed(p.tflops, 2),
+               fmt_fixed(p.latency_ms, 2), p.memory_bound ? "memory-bound" : "compute-bound"});
+  }
+  std::printf("top-10 kernels by latency:\n%s", t.str().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Figure 7: per-layer GPU totals (A12) — (a) flops, (b) DRAM reads,
+// (c) DRAM writes — for MLPerf_ResNet50_v1.5 @ batch 256 on Tesla_V100.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Figure 7 / A12 — per-layer GPU flops / DRAM reads / DRAM writes",
+                "paper Fig. 7: flops peak mid-network (up to ~80 Gflops per layer); DRAM "
+                "traffic peaks in the early layers (hundreds of MB)");
+
+  const auto result = bench::resnet50_leveled();
+  const auto metrics = analysis::a12_layer_gpu_metrics(result.profile);
+
+  double max_gflops = 0;
+  double max_reads = 0;
+  double max_writes = 0;
+  for (std::size_t i = 0; i < metrics.gflops.size(); ++i) {
+    max_gflops = std::max(max_gflops, metrics.gflops[i]);
+    max_reads = std::max(max_reads, metrics.dram_reads_mb[i]);
+    max_writes = std::max(max_writes, metrics.dram_writes_mb[i]);
+  }
+  std::printf("peaks: %.1f Gflops | %.1f MB reads | %.1f MB writes "
+              "(paper: ~80 Gflops, ~600 MB, ~500 MB)\n\n",
+              max_gflops, max_reads, max_writes);
+
+  report::TextTable t({"layer_index", "gflops", "dram_reads_mb", "dram_writes_mb"});
+  for (std::size_t i = 0; i < metrics.gflops.size(); ++i) {
+    t.add_row({std::to_string(i), fmt_fixed(metrics.gflops[i], 2),
+               fmt_fixed(metrics.dram_reads_mb[i], 1), fmt_fixed(metrics.dram_writes_mb[i], 1)});
+  }
+  std::printf("full series (CSV):\n%s", t.csv().c_str());
+  bench::footnote_shape();
+  return 0;
+}

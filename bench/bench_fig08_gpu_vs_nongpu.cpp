@@ -1,0 +1,33 @@
+// Figure 8: normalized GPU vs non-GPU latency per layer (A13) for
+// MLPerf_ResNet50_v1.5 @ batch 256 on Tesla_V100.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Figure 8 / A13 — GPU vs non-GPU latency per layer",
+                "paper Fig. 8: most layers are GPU-dominated; non-GPU time (framework "
+                "overhead, launch gaps) shows up on short layers");
+
+  const auto result = bench::resnet50_leveled();
+  const auto rows = analysis::a13_gpu_vs_nongpu(result.profile);
+
+  double gpu_total = 0;
+  double layer_total = 0;
+  int mostly_cpu = 0;
+  for (const auto& r : rows) {
+    gpu_total += r.gpu_ms;
+    layer_total += r.layer_ms;
+    if (r.gpu_pct < 50.0) ++mostly_cpu;
+  }
+  std::printf("aggregate GPU share of layer time: %.1f%%   layers below 50%% GPU: %d of %zu\n\n",
+              100.0 * gpu_total / layer_total, mostly_cpu, rows.size());
+
+  report::TextTable t({"layer_index", "layer_ms", "gpu_ms", "non_gpu_ms", "gpu_pct"});
+  for (const auto& r : rows) {
+    t.add_row({std::to_string(r.index), fmt_fixed(r.layer_ms, 3), fmt_fixed(r.gpu_ms, 3),
+               fmt_fixed(r.non_gpu_ms, 3), fmt_fixed(r.gpu_pct, 1)});
+  }
+  std::printf("full series (CSV):\n%s", t.csv().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Figure 9: roofline analysis of all layers (A14) for
+// MLPerf_ResNet50_v1.5 @ batch 256 on Tesla_V100.
+#include <map>
+
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Figure 9 / A14 — layer roofline",
+                "paper Fig. 9: Conv2D/MatMul/BiasAdd/Softmax layers compute-bound; "
+                "Add/Mul/Relu layers memory-bound");
+
+  const auto result = bench::resnet50_leveled();
+  const auto& gpu = sim::tesla_v100();
+  const auto pts = analysis::a14_layer_roofline(result.profile, gpu);
+
+  // Aggregate boundness by layer type for the paper's qualitative claim.
+  std::map<std::string, std::pair<int, int>> by_type;  // type -> {mem, compute}
+  for (const auto& p : pts) {
+    auto& c = by_type[p.label];
+    (p.memory_bound ? c.first : c.second) += 1;
+  }
+  report::TextTable t({"Layer Type", "Memory-Bound", "Compute-Bound"});
+  for (const auto& [type, counts] : by_type) {
+    t.add_row({type, std::to_string(counts.first), std::to_string(counts.second)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("roofline knee: %.2f flops/byte; %zu layers plotted\n",
+              gpu.ideal_arithmetic_intensity(), pts.size());
+  bench::footnote_shape();
+  return 0;
+}

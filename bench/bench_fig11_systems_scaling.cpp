@@ -1,0 +1,51 @@
+// Figure 11: MLPerf_ResNet50_v1.5 throughput and GPU latency across the
+// five systems and batch sizes, plus the system-dependent kernel-set
+// observation of Section IV-C.
+#include <set>
+
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header(
+      "Figure 11 — throughput & GPU latency across systems and batch sizes",
+      "paper Fig. 11 + Section IV-C: V100 fastest; Quadro RTX lags on memory-bound layers "
+      "despite higher peak FLOPS; pre-Volta parts dispatch maxwell_* kernels");
+
+  const auto batches = analysis::batch_grid(256);
+
+  report::TextTable tput({"System", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "b=64", "b=128",
+                          "b=256"});
+  report::TextTable gpu_lat({"System", "b=1", "b=2", "b=4", "b=8", "b=16", "b=32", "b=64",
+                             "b=128", "b=256"});
+
+  for (const auto& system : sim::all_systems()) {
+    profile::LeveledRunner runner(system, framework::FrameworkKind::kTFlow);
+    std::vector<std::string> tput_row{system.name};
+    std::vector<std::string> lat_row{system.name};
+    std::set<std::string> conv_kernels;
+    for (const std::int64_t batch : batches) {
+      const auto result = runner.run_model(bench::resnet50(), batch, /*gpu_metrics=*/false);
+      const double model_ms = to_ms(result.profile.model_latency);
+      const double kernel_ms = to_ms(result.profile.total_kernel_latency());
+      tput_row.push_back(fmt_fixed(static_cast<double>(batch) / model_ms * 1e3, 0));
+      lat_row.push_back(fmt_fixed(kernel_ms, 1));
+      if (batch == 256) {
+        for (const auto& k : result.profile.kernels) {
+          if (k.name.find("scudnn") != std::string::npos) conv_kernels.insert(k.name);
+        }
+      }
+    }
+    tput.add_row(tput_row);
+    gpu_lat.add_row(lat_row);
+
+    std::printf("%s conv kernel set at batch 256:", system.name.c_str());
+    for (const auto& k : conv_kernels) std::printf(" %s", k.c_str());
+    std::printf("\n");
+  }
+
+  std::printf("\n(a) throughput (inputs/sec):\n%s", tput.str().c_str());
+  std::printf("\n(b) total GPU kernel latency (ms):\n%s", gpu_lat.str().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 12: roofline of the 37 image-classification models at their
+// optimal batch sizes on Tesla_V100.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Figure 12 — roofline of the 37 IC models at optimal batch",
+                "paper Fig. 12: 20 of 37 memory-bound; low-accuracy/low-compute models "
+                "(MobileNet variants) cluster in the memory-bound region; all models reach "
+                "at most ~52% of theoretical peak");
+
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto& gpu = sim::tesla_v100();
+
+  report::TextTable t({"ID", "Name", "AI (flops/B)", "Tflops/s", "% of Peak", "Region"});
+  int memory_bound = 0;
+  double max_peak_pct = 0;
+  for (const auto* m : models::image_classification_models()) {
+    const auto info = analysis::model_information(runner, *m, 256);
+    const auto leveled = runner.run_model(*m, info.optimal_batch);
+    const auto agg = analysis::a15_model_aggregate(leveled.profile, gpu);
+    memory_bound += agg.memory_bound ? 1 : 0;
+    const double peak_pct = agg.tflops / gpu.peak_tflops * 100.0;
+    max_peak_pct = std::max(max_peak_pct, peak_pct);
+    t.add_row({std::to_string(m->id), m->name, fmt_fixed(agg.arithmetic_intensity, 2),
+               fmt_fixed(agg.tflops, 2), fmt_fixed(peak_pct, 1),
+               agg.memory_bound ? "memory-bound" : "compute-bound"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("memory-bound: %d of 37 (paper: 20)   best utilization: %.1f%% of peak "
+              "(paper: <= 52%%)\n",
+              memory_bound, max_peak_pct);
+  bench::footnote_shape();
+  return 0;
+}

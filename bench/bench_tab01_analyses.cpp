@@ -1,0 +1,74 @@
+// Table I: the 15 analyses, the profiling levels each requires, and which
+// tooling can produce them. Runs every analysis once over the headline
+// profile as a smoke demonstration that XSP covers the full matrix.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Table I — the 15 automated analyses", "paper Table I");
+
+  struct Row {
+    const char* id;
+    const char* name;
+    const char* levels;
+    bool end_to_end;
+    bool framework_profilers;
+    bool nvidia_profilers;
+  };
+  // The capability matrix exactly as the paper states it; XSP covers all.
+  constexpr Row kRows[] = {
+      {"A1", "Model information table", "M", true, false, false},
+      {"A2", "Layer information table", "L", false, true, false},
+      {"A3", "Layer latency", "L", false, true, false},
+      {"A4", "Layer memory allocation", "L", false, true, false},
+      {"A5", "Layer type distribution", "L", false, true, false},
+      {"A6", "Layer latency aggregated by type", "L", false, true, false},
+      {"A7", "Layer memory allocation aggregated by type", "L", false, true, false},
+      {"A8", "GPU kernel information table", "G", false, false, true},
+      {"A9", "GPU kernel roofline", "G", false, false, true},
+      {"A10", "GPU kernel information aggregated by name", "G", false, false, true},
+      {"A11", "GPU kernel information aggregated by layer", "L/G", false, false, false},
+      {"A12", "GPU metrics aggregated by layer", "L/G", false, false, false},
+      {"A13", "GPU vs Non-GPU latency", "L/G", false, false, false},
+      {"A14", "Layer roofline", "L/G", false, false, false},
+      {"A15", "GPU kernel information aggregated by model", "M/G", false, false, true},
+  };
+
+  report::TextTable t({"Analysis", "Levels", "End-to-End Benchmarking", "Framework Profilers",
+                       "NVIDIA Profilers", "XSP"});
+  for (const auto& r : kRows) {
+    t.add_row({std::string(r.id) + " " + r.name, r.levels, r.end_to_end ? "yes" : "no",
+               r.framework_profilers ? "yes" : "no", r.nvidia_profilers ? "yes" : "no", "yes"});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // Execute all 15 against the headline profile (smaller batch keeps this
+  // bench quick; the dedicated benches use batch 256).
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto info = analysis::model_information(runner, bench::resnet50(), 64);
+  const auto result = runner.run_model(bench::resnet50(), 64);
+  const auto& p = result.profile;
+  const auto& gpu = sim::tesla_v100();
+
+  std::printf("running all 15 analyses on %s @ batch 64:\n", p.model_name.c_str());
+  std::printf("  A1  optimal batch %lld, max tput %.1f in/s\n",
+              static_cast<long long>(info.optimal_batch), info.max_throughput);
+  std::printf("  A2  %zu layer rows\n", analysis::a2_layer_info(p).size());
+  std::printf("  A3  %zu latency points\n", analysis::a3_layer_latency_us(p).size());
+  std::printf("  A4  %zu allocation points\n", analysis::a4_layer_alloc_mb(p).size());
+  const auto types = analysis::layer_type_aggregation(p);
+  std::printf("  A5-7 %zu layer types (top by latency: %s, %.1f%%)\n", types.size(),
+              types[0].type.c_str(), types[0].latency_pct);
+  std::printf("  A8  %zu kernel rows\n", analysis::a8_kernel_info(p, gpu).size());
+  std::printf("  A9  %zu roofline points\n", analysis::a9_kernel_roofline(p, gpu).size());
+  const auto by_name = analysis::a10_kernel_by_name(p, gpu);
+  std::printf("  A10 %zu unique kernels (top: %s)\n", by_name.size(), by_name[0].name.c_str());
+  std::printf("  A11 %zu layer aggregation rows\n", analysis::a11_kernel_by_layer(p, gpu).size());
+  std::printf("  A12 %zu per-layer metric tuples\n", analysis::a12_layer_gpu_metrics(p).gflops.size());
+  std::printf("  A13 %zu GPU/non-GPU rows\n", analysis::a13_gpu_vs_nongpu(p).size());
+  std::printf("  A14 %zu layer roofline points\n", analysis::a14_layer_roofline(p, gpu).size());
+  const auto agg = analysis::a15_model_aggregate(p, gpu);
+  std::printf("  A15 model %s-bound, %.2f Gflops, occupancy %.1f%%\n",
+              agg.memory_bound ? "memory" : "compute", agg.gflops, agg.occupancy_pct);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Table II: the top-5 most time-consuming layers (A2) of
+// MLPerf_ResNet50_v1.5 @ batch 256 on Tesla_V100.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Table II / A2 — top-5 most time-consuming layers",
+                "paper Table II: conv2d_48 7.59 ms, conv2d_51 7.57 ms, conv2d_45 5.67 ms, "
+                "conv2d 5.08 ms, conv2d_26 4.67 ms; 234 layers total, 143 under 1 ms");
+
+  const auto result = bench::resnet50_leveled();
+  const auto& profile = result.profile;
+
+  report::TextTable t({"Layer Index", "Layer Name", "Layer Type", "Layer Shape", "Latency (ms)",
+                       "Alloc Mem (MB)"});
+  for (const auto& row : analysis::top_layers_by_latency(profile, 5)) {
+    t.add_row({std::to_string(row.index), row.name, row.type, row.shape,
+               fmt_fixed(row.latency_ms, 2), fmt_fixed(row.alloc_mb, 1)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  int under_1ms = 0;
+  for (const auto& l : profile.layers) {
+    if (to_ms(l.latency) < 1.0) ++under_1ms;
+  }
+  std::printf("layers: %zu total, %d under 1 ms (paper: 234 total, 143 under 1 ms)\n",
+              profile.layers.size(), under_1ms);
+  bench::footnote_shape();
+  return 0;
+}

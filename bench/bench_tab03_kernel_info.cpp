@@ -1,0 +1,36 @@
+// Table III: the top-5 most time-consuming GPU kernel invocations (A8) of
+// MLPerf_ResNet50_v1.5 @ batch 256 on Tesla_V100, with full metrics.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header(
+      "Table III / A8 — top-5 most time-consuming kernel invocations",
+      "paper Table III: volta_cgemm_32x32_tn (6.04/6.03 ms, layers 221/208), "
+      "volta_scudnn_128x128 (5.48 ms), volta_scudnn_128x64 (4.91 ms, layer 3); "
+      "375 kernels total, 284 under 1 ms");
+
+  const auto result = bench::resnet50_leveled();
+  const auto& gpu = sim::tesla_v100();
+
+  report::TextTable t({"Kernel Name", "Layer", "Latency (ms)", "Gflops", "Reads (MB)",
+                       "Writes (MB)", "Occup (%)", "AI (flops/B)", "Tflops/s", "Mem Bound?"});
+  for (const auto& r : analysis::top_kernels_by_latency(result.profile, gpu, 5)) {
+    t.add_row({r.name, std::to_string(r.layer_index), fmt_fixed(r.latency_ms, 2),
+               fmt_fixed(r.gflops, 2), fmt_fixed(r.dram_reads_mb, 2),
+               fmt_fixed(r.dram_writes_mb, 2), fmt_fixed(r.occupancy_pct, 2),
+               fmt_fixed(r.arithmetic_intensity, 2), fmt_fixed(r.tflops, 2),
+               bench::yes_no(r.memory_bound)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  const auto all = analysis::a8_kernel_info(result.profile, gpu);
+  int under_1ms = 0;
+  for (const auto& r : all) {
+    if (r.latency_ms < 1.0) ++under_1ms;
+  }
+  std::printf("kernels: %zu total, %d under 1 ms (paper: 375 total, 284 under 1 ms)\n",
+              all.size(), under_1ms);
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Table V: GPU kernel information aggregated by layer (A11) for the top-5
+// most time-consuming layers of MLPerf_ResNet50_v1.5.
+#include <algorithm>
+
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header(
+      "Table V / A11 — kernel information aggregated by layer (top-5 layers)",
+      "paper Table V: layers 208/221 ~7.6 ms (79.74 Gflops, ~19.4% occupancy, compute-bound), "
+      "layer 3 5.08 ms (62.89 Gflops, AI 202.78)");
+
+  const auto result = bench::resnet50_leveled();
+  const auto& gpu = sim::tesla_v100();
+  auto rows = analysis::a11_kernel_by_layer(result.profile, gpu);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.layer_latency_ms > b.layer_latency_ms; });
+
+  report::TextTable t({"Layer Index", "Layer (ms)", "Kernel (ms)", "Gflops", "Reads (MB)",
+                       "Writes (MB)", "Occup (%)", "AI", "Tflops/s", "Mem Bound?"});
+  for (std::size_t i = 0; i < rows.size() && i < 5; ++i) {
+    const auto& r = rows[i];
+    t.add_row({std::to_string(r.index), fmt_fixed(r.layer_latency_ms, 2),
+               fmt_fixed(r.kernel_latency_ms, 2), fmt_fixed(r.gflops, 2),
+               fmt_fixed(r.dram_reads_mb, 2), fmt_fixed(r.dram_writes_mb, 2),
+               fmt_fixed(r.occupancy_pct, 2), fmt_fixed(r.arithmetic_intensity, 2),
+               fmt_fixed(r.tflops, 2), bench::yes_no(r.memory_bound)});
+  }
+  std::printf("%s", t.str().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Table VI + Figure 10: whole-model GPU aggregation (A15) across batch
+// sizes for MLPerf_ResNet50_v1.5 on Tesla_V100, including the roofline
+// classification per batch size and the cuDNN algorithm switch that makes
+// mid-range batches memory-bound in the paper.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header(
+      "Table VI + Figure 10 / A15 — model aggregate across batch sizes",
+      "paper Table VI: occupancy climbs 22.65% -> 43.15% toward the optimal batch; "
+      "model compute-bound except batches 16/32 (cuDNN algorithm switch at batch 16)");
+
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto& gpu = sim::tesla_v100();
+
+  report::TextTable t({"Batch", "Model (ms)", "Kernel (ms)", "Gflops", "Reads (MB)",
+                       "Writes (MB)", "Occup (%)", "AI", "Mem Bound?", "Main Conv Kernel"});
+  for (std::int64_t batch : analysis::batch_grid(256)) {
+    const auto result = runner.run_model(bench::resnet50(), batch);
+    const auto agg = analysis::a15_model_aggregate(result.profile, gpu);
+
+    // The dominant convolution kernel at this batch size (paper: switches
+    // from implicit_convolve_sgemm to volta_scudnn_* at batch 16).
+    std::string conv_kernel = "-";
+    double conv_ms = 0;
+    for (const auto& row : analysis::a10_kernel_by_name(result.profile, gpu)) {
+      if (row.name.find("scudnn") != std::string::npos ||
+          row.name.find("convolve") != std::string::npos) {
+        if (row.latency_ms > conv_ms) {
+          conv_ms = row.latency_ms;
+          conv_kernel = row.name;
+        }
+      }
+    }
+    t.add_row({std::to_string(batch), fmt_fixed(agg.model_latency_ms, 2),
+               fmt_fixed(agg.kernel_latency_ms, 2), fmt_fixed(agg.gflops, 2),
+               fmt_fixed(agg.dram_reads_mb, 1), fmt_fixed(agg.dram_writes_mb, 1),
+               fmt_fixed(agg.occupancy_pct, 2), fmt_fixed(agg.arithmetic_intensity, 2),
+               bench::yes_no(agg.memory_bound), conv_kernel});
+  }
+  std::printf("%s", t.str().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Table VII: the five evaluation systems and their ideal arithmetic
+// intensities (computed exactly as the paper computes them).
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Table VII — evaluation systems",
+                "paper Table VII: ideal AI = peak FLOPS / memory bandwidth");
+
+  report::TextTable t({"Name", "CPU", "GPU", "Architecture", "Theoretical FLOPS (TFLOPS)",
+                       "Memory Bandwidth (GB/s)", "Ideal Arithmetic Intensity (flops/byte)"});
+  for (const auto& s : sim::all_systems()) {
+    t.add_row({s.name, s.cpu, s.gpu, sim::arch_name(s.arch), fmt_fixed(s.peak_tflops, 1),
+               fmt_fixed(s.mem_bw_gbps, 0), fmt_fixed(s.ideal_arithmetic_intensity(), 2)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\npaper ideal AI: Quadro_RTX 26.12, Tesla_V100 17.44, Tesla_P100 12.70, "
+              "Tesla_P4 28.34, Tesla_M60 30.12\n");
+  return 0;
+}

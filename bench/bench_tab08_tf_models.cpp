@@ -1,0 +1,42 @@
+// Table VIII: the 55 TensorFlow models — online latency, maximum
+// throughput, optimal batch size and convolution latency percentage on
+// Tesla_V100, side by side with the paper's reported values.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header("Table VIII — 55 TensorFlow models on Tesla_V100",
+                "paper Table VIII (values in parentheses are the paper's)");
+
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+
+  report::TextTable t({"ID", "Name", "Task", "Accuracy", "Graph (MB)", "Online (ms)",
+                       "Max Tput (in/s)", "Opt Batch", "Conv %"});
+
+  for (const auto& m : models::tensorflow_models()) {
+    // Batch sweeps honour each task's practical range (the paper's optimal
+    // batches: OD <= 16, IS <= 4, SS/SR = 1).
+    std::int64_t max_batch = 256;
+    if (m.task == "OD") max_batch = 32;
+    if (m.task == "IS") max_batch = 16;
+    if (m.task == "SS" || m.task == "SR") max_batch = 8;
+
+    const auto info = analysis::model_information(runner, m, max_batch);
+    const auto leveled = runner.run_model(m, info.optimal_batch, /*gpu_metrics=*/false);
+    const double conv_pct = analysis::conv_latency_percentage(leveled.profile);
+    const double graph_mb = m.build(1, true).graph_size_bytes() / 1e6;
+
+    t.add_row({std::to_string(m.id), m.name, m.task, fmt_fixed(m.paper.accuracy, 2),
+               fmt_fixed(graph_mb, 0) + " (" + fmt_fixed(m.paper.graph_size_mb, 0) + ")",
+               fmt_fixed(info.online_latency_ms, 2) + " (" +
+                   fmt_fixed(m.paper.online_latency_ms, 2) + ")",
+               fmt_fixed(info.max_throughput, 1) + " (" + fmt_fixed(m.paper.max_throughput, 1) +
+                   ")",
+               std::to_string(info.optimal_batch) + " (" +
+                   std::to_string(m.paper.optimal_batch) + ")",
+               fmt_fixed(conv_pct, 1) + " (" + fmt_fixed(m.paper.conv_latency_pct, 1) + ")"});
+  }
+  std::printf("%s", t.str().c_str());
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Table IX: in-depth characterization of the 37 image-classification
+// models at their optimal batch sizes on Tesla_V100 — GPU latency
+// percentage, GPU metrics, roofline classification, and the dominant
+// beginning/middle/end stage per quantity.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header(
+      "Table IX — in-depth characterization of the 37 IC models",
+      "paper Table IX: GPU latency % 53.68-95.61; ~20 of 37 memory-bound; MobileNets "
+      "memory-bound with low occupancy, big ResNets/VGG compute-bound");
+
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto& gpu = sim::tesla_v100();
+
+  report::TextTable t({"ID", "Batch Lat (ms)", "GPU Lat %", "GPU Gflops", "Reads (GB)",
+                       "Writes (GB)", "Occup %", "AI", "Tflops", "Mem Bound?", "Lat Stage",
+                       "Alloc Stage", "Flops Stage", "Mem Stage"});
+
+  int memory_bound_count = 0;
+  for (const auto* m : models::image_classification_models()) {
+    const auto info = analysis::model_information(runner, *m, 256);
+    const auto leveled = runner.run_model(*m, info.optimal_batch);
+    const auto agg = analysis::a15_model_aggregate(leveled.profile, gpu);
+    const auto stages = analysis::stage_analysis(leveled.profile);
+    memory_bound_count += agg.memory_bound ? 1 : 0;
+
+    t.add_row({std::to_string(m->id), fmt_fixed(agg.model_latency_ms, 2),
+               fmt_fixed(analysis::gpu_latency_percentage(leveled.profile), 2),
+               fmt_fixed(agg.gflops, 2), fmt_fixed(agg.dram_reads_mb / 1e3, 2),
+               fmt_fixed(agg.dram_writes_mb / 1e3, 2), fmt_fixed(agg.occupancy_pct, 2),
+               fmt_fixed(agg.arithmetic_intensity, 2), fmt_fixed(agg.tflops, 2),
+               bench::yes_no(agg.memory_bound), analysis::stage_name(stages.latency),
+               analysis::stage_name(stages.alloc), analysis::stage_name(stages.flops),
+               analysis::stage_name(stages.memory_access)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("memory-bound models: %d of 37 (paper: 20 of 37)\n", memory_bound_count);
+  bench::footnote_shape();
+  return 0;
+}

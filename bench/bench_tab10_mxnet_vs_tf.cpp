@@ -1,0 +1,60 @@
+// Table X: the 10 MXNet models vs their TensorFlow counterparts on
+// Tesla_V100 — normalized online latency, normalized maximum throughput,
+// and GPU characteristics at the optimal batch size.
+#include "common.hpp"
+
+int main() {
+  using namespace xsp;
+  bench::header(
+      "Table X — MXNet vs TensorFlow",
+      "paper Table X + Section IV-B: MXNet ResNets slower at batch 1 (fixed engine "
+      "overhead: 4.44 ms non-GPU vs 2.18 ms), comparable max throughput; MXNet MobileNets "
+      "35-74% higher max throughput (Eigen element-wise DRAM excess on the TF side)");
+
+  profile::LeveledRunner tf_runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  profile::LeveledRunner mx_runner(sim::tesla_v100(), framework::FrameworkKind::kMXLite);
+  const auto& gpu = sim::tesla_v100();
+
+  report::TextTable t({"ID", "Name", "Norm Online Lat", "Opt Batch", "Norm Max Tput",
+                       "GPU Lat %", "Gflops", "Reads (GB)", "Writes (GB)", "Occup %",
+                       "Mem Bound?"});
+
+  for (const auto& mx : models::mxnet_models()) {
+    const auto* tf = models::find_tensorflow_model(mx.name);
+
+    const auto tf_info = analysis::model_information(tf_runner, *tf, 256);
+    const auto mx_info = analysis::model_information(mx_runner, mx, 256);
+    const auto mx_leveled = mx_runner.run_model(mx, mx_info.optimal_batch);
+    const auto agg = analysis::a15_model_aggregate(mx_leveled.profile, gpu);
+
+    const double norm_online = mx_info.online_latency_ms / tf_info.online_latency_ms;
+    const double norm_tput = mx_info.max_throughput / tf_info.max_throughput;
+
+    t.add_row({std::to_string(mx.id), mx.name,
+               fmt_fixed(norm_online, 2) + " (" + fmt_fixed(mx.paper.online_latency_ms, 2) + ")",
+               std::to_string(mx_info.optimal_batch) + " (" +
+                   std::to_string(mx.paper.optimal_batch) + ")",
+               fmt_fixed(norm_tput, 2) + " (" + fmt_fixed(mx.paper.max_throughput, 2) + ")",
+               fmt_fixed(analysis::gpu_latency_percentage(mx_leveled.profile), 2),
+               fmt_fixed(agg.gflops, 2), fmt_fixed(agg.dram_reads_mb / 1e3, 2),
+               fmt_fixed(agg.dram_writes_mb / 1e3, 2), fmt_fixed(agg.occupancy_pct, 2),
+               bench::yes_no(agg.memory_bound)});
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  // The batch-1 non-GPU latency comparison behind the ResNet finding.
+  const auto* r50 = models::find_tensorflow_model("ResNet_v1_50");
+  const auto tf_b1 = tf_runner.run_model(*r50, 1, /*gpu_metrics=*/false);
+  const auto mx_b1 = mx_runner.run_model(*models::find_mxnet_model(11), 1,
+                                         /*gpu_metrics=*/false);
+  const double tf_non_gpu =
+      to_ms(tf_b1.profile.model_latency - tf_b1.profile.total_kernel_latency());
+  const double mx_non_gpu =
+      to_ms(mx_b1.profile.model_latency - mx_b1.profile.total_kernel_latency());
+  std::printf("ResNet_v1_50 @ batch 1 non-GPU latency: TFlow %.2f ms (%.1f%%), MXLite %.2f ms "
+              "(%.1f%%)  [paper: 2.18 ms / 35.3%% vs 4.44 ms / 55.1%%]\n",
+              tf_non_gpu, 100.0 * tf_non_gpu / to_ms(tf_b1.profile.model_latency), mx_non_gpu,
+              100.0 * mx_non_gpu / to_ms(mx_b1.profile.model_latency));
+  bench::footnote_shape();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared helpers for the per-table / per-figure bench binaries.
+//
+// Every bench regenerates one table or figure of the paper and, where the
+// paper reports concrete values, prints them side by side with our
+// simulated measurements. Absolute agreement is not expected (the substrate
+// is a simulator, not the authors' testbed); the *shape* — who wins, by
+// roughly what factor, where crossovers fall — is the reproduction target.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/analysis/batch_sweep.hpp"
+#include "xsp/common/format.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/report/table.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+namespace xsp::bench {
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n\n");
+}
+
+inline const models::ModelInfo& resnet50() {
+  return *models::find_tensorflow_model("MLPerf_ResNet50_v1.5");
+}
+
+/// The headline configuration of the paper's Section III-D examples:
+/// MLPerf_ResNet50_v1.5, TensorFlow, Tesla_V100, batch 256.
+inline profile::LeveledResult resnet50_leveled(bool gpu_metrics = true,
+                                               std::int64_t batch = 256) {
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  return runner.run_model(resnet50(), batch, gpu_metrics);
+}
+
+inline std::string yes_no(bool memory_bound) { return memory_bound ? "yes" : "no"; }
+
+inline void footnote_shape() {
+  std::printf(
+      "\n(note: simulated substrate; compare shapes/ratios with the paper, not digits)\n");
+}
+
+}  // namespace xsp::bench

@@ -1,0 +1,53 @@
+// Object-detection profiling (paper Section IV-A): SSD models attribute
+// almost none of their latency to convolutions — the Where-dominated
+// post-processing block is the bottleneck, and per-image NMS unrolling
+// erases the batching benefit classification models enjoy.
+#include <cstdio>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/analysis/batch_sweep.hpp"
+#include "xsp/common/format.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/report/table.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+int main() {
+  using namespace xsp;
+  const auto& system = sim::tesla_v100();
+  profile::LeveledRunner runner(system, framework::FrameworkKind::kTFlow);
+
+  const auto* ssd = models::find_tensorflow_model("MLPerf_SSD_MobileNet_v1_300x300");
+  const auto* classifier = models::find_tensorflow_model("MLPerf_MobileNet_v1");
+
+  // Same backbone, very different profiles.
+  report::TextTable t({"Model", "Online (ms)", "Conv %", "Dominant Type", "Dominant %",
+                       "Tput b=1", "Tput b=8"});
+  for (const auto* model : {classifier, ssd}) {
+    const auto b1 = runner.run_model(*model, 1);
+    const auto points = analysis::sweep_batches(runner, *model, {1, 8});
+    const auto by_type = analysis::layer_type_aggregation(b1.profile);
+    t.add_row({model->name, fmt_fixed(to_ms(b1.profile.model_latency), 2),
+               fmt_fixed(analysis::conv_latency_percentage(b1.profile), 1), by_type[0].type,
+               fmt_fixed(by_type[0].latency_pct, 1), fmt_fixed(points[0].throughput(), 1),
+               fmt_fixed(points[1].throughput(), 1)});
+  }
+  std::printf("classification vs detection with the same backbone (Section IV-A)\n\n%s\n",
+              t.str().c_str());
+
+  // Where the detection time actually goes.
+  const auto profile = runner.run_model(*ssd, 1).profile;
+  report::TextTable types({"Layer Type", "Count", "Latency (ms)", "Latency %"});
+  int shown = 0;
+  for (const auto& a : analysis::layer_type_aggregation(profile)) {
+    if (shown++ >= 6) break;
+    types.add_row({a.type, std::to_string(a.count), fmt_fixed(a.latency_ms, 2),
+                   fmt_fixed(a.latency_pct, 1)});
+  }
+  std::printf("%s layer-type breakdown at batch 1:\n%s\n", ssd->name.c_str(),
+              types.str().c_str());
+  std::printf("expected shape: the classifier batches well (throughput grows with batch) and "
+              "is conv-dominated; the detector is Where-dominated (conv <= a few %%) and its "
+              "per-image post-processing keeps throughput nearly flat.\n");
+  return 0;
+}

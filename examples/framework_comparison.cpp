@@ -1,0 +1,76 @@
+// Framework comparison (paper Section IV-B): profile the same model family
+// under the TensorFlow and MXNet personalities and reproduce the two
+// findings:
+//   * compute-bound ResNets: MXNet pays a fixed per-inference engine
+//     overhead that dominates at batch 1 but washes out at the optimal
+//     batch size;
+//   * memory-bound MobileNets: TensorFlow's Eigen element-wise kernels
+//     move excess DRAM traffic, so MXNet wins decisively at scale.
+#include <cstdio>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/analysis/batch_sweep.hpp"
+#include "xsp/analysis/compare.hpp"
+#include "xsp/common/format.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/report/table.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+int main() {
+  using namespace xsp;
+  const auto& system = sim::tesla_v100();
+
+  profile::LeveledRunner tf(system, framework::FrameworkKind::kTFlow);
+  profile::LeveledRunner mx(system, framework::FrameworkKind::kMXLite);
+
+  report::TextTable t({"Model", "Framework", "Online (ms)", "Non-GPU @ b1 (ms)", "Opt Batch",
+                       "Max Tput (in/s)", "Occup % @ opt", "Mem Bound?"});
+
+  for (const char* name : {"ResNet_v1_50", "ResNet_v2_50", "MobileNet_v1_1.0_224",
+                           "MobileNet_v1_0.5_224"}) {
+    const auto* model = models::find_tensorflow_model(name);
+    for (auto* runner : {&tf, &mx}) {
+      const auto info = analysis::model_information(*runner, *model, 256);
+      const auto b1 = runner->run_model(*model, 1, /*gpu_metrics=*/false);
+      const auto opt = runner->run_model(*model, info.optimal_batch);
+      const auto agg = analysis::a15_model_aggregate(opt.profile, system);
+      const double non_gpu =
+          to_ms(b1.profile.model_latency - b1.profile.total_kernel_latency());
+      t.add_row({name,
+                 runner == &tf ? "TFlow" : "MXLite",
+                 fmt_fixed(info.online_latency_ms, 2), fmt_fixed(non_gpu, 2),
+                 std::to_string(info.optimal_batch), fmt_fixed(info.max_throughput, 1),
+                 fmt_fixed(agg.occupancy_pct, 1), agg.memory_bound ? "yes" : "no"});
+    }
+  }
+  std::printf("Framework comparison on %s (paper Section IV-B)\n\n%s\n", system.name.c_str(),
+              t.str().c_str());
+  std::printf("expected shape: MXLite slower at batch 1 on ResNets (fixed engine overhead), "
+              "MXLite 1.35-1.74x TFlow max throughput on MobileNets (leaner element-wise "
+              "kernels, higher occupancy).\n\n");
+
+  // Drill-down: where exactly does the MobileNet gap come from? The
+  // systematic comparison API lines the two profiles up per quantity and
+  // per layer type — the paper's attribution to Eigen element-wise layers.
+  const auto* mobilenet = models::find_tensorflow_model("MobileNet_v1_1.0_224");
+  const auto tf_opt = tf.run_model(*mobilenet, 128).profile;
+  const auto mx_opt = mx.run_model(*mobilenet, 128).profile;
+  const auto cmp = analysis::compare_profiles(tf_opt, system, mx_opt, system);
+
+  report::TextTable drill({"Quantity", "TFlow", "MXLite", "MXLite/TFlow"});
+  for (const char* q : {"model_latency_ms", "kernel_latency_ms", "dram_read_mb",
+                        "dram_write_mb", "achieved_occupancy_pct"}) {
+    const auto* row = cmp.find(q);
+    drill.add_row({q, fmt_fixed(row->a, 2), fmt_fixed(row->b, 2), fmt_fixed(row->ratio(), 2)});
+  }
+  std::printf("MobileNet_v1_1.0_224 @ batch 128, quantity comparison:\n%s\n",
+              drill.str().c_str());
+
+  report::TextTable types({"Layer Type", "TFlow (ms)", "MXLite (ms)"});
+  for (const auto& row : analysis::compare_layer_types(tf_opt, mx_opt)) {
+    types.add_row({row.quantity, fmt_fixed(row.a, 2), fmt_fixed(row.b, 2)});
+  }
+  std::printf("per-layer-type latency:\n%s", types.str().c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Quickstart: profile MLPerf_ResNet50_v1.5 on the simulated Tesla V100
+// across the three XSP levels and print the headline analyses.
+//
+// This walks the exact flow of the paper's Section III-D example:
+//   1. leveled experimentation (M, M/L, M/L/G runs),
+//   2. the merged accurate profile,
+//   3. a few of the A1-A15 analyses over it.
+#include <cstdio>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/analysis/batch_sweep.hpp"
+#include "xsp/analysis/multirun.hpp"
+#include "xsp/common/format.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/report/table.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+int main() {
+  using namespace xsp;
+
+  const auto& system = sim::tesla_v100();
+  const auto* model = models::find_tensorflow_model("MLPerf_ResNet50_v1.5");
+  if (model == nullptr) {
+    std::fprintf(stderr, "model not found\n");
+    return 1;
+  }
+
+  profile::LeveledRunner runner(system, framework::FrameworkKind::kTFlow);
+
+  // --- leveled experimentation at batch 256 (Figure 2) ---------------------
+  const std::int64_t batch = 256;
+  const auto result = runner.run_model(*model, batch);
+
+  std::printf("== %s on %s (batch %lld) ==\n", model->name.c_str(), system.name.c_str(),
+              static_cast<long long>(batch));
+  std::printf("model latency (M run):         %8.2f ms\n", to_ms(result.m.model_latency));
+  std::printf("model latency (M/L run):       %8.2f ms  -> layer profiling overhead %.2f ms\n",
+              to_ms(result.ml.model_latency), to_ms(result.layer_overhead()));
+  std::printf("model latency (M/L/G run):     %8.2f ms  -> GPU profiling overhead %.2f ms\n",
+              to_ms(result.mlg.model_latency), to_ms(result.gpu_overhead()));
+  std::printf("layers: %zu   kernels: %zu   trace spans (M/L/G): %zu\n\n",
+              result.profile.layers.size(), result.profile.kernels.size(),
+              result.mlg.timeline.size());
+
+  // --- A2: top-5 most time-consuming layers (Table II) ---------------------
+  report::TextTable layer_table({"Layer Index", "Layer Name", "Layer Type", "Layer Shape",
+                                 "Latency (ms)", "Alloc Mem (MB)"});
+  for (const auto& row : analysis::top_layers_by_latency(result.profile, 5)) {
+    layer_table.add_row({std::to_string(row.index), row.name, row.type, row.shape,
+                         fmt_fixed(row.latency_ms, 2), fmt_fixed(row.alloc_mb, 1)});
+  }
+  std::printf("A2: top-5 most time-consuming layers\n%s\n", layer_table.str().c_str());
+
+  // --- A10: kernels aggregated by name (Table IV) --------------------------
+  report::TextTable kernel_table(
+      {"Kernel Name", "Count", "Latency (ms)", "Latency %", "Gflops", "Occupancy %", "AI",
+       "Memory Bound?"});
+  auto kernel_rows = analysis::a10_kernel_by_name(result.profile, system);
+  for (std::size_t i = 0; i < kernel_rows.size() && i < 5; ++i) {
+    const auto& r = kernel_rows[i];
+    kernel_table.add_row({r.name, std::to_string(r.count), fmt_fixed(r.latency_ms, 2),
+                          fmt_fixed(r.latency_pct, 2), fmt_fixed(r.gflops, 2),
+                          fmt_fixed(r.occupancy_pct, 2), fmt_fixed(r.arithmetic_intensity, 2),
+                          r.memory_bound ? "yes" : "no"});
+  }
+  std::printf("A10: top-5 kernels aggregated by name (%zu unique kernels)\n%s\n",
+              kernel_rows.size(), kernel_table.str().c_str());
+
+  // --- A15: whole-model aggregate (one Table VI row) ------------------------
+  const auto agg = analysis::a15_model_aggregate(result.profile, system);
+  std::printf("A15: model GFlops %.2f, DRAM reads %.2f GB, writes %.2f GB, occupancy %.1f%%, "
+              "%s-bound\n",
+              agg.gflops, agg.dram_reads_mb / 1e3, agg.dram_writes_mb / 1e3, agg.occupancy_pct,
+              agg.memory_bound ? "memory" : "compute");
+  std::printf("GPU latency percentage: %.2f%%   conv latency percentage: %.2f%%\n\n",
+              analysis::gpu_latency_percentage(result.profile),
+              analysis::conv_latency_percentage(result.profile));
+
+  // --- A1: throughput across batch sizes (Figure 3) -------------------------
+  const auto info = analysis::model_information(runner, *model, 256);
+  report::TextTable tput({"Batch", "Latency (ms)", "Inputs/sec"});
+  for (const auto& pt : info.points) {
+    tput.add_row({std::to_string(pt.batch), fmt_fixed(pt.latency_ms, 2),
+                  fmt_fixed(pt.throughput(), 1)});
+  }
+  std::printf("A1: throughput across batch sizes\n%s", tput.str().c_str());
+  std::printf("optimal batch size: %lld (max throughput %.1f inputs/sec, online latency %.2f ms)\n\n",
+              static_cast<long long>(info.optimal_batch), info.max_throughput,
+              info.online_latency_ms);
+
+  // --- multi-run statistics (the pipeline's trimmed-mean aggregation) ------
+  const auto graph = model->build(batch, runner.decompose_batchnorm());
+  const auto multi = analysis::profile_n_runs(runner, graph, /*runs=*/5,
+                                              /*timing_jitter=*/0.03);
+  std::printf("5-run statistics (3%% simulated run-to-run jitter): model latency "
+              "trimmed-mean %.2f ms, stddev %.2f ms, min %.2f, max %.2f\n",
+              multi.model_latency_ms.trimmed_mean, multi.model_latency_ms.stddev,
+              multi.model_latency_ms.min, multi.model_latency_ms.max);
+  return 0;
+}

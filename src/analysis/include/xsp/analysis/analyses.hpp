@@ -1,0 +1,231 @@
+// The 15 automated analyses of the paper's Table I.
+//
+//   A1  model information table                       (M)
+//   A2  layer information table                       (L)
+//   A3  layer latency                                 (L)
+//   A4  layer memory allocation                       (L)
+//   A5  layer type distribution                       (L)
+//   A6  layer latency aggregated by type              (L)
+//   A7  layer memory allocation aggregated by type    (L)
+//   A8  GPU kernel information table                  (G)
+//   A9  GPU kernel roofline                           (G)
+//   A10 GPU kernel information aggregated by name     (G)
+//   A11 GPU kernel information aggregated by layer    (L/G)
+//   A12 GPU metrics aggregated by layer               (L/G)
+//   A13 GPU vs non-GPU latency                        (L/G)
+//   A14 layer roofline                                (L/G)
+//   A15 GPU kernel information aggregated by model    (M/G)
+//
+// All analyses consume the merged ModelProfile produced by leveled
+// experimentation, so every number is the accurate one for its level.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xsp/profile/model_profile.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+namespace xsp::analysis {
+
+using profile::ModelProfile;
+
+// ---------------------------------------------------------------- A1 ----
+
+/// One batch-size evaluation point.
+struct BatchPoint {
+  std::int64_t batch = 1;
+  double latency_ms = 0;
+
+  [[nodiscard]] double throughput() const noexcept {
+    return latency_ms > 0 ? static_cast<double>(batch) / (latency_ms / 1e3) : 0;
+  }
+};
+
+/// A1: model information table + optimal batch size. The optimal batch is
+/// the smallest whose doubling improves throughput by no more than
+/// `tolerance` (default 5%, the paper's rule, Section III-D1).
+struct ModelInformation {
+  std::vector<BatchPoint> points;
+  std::int64_t optimal_batch = 1;
+  double max_throughput = 0;    ///< throughput at the optimal batch
+  double online_latency_ms = 0; ///< latency at batch 1
+};
+
+ModelInformation a1_model_information(std::vector<BatchPoint> points, double tolerance = 0.05);
+
+// ------------------------------------------------------------- A2-A4 ----
+
+struct LayerInfoRow {
+  int index = 0;
+  std::string name;
+  std::string type;
+  std::string shape;
+  double latency_ms = 0;
+  double alloc_mb = 0;
+};
+
+/// A2: full layer information table, in execution order.
+std::vector<LayerInfoRow> a2_layer_info(const ModelProfile& p);
+
+/// The `k` most time-consuming layers (paper Table II).
+std::vector<LayerInfoRow> top_layers_by_latency(const ModelProfile& p, std::size_t k);
+
+/// A3: per-layer latency in execution order (microseconds, Figure 5a).
+std::vector<double> a3_layer_latency_us(const ModelProfile& p);
+
+/// A4: per-layer allocated memory in execution order (MB, Figure 5b).
+std::vector<double> a4_layer_alloc_mb(const ModelProfile& p);
+
+// ------------------------------------------------------------- A5-A7 ----
+
+/// Aggregation of layers sharing a type (Figure 4).
+struct LayerTypeAgg {
+  std::string type;
+  int count = 0;
+  double latency_ms = 0;
+  double alloc_mb = 0;
+  double count_pct = 0;    ///< A5
+  double latency_pct = 0;  ///< A6
+  double alloc_pct = 0;    ///< A7
+};
+
+/// A5/A6/A7 in one pass; sorted by descending latency.
+std::vector<LayerTypeAgg> layer_type_aggregation(const ModelProfile& p);
+
+// ------------------------------------------------------------ A8-A10 ----
+
+struct KernelInfoRow {
+  std::string name;
+  int layer_index = -1;
+  double latency_ms = 0;
+  double gflops = 0;
+  double dram_reads_mb = 0;
+  double dram_writes_mb = 0;
+  double occupancy_pct = 0;
+  double arithmetic_intensity = 0;  ///< flops/byte
+  double tflops = 0;                ///< arithmetic throughput
+  bool memory_bound = false;
+};
+
+/// A8: per-invocation kernel table (memcpys excluded), execution order.
+std::vector<KernelInfoRow> a8_kernel_info(const ModelProfile& p, const sim::GpuSpec& gpu);
+
+/// The `k` most time-consuming kernel invocations (paper Table III).
+std::vector<KernelInfoRow> top_kernels_by_latency(const ModelProfile& p, const sim::GpuSpec& gpu,
+                                                  std::size_t k);
+
+/// A point on a roofline plot (A9 for kernels, A14 for layers).
+struct RooflinePoint {
+  std::string label;
+  double arithmetic_intensity = 0;
+  double tflops = 0;
+  double latency_ms = 0;
+  bool memory_bound = false;
+};
+
+/// A9: kernel roofline (Figure 6).
+std::vector<RooflinePoint> a9_kernel_roofline(const ModelProfile& p, const sim::GpuSpec& gpu);
+
+struct KernelAggRow {
+  std::string name;
+  int count = 0;
+  double latency_ms = 0;
+  double latency_pct = 0;  ///< of total model latency
+  double gflops = 0;
+  double dram_reads_mb = 0;
+  double dram_writes_mb = 0;
+  double occupancy_pct = 0;  ///< latency-weighted
+  double arithmetic_intensity = 0;
+  double tflops = 0;
+  bool memory_bound = false;
+};
+
+/// A10: kernels aggregated by name (paper Table IV), descending latency.
+std::vector<KernelAggRow> a10_kernel_by_name(const ModelProfile& p, const sim::GpuSpec& gpu);
+
+// ----------------------------------------------------------- A11-A14 ----
+
+struct LayerKernelAggRow {
+  int index = 0;
+  std::string name;
+  std::string type;
+  double layer_latency_ms = 0;
+  double kernel_latency_ms = 0;
+  double gflops = 0;
+  double dram_reads_mb = 0;
+  double dram_writes_mb = 0;
+  double occupancy_pct = 0;
+  double arithmetic_intensity = 0;
+  double tflops = 0;
+  bool memory_bound = false;
+};
+
+/// A11: kernel information aggregated per layer (paper Table V).
+std::vector<LayerKernelAggRow> a11_kernel_by_layer(const ModelProfile& p,
+                                                   const sim::GpuSpec& gpu);
+
+/// A12: per-layer total flops / DRAM reads / writes (Figure 7).
+struct LayerGpuMetrics {
+  std::vector<double> gflops;
+  std::vector<double> dram_reads_mb;
+  std::vector<double> dram_writes_mb;
+};
+LayerGpuMetrics a12_layer_gpu_metrics(const ModelProfile& p);
+
+/// A13: GPU vs non-GPU latency per layer (Figure 8).
+struct GpuNonGpuRow {
+  int index = 0;
+  double layer_ms = 0;
+  double gpu_ms = 0;
+  double non_gpu_ms = 0;
+  double gpu_pct = 0;
+};
+std::vector<GpuNonGpuRow> a13_gpu_vs_nongpu(const ModelProfile& p);
+
+/// A14: layer roofline (Figure 9).
+std::vector<RooflinePoint> a14_layer_roofline(const ModelProfile& p, const sim::GpuSpec& gpu);
+
+// ---------------------------------------------------------------- A15 ----
+
+/// A15: whole-model aggregation (paper Table VI rows / Figure 10 points).
+struct ModelAggRow {
+  std::int64_t batch = 1;
+  double model_latency_ms = 0;
+  double kernel_latency_ms = 0;
+  double gflops = 0;
+  double dram_reads_mb = 0;
+  double dram_writes_mb = 0;
+  double occupancy_pct = 0;
+  double arithmetic_intensity = 0;
+  double tflops = 0;
+  bool memory_bound = false;
+};
+ModelAggRow a15_model_aggregate(const ModelProfile& p, const sim::GpuSpec& gpu);
+
+// ------------------------------------------------- derived characterics ----
+
+/// Percentage of layer latency in convolution layers (Conv2D +
+/// DepthwiseConv2dNative) — Table VIII's last column.
+double conv_latency_percentage(const ModelProfile& p);
+
+/// GPU latency percentage: total kernel latency / model latency
+/// (Table IX column 3).
+double gpu_latency_percentage(const ModelProfile& p);
+
+/// Execution-stage attribution (Table IX last four columns): the model's
+/// layer sequence is split into beginning/middle/end thirds by layer index
+/// and each quantity's dominant stage is reported.
+enum class Stage : int { kBeginning = 0, kMiddle = 1, kEnd = 2 };
+const char* stage_name(Stage s);
+
+struct StageAnalysis {
+  Stage latency = Stage::kBeginning;
+  Stage alloc = Stage::kBeginning;
+  Stage flops = Stage::kBeginning;
+  Stage memory_access = Stage::kBeginning;
+};
+StageAnalysis stage_analysis(const ModelProfile& p);
+
+}  // namespace xsp::analysis

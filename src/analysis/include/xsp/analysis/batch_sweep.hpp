@@ -1,0 +1,26 @@
+// Batch-size sweeps feeding A1 and the Figure 3 / 10 / 11 curves.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+
+namespace xsp::analysis {
+
+/// Default batch grid used throughout the paper: 1, 2, 4, ..., max_batch.
+std::vector<std::int64_t> batch_grid(std::int64_t max_batch = 256);
+
+/// Evaluate model latency at each batch size in `batches` (M-only runs).
+std::vector<BatchPoint> sweep_batches(const profile::LeveledRunner& runner,
+                                      const models::ModelInfo& model,
+                                      const std::vector<std::int64_t>& batches);
+
+/// Convenience: sweep the default grid and compute A1.
+ModelInformation model_information(const profile::LeveledRunner& runner,
+                                   const models::ModelInfo& model,
+                                   std::int64_t max_batch = 256);
+
+}  // namespace xsp::analysis

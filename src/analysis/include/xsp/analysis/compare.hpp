@@ -1,0 +1,49 @@
+// Systematic profile comparison.
+//
+// "The consistent profiling and automated analysis workflows in XSP enable
+//  systematic comparisons of models, frameworks, and hardware."
+//                                                  — paper, Section I
+//
+// Two merged profiles of the same or different configurations are lined up
+// and the quantities the paper compares (latency, throughput, GPU share,
+// metrics, boundness) are reported side by side with ratios.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xsp/profile/model_profile.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+namespace xsp::analysis {
+
+/// One compared quantity.
+struct ComparisonRow {
+  std::string quantity;
+  double a = 0;
+  double b = 0;
+  /// b / a; 0 when a is 0.
+  [[nodiscard]] double ratio() const noexcept { return a != 0 ? b / a : 0; }
+};
+
+struct ProfileComparison {
+  std::string label_a;
+  std::string label_b;
+  std::vector<ComparisonRow> rows;
+
+  /// Row lookup by quantity name; nullptr when absent.
+  [[nodiscard]] const ComparisonRow* find(const std::string& quantity) const;
+};
+
+/// Compare two merged profiles evaluated on `system_a`/`system_b`
+/// (identical for model/framework comparisons on one machine).
+ProfileComparison compare_profiles(const profile::ModelProfile& a, const sim::GpuSpec& system_a,
+                                   const profile::ModelProfile& b, const sim::GpuSpec& system_b);
+
+/// Per-layer-type latency comparison between two profiles of the *same*
+/// model under different frameworks/systems — the drill-down the paper
+/// uses to attribute the TF/MXNet MobileNet gap to element-wise layers.
+std::vector<ComparisonRow> compare_layer_types(const profile::ModelProfile& a,
+                                               const profile::ModelProfile& b);
+
+}  // namespace xsp::analysis

@@ -1,0 +1,65 @@
+// Multi-run aggregation: the statistical front half of the paper's
+// automated analysis pipeline.
+//
+// "Since meaningful characterization requires multiple runs, the pipeline
+//  takes traces from a user-defined number of evaluations, correlates the
+//  information, and computes the trimmed mean value (or other user-defined
+//  statistical summaries) for the same performance value (e.g. latency)
+//  across runs."                                    — paper, Section III-D
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "xsp/common/statistics.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/profile/model_profile.hpp"
+
+namespace xsp::analysis {
+
+/// Per-value statistical summaries across runs for one layer.
+struct LayerStats {
+  int index = 0;
+  std::string name;
+  std::string type;
+  Summary latency_ms;
+  Summary kernel_latency_ms;
+};
+
+/// Summaries across runs for one kernel position (kernels are correlated
+/// across runs by execution order, which the deterministic executor
+/// preserves run to run).
+struct KernelStats {
+  std::string name;
+  int layer_index = -1;
+  Summary latency_ms;
+};
+
+/// The correlated multi-run profile. `representative` is the first run's
+/// merged profile with every latency replaced by the across-run trimmed
+/// mean, so the A1-A15 analyses can run directly on statistically settled
+/// numbers.
+struct MultiRunProfile {
+  std::size_t runs = 0;
+  Summary model_latency_ms;
+  std::vector<LayerStats> layers;
+  std::vector<KernelStats> kernels;
+  profile::ModelProfile representative;
+};
+
+/// Correlate N merged profiles of the *same* graph and summarize each
+/// performance value across them. All profiles must have identical layer
+/// and kernel structure (same model, batch, system, framework); throws
+/// std::invalid_argument otherwise.
+MultiRunProfile aggregate_runs(std::span<const profile::ModelProfile> profiles,
+                               double trim_fraction = 0.2);
+
+/// Convenience: run the full leveled experiment `runs` times with
+/// deterministic per-run timing jitter and aggregate.
+MultiRunProfile profile_n_runs(const profile::LeveledRunner& runner,
+                               const framework::Graph& graph, int runs,
+                               double timing_jitter = 0.02, bool gpu_metrics = true);
+
+}  // namespace xsp::analysis

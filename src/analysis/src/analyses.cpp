@@ -1,0 +1,334 @@
+#include "xsp/analysis/analyses.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+#include "xsp/sim/cost_model.hpp"
+
+namespace xsp::analysis {
+
+namespace {
+
+double safe_pct(double part, double whole) { return whole > 0 ? part / whole * 100.0 : 0; }
+
+}  // namespace
+
+ModelInformation a1_model_information(std::vector<BatchPoint> points, double tolerance) {
+  std::sort(points.begin(), points.end(),
+            [](const BatchPoint& a, const BatchPoint& b) { return a.batch < b.batch; });
+  ModelInformation info;
+  info.points = std::move(points);
+  if (info.points.empty()) return info;
+
+  info.online_latency_ms = info.points.front().batch == 1 ? info.points.front().latency_ms : 0;
+
+  // The paper's rule: pick the batch size where doubling it does not
+  // increase throughput by more than `tolerance`.
+  std::size_t chosen = info.points.size() - 1;
+  for (std::size_t i = 0; i + 1 < info.points.size(); ++i) {
+    const double here = info.points[i].throughput();
+    const double doubled = info.points[i + 1].throughput();
+    if (doubled <= here * (1.0 + tolerance)) {
+      chosen = i;
+      break;
+    }
+  }
+  info.optimal_batch = info.points[chosen].batch;
+  info.max_throughput = info.points[chosen].throughput();
+  return info;
+}
+
+std::vector<LayerInfoRow> a2_layer_info(const ModelProfile& p) {
+  std::vector<LayerInfoRow> rows;
+  rows.reserve(p.layers.size());
+  for (const auto& l : p.layers) {
+    LayerInfoRow r;
+    r.index = l.index;
+    r.name = l.name;
+    r.type = l.type;
+    r.shape = l.shape;
+    r.latency_ms = to_ms(l.latency);
+    r.alloc_mb = l.alloc_bytes / 1e6;
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<LayerInfoRow> top_layers_by_latency(const ModelProfile& p, std::size_t k) {
+  auto rows = a2_layer_info(p);
+  std::sort(rows.begin(), rows.end(), [](const LayerInfoRow& a, const LayerInfoRow& b) {
+    return a.latency_ms > b.latency_ms;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::vector<double> a3_layer_latency_us(const ModelProfile& p) {
+  std::vector<double> out;
+  out.reserve(p.layers.size());
+  for (const auto& l : p.layers) out.push_back(to_us(l.latency));
+  return out;
+}
+
+std::vector<double> a4_layer_alloc_mb(const ModelProfile& p) {
+  std::vector<double> out;
+  out.reserve(p.layers.size());
+  for (const auto& l : p.layers) out.push_back(l.alloc_bytes / 1e6);
+  return out;
+}
+
+std::vector<LayerTypeAgg> layer_type_aggregation(const ModelProfile& p) {
+  std::map<std::string, LayerTypeAgg> by_type;
+  double total_latency = 0;
+  double total_alloc = 0;
+  for (const auto& l : p.layers) {
+    auto& agg = by_type[l.type];
+    agg.type = l.type;
+    agg.count += 1;
+    agg.latency_ms += to_ms(l.latency);
+    agg.alloc_mb += l.alloc_bytes / 1e6;
+    total_latency += to_ms(l.latency);
+    total_alloc += l.alloc_bytes / 1e6;
+  }
+  std::vector<LayerTypeAgg> out;
+  out.reserve(by_type.size());
+  for (auto& [type, agg] : by_type) {
+    agg.count_pct = safe_pct(agg.count, static_cast<double>(p.layers.size()));
+    agg.latency_pct = safe_pct(agg.latency_ms, total_latency);
+    agg.alloc_pct = safe_pct(agg.alloc_mb, total_alloc);
+    out.push_back(std::move(agg));
+  }
+  std::sort(out.begin(), out.end(), [](const LayerTypeAgg& a, const LayerTypeAgg& b) {
+    return a.latency_ms > b.latency_ms;
+  });
+  return out;
+}
+
+namespace {
+
+KernelInfoRow kernel_row(const profile::KernelView& k, const sim::GpuSpec& gpu) {
+  KernelInfoRow r;
+  r.name = k.name;
+  r.layer_index = k.layer_index;
+  r.latency_ms = to_ms(k.latency);
+  r.gflops = k.flops / 1e9;
+  r.dram_reads_mb = k.dram_read_bytes / 1e6;
+  r.dram_writes_mb = k.dram_write_bytes / 1e6;
+  r.occupancy_pct = k.achieved_occupancy * 100.0;
+  r.arithmetic_intensity = sim::arithmetic_intensity(k.flops, k.dram_bytes());
+  r.tflops = sim::arithmetic_throughput(k.flops, k.latency) / 1e12;
+  r.memory_bound = sim::is_memory_bound(k.flops, k.dram_bytes(), gpu);
+  return r;
+}
+
+}  // namespace
+
+std::vector<KernelInfoRow> a8_kernel_info(const ModelProfile& p, const sim::GpuSpec& gpu) {
+  std::vector<KernelInfoRow> rows;
+  rows.reserve(p.kernels.size());
+  for (const auto& k : p.kernels) {
+    if (k.is_memcpy) continue;
+    rows.push_back(kernel_row(k, gpu));
+  }
+  return rows;
+}
+
+std::vector<KernelInfoRow> top_kernels_by_latency(const ModelProfile& p, const sim::GpuSpec& gpu,
+                                                  std::size_t k) {
+  auto rows = a8_kernel_info(p, gpu);
+  std::sort(rows.begin(), rows.end(), [](const KernelInfoRow& a, const KernelInfoRow& b) {
+    return a.latency_ms > b.latency_ms;
+  });
+  if (rows.size() > k) rows.resize(k);
+  return rows;
+}
+
+std::vector<RooflinePoint> a9_kernel_roofline(const ModelProfile& p, const sim::GpuSpec& gpu) {
+  std::vector<RooflinePoint> out;
+  for (const auto& k : p.kernels) {
+    if (k.is_memcpy) continue;
+    RooflinePoint pt;
+    pt.label = k.name;
+    pt.arithmetic_intensity = sim::arithmetic_intensity(k.flops, k.dram_bytes());
+    pt.tflops = sim::arithmetic_throughput(k.flops, k.latency) / 1e12;
+    pt.latency_ms = to_ms(k.latency);
+    pt.memory_bound = sim::is_memory_bound(k.flops, k.dram_bytes(), gpu);
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+std::vector<KernelAggRow> a10_kernel_by_name(const ModelProfile& p, const sim::GpuSpec& gpu) {
+  struct Acc {
+    int count = 0;
+    Ns latency = 0;
+    double flops = 0, reads = 0, writes = 0, weighted_occ = 0;
+  };
+  std::map<std::string, Acc> by_name;
+  for (const auto& k : p.kernels) {
+    if (k.is_memcpy) continue;
+    auto& acc = by_name[k.name];
+    acc.count += 1;
+    acc.latency += k.latency;
+    acc.flops += k.flops;
+    acc.reads += k.dram_read_bytes;
+    acc.writes += k.dram_write_bytes;
+    acc.weighted_occ += k.achieved_occupancy * static_cast<double>(k.latency);
+  }
+  std::vector<KernelAggRow> out;
+  out.reserve(by_name.size());
+  for (auto& [name, acc] : by_name) {
+    KernelAggRow r;
+    r.name = name;
+    r.count = acc.count;
+    r.latency_ms = to_ms(acc.latency);
+    r.latency_pct = safe_pct(to_ms(acc.latency), to_ms(p.model_latency));
+    r.gflops = acc.flops / 1e9;
+    r.dram_reads_mb = acc.reads / 1e6;
+    r.dram_writes_mb = acc.writes / 1e6;
+    r.occupancy_pct =
+        acc.latency > 0 ? acc.weighted_occ / static_cast<double>(acc.latency) * 100.0 : 0;
+    r.arithmetic_intensity = sim::arithmetic_intensity(acc.flops, acc.reads + acc.writes);
+    r.tflops = sim::arithmetic_throughput(acc.flops, acc.latency) / 1e12;
+    r.memory_bound = sim::is_memory_bound(acc.flops, acc.reads + acc.writes, gpu);
+    out.push_back(std::move(r));
+  }
+  std::sort(out.begin(), out.end(), [](const KernelAggRow& a, const KernelAggRow& b) {
+    return a.latency_ms > b.latency_ms;
+  });
+  return out;
+}
+
+std::vector<LayerKernelAggRow> a11_kernel_by_layer(const ModelProfile& p,
+                                                   const sim::GpuSpec& gpu) {
+  std::vector<LayerKernelAggRow> out;
+  out.reserve(p.layers.size());
+  for (const auto& l : p.layers) {
+    LayerKernelAggRow r;
+    r.index = l.index;
+    r.name = l.name;
+    r.type = l.type;
+    r.layer_latency_ms = to_ms(l.latency);
+    r.kernel_latency_ms = to_ms(l.kernel_latency);
+    r.gflops = l.flops / 1e9;
+    r.dram_reads_mb = l.dram_read_bytes / 1e6;
+    r.dram_writes_mb = l.dram_write_bytes / 1e6;
+    r.occupancy_pct = l.achieved_occupancy * 100.0;
+    r.arithmetic_intensity = sim::arithmetic_intensity(l.flops, l.dram_bytes());
+    r.tflops = sim::arithmetic_throughput(l.flops, l.kernel_latency) / 1e12;
+    r.memory_bound = sim::is_memory_bound(l.flops, l.dram_bytes(), gpu);
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+LayerGpuMetrics a12_layer_gpu_metrics(const ModelProfile& p) {
+  LayerGpuMetrics m;
+  m.gflops.reserve(p.layers.size());
+  for (const auto& l : p.layers) {
+    m.gflops.push_back(l.flops / 1e9);
+    m.dram_reads_mb.push_back(l.dram_read_bytes / 1e6);
+    m.dram_writes_mb.push_back(l.dram_write_bytes / 1e6);
+  }
+  return m;
+}
+
+std::vector<GpuNonGpuRow> a13_gpu_vs_nongpu(const ModelProfile& p) {
+  std::vector<GpuNonGpuRow> out;
+  out.reserve(p.layers.size());
+  for (const auto& l : p.layers) {
+    GpuNonGpuRow r;
+    r.index = l.index;
+    r.layer_ms = to_ms(l.latency);
+    r.gpu_ms = to_ms(l.kernel_latency);
+    r.non_gpu_ms = to_ms(l.non_gpu_latency());
+    r.gpu_pct = safe_pct(r.gpu_ms, r.layer_ms);
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<RooflinePoint> a14_layer_roofline(const ModelProfile& p, const sim::GpuSpec& gpu) {
+  std::vector<RooflinePoint> out;
+  for (const auto& l : p.layers) {
+    if (l.kernel_latency == 0) continue;  // layers with no GPU work
+    RooflinePoint pt;
+    pt.label = l.type;
+    pt.arithmetic_intensity = sim::arithmetic_intensity(l.flops, l.dram_bytes());
+    pt.tflops = sim::arithmetic_throughput(l.flops, l.kernel_latency) / 1e12;
+    pt.latency_ms = to_ms(l.latency);
+    pt.memory_bound = sim::is_memory_bound(l.flops, l.dram_bytes(), gpu);
+    out.push_back(std::move(pt));
+  }
+  return out;
+}
+
+ModelAggRow a15_model_aggregate(const ModelProfile& p, const sim::GpuSpec& gpu) {
+  ModelAggRow r;
+  r.batch = p.batch;
+  r.model_latency_ms = to_ms(p.model_latency);
+  r.kernel_latency_ms = to_ms(p.total_kernel_latency());
+  r.gflops = p.total_flops() / 1e9;
+  r.dram_reads_mb = p.total_dram_reads() / 1e6;
+  r.dram_writes_mb = p.total_dram_writes() / 1e6;
+  r.occupancy_pct = p.weighted_occupancy() * 100.0;
+  const double bytes = p.total_dram_reads() + p.total_dram_writes();
+  r.arithmetic_intensity = sim::arithmetic_intensity(p.total_flops(), bytes);
+  r.tflops = sim::arithmetic_throughput(p.total_flops(), p.total_kernel_latency()) / 1e12;
+  r.memory_bound = sim::is_memory_bound(p.total_flops(), bytes, gpu);
+  return r;
+}
+
+double conv_latency_percentage(const ModelProfile& p) {
+  Ns conv = 0;
+  Ns total = 0;
+  for (const auto& l : p.layers) {
+    total += l.latency;
+    if (l.type == "Conv2D" || l.type == "DepthwiseConv2dNative") conv += l.latency;
+  }
+  return safe_pct(to_ms(conv), to_ms(total));
+}
+
+double gpu_latency_percentage(const ModelProfile& p) {
+  return safe_pct(to_ms(p.total_kernel_latency()), to_ms(p.model_latency));
+}
+
+const char* stage_name(Stage s) {
+  switch (s) {
+    case Stage::kBeginning: return "B";
+    case Stage::kMiddle: return "M";
+    case Stage::kEnd: return "E";
+  }
+  return "?";
+}
+
+StageAnalysis stage_analysis(const ModelProfile& p) {
+  std::array<double, 3> latency{};
+  std::array<double, 3> alloc{};
+  std::array<double, 3> flops{};
+  std::array<double, 3> mem{};
+  const std::size_t n = p.layers.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t stage = std::min<std::size_t>(2, i * 3 / std::max<std::size_t>(1, n));
+    latency[stage] += to_ms(p.layers[i].latency);
+    alloc[stage] += p.layers[i].alloc_bytes;
+    flops[stage] += p.layers[i].flops;
+    mem[stage] += p.layers[i].dram_bytes();
+  }
+  const auto argmax = [](const std::array<double, 3>& xs) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < 3; ++i) {
+      if (xs[i] > xs[best]) best = i;
+    }
+    return static_cast<Stage>(best);
+  };
+  StageAnalysis s;
+  s.latency = argmax(latency);
+  s.alloc = argmax(alloc);
+  s.flops = argmax(flops);
+  s.memory_access = argmax(mem);
+  return s;
+}
+
+}  // namespace xsp::analysis

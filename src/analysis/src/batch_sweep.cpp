@@ -1,0 +1,31 @@
+#include "xsp/analysis/batch_sweep.hpp"
+
+namespace xsp::analysis {
+
+std::vector<std::int64_t> batch_grid(std::int64_t max_batch) {
+  std::vector<std::int64_t> grid;
+  for (std::int64_t b = 1; b <= max_batch; b *= 2) grid.push_back(b);
+  return grid;
+}
+
+std::vector<BatchPoint> sweep_batches(const profile::LeveledRunner& runner,
+                                      const models::ModelInfo& model,
+                                      const std::vector<std::int64_t>& batches) {
+  std::vector<BatchPoint> points;
+  points.reserve(batches.size());
+  for (const std::int64_t b : batches) {
+    const auto graph = model.build(b, runner.decompose_batchnorm());
+    BatchPoint pt;
+    pt.batch = b;
+    pt.latency_ms = to_ms(runner.model_latency(graph));
+    points.push_back(pt);
+  }
+  return points;
+}
+
+ModelInformation model_information(const profile::LeveledRunner& runner,
+                                   const models::ModelInfo& model, std::int64_t max_batch) {
+  return a1_model_information(sweep_batches(runner, model, batch_grid(max_batch)));
+}
+
+}  // namespace xsp::analysis

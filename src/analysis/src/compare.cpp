@@ -1,0 +1,68 @@
+#include "xsp/analysis/compare.hpp"
+
+#include <map>
+
+#include "xsp/analysis/analyses.hpp"
+
+namespace xsp::analysis {
+
+const ComparisonRow* ProfileComparison::find(const std::string& quantity) const {
+  for (const auto& r : rows) {
+    if (r.quantity == quantity) return &r;
+  }
+  return nullptr;
+}
+
+ProfileComparison compare_profiles(const profile::ModelProfile& a, const sim::GpuSpec& system_a,
+                                   const profile::ModelProfile& b,
+                                   const sim::GpuSpec& system_b) {
+  ProfileComparison cmp;
+  cmp.label_a = a.model_name + "/" + a.framework_name + "/" + a.system_name;
+  cmp.label_b = b.model_name + "/" + b.framework_name + "/" + b.system_name;
+
+  const auto add = [&](std::string quantity, double va, double vb) {
+    cmp.rows.push_back({std::move(quantity), va, vb});
+  };
+  const auto agg_a = a15_model_aggregate(a, system_a);
+  const auto agg_b = a15_model_aggregate(b, system_b);
+
+  add("model_latency_ms", agg_a.model_latency_ms, agg_b.model_latency_ms);
+  add("throughput_per_s",
+      agg_a.model_latency_ms > 0 ? static_cast<double>(a.batch) / agg_a.model_latency_ms * 1e3
+                                 : 0,
+      agg_b.model_latency_ms > 0 ? static_cast<double>(b.batch) / agg_b.model_latency_ms * 1e3
+                                 : 0);
+  add("kernel_latency_ms", agg_a.kernel_latency_ms, agg_b.kernel_latency_ms);
+  add("gpu_latency_pct", gpu_latency_percentage(a), gpu_latency_percentage(b));
+  add("non_gpu_latency_ms", agg_a.model_latency_ms - agg_a.kernel_latency_ms,
+      agg_b.model_latency_ms - agg_b.kernel_latency_ms);
+  add("conv_latency_pct", conv_latency_percentage(a), conv_latency_percentage(b));
+  add("gflops", agg_a.gflops, agg_b.gflops);
+  add("dram_read_mb", agg_a.dram_reads_mb, agg_b.dram_reads_mb);
+  add("dram_write_mb", agg_a.dram_writes_mb, agg_b.dram_writes_mb);
+  add("achieved_occupancy_pct", agg_a.occupancy_pct, agg_b.occupancy_pct);
+  add("arithmetic_intensity", agg_a.arithmetic_intensity, agg_b.arithmetic_intensity);
+  add("memory_bound", agg_a.memory_bound ? 1 : 0, agg_b.memory_bound ? 1 : 0);
+  return cmp;
+}
+
+std::vector<ComparisonRow> compare_layer_types(const profile::ModelProfile& a,
+                                               const profile::ModelProfile& b) {
+  std::map<std::string, ComparisonRow> by_type;
+  for (const auto& agg : layer_type_aggregation(a)) {
+    auto& row = by_type[agg.type];
+    row.quantity = agg.type;
+    row.a = agg.latency_ms;
+  }
+  for (const auto& agg : layer_type_aggregation(b)) {
+    auto& row = by_type[agg.type];
+    row.quantity = agg.type;
+    row.b = agg.latency_ms;
+  }
+  std::vector<ComparisonRow> out;
+  out.reserve(by_type.size());
+  for (auto& [type, row] : by_type) out.push_back(std::move(row));
+  return out;
+}
+
+}  // namespace xsp::analysis

@@ -1,0 +1,72 @@
+#include "xsp/analysis/multirun.hpp"
+
+#include <stdexcept>
+
+namespace xsp::analysis {
+
+MultiRunProfile aggregate_runs(std::span<const profile::ModelProfile> profiles,
+                               double trim_fraction) {
+  if (profiles.empty()) throw std::invalid_argument("aggregate_runs: no profiles");
+  const auto& first = profiles.front();
+  for (const auto& p : profiles) {
+    if (p.layers.size() != first.layers.size() || p.kernels.size() != first.kernels.size()) {
+      throw std::invalid_argument("aggregate_runs: profiles have differing structure");
+    }
+  }
+
+  MultiRunProfile out;
+  out.runs = profiles.size();
+  out.representative = first;
+
+  std::vector<double> samples;
+  samples.reserve(profiles.size());
+  const auto summarize_over = [&](auto&& value_of) {
+    samples.clear();
+    for (const auto& p : profiles) samples.push_back(value_of(p));
+    return summarize(samples, trim_fraction);
+  };
+
+  out.model_latency_ms =
+      summarize_over([](const profile::ModelProfile& p) { return to_ms(p.model_latency); });
+  out.representative.model_latency = ms(out.model_latency_ms.trimmed_mean);
+
+  for (std::size_t i = 0; i < first.layers.size(); ++i) {
+    LayerStats stats;
+    stats.index = first.layers[i].index;
+    stats.name = first.layers[i].name;
+    stats.type = first.layers[i].type;
+    stats.latency_ms = summarize_over(
+        [i](const profile::ModelProfile& p) { return to_ms(p.layers[i].latency); });
+    stats.kernel_latency_ms = summarize_over(
+        [i](const profile::ModelProfile& p) { return to_ms(p.layers[i].kernel_latency); });
+    out.representative.layers[i].latency = ms(stats.latency_ms.trimmed_mean);
+    out.representative.layers[i].kernel_latency = ms(stats.kernel_latency_ms.trimmed_mean);
+    out.layers.push_back(std::move(stats));
+  }
+
+  for (std::size_t i = 0; i < first.kernels.size(); ++i) {
+    KernelStats stats;
+    stats.name = first.kernels[i].name;
+    stats.layer_index = first.kernels[i].layer_index;
+    stats.latency_ms = summarize_over(
+        [i](const profile::ModelProfile& p) { return to_ms(p.kernels[i].latency); });
+    out.representative.kernels[i].latency = ms(stats.latency_ms.trimmed_mean);
+    out.kernels.push_back(std::move(stats));
+  }
+  return out;
+}
+
+MultiRunProfile profile_n_runs(const profile::LeveledRunner& runner,
+                               const framework::Graph& graph, int runs, double timing_jitter,
+                               bool gpu_metrics) {
+  std::vector<profile::ModelProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    profiles.push_back(
+        runner.run(graph, gpu_metrics, timing_jitter, static_cast<std::uint64_t>(i) + 1)
+            .profile);
+  }
+  return aggregate_runs(profiles);
+}
+
+}  // namespace xsp::analysis

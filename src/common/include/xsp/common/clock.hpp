@@ -1,0 +1,45 @@
+// Virtual clocks driving the discrete-event simulation.
+#pragma once
+
+#include <cassert>
+
+#include "xsp/common/time.hpp"
+
+namespace xsp {
+
+/// A monotonically advancing simulated clock.
+///
+/// The CPU side of the simulation owns one SimClock and advances it as work
+/// is (virtually) performed; the GPU device schedules kernel executions on
+/// the same timeline. There is no relation to the host wall clock.
+class SimClock {
+ public:
+  SimClock() = default;
+  explicit SimClock(TimePoint start) : now_(start) {}
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const noexcept { return now_; }
+
+  /// Advance the clock by a non-negative duration and return the new time.
+  TimePoint advance(Ns d) noexcept {
+    assert(d >= 0 && "cannot advance a clock backwards");
+    now_ += d;
+    return now_;
+  }
+
+  /// Move the clock forward to `t` if `t` is in the future; no-op otherwise.
+  /// Used when the CPU blocks on an event completing later on the timeline
+  /// (e.g. a stream synchronize).
+  TimePoint advance_to(TimePoint t) noexcept {
+    if (t > now_) now_ = t;
+    return now_;
+  }
+
+  /// Reset to a given origin (used between independent evaluations).
+  void reset(TimePoint t = 0) noexcept { now_ = t; }
+
+ private:
+  TimePoint now_ = 0;
+};
+
+}  // namespace xsp

@@ -1,0 +1,23 @@
+// Small formatting helpers shared by reports and benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xsp {
+
+/// Format a double with `digits` decimal places ("12.34").
+std::string fmt_fixed(double v, int digits = 2);
+
+/// Format a byte count with a binary-ish human unit as the paper's tables do
+/// (MB with 1e6 divisor, GB with 1e9).
+std::string fmt_bytes_mb(double bytes, int digits = 2);
+std::string fmt_bytes_gb(double bytes, int digits = 2);
+
+/// Format a count with thousands separators ("1,563,300").
+std::string fmt_count(std::int64_t v);
+
+/// Percent with a trailing % sign.
+std::string fmt_percent(double fraction, int digits = 2);
+
+}  // namespace xsp

@@ -1,0 +1,38 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator is fully deterministic given a seed; SplitMix64 is small,
+// fast, and has well-understood statistical quality for this use.
+#pragma once
+
+#include <cstdint>
+
+namespace xsp {
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014 finalizer).
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9E3779B97F4A7C15ull) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * next_double(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) noexcept { return n == 0 ? 0 : next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace xsp

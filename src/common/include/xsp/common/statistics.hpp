@@ -1,0 +1,51 @@
+// Statistical summaries used by the analysis pipeline.
+//
+// The paper's analysis pipeline "takes traces from a user-defined number of
+// evaluations, correlates the information, and computes the trimmed mean
+// value (or other user-defined statistical summaries)" (Section III-D).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace xsp {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation; returns 0 for fewer than two samples.
+double stddev(std::span<const double> xs);
+
+/// Trimmed mean: drop `trim_fraction` of the samples from each tail (after
+/// sorting) and average the rest. `trim_fraction` in [0, 0.5). With fewer
+/// than three samples, falls back to the plain mean.
+double trimmed_mean(std::span<const double> xs, double trim_fraction = 0.2);
+
+/// Linear-interpolated percentile, `p` in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Minimum; returns 0 for an empty input.
+double min_of(std::span<const double> xs);
+
+/// Maximum; returns 0 for an empty input.
+double max_of(std::span<const double> xs);
+
+/// A one-pass accumulation of a sample set with the summaries the analysis
+/// pipeline reports.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double trimmed_mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Compute every Summary field from the sample set.
+Summary summarize(std::span<const double> xs, double trim_fraction = 0.2);
+
+}  // namespace xsp

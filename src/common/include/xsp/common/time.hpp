@@ -1,0 +1,38 @@
+// Time representation for the XSP simulator.
+//
+// All latencies in the system are *virtual* (simulated) time, expressed as
+// signed 64-bit nanosecond counts. Virtual time makes every run
+// deterministic and lets tests assert exact latencies, which would be
+// impossible against a wall clock.
+#pragma once
+
+#include <cstdint>
+
+namespace xsp {
+
+/// Nanoseconds of simulated time. Signed so durations can be subtracted
+/// without surprises; negative durations indicate a logic error upstream.
+using Ns = std::int64_t;
+
+/// A point on the simulated timeline, as nanoseconds since the engine epoch.
+using TimePoint = std::int64_t;
+
+constexpr Ns kNsPerUs = 1'000;
+constexpr Ns kNsPerMs = 1'000'000;
+constexpr Ns kNsPerSec = 1'000'000'000;
+
+/// Construct a duration from microseconds.
+constexpr Ns us(double v) { return static_cast<Ns>(v * static_cast<double>(kNsPerUs)); }
+/// Construct a duration from milliseconds.
+constexpr Ns ms(double v) { return static_cast<Ns>(v * static_cast<double>(kNsPerMs)); }
+/// Construct a duration from seconds.
+constexpr Ns seconds(double v) { return static_cast<Ns>(v * static_cast<double>(kNsPerSec)); }
+
+/// Convert a duration to floating-point microseconds.
+constexpr double to_us(Ns v) { return static_cast<double>(v) / static_cast<double>(kNsPerUs); }
+/// Convert a duration to floating-point milliseconds.
+constexpr double to_ms(Ns v) { return static_cast<double>(v) / static_cast<double>(kNsPerMs); }
+/// Convert a duration to floating-point seconds.
+constexpr double to_seconds(Ns v) { return static_cast<double>(v) / static_cast<double>(kNsPerSec); }
+
+}  // namespace xsp

@@ -1,0 +1,71 @@
+#include "xsp/common/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace xsp {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0;
+  const double m = mean(xs);
+  double acc = 0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+double trimmed_mean(std::span<const double> xs, double trim_fraction) {
+  if (xs.size() < 3 || trim_fraction <= 0) return mean(xs);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto cut = static_cast<std::size_t>(trim_fraction * static_cast<double>(sorted.size()));
+  // Never trim everything away; keep at least the middle element(s).
+  const std::size_t keep = sorted.size() - 2 * cut;
+  if (keep == 0) return mean(xs);
+  const std::span<const double> middle(sorted.data() + cut, keep);
+  return mean(middle);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double min_of(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  if (xs.empty()) return 0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+Summary summarize(std::span<const double> xs, double trim_fraction) {
+  Summary s;
+  s.count = xs.size();
+  s.mean = mean(xs);
+  s.trimmed_mean = trimmed_mean(xs, trim_fraction);
+  s.stddev = stddev(xs);
+  s.min = min_of(xs);
+  s.max = max_of(xs);
+  s.p50 = percentile(xs, 50);
+  s.p90 = percentile(xs, 90);
+  s.p99 = percentile(xs, 99);
+  return s;
+}
+
+}  // namespace xsp

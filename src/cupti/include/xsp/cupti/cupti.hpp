@@ -1,0 +1,139 @@
+// A CUPTI-shaped profiling interface over the simulated GPU device.
+//
+// "The CUPTI library captures the CUDA API calls, GPU activities (GPU tasks
+//  such as kernel executions and memory copies), and GPU kernel metrics
+//  (low-level hardware counters such as GPU achieved occupancy, flop count,
+//  and memory read/write for GPU kernels)."            — paper, Section III-B
+//
+// Three capture surfaces are provided, mirroring the real library:
+//   * callback API  — per runtime-API-call records (cudaLaunchKernel, ...),
+//   * activity API  — buffered device-side execution records with
+//                     correlation ids,
+//   * metric API    — per-kernel counter values; collection requires kernel
+//                     replay, which is what makes metric profiling expensive
+//                     ("GPU memory metrics ... can slow down execution by
+//                     over 100x" — Section III-C).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xsp/common/time.hpp"
+#include "xsp/sim/device.hpp"
+
+namespace xsp::cupti {
+
+/// Metric names supported by the simulated counters — the four the paper's
+/// analyses use (Section III-D3).
+inline constexpr const char* kFlopCountSp = "flop_count_sp";
+inline constexpr const char* kDramReadBytes = "dram_read_bytes";
+inline constexpr const char* kDramWriteBytes = "dram_write_bytes";
+inline constexpr const char* kAchievedOccupancy = "achieved_occupancy";
+
+/// Replay passes required to collect one metric. The GPU exposes few
+/// hardware counters, so capturing a metric set requires re-running each
+/// kernel once per counter group; DRAM traffic counters need the most
+/// groups, which is why memory metrics are the expensive ones.
+int metric_replay_passes(const std::string& metric);
+
+/// True if `metric` is one of the supported counter names.
+bool is_known_metric(const std::string& metric);
+
+/// All supported metric names.
+const std::vector<std::string>& known_metrics();
+
+struct CuptiOptions {
+  /// Capture runtime API call records via the callback API.
+  bool enable_api_callbacks = true;
+  /// Capture device-side activity records (kernels, memcpys).
+  bool enable_activities = true;
+  /// Metrics to collect per kernel; empty disables metric profiling.
+  std::vector<std::string> metrics;
+  /// CPU cost charged inside each instrumented API callback.
+  Ns callback_overhead_ns = us(40);
+  /// CPU cost of handling one activity record (buffer management), charged
+  /// on the launch path as the record is committed.
+  Ns activity_overhead_ns = us(40);
+  /// Activity-buffer flush work performed when the application blocks in a
+  /// synchronization call (CUPTI drains completed records there).
+  Ns sync_flush_overhead_ns = us(800);
+  /// One-time costs of attaching/flushing the profiler.
+  Ns init_overhead_ns = ms(75);
+  Ns flush_overhead_ns = ms(75);
+};
+
+/// One captured runtime API call.
+struct ApiRecord {
+  sim::ApiCallbackInfo::Api api = sim::ApiCallbackInfo::Api::kLaunchKernel;
+  std::uint64_t correlation_id = 0;
+  std::string name;
+  TimePoint begin = 0;
+  TimePoint end = 0;
+};
+
+/// Per-kernel metric values, keyed by metric name.
+using MetricValues = std::map<std::string, double>;
+
+/// RAII profiling session. Construction validates options; start() attaches
+/// to the device (and charges the attach cost); stop() detaches and charges
+/// the flush cost. Records remain readable after stop().
+class CuptiProfiler {
+ public:
+  /// Throws std::invalid_argument on an unknown metric name.
+  CuptiProfiler(sim::GpuDevice& device, CuptiOptions options);
+  ~CuptiProfiler();
+
+  CuptiProfiler(const CuptiProfiler&) = delete;
+  CuptiProfiler& operator=(const CuptiProfiler&) = delete;
+
+  /// Attach: subscribe callbacks, enable activity buffering, and configure
+  /// kernel replay + serialized launches when metrics are requested (metric
+  /// collection on real hardware serializes and replays kernels).
+  void start();
+
+  /// Detach and restore the device's previous replay/serialization state.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+  [[nodiscard]] const CuptiOptions& options() const noexcept { return options_; }
+
+  /// Total replay passes per kernel implied by the requested metric set
+  /// (1 when no metrics are collected).
+  [[nodiscard]] int replay_count() const noexcept { return replay_count_; }
+
+  /// Captured runtime API call records, in capture order.
+  [[nodiscard]] const std::vector<ApiRecord>& api_records() const noexcept {
+    return api_records_;
+  }
+
+  /// Drain captured device-side activity records from the device.
+  /// (Also called internally by stop().)
+  void flush_activities();
+
+  /// Activity records captured so far (after flush_activities()/stop()).
+  [[nodiscard]] const std::vector<sim::ActivityRecord>& activity_records() const noexcept {
+    return activities_;
+  }
+
+  /// Metric values per correlation id (empty unless metrics were requested).
+  [[nodiscard]] const std::map<std::uint64_t, MetricValues>& metric_records() const noexcept {
+    return metrics_;
+  }
+
+ private:
+  sim::GpuDevice* device_;
+  CuptiOptions options_;
+  int replay_count_ = 1;
+  bool running_ = false;
+  int subscription_ = 0;
+  bool saved_serialized_ = false;
+  int saved_replay_ = 1;
+  bool saved_record_activities_ = true;
+  std::vector<ApiRecord> api_records_;
+  std::vector<sim::ActivityRecord> activities_;
+  std::map<std::uint64_t, MetricValues> metrics_;
+};
+
+}  // namespace xsp::cupti

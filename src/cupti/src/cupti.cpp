@@ -1,0 +1,135 @@
+#include "xsp/cupti/cupti.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace xsp::cupti {
+
+namespace {
+
+struct MetricInfo {
+  const char* name;
+  int replay_passes;
+};
+
+// DRAM traffic counters sit behind the fewest shared hardware counter
+// registers and need the most replay passes; occupancy is derived from
+// cheap SM counters.
+constexpr MetricInfo kMetricTable[] = {
+    {kFlopCountSp, 4},
+    {kDramReadBytes, 12},
+    {kDramWriteBytes, 12},
+    {kAchievedOccupancy, 2},
+};
+
+}  // namespace
+
+int metric_replay_passes(const std::string& metric) {
+  for (const auto& m : kMetricTable) {
+    if (metric == m.name) return m.replay_passes;
+  }
+  return 0;
+}
+
+bool is_known_metric(const std::string& metric) { return metric_replay_passes(metric) > 0; }
+
+const std::vector<std::string>& known_metrics() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> v;
+    for (const auto& m : kMetricTable) v.emplace_back(m.name);
+    return v;
+  }();
+  return names;
+}
+
+CuptiProfiler::CuptiProfiler(sim::GpuDevice& device, CuptiOptions options)
+    : device_(&device), options_(std::move(options)) {
+  int passes = 0;
+  for (const auto& m : options_.metrics) {
+    const int p = metric_replay_passes(m);
+    if (p == 0) throw std::invalid_argument("unknown GPU metric: " + m);
+    passes += p;
+  }
+  replay_count_ = 1 + passes;
+}
+
+CuptiProfiler::~CuptiProfiler() {
+  if (running_) stop();
+}
+
+void CuptiProfiler::start() {
+  if (running_) return;
+  running_ = true;
+
+  device_->clock().advance(options_.init_overhead_ns);
+
+  saved_serialized_ = device_->serialized();
+  saved_replay_ = device_->replay_count();
+  saved_record_activities_ = true;
+  device_->set_record_activities(options_.enable_activities || !options_.metrics.empty());
+
+  if (!options_.metrics.empty()) {
+    // Metric collection replays each kernel per counter group and
+    // serializes launches, exactly the cost structure of nvprof/Nsight.
+    device_->set_replay_count(replay_count_);
+    device_->set_serialized(true);
+  }
+
+  if (options_.enable_api_callbacks) {
+    subscription_ = device_->subscribe([this](const sim::ApiCallbackInfo& info) {
+      // Callback body runs on the simulated CPU: charge its cost.
+      device_->clock().advance(options_.callback_overhead_ns);
+      ApiRecord rec;
+      rec.api = info.api;
+      rec.correlation_id = info.correlation_id;
+      rec.name = info.name;
+      rec.begin = info.begin;
+      rec.end = device_->clock().now();
+      api_records_.push_back(std::move(rec));
+      if (info.api == sim::ApiCallbackInfo::Api::kLaunchKernel ||
+          info.api == sim::ApiCallbackInfo::Api::kMemcpy) {
+        // Activity-buffer bookkeeping happens on the launch path too.
+        if (options_.enable_activities) {
+          device_->clock().advance(options_.activity_overhead_ns);
+        }
+      } else if (options_.enable_activities) {
+        // Synchronize entry points drain completed activity buffers.
+        device_->clock().advance(options_.sync_flush_overhead_ns);
+      }
+    });
+  }
+}
+
+void CuptiProfiler::flush_activities() {
+  auto drained = device_->drain_activities();
+  for (auto& rec : drained) {
+    if (!options_.metrics.empty() && rec.type == sim::ActivityRecord::Type::kKernel) {
+      MetricValues values;
+      for (const auto& m : options_.metrics) {
+        if (m == kFlopCountSp) values[m] = rec.kernel.flops;
+        if (m == kDramReadBytes) values[m] = rec.kernel.dram_read_bytes;
+        if (m == kDramWriteBytes) values[m] = rec.kernel.dram_write_bytes;
+        if (m == kAchievedOccupancy) values[m] = rec.achieved_occupancy;
+      }
+      metrics_.emplace(rec.correlation_id, std::move(values));
+    }
+    if (options_.enable_activities) activities_.push_back(std::move(rec));
+  }
+}
+
+void CuptiProfiler::stop() {
+  if (!running_) return;
+  running_ = false;
+
+  // Completed work must be drained before detaching.
+  device_->synchronize();
+  flush_activities();
+  device_->clock().advance(options_.flush_overhead_ns);
+
+  if (options_.enable_api_callbacks) device_->unsubscribe(subscription_);
+  device_->set_serialized(saved_serialized_);
+  device_->set_replay_count(saved_replay_);
+  device_->set_record_activities(saved_record_activities_);
+}
+
+}  // namespace xsp::cupti

@@ -1,0 +1,83 @@
+// Non-convolution kernel builders: element-wise, GEMM, pooling, softmax,
+// batch-norm, data movement.
+//
+// Two element-wise backends are modelled after the paper's framework
+// comparison (Section IV-B): TensorFlow dispatches element-wise layers to
+// Eigen kernels which "incur excessive DRAM reads and writes", while
+// MXNet's own kernels touch less memory — the cause of MXNet MobileNets'
+// 35-74% higher throughput at the optimal batch size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "xsp/dnn/tensor.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+#include "xsp/sim/kernel.hpp"
+
+namespace xsp::dnn {
+
+/// Element-wise kernel provider.
+enum class EwBackend : std::uint8_t {
+  kEigen,   ///< TensorFlow's provider
+  kMxMath,  ///< MXNet's provider
+};
+
+/// Element-wise operation types the simulated frameworks emit.
+enum class EwOp : std::uint8_t {
+  kMul,      ///< scalar_product_op (BN scale)
+  kAdd,      ///< scalar_sum_op (BN shift / residual add)
+  kMax,      ///< scalar_max_op (Relu lowered by TF)
+  kRelu,     ///< dedicated relu kernel (MXNet path)
+  kAddN,     ///< n-ary accumulation
+  kSigmoid,  ///< logistic activation
+  kTanh,     ///< tanh activation
+};
+
+const char* ew_op_name(EwOp op);
+
+/// Build one element-wise kernel over `out` with `n_inputs` dense operands.
+sim::KernelDesc elementwise_kernel(EwOp op, const Shape4& out, int n_inputs, EwBackend backend);
+
+/// Dense GEMM: C[m,n] = A[m,k] * B[k,n] (fully-connected layers).
+sim::KernelDesc gemm_kernel(std::int64_t m, std::int64_t n, std::int64_t k,
+                            const sim::GpuSpec& gpu);
+
+/// Bias broadcast-add over an activation tensor.
+sim::KernelDesc bias_add_kernel(const Shape4& out, EwBackend backend);
+
+/// Max/average pooling.
+sim::KernelDesc pooling_kernel(const Shape4& in, std::int64_t window, std::int64_t stride,
+                               bool average, const sim::GpuSpec& gpu);
+
+/// Softmax over the channel dimension.
+sim::KernelDesc softmax_kernel(const Shape4& in, const sim::GpuSpec& gpu);
+
+/// Fused inference batch-norm (cuDNN BatchNormalizationForwardInference):
+/// one kernel, one read + one write of the tensor. MXNet keeps BN fused;
+/// TensorFlow decomposes it into Mul/Add element-wise kernels instead.
+sim::KernelDesc batchnorm_inference_kernel(const Shape4& in, const sim::GpuSpec& gpu);
+
+/// TensorFlow's native depthwise convolution kernel
+/// (DepthwiseConv2dGPUKernelNCHW) — memory-bound, unlike cuDNN convs.
+sim::KernelDesc depthwise_conv_kernel(const Shape4& in, const Shape4& out, std::int64_t kernel_hw,
+                                      const sim::GpuSpec& gpu);
+
+/// Layout transpose (NHWC<->NCHW and friends).
+sim::KernelDesc transpose_kernel(const Shape4& in, const sim::GpuSpec& gpu);
+
+/// `Where`-style tensor reshuffle over `elements` items — the layer type
+/// dominating object-detection models (Section IV-A). Gather/scatter
+/// access defeats coalescing, hence the poor effective bandwidth.
+sim::KernelDesc where_kernel(std::int64_t elements, const sim::GpuSpec& gpu);
+
+/// Concatenation along channels producing `out`.
+sim::KernelDesc concat_kernel(const Shape4& out, const sim::GpuSpec& gpu);
+
+/// Argmax/TopK style reduction over `in` (classification heads).
+sim::KernelDesc reduce_kernel(const Shape4& in, const sim::GpuSpec& gpu);
+
+/// Nearest/bilinear resize producing `out` (up-sampling decoders, SSD).
+sim::KernelDesc resize_kernel(const Shape4& out, const sim::GpuSpec& gpu);
+
+}  // namespace xsp::dnn

@@ -1,0 +1,34 @@
+// Tensor shapes used by the DNN library and the framework layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xsp::dnn {
+
+/// Bytes per element; every simulated model runs single-precision floats,
+/// matching the paper's flop_count_sp-based analyses.
+constexpr double kElementBytes = 4.0;
+
+/// NCHW tensor shape. Degenerate dims are 1 (a vector is {n,c,1,1}).
+struct Shape4 {
+  std::int64_t n = 1;
+  std::int64_t c = 1;
+  std::int64_t h = 1;
+  std::int64_t w = 1;
+
+  [[nodiscard]] std::int64_t elements() const noexcept { return n * c * h * w; }
+  [[nodiscard]] double bytes() const noexcept {
+    return static_cast<double>(elements()) * kElementBytes;
+  }
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Shape4&, const Shape4&) = default;
+};
+
+inline std::string Shape4::str() const {
+  return "<" + std::to_string(n) + ", " + std::to_string(c) + ", " + std::to_string(h) + ", " +
+         std::to_string(w) + ">";
+}
+
+}  // namespace xsp::dnn

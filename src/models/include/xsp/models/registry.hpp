@@ -1,0 +1,55 @@
+// Model registry: the 55 TensorFlow models of Table VIII and the 10 MXNet
+// models of Table X, with the paper-reported reference values attached so
+// benches can print paper-vs-measured comparisons.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "xsp/framework/layer.hpp"
+
+namespace xsp::models {
+
+/// Values reported in the paper (Table VIII columns). Accuracy and graph
+/// size are metadata we reproduce verbatim (no training happens here);
+/// latency/throughput are the reference points our benches compare shapes
+/// against.
+struct PaperRow {
+  double accuracy = 0;       ///< reported top-1 / mAP / mIOU
+  double graph_size_mb = 0;  ///< frozen-graph size
+  double online_latency_ms = 0;
+  double max_throughput = 0;  ///< inputs/sec at the optimal batch size
+  int optimal_batch = 1;
+  double conv_latency_pct = 0;  ///< % latency from Conv2D + depthwise layers
+};
+
+struct ModelInfo {
+  int id = 0;         ///< Table VIII / Table X id
+  std::string name;   ///< e.g. "MLPerf_ResNet50_v1.5"
+  std::string task;   ///< IC / OD / IS / SS / SR
+  PaperRow paper;
+  /// Build the runtime graph at a batch size; `decompose_bn` selects the
+  /// TensorFlow (true) or MXNet (false) batch-norm lowering.
+  std::function<framework::Graph(std::int64_t batch, bool decompose_bn)> build;
+};
+
+/// All 55 TensorFlow models, ordered by Table VIII id.
+const std::vector<ModelInfo>& tensorflow_models();
+
+/// The 10 MXNet models of Table X (ids match the comparable Table VIII
+/// rows). PaperRow carries the *normalized* online latency / throughput in
+/// accuracy-agnostic fields — see Table X.
+const std::vector<ModelInfo>& mxnet_models();
+
+/// Look up a TensorFlow model by name; nullptr if absent.
+const ModelInfo* find_tensorflow_model(const std::string& name);
+
+/// Look up an MXNet model by Table X id; nullptr if absent.
+const ModelInfo* find_mxnet_model(int id);
+
+/// The 37 image-classification models (Table IX subjects).
+std::vector<const ModelInfo*> image_classification_models();
+
+}  // namespace xsp::models

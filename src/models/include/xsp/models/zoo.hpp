@@ -1,0 +1,75 @@
+// Model graph builders for every family in the paper's Tables VIII and X.
+//
+// Every builder takes the batch size and the framework's batch-norm
+// lowering mode (true = TF's Mul/Add decomposition, false = MXNet's fused
+// BatchNorm) and returns the runtime layer sequence.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "xsp/framework/layer.hpp"
+
+namespace xsp::models {
+
+using framework::Graph;
+
+// --- image classification ------------------------------------------------
+
+/// ResNet bottleneck family.
+/// `version` 1 or 2 (pre-activation); `v15` moves the downsampling stride
+/// to the 3x3 convolution (the MLPerf ResNet50 v1.5 variant).
+Graph resnet(const std::string& name, std::int64_t batch, bool decompose_bn, int version,
+             const std::array<int, 4>& blocks, bool v15);
+
+/// MobileNet v1 grid: depth multiplier alpha in {0.25,0.5,0.75,1.0},
+/// input resolution in {128,160,192,224}.
+Graph mobilenet_v1(const std::string& name, std::int64_t batch, bool decompose_bn, double alpha,
+                   std::int64_t resolution);
+
+/// MobileNet v2 (inverted residuals) — backbone for SSD/DeepLab variants.
+Graph mobilenet_v2(const std::string& name, std::int64_t batch, bool decompose_bn,
+                   double alpha = 1.0, std::int64_t resolution = 224);
+
+Graph vgg(const std::string& name, std::int64_t batch, int depth /* 16 or 19 */);
+
+Graph alexnet(const std::string& name, std::int64_t batch);
+
+/// GoogLeNet / Inception v1; `with_bn` false gives the BVLC Caffe flavour.
+Graph inception_v1(const std::string& name, std::int64_t batch, bool decompose_bn, bool with_bn);
+
+Graph inception_v2(const std::string& name, std::int64_t batch, bool decompose_bn);
+Graph inception_v3(const std::string& name, std::int64_t batch, bool decompose_bn);
+Graph inception_v4(const std::string& name, std::int64_t batch, bool decompose_bn);
+Graph inception_resnet_v2(const std::string& name, std::int64_t batch, bool decompose_bn);
+
+Graph densenet121(const std::string& name, std::int64_t batch, bool decompose_bn);
+
+// --- object detection -----------------------------------------------------
+
+/// SSD-style single-shot detector: backbone + conv box/class heads + the
+/// Where-dominated post-processing block the paper highlights.
+/// `head_variant`: 0 = plain, 1 = FPN feature pyramid, 2 = PPN.
+Graph ssd(const std::string& name, std::int64_t batch, bool decompose_bn,
+          const std::string& backbone, std::int64_t resolution, int head_variant);
+
+/// Faster R-CNN two-stage detector (backbone + RPN + per-proposal head).
+/// `nas` enables the oversized NAS backbone (conv-dominated).
+Graph faster_rcnn(const std::string& name, std::int64_t batch, bool decompose_bn,
+                  const std::string& backbone, bool nas = false);
+
+/// Mask R-CNN: Faster R-CNN plus a mask head.
+Graph mask_rcnn(const std::string& name, std::int64_t batch, bool decompose_bn,
+                const std::string& backbone);
+
+// --- semantic segmentation / super resolution ------------------------------
+
+/// DeepLabv3: `backbone` is "xception65", "mobilenet_v2" or
+/// "mobilenet_v2_dm05".
+Graph deeplab_v3(const std::string& name, std::int64_t batch, bool decompose_bn,
+                 const std::string& backbone);
+
+Graph srgan(const std::string& name, std::int64_t batch, bool decompose_bn);
+
+}  // namespace xsp::models

@@ -1,0 +1,629 @@
+// Image-classification model builders (Table VIII ids 1-37, Table X).
+#include <algorithm>
+#include <cmath>
+
+#include "xsp/models/builder.hpp"
+#include "xsp/models/zoo.hpp"
+
+namespace xsp::models {
+
+namespace {
+
+/// Conv + BN + optional Relu, the workhorse block of every BN-based model.
+GraphBuilder& cbr(GraphBuilder& b, std::int64_t out_c, std::int64_t k, std::int64_t stride = 1,
+                  bool with_relu = true, std::int64_t pad = -1) {
+  b.conv(out_c, k, stride, pad).batch_norm();
+  if (with_relu) b.relu();
+  return b;
+}
+
+/// Factorized 7-tap convolution: a 1x7 followed by a 7x1, each with BN +
+/// Relu — how Inception v3/v4 actually lower their "7x7" branches. Costs
+/// ~14/49 of a dense 7x7.
+GraphBuilder& cbr_f7(GraphBuilder& b, std::int64_t out_c) {
+  b.conv_rect(out_c, 1, 7).batch_norm();
+  b.relu();
+  b.conv_rect(out_c, 7, 1).batch_norm();
+  b.relu();
+  return b;
+}
+
+/// Round a channel count scaled by a depth multiplier to the usual multiple
+/// of 8.
+std::int64_t scale_c(std::int64_t c, double alpha) {
+  const auto scaled = static_cast<std::int64_t>(std::round(c * alpha / 8.0)) * 8;
+  return std::max<std::int64_t>(8, scaled);
+}
+
+}  // namespace
+
+Graph resnet(const std::string& name, std::int64_t batch, bool decompose_bn, int version,
+             const std::array<int, 4>& blocks, bool v15) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, 224, 224);
+
+  // Stem: 7x7/2 conv + 3x3/2 max-pool.
+  if (version == 1) {
+    cbr(b, 64, 7, 2);
+  } else {
+    b.conv(64, 7, 2);  // v2 defers BN/Relu into the pre-activation blocks
+  }
+  b.max_pool(3, 2);
+
+  const std::array<std::int64_t, 4> mid_channels{64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    const std::int64_t mid = mid_channels[static_cast<std::size_t>(stage)];
+    for (int block = 0; block < blocks[static_cast<std::size_t>(stage)]; ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      const bool project = block == 0;  // channel/stride change needs a shortcut conv
+      const Shape4 entry = b.shape();
+
+      if (version == 2) b.batch_norm().relu();  // pre-activation
+      if (v15) {
+        // v1.5: stride lives on the 3x3 conv.
+        cbr(b, mid, 1, 1);
+        cbr(b, mid, 3, stride);
+      } else {
+        cbr(b, mid, 1, stride);
+        cbr(b, mid, 3, 1);
+      }
+      b.conv(mid * 4, 1, 1);
+      if (version == 1) b.batch_norm();
+      const Shape4 main_out = b.shape();
+
+      if (project) {
+        b.set_shape(entry);
+        b.conv(mid * 4, 1, stride);
+        if (version == 1) b.batch_norm();
+        b.set_shape(main_out);
+      }
+      b.add_n(2);  // residual merge runs as AddN (paper Figure 4a)
+      if (version == 1) b.relu();
+    }
+  }
+  if (version == 2) b.batch_norm().relu();
+
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph mobilenet_v1(const std::string& name, std::int64_t batch, bool decompose_bn, double alpha,
+                   std::int64_t resolution) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, resolution, resolution);
+  cbr(b, scale_c(32, alpha), 3, 2);
+
+  struct Block {
+    std::int64_t out_c;
+    std::int64_t stride;
+  };
+  constexpr std::array<Block, 13> kBlocks{{{64, 1},
+                                           {128, 2},
+                                           {128, 1},
+                                           {256, 2},
+                                           {256, 1},
+                                           {512, 2},
+                                           {512, 1},
+                                           {512, 1},
+                                           {512, 1},
+                                           {512, 1},
+                                           {512, 1},
+                                           {1024, 2},
+                                           {1024, 1}}};
+  for (const auto& blk : kBlocks) {
+    b.depthwise(3, blk.stride).batch_norm().relu();
+    cbr(b, scale_c(blk.out_c, alpha), 1, 1);
+  }
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph mobilenet_v2(const std::string& name, std::int64_t batch, bool decompose_bn, double alpha,
+                   std::int64_t resolution) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, resolution, resolution);
+  cbr(b, scale_c(32, alpha), 3, 2);
+
+  struct Block {
+    std::int64_t out_c;
+    int repeats;
+    std::int64_t stride;
+    std::int64_t expand;
+  };
+  constexpr std::array<Block, 7> kBlocks{{{16, 1, 1, 1},
+                                          {24, 2, 2, 6},
+                                          {32, 3, 2, 6},
+                                          {64, 4, 2, 6},
+                                          {96, 3, 1, 6},
+                                          {160, 3, 2, 6},
+                                          {320, 1, 1, 6}}};
+  for (const auto& blk : kBlocks) {
+    for (int r = 0; r < blk.repeats; ++r) {
+      const std::int64_t stride = r == 0 ? blk.stride : 1;
+      const std::int64_t in_c = b.shape().c;
+      const std::int64_t out_c = scale_c(blk.out_c, alpha);
+      const bool residual = stride == 1 && in_c == out_c;
+      const Shape4 entry = b.shape();
+      if (blk.expand != 1) cbr(b, in_c * blk.expand, 1, 1);
+      b.depthwise(3, stride).batch_norm().relu();
+      cbr(b, out_c, 1, 1, /*with_relu=*/false);  // linear bottleneck
+      if (residual) {
+        const Shape4 out = b.shape();
+        b.set_shape(entry).set_shape(out);
+        b.add_n(2);
+      }
+    }
+  }
+  cbr(b, scale_c(1280, std::max(1.0, alpha)), 1, 1);
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph vgg(const std::string& name, std::int64_t batch, int depth) {
+  GraphBuilder b(name, batch, /*decompose_bn=*/true);
+  b.input(3, 224, 224);
+  const int per_stage = depth == 19 ? 4 : 3;
+  const std::array<std::int64_t, 5> channels{64, 128, 256, 512, 512};
+  const std::array<int, 5> counts{2, 2, per_stage, per_stage, per_stage};
+  for (std::size_t s = 0; s < channels.size(); ++s) {
+    for (int i = 0; i < counts[s]; ++i) {
+      b.conv(channels[s], 3, 1).bias().relu();
+    }
+    b.max_pool(2, 2);
+  }
+  b.fc(4096).relu().fc(4096).relu().fc(1000).softmax();
+  return std::move(b).build();
+}
+
+Graph alexnet(const std::string& name, std::int64_t batch) {
+  GraphBuilder b(name, batch, /*decompose_bn=*/true);
+  b.input(3, 227, 227);
+  b.conv(96, 11, 4, 0).bias().relu().max_pool(3, 2);
+  b.conv(256, 5, 1).bias().relu().max_pool(3, 2);
+  b.conv(384, 3, 1).bias().relu();
+  b.conv(384, 3, 1).bias().relu();
+  b.conv(256, 3, 1).bias().relu().max_pool(3, 2);
+  b.fc(4096).relu().fc(4096).relu().fc(1000).softmax();
+  return std::move(b).build();
+}
+
+namespace {
+
+/// Classic GoogLeNet inception module: four parallel branches concatenated.
+/// Executed linearly, branch by branch, as a single-stream framework would.
+void inception_module(GraphBuilder& b, bool with_bn, std::int64_t c1, std::int64_t c3r,
+                      std::int64_t c3, std::int64_t c5r, std::int64_t c5, std::int64_t cp) {
+  const Shape4 entry = b.shape();
+  const auto conv_block = [&](std::int64_t out_c, std::int64_t k) {
+    b.conv(out_c, k, 1);
+    if (with_bn) b.batch_norm();
+    else b.bias();
+    b.relu();
+  };
+  conv_block(c1, 1);
+  b.set_shape(entry);
+  conv_block(c3r, 1);
+  conv_block(c3, 3);
+  b.set_shape(entry);
+  conv_block(c5r, 1);
+  conv_block(c5, 5);
+  b.set_shape(entry);
+  b.max_pool(3, 1);
+  b.set_shape({entry.n, entry.c, entry.h, entry.w});
+  conv_block(cp, 1);
+  b.set_shape({entry.n, c1 + c3 + c5 + cp, entry.h, entry.w});
+  b.concat(c1 + c3 + c5 + cp, 4);
+}
+
+}  // namespace
+
+Graph inception_v1(const std::string& name, std::int64_t batch, bool decompose_bn,
+                   bool with_bn) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, 224, 224);
+  const auto stem_conv = [&](std::int64_t c, std::int64_t k, std::int64_t s) {
+    b.conv(c, k, s);
+    if (with_bn) b.batch_norm();
+    else b.bias();
+    b.relu();
+  };
+  stem_conv(64, 7, 2);
+  b.max_pool(3, 2);
+  stem_conv(64, 1, 1);
+  stem_conv(192, 3, 1);
+  b.max_pool(3, 2);
+
+  inception_module(b, with_bn, 64, 96, 128, 16, 32, 32);    // 3a
+  inception_module(b, with_bn, 128, 128, 192, 32, 96, 64);  // 3b
+  b.max_pool(3, 2);
+  inception_module(b, with_bn, 192, 96, 208, 16, 48, 64);   // 4a
+  inception_module(b, with_bn, 160, 112, 224, 24, 64, 64);  // 4b
+  inception_module(b, with_bn, 128, 128, 256, 24, 64, 64);  // 4c
+  inception_module(b, with_bn, 112, 144, 288, 32, 64, 64);  // 4d
+  inception_module(b, with_bn, 256, 160, 320, 32, 128, 128);  // 4e
+  b.max_pool(3, 2);
+  inception_module(b, with_bn, 256, 160, 320, 32, 128, 128);  // 5a
+  inception_module(b, with_bn, 384, 192, 384, 48, 128, 128);  // 5b
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph inception_v2(const std::string& name, std::int64_t batch, bool decompose_bn) {
+  // BN-Inception: v1 topology with 5x5 branches replaced by double-3x3.
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, 224, 224);
+  cbr(b, 64, 7, 2);
+  b.max_pool(3, 2);
+  cbr(b, 64, 1, 1);
+  cbr(b, 192, 3, 1);
+  b.max_pool(3, 2);
+
+  const auto module = [&](std::int64_t c1, std::int64_t c3r, std::int64_t c3, std::int64_t cd,
+                          std::int64_t cp) {
+    const Shape4 entry = b.shape();
+    cbr(b, c1, 1);
+    b.set_shape(entry);
+    cbr(b, c3r, 1);
+    cbr(b, c3, 3);
+    b.set_shape(entry);
+    cbr(b, cd / 2, 1);
+    cbr(b, cd, 3);
+    cbr(b, cd, 3);
+    b.set_shape(entry);
+    b.avg_pool(3, 1);
+    b.set_shape({entry.n, entry.c, entry.h, entry.w});
+    cbr(b, cp, 1);
+    b.set_shape({entry.n, c1 + c3 + cd + cp, entry.h, entry.w});
+    b.concat(c1 + c3 + cd + cp, 4);
+  };
+  module(64, 64, 64, 96, 32);
+  module(64, 64, 96, 96, 64);
+  b.max_pool(3, 2);
+  module(224, 64, 96, 128, 128);
+  module(192, 96, 128, 128, 128);
+  module(160, 128, 160, 160, 96);
+  module(96, 128, 192, 192, 96);
+  b.max_pool(3, 2);
+  module(352, 192, 320, 224, 128);
+  module(352, 192, 320, 224, 128);
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph inception_v3(const std::string& name, std::int64_t batch, bool decompose_bn) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, 299, 299);
+  cbr(b, 32, 3, 2, true, 0);
+  cbr(b, 32, 3, 1, true, 0);
+  cbr(b, 64, 3, 1);
+  b.max_pool(3, 2);
+  cbr(b, 80, 1, 1);
+  cbr(b, 192, 3, 1, true, 0);
+  b.max_pool(3, 2);
+
+  // 3x module A (35x35).
+  for (int i = 0; i < 3; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 64, 1);
+    b.set_shape(entry);
+    cbr(b, 48, 1);
+    cbr(b, 64, 5);
+    b.set_shape(entry);
+    cbr(b, 64, 1);
+    cbr(b, 96, 3);
+    cbr(b, 96, 3);
+    b.set_shape(entry);
+    b.avg_pool(3, 1);
+    b.set_shape({entry.n, entry.c, entry.h, entry.w});
+    cbr(b, i == 0 ? 32 : 64, 1);
+    const std::int64_t out_c = 64 + 64 + 96 + (i == 0 ? 32 : 64);
+    b.set_shape({entry.n, out_c, entry.h, entry.w});
+    b.concat(out_c, 4);
+  }
+  // Reduction A.
+  {
+    const Shape4 entry = b.shape();
+    cbr(b, 384, 3, 2, true, 0);
+    b.set_shape(entry);
+    cbr(b, 64, 1);
+    cbr(b, 96, 3);
+    cbr(b, 96, 3, 2, true, 0);
+    const Shape4 reduced = b.shape();
+    b.set_shape(entry);
+    b.max_pool(3, 2);
+    b.set_shape({reduced.n, 384 + 96 + entry.c, reduced.h, reduced.w});
+    b.concat(384 + 96 + entry.c, 3);
+  }
+  // 4x module B (17x17, factorized 7x1/1x7 approximated as 7-wide convs).
+  for (int i = 0; i < 4; ++i) {
+    const std::int64_t mid = i == 0 ? 128 : (i == 3 ? 192 : 160);
+    const Shape4 entry = b.shape();
+    cbr(b, 192, 1);
+    b.set_shape(entry);
+    cbr(b, mid, 1);
+    cbr_f7(b, mid);
+    cbr_f7(b, 192);
+    b.set_shape(entry);
+    cbr(b, mid, 1);
+    cbr_f7(b, mid);
+    cbr_f7(b, mid);
+    cbr_f7(b, 192);
+    b.set_shape(entry);
+    b.avg_pool(3, 1);
+    b.set_shape({entry.n, entry.c, entry.h, entry.w});
+    cbr(b, 192, 1);
+    b.set_shape({entry.n, 768, entry.h, entry.w});
+    b.concat(768, 4);
+  }
+  // Reduction B.
+  {
+    const Shape4 entry = b.shape();
+    cbr(b, 192, 1);
+    cbr(b, 320, 3, 2, true, 0);
+    b.set_shape(entry);
+    cbr(b, 192, 1);
+    cbr_f7(b, 192);
+    cbr(b, 192, 3, 2, true, 0);
+    const Shape4 reduced = b.shape();
+    b.set_shape(entry);
+    b.max_pool(3, 2);
+    b.set_shape({reduced.n, 320 + 192 + entry.c, reduced.h, reduced.w});
+    b.concat(320 + 192 + entry.c, 3);
+  }
+  // 2x module C (8x8).
+  for (int i = 0; i < 2; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 320, 1);
+    b.set_shape(entry);
+    cbr(b, 384, 1);
+    cbr(b, 384, 3);
+    cbr(b, 384, 3);
+    b.set_shape(entry);
+    cbr(b, 448, 1);
+    cbr(b, 384, 3);
+    cbr(b, 384, 3);
+    cbr(b, 384, 3);
+    b.set_shape(entry);
+    b.avg_pool(3, 1);
+    b.set_shape({entry.n, entry.c, entry.h, entry.w});
+    cbr(b, 192, 1);
+    b.set_shape({entry.n, 2048, entry.h, entry.w});
+    b.concat(2048, 4);
+  }
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph inception_v4(const std::string& name, std::int64_t batch, bool decompose_bn) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, 299, 299);
+  cbr(b, 32, 3, 2, true, 0);
+  cbr(b, 32, 3, 1, true, 0);
+  cbr(b, 64, 3, 1);
+  b.max_pool(3, 2);
+  cbr(b, 96, 3, 1, true, 0);
+  cbr(b, 64, 1);
+  cbr(b, 96, 3, 1, true, 0);
+  cbr(b, 192, 3, 2, true, 0);
+
+  // 4x inception-A.
+  for (int i = 0; i < 4; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 96, 1);
+    b.set_shape(entry);
+    cbr(b, 64, 1);
+    cbr(b, 96, 3);
+    b.set_shape(entry);
+    cbr(b, 64, 1);
+    cbr(b, 96, 3);
+    cbr(b, 96, 3);
+    b.set_shape(entry);
+    b.avg_pool(3, 1);
+    b.set_shape({entry.n, entry.c, entry.h, entry.w});
+    cbr(b, 96, 1);
+    b.set_shape({entry.n, 384, entry.h, entry.w});
+    b.concat(384, 4);
+  }
+  // Reduction A.
+  {
+    const Shape4 entry = b.shape();
+    cbr(b, 384, 3, 2, true, 0);
+    b.set_shape(entry);
+    cbr(b, 192, 1);
+    cbr(b, 224, 3);
+    cbr(b, 256, 3, 2, true, 0);
+    const Shape4 reduced = b.shape();
+    b.set_shape(entry);
+    b.max_pool(3, 2);
+    b.set_shape({reduced.n, 384 + 256 + entry.c, reduced.h, reduced.w});
+    b.concat(384 + 256 + entry.c, 3);
+  }
+  // 7x inception-B.
+  for (int i = 0; i < 7; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 384, 1);
+    b.set_shape(entry);
+    cbr(b, 192, 1);
+    cbr_f7(b, 224);
+    cbr_f7(b, 256);
+    b.set_shape(entry);
+    cbr(b, 192, 1);
+    cbr_f7(b, 192);
+    cbr_f7(b, 224);
+    cbr_f7(b, 224);
+    cbr_f7(b, 256);
+    b.set_shape(entry);
+    b.avg_pool(3, 1);
+    b.set_shape({entry.n, entry.c, entry.h, entry.w});
+    cbr(b, 128, 1);
+    b.set_shape({entry.n, 1024, entry.h, entry.w});
+    b.concat(1024, 4);
+  }
+  // Reduction B.
+  {
+    const Shape4 entry = b.shape();
+    cbr(b, 192, 1);
+    cbr(b, 192, 3, 2, true, 0);
+    b.set_shape(entry);
+    cbr(b, 256, 1);
+    cbr_f7(b, 256);
+    cbr_f7(b, 320);
+    cbr(b, 320, 3, 2, true, 0);
+    const Shape4 reduced = b.shape();
+    b.set_shape(entry);
+    b.max_pool(3, 2);
+    b.set_shape({reduced.n, 192 + 320 + entry.c, reduced.h, reduced.w});
+    b.concat(192 + 320 + entry.c, 3);
+  }
+  // 3x inception-C.
+  for (int i = 0; i < 3; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 256, 1);
+    b.set_shape(entry);
+    cbr(b, 384, 1);
+    cbr(b, 256, 3);
+    cbr(b, 256, 3);
+    b.set_shape(entry);
+    cbr(b, 384, 1);
+    cbr(b, 448, 3);
+    cbr(b, 512, 3);
+    cbr(b, 256, 3);
+    cbr(b, 256, 3);
+    b.set_shape(entry);
+    b.avg_pool(3, 1);
+    b.set_shape({entry.n, entry.c, entry.h, entry.w});
+    cbr(b, 256, 1);
+    b.set_shape({entry.n, 1536, entry.h, entry.w});
+    b.concat(1536, 4);
+  }
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph inception_resnet_v2(const std::string& name, std::int64_t batch, bool decompose_bn) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, 299, 299);
+  cbr(b, 32, 3, 2, true, 0);
+  cbr(b, 32, 3, 1, true, 0);
+  cbr(b, 64, 3, 1);
+  b.max_pool(3, 2);
+  cbr(b, 80, 1);
+  cbr(b, 192, 3, 1, true, 0);
+  b.max_pool(3, 2);
+  cbr(b, 320, 1);  // stem mixer (approximates the mixed-5b block)
+
+  // 10x block35 with residual scaling.
+  for (int i = 0; i < 10; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 32, 1);
+    b.set_shape(entry);
+    cbr(b, 32, 1);
+    cbr(b, 32, 3);
+    b.set_shape(entry);
+    cbr(b, 32, 1);
+    cbr(b, 48, 3);
+    cbr(b, 64, 3);
+    b.set_shape({entry.n, 128, entry.h, entry.w});
+    b.concat(128, 3);
+    b.conv(entry.c, 1, 1);  // projection back to entry channels
+    b.set_shape(entry);
+    b.add_n(2).relu();
+  }
+  // Reduction A.
+  {
+    const Shape4 entry = b.shape();
+    cbr(b, 384, 3, 2, true, 0);
+    b.set_shape(entry);
+    cbr(b, 256, 1);
+    cbr(b, 256, 3);
+    cbr(b, 384, 3, 2, true, 0);
+    const Shape4 reduced = b.shape();
+    b.set_shape(entry);
+    b.max_pool(3, 2);
+    b.set_shape({reduced.n, 384 + 384 + entry.c, reduced.h, reduced.w});
+    b.concat(384 + 384 + entry.c, 3);
+  }
+  // 20x block17.
+  for (int i = 0; i < 20; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 192, 1);
+    b.set_shape(entry);
+    cbr(b, 128, 1);
+    cbr_f7(b, 160);
+    cbr_f7(b, 192);
+    b.set_shape({entry.n, 384, entry.h, entry.w});
+    b.concat(384, 2);
+    b.conv(entry.c, 1, 1);
+    b.set_shape(entry);
+    b.add_n(2).relu();
+  }
+  // Reduction B.
+  {
+    const Shape4 entry = b.shape();
+    cbr(b, 256, 1);
+    cbr(b, 384, 3, 2, true, 0);
+    b.set_shape(entry);
+    cbr(b, 256, 1);
+    cbr(b, 288, 3, 2, true, 0);
+    b.set_shape(entry);
+    cbr(b, 256, 1);
+    cbr(b, 288, 3);
+    cbr(b, 320, 3, 2, true, 0);
+    const Shape4 reduced = b.shape();
+    b.set_shape(entry);
+    b.max_pool(3, 2);
+    const std::int64_t out_c = 384 + 288 + 320 + entry.c;
+    b.set_shape({reduced.n, out_c, reduced.h, reduced.w});
+    b.concat(out_c, 4);
+  }
+  // 10x block8.
+  for (int i = 0; i < 10; ++i) {
+    const Shape4 entry = b.shape();
+    cbr(b, 192, 1);
+    b.set_shape(entry);
+    cbr(b, 192, 1);
+    cbr(b, 224, 3);
+    cbr(b, 256, 3);
+    b.set_shape({entry.n, 448, entry.h, entry.w});
+    b.concat(448, 2);
+    b.conv(entry.c, 1, 1);
+    b.set_shape(entry);
+    b.add_n(2).relu();
+  }
+  cbr(b, 1536, 1);
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+Graph densenet121(const std::string& name, std::int64_t batch, bool decompose_bn) {
+  GraphBuilder b(name, batch, decompose_bn);
+  b.input(3, 224, 224);
+  cbr(b, 64, 7, 2);
+  b.max_pool(3, 2);
+
+  constexpr std::array<int, 4> kBlockSizes{6, 12, 24, 16};
+  constexpr std::int64_t kGrowth = 32;
+  std::int64_t channels = 64;
+  for (std::size_t stage = 0; stage < kBlockSizes.size(); ++stage) {
+    for (int layer = 0; layer < kBlockSizes[stage]; ++layer) {
+      const Shape4 entry = b.shape();
+      b.batch_norm().relu();
+      cbr(b, 4 * kGrowth, 1);
+      b.conv(kGrowth, 3, 1);
+      channels += kGrowth;
+      b.set_shape({entry.n, channels, entry.h, entry.w});
+      b.concat(channels, 2);
+    }
+    if (stage + 1 < kBlockSizes.size()) {
+      b.batch_norm().relu();
+      channels /= 2;
+      b.conv(channels, 1, 1);
+      b.avg_pool(2, 2);
+    }
+  }
+  b.batch_norm().relu();
+  b.global_avg_pool().fc(1001).softmax();
+  return std::move(b).build();
+}
+
+}  // namespace xsp::models

@@ -1,0 +1,247 @@
+// Object-detection and instance-segmentation model builders
+// (Table VIII ids 38-51).
+//
+// The paper's characterisation of these models (Section IV-A): except for
+// Faster_RCNN_NAS, convolution layers contribute only 0.6-14.9% of the
+// latency; "the dominating layer type is Where, which reshapes a tensor
+// with respect to a user-defined operator". The dominant cost in the
+// post-processing block is per-class non-max suppression over pairwise
+// IoU-style matrices, which is what the Where layers below carry; the
+// per-image `map_fn` unrolling makes the cost scale with batch size, which
+// is why detection models see almost no batching benefit (optimal batch
+// sizes of 1-16 in Table VIII).
+#include <algorithm>
+
+#include "xsp/models/builder.hpp"
+#include "xsp/models/zoo.hpp"
+
+namespace xsp::models {
+
+namespace {
+
+GraphBuilder& cbr(GraphBuilder& b, std::int64_t out_c, std::int64_t k, std::int64_t stride = 1) {
+  return b.conv(out_c, k, stride).batch_norm().relu();
+}
+
+/// Truncated backbone feature extractors. Returns with the builder's shape
+/// at the final feature map.
+void backbone_features(GraphBuilder& b, const std::string& backbone, std::int64_t resolution) {
+  b.input(3, resolution, resolution);
+  if (backbone == "mobilenet_v1") {
+    cbr(b, 32, 3, 2);
+    const std::int64_t channels[] = {64, 128, 128, 256, 256, 512, 512, 512, 512, 512, 512, 1024};
+    const std::int64_t strides[] = {1, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 2};
+    for (int i = 0; i < 12; ++i) {
+      b.depthwise(3, strides[i]).batch_norm().relu();
+      cbr(b, channels[i], 1, 1);
+    }
+  } else if (backbone == "mobilenet_v2") {
+    cbr(b, 32, 3, 2);
+    const std::int64_t channels[] = {16, 24, 32, 64, 96, 160, 320};
+    const std::int64_t strides[] = {1, 2, 2, 2, 1, 2, 1};
+    const int repeats[] = {1, 2, 3, 4, 3, 3, 1};
+    for (int s = 0; s < 7; ++s) {
+      for (int r = 0; r < repeats[s]; ++r) {
+        const std::int64_t in_c = b.shape().c;
+        cbr(b, in_c * 6, 1, 1);
+        b.depthwise(3, r == 0 ? strides[s] : 1).batch_norm().relu();
+        b.conv(channels[s], 1, 1).batch_norm();
+      }
+    }
+  } else if (backbone == "inception_v2") {
+    cbr(b, 64, 7, 2);
+    b.max_pool(3, 2);
+    cbr(b, 192, 3, 1);
+    b.max_pool(3, 2);
+    for (int i = 0; i < 7; ++i) {
+      const Shape4 entry = b.shape();
+      cbr(b, 128, 1);
+      b.set_shape(entry);
+      cbr(b, 96, 1);
+      cbr(b, 128, 3);
+      b.set_shape(entry);
+      b.set_shape({entry.n, 256 + (i > 3 ? 256 : 0), entry.h, entry.w});
+      b.concat(b.shape().c, 3);
+      if (i == 3) b.max_pool(3, 2);
+    }
+  } else if (backbone == "resnet34") {
+    cbr(b, 64, 7, 2);
+    b.max_pool(3, 2);
+    const int blocks[] = {3, 4, 6, 3};
+    const std::int64_t channels[] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+      for (int blk = 0; blk < blocks[stage]; ++blk) {
+        const std::int64_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+        const Shape4 entry = b.shape();
+        cbr(b, channels[stage], 3, stride);
+        b.conv(channels[stage], 3, 1).batch_norm();
+        if (blk == 0 && stage > 0) {
+          b.set_shape(entry);
+          b.conv(channels[stage], 1, stride).batch_norm();
+        }
+        b.add_n(2).relu();
+      }
+    }
+  } else {  // resnet50 / resnet101 bottleneck backbones
+    const int stage3 = backbone == "resnet101" ? 23 : 6;
+    cbr(b, 64, 7, 2);
+    b.max_pool(3, 2);
+    const int blocks[] = {3, 4, stage3, 3};
+    const std::int64_t mids[] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+      for (int blk = 0; blk < blocks[stage]; ++blk) {
+        const std::int64_t stride = (stage > 0 && blk == 0) ? 2 : 1;
+        const Shape4 entry = b.shape();
+        cbr(b, mids[stage], 1, stride);
+        cbr(b, mids[stage], 3, 1);
+        b.conv(mids[stage] * 4, 1, 1).batch_norm();
+        if (blk == 0) {
+          b.set_shape(entry);
+          b.conv(mids[stage] * 4, 1, stride).batch_norm();
+        }
+        b.add_n(2).relu();
+      }
+    }
+  }
+}
+
+/// The Where-dominated per-image post-processing block: score transform,
+/// box decode, then per-class-group suppression over pairwise overlap
+/// matrices. Unrolled per image (tf.map_fn), so the layer count — and the
+/// latency — scales with the batch size.
+void detection_postprocess(GraphBuilder& b, std::int64_t batch, std::int64_t anchors,
+                           std::int64_t classes, int where_rounds_per_image,
+                           std::int64_t overlap_dim) {
+  // Batched decode on the raw predictions.
+  b.set_shape({batch, classes, anchors, 1});
+  b.sigmoid();                     // class scores
+  b.set_shape({batch, 4, anchors, 1});
+  b.transpose();                   // box layout change
+  b.set_shape({batch, 4, anchors, 1});
+  b.add();                         // anchor decode: scale + offset
+  b.where();                       // score thresholding over all anchors
+
+  for (std::int64_t img = 0; img < batch; ++img) {
+    for (int round = 0; round < where_rounds_per_image; ++round) {
+      // Pairwise overlap matrix for one class group of one image.
+      b.set_shape({1, classes, overlap_dim, overlap_dim});
+      b.where();
+      b.set_shape({1, classes, overlap_dim, 1});
+      b.reduce();
+    }
+    b.set_shape({1, 100, 6, 1});
+    b.concat(100, where_rounds_per_image);  // surviving detections
+  }
+  b.set_shape({batch, 100, 6, 1});
+  b.reshape({batch, 100, 6, 1});
+}
+
+}  // namespace
+
+Graph ssd(const std::string& name, std::int64_t batch, bool decompose_bn,
+          const std::string& backbone, std::int64_t resolution, int head_variant) {
+  GraphBuilder b(name, batch, decompose_bn);
+  backbone_features(b, backbone, resolution);
+
+  // Extra feature layers + box/class heads over 6 scales.
+  const Shape4 feat = b.shape();
+  std::int64_t h = feat.h;
+  for (int scale = 0; scale < 6 && h >= 1; ++scale, h = std::max<std::int64_t>(1, h / 2)) {
+    if (head_variant == 1) {
+      // FPN: lateral 1x1 + merge 3x3 per level.
+      b.set_shape({feat.n, 256, h, h});
+      cbr(b, 256, 1);
+      cbr(b, 256, 3);
+    } else if (head_variant == 2) {
+      // PPN: shared pooled features, minimal convs.
+      b.set_shape({feat.n, feat.c, h, h});
+      b.max_pool(1, 1);
+    } else if (scale > 0) {
+      b.set_shape({feat.n, feat.c, h, h});
+      cbr(b, 256, 1);
+      cbr(b, 512, 3, 1);
+    }
+    // Box + class predictors.
+    const Shape4 lvl = b.shape();
+    b.conv(6 * 4, 3, 1);
+    b.set_shape(lvl);
+    b.conv(6 * 91, 3, 1);
+    b.set_shape(lvl);
+  }
+
+  detection_postprocess(b, batch, /*anchors=*/1917, /*classes=*/91,
+                        /*where_rounds_per_image=*/60, /*overlap_dim=*/400);
+  return std::move(b).build();
+}
+
+Graph faster_rcnn(const std::string& name, std::int64_t batch, bool decompose_bn,
+                  const std::string& backbone, bool nas) {
+  GraphBuilder b(name, batch, decompose_bn);
+
+  if (nas) {
+    // NAS-FPN-style oversized backbone on 1200x1200 inputs: hundreds of
+    // convolution layers on large feature maps; conv-dominated (85.2% in
+    // Table VIII) and by far the slowest model in the zoo.
+    b.input(3, 1200, 1200);
+    cbr(b, 96, 3, 2);
+    for (int cell = 0; cell < 18; ++cell) {
+      const std::int64_t c = cell < 6 ? 504 : (cell < 12 ? 1008 : 2016);
+      if (cell == 6 || cell == 12) b.max_pool(2, 2);
+      const Shape4 entry = b.shape();
+      // NASNet cell: separable convs on several branches.
+      for (int branch = 0; branch < 5; ++branch) {
+        b.set_shape(entry);
+        b.depthwise(branch < 2 ? 5 : 3, 1).batch_norm().relu();
+        cbr(b, c, 1);
+      }
+      b.set_shape({entry.n, c, entry.h, entry.w});
+      b.concat(c, 5);
+    }
+  } else {
+    backbone_features(b, backbone, 600);
+  }
+
+  // Region proposal network (lightweight convs; the heavy lifting in a
+  // Faster R-CNN is the backbone and the per-proposal post-processing, not
+  // the RPN -- Table VIII shows only 4.7-13% conv latency for these models).
+  const Shape4 feat = b.shape();
+  cbr(b, 256, 3);
+  b.conv(24, 1, 1);  // objectness
+  b.set_shape(feat);
+  b.conv(48, 1, 1);  // box deltas
+  b.set_shape({feat.n, 300, 14, 14});
+  b.where();  // proposal selection
+
+  // Per-proposal box head: 300 ROI-pooled 7x7 crops through a small FC
+  // head, batched as one matmul.
+  b.set_shape({feat.n * 300, 256, 7, 7});
+  b.global_avg_pool();
+  b.fc(1024).relu();
+  b.fc(91 * 5);
+
+  detection_postprocess(b, batch, /*anchors=*/300, /*classes=*/91,
+                        /*where_rounds_per_image=*/nas ? 12 : 42, /*overlap_dim=*/460);
+  return std::move(b).build();
+}
+
+Graph mask_rcnn(const std::string& name, std::int64_t batch, bool decompose_bn,
+                const std::string& backbone) {
+  // Faster R-CNN with an extra fully-convolutional mask head per proposal.
+  Graph out = faster_rcnn(name, batch, decompose_bn, backbone, false);
+  out.model_name = name;
+
+  GraphBuilder mask(name + "/mask_head", batch, decompose_bn);
+  mask.set_shape({batch * 100, 256, 14, 14});
+  cbr(mask, 256, 3);
+  cbr(mask, 256, 3);
+  cbr(mask, 256, 3);
+  cbr(mask, 256, 3);
+  mask.resize(28, 28);
+  mask.conv(91, 1, 1);
+  mask.sigmoid();
+  Graph mask_g = std::move(mask).build();
+  for (auto& l : mask_g.layers) out.layers.push_back(std::move(l));
+  return out;
+}
+
+}  // namespace xsp::models

@@ -1,0 +1,216 @@
+#include "xsp/models/registry.hpp"
+
+#include <array>
+
+#include "xsp/models/zoo.hpp"
+
+namespace xsp::models {
+
+namespace {
+
+using BuildFn = std::function<framework::Graph(std::int64_t, bool)>;
+
+ModelInfo make(int id, std::string name, std::string task, PaperRow paper, BuildFn build) {
+  ModelInfo m;
+  m.id = id;
+  m.name = std::move(name);
+  m.task = std::move(task);
+  m.paper = paper;
+  m.build = std::move(build);
+  return m;
+}
+
+BuildFn resnet_fn(int version, std::array<int, 4> blocks, bool v15, std::string name) {
+  return [=](std::int64_t batch, bool bn) { return resnet(name, batch, bn, version, blocks, v15); };
+}
+
+BuildFn mobilenet_fn(double alpha, std::int64_t res, std::string name) {
+  return [=](std::int64_t batch, bool bn) { return mobilenet_v1(name, batch, bn, alpha, res); };
+}
+
+std::vector<ModelInfo> build_tensorflow_models() {
+  std::vector<ModelInfo> m;
+  m.reserve(55);
+
+  // --- image classification (Table VIII ids 1-37) -------------------------
+  m.push_back(make(1, "Inception_ResNet_v2", "IC", {80.40, 214, 23.24, 346.6, 128, 68.8},
+                   [](std::int64_t b, bool bn) { return inception_resnet_v2("Inception_ResNet_v2", b, bn); }));
+  m.push_back(make(2, "Inception_v4", "IC", {80.20, 163, 17.29, 436.7, 128, 75.7},
+                   [](std::int64_t b, bool bn) { return inception_v4("Inception_v4", b, bn); }));
+  m.push_back(make(3, "Inception_v3", "IC", {78.00, 91, 9.85, 811.0, 64, 72.8},
+                   [](std::int64_t b, bool bn) { return inception_v3("Inception_v3", b, bn); }));
+  m.push_back(make(4, "ResNet_v2_152", "IC", {77.80, 231, 14.05, 466.8, 256, 60.5},
+                   resnet_fn(2, {3, 8, 36, 3}, false, "ResNet_v2_152")));
+  m.push_back(make(5, "ResNet_v2_101", "IC", {77.00, 170, 10.39, 671.7, 256, 60.9},
+                   resnet_fn(2, {3, 4, 23, 3}, false, "ResNet_v2_101")));
+  m.push_back(make(6, "ResNet_v1_152", "IC", {76.80, 230, 13.70, 541.3, 256, 69.6},
+                   resnet_fn(1, {3, 8, 36, 3}, false, "ResNet_v1_152")));
+  m.push_back(make(7, "MLPerf_ResNet50_v1.5", "IC", {76.46, 103, 6.22, 930.7, 256, 58.7},
+                   resnet_fn(1, {3, 4, 6, 3}, true, "MLPerf_ResNet50_v1.5")));
+  m.push_back(make(8, "ResNet_v1_101", "IC", {76.40, 170, 10.01, 774.7, 256, 69.9},
+                   resnet_fn(1, {3, 4, 23, 3}, false, "ResNet_v1_101")));
+  m.push_back(make(9, "AI_Matrix_ResNet152", "IC", {75.93, 230, 14.61, 468.0, 256, 61.8},
+                   resnet_fn(1, {3, 8, 36, 3}, true, "AI_Matrix_ResNet152")));
+  m.push_back(make(10, "ResNet_v2_50", "IC", {75.60, 98, 6.23, 1119.7, 256, 58.1},
+                   resnet_fn(2, {3, 4, 6, 3}, false, "ResNet_v2_50")));
+  m.push_back(make(11, "ResNet_v1_50", "IC", {75.20, 98, 6.19, 1284.6, 256, 67.5},
+                   resnet_fn(1, {3, 4, 6, 3}, false, "ResNet_v1_50")));
+  m.push_back(make(12, "AI_Matrix_ResNet50", "IC", {74.38, 98, 5.99, 1060.3, 256, 57.9},
+                   resnet_fn(1, {3, 4, 6, 3}, true, "AI_Matrix_ResNet50")));
+  m.push_back(make(13, "Inception_v2", "IC", {73.90, 43, 6.45, 2032.0, 128, 68.2},
+                   [](std::int64_t b, bool bn) { return inception_v2("Inception_v2", b, bn); }));
+  m.push_back(make(14, "AI_Matrix_DenseNet121", "IC", {73.29, 31, 12.80, 846.4, 32, 49.3},
+                   [](std::int64_t b, bool bn) { return densenet121("AI_Matrix_DenseNet121", b, bn); }));
+  m.push_back(make(15, "MLPerf_MobileNet_v1", "IC", {71.68, 17, 3.15, 2576.4, 128, 52.0},
+                   mobilenet_fn(1.0, 224, "MLPerf_MobileNet_v1")));
+  m.push_back(make(16, "VGG16", "IC", {71.50, 528, 21.33, 687.5, 256, 74.7},
+                   [](std::int64_t b, bool) { return vgg("VGG16", b, 16); }));
+  m.push_back(make(17, "VGG19", "IC", {71.10, 548, 22.10, 593.4, 256, 76.7},
+                   [](std::int64_t b, bool) { return vgg("VGG19", b, 19); }));
+  m.push_back(make(18, "MobileNet_v1_1.0_224", "IC", {70.90, 16, 3.19, 2580.6, 128, 51.9},
+                   mobilenet_fn(1.0, 224, "MobileNet_v1_1.0_224")));
+  m.push_back(make(19, "AI_Matrix_GoogleNet", "IC", {70.01, 27, 5.35, 2464.5, 128, 62.9},
+                   [](std::int64_t b, bool bn) { return inception_v1("AI_Matrix_GoogleNet", b, bn, true); }));
+  m.push_back(make(20, "MobileNet_v1_1.0_192", "IC", {70.00, 16, 3.11, 3460.8, 128, 52.5},
+                   mobilenet_fn(1.0, 192, "MobileNet_v1_1.0_192")));
+  m.push_back(make(21, "Inception_v1", "IC", {69.80, 26, 5.30, 2576.6, 128, 63.7},
+                   [](std::int64_t b, bool bn) { return inception_v1("Inception_v1", b, bn, true); }));
+  m.push_back(make(22, "BVLC_GoogLeNet_Caffe", "IC", {68.70, 27, 6.53, 951.7, 8, 55.1},
+                   [](std::int64_t b, bool bn) { return inception_v1("BVLC_GoogLeNet_Caffe", b, bn, false); }));
+  m.push_back(make(23, "MobileNet_v1_0.75_224", "IC", {68.40, 10, 3.18, 3183.7, 64, 51.1},
+                   mobilenet_fn(0.75, 224, "MobileNet_v1_0.75_224")));
+  m.push_back(make(24, "MobileNet_v1_1.0_160", "IC", {68.00, 16, 3.01, 4240.5, 64, 55.4},
+                   mobilenet_fn(1.0, 160, "MobileNet_v1_1.0_160")));
+  m.push_back(make(25, "MobileNet_v1_0.75_192", "IC", {67.20, 10, 3.05, 4187.8, 64, 51.8},
+                   mobilenet_fn(0.75, 192, "MobileNet_v1_0.75_192")));
+  m.push_back(make(26, "MobileNet_v1_0.75_160", "IC", {65.30, 10, 2.81, 5569.6, 64, 53.1},
+                   mobilenet_fn(0.75, 160, "MobileNet_v1_0.75_160")));
+  m.push_back(make(27, "MobileNet_v1_1.0_128", "IC", {65.20, 16, 2.91, 6743.2, 64, 55.9},
+                   mobilenet_fn(1.0, 128, "MobileNet_v1_1.0_128")));
+  m.push_back(make(28, "MobileNet_v1_0.5_224", "IC", {63.30, 5.2, 3.55, 3346.5, 64, 63.0},
+                   mobilenet_fn(0.5, 224, "MobileNet_v1_0.5_224")));
+  m.push_back(make(29, "MobileNet_v1_0.75_128", "IC", {62.10, 10, 2.96, 8378.4, 64, 55.7},
+                   mobilenet_fn(0.75, 128, "MobileNet_v1_0.75_128")));
+  m.push_back(make(30, "MobileNet_v1_0.5_192", "IC", {61.70, 5.2, 3.28, 4453.2, 64, 63.3},
+                   mobilenet_fn(0.5, 192, "MobileNet_v1_0.5_192")));
+  m.push_back(make(31, "MobileNet_v1_0.5_160", "IC", {59.10, 5.2, 3.22, 6148.7, 64, 63.7},
+                   mobilenet_fn(0.5, 160, "MobileNet_v1_0.5_160")));
+  m.push_back(make(32, "BVLC_AlexNet_Caffe", "IC", {57.10, 233, 2.33, 2495.8, 16, 36.3},
+                   [](std::int64_t b, bool) { return alexnet("BVLC_AlexNet_Caffe", b); }));
+  m.push_back(make(33, "MobileNet_v1_0.5_128", "IC", {56.30, 5.2, 3.20, 8924.0, 64, 64.1},
+                   mobilenet_fn(0.5, 128, "MobileNet_v1_0.5_128")));
+  m.push_back(make(34, "MobileNet_v1_0.25_224", "IC", {49.80, 1.9, 3.40, 5257.9, 64, 60.6},
+                   mobilenet_fn(0.25, 224, "MobileNet_v1_0.25_224")));
+  m.push_back(make(35, "MobileNet_v1_0.25_192", "IC", {47.70, 1.9, 3.26, 7135.7, 64, 61.2},
+                   mobilenet_fn(0.25, 192, "MobileNet_v1_0.25_192")));
+  m.push_back(make(36, "MobileNet_v1_0.25_160", "IC", {45.50, 1.9, 3.15, 10081.5, 256, 68.4},
+                   mobilenet_fn(0.25, 160, "MobileNet_v1_0.25_160")));
+  m.push_back(make(37, "MobileNet_v1_0.25_128", "IC", {41.50, 1.9, 3.15, 10707.6, 256, 80.2},
+                   mobilenet_fn(0.25, 128, "MobileNet_v1_0.25_128")));
+
+  // --- object detection (ids 38-47) ---------------------------------------
+  m.push_back(make(38, "Faster_RCNN_NAS", "OD", {43, 405, 5079.32, 0.6, 4, 85.2},
+                   [](std::int64_t b, bool bn) { return faster_rcnn("Faster_RCNN_NAS", b, bn, "nas", true); }));
+  m.push_back(make(39, "Faster_RCNN_ResNet101", "OD", {32, 187, 91.15, 14.67, 4, 13},
+                   [](std::int64_t b, bool bn) { return faster_rcnn("Faster_RCNN_ResNet101", b, bn, "resnet101"); }));
+  m.push_back(make(40, "SSD_MobileNet_v1_FPN", "OD", {32, 49, 47.44, 33.46, 8, 4.8},
+                   [](std::int64_t b, bool bn) { return ssd("SSD_MobileNet_v1_FPN", b, bn, "mobilenet_v1", 640, 1); }));
+  m.push_back(make(41, "Faster_RCNN_ResNet50", "OD", {30, 115, 81.19, 16.49, 4, 10.8},
+                   [](std::int64_t b, bool bn) { return faster_rcnn("Faster_RCNN_ResNet50", b, bn, "resnet50"); }));
+  m.push_back(make(42, "Faster_RCNN_Inception_v2", "OD", {28, 54, 61.88, 22.17, 4, 4.7},
+                   [](std::int64_t b, bool bn) { return faster_rcnn("Faster_RCNN_Inception_v2", b, bn, "inception_v2"); }));
+  m.push_back(make(43, "SSD_Inception_v2", "OD", {24, 97, 50.34, 32.26, 8, 2.5},
+                   [](std::int64_t b, bool bn) { return ssd("SSD_Inception_v2", b, bn, "inception_v2", 300, 0); }));
+  m.push_back(make(44, "MLPerf_SSD_MobileNet_v1_300x300", "OD", {23, 28, 47.49, 33.51, 8, 0.8},
+                   [](std::int64_t b, bool bn) { return ssd("MLPerf_SSD_MobileNet_v1_300x300", b, bn, "mobilenet_v1", 300, 0); }));
+  m.push_back(make(45, "SSD_MobileNet_v2", "OD", {22, 66, 48.72, 32.4, 8, 1.3},
+                   [](std::int64_t b, bool bn) { return ssd("SSD_MobileNet_v2", b, bn, "mobilenet_v2", 300, 0); }));
+  m.push_back(make(46, "MLPerf_SSD_ResNet34_1200x1200", "OD", {20, 81, 87.4, 11.44, 1, 14.9},
+                   [](std::int64_t b, bool bn) { return ssd("MLPerf_SSD_ResNet34_1200x1200", b, bn, "resnet34", 1200, 0); }));
+  m.push_back(make(47, "SSD_MobileNet_v1_PPN", "OD", {20, 10, 47.07, 33.1, 16, 0.6},
+                   [](std::int64_t b, bool bn) { return ssd("SSD_MobileNet_v1_PPN", b, bn, "mobilenet_v1", 300, 2); }));
+
+  // --- instance segmentation (ids 48-51) ----------------------------------
+  m.push_back(make(48, "Mask_RCNN_Inception_ResNet_v2", "IS", {36, 254, 382.52, 2.92, 4, 29.2},
+                   [](std::int64_t b, bool bn) { return mask_rcnn("Mask_RCNN_Inception_ResNet_v2", b, bn, "resnet101"); }));
+  m.push_back(make(49, "Mask_RCNN_ResNet101_v2", "IS", {33, 212, 295.18, 3.6, 2, 42.4},
+                   [](std::int64_t b, bool bn) { return mask_rcnn("Mask_RCNN_ResNet101_v2", b, bn, "resnet101"); }));
+  m.push_back(make(50, "Mask_RCNN_ResNet50_v2", "IS", {29, 138, 231.22, 4.64, 2, 40.3},
+                   [](std::int64_t b, bool bn) { return mask_rcnn("Mask_RCNN_ResNet50_v2", b, bn, "resnet50"); }));
+  m.push_back(make(51, "Mask_RCNN_Inception_v2", "IS", {25, 64, 86.86, 17.25, 4, 5.7},
+                   [](std::int64_t b, bool bn) { return mask_rcnn("Mask_RCNN_Inception_v2", b, bn, "inception_v2"); }));
+
+  // --- semantic segmentation / super resolution (ids 52-55) ---------------
+  m.push_back(make(52, "DeepLabv3_Xception_65", "SS", {87.8, 439, 72.55, 13.78, 1, 49.2},
+                   [](std::int64_t b, bool bn) { return deeplab_v3("DeepLabv3_Xception_65", b, bn, "xception65"); }));
+  m.push_back(make(53, "DeepLabv3_MobileNet_v2", "SS", {80.25, 8.8, 10.96, 91.27, 1, 42.1},
+                   [](std::int64_t b, bool bn) { return deeplab_v3("DeepLabv3_MobileNet_v2", b, bn, "mobilenet_v2"); }));
+  m.push_back(make(54, "DeepLabv3_MobileNet_v2_DM0.5", "SS", {71.83, 7.6, 9.5, 105.21, 1, 41.5},
+                   [](std::int64_t b, bool bn) { return deeplab_v3("DeepLabv3_MobileNet_v2_DM0.5", b, bn, "mobilenet_v2_dm05"); }));
+  m.push_back(make(55, "SRGAN", "SR", {0, 5.9, 70.29, 14.23, 1, 62.3},
+                   [](std::int64_t b, bool bn) { return srgan("SRGAN", b, bn); }));
+  return m;
+}
+
+std::vector<ModelInfo> build_mxnet_models() {
+  // Table X: PaperRow.online_latency_ms holds the latency *normalized to
+  // TensorFlow's* and max_throughput the normalized maximum throughput.
+  std::vector<ModelInfo> m;
+  m.push_back(make(4, "ResNet_v2_152", "IC", {0, 0, 1.76, 1.03, 256, 0},
+                   resnet_fn(2, {3, 8, 36, 3}, false, "ResNet_v2_152")));
+  m.push_back(make(5, "ResNet_v2_101", "IC", {0, 0, 1.59, 1.02, 256, 0},
+                   resnet_fn(2, {3, 4, 23, 3}, false, "ResNet_v2_101")));
+  m.push_back(make(6, "ResNet_v1_152", "IC", {0, 0, 1.68, 0.90, 256, 0},
+                   resnet_fn(1, {3, 8, 36, 3}, false, "ResNet_v1_152")));
+  m.push_back(make(8, "ResNet_v1_101", "IC", {0, 0, 1.60, 0.91, 256, 0},
+                   resnet_fn(1, {3, 4, 23, 3}, false, "ResNet_v1_101")));
+  m.push_back(make(10, "ResNet_v2_50", "IC", {0, 0, 1.41, 1.03, 256, 0},
+                   resnet_fn(2, {3, 4, 6, 3}, false, "ResNet_v2_50")));
+  m.push_back(make(11, "ResNet_v1_50", "IC", {0, 0, 1.32, 0.96, 256, 0},
+                   resnet_fn(1, {3, 4, 6, 3}, false, "ResNet_v1_50")));
+  m.push_back(make(18, "MobileNet_v1_1.0_224", "IC", {0, 0, 1.00, 1.54, 256, 0},
+                   mobilenet_fn(1.0, 224, "MobileNet_v1_1.0_224")));
+  m.push_back(make(23, "MobileNet_v1_0.75_224", "IC", {0, 0, 0.95, 1.76, 64, 0},
+                   mobilenet_fn(0.75, 224, "MobileNet_v1_0.75_224")));
+  m.push_back(make(28, "MobileNet_v1_0.5_224", "IC", {0, 0, 0.87, 1.35, 64, 0},
+                   mobilenet_fn(0.5, 224, "MobileNet_v1_0.5_224")));
+  m.push_back(make(34, "MobileNet_v1_0.25_224", "IC", {0, 0, 0.93, 1.64, 64, 0},
+                   mobilenet_fn(0.25, 224, "MobileNet_v1_0.25_224")));
+  return m;
+}
+
+}  // namespace
+
+const std::vector<ModelInfo>& tensorflow_models() {
+  static const std::vector<ModelInfo> models = build_tensorflow_models();
+  return models;
+}
+
+const std::vector<ModelInfo>& mxnet_models() {
+  static const std::vector<ModelInfo> models = build_mxnet_models();
+  return models;
+}
+
+const ModelInfo* find_tensorflow_model(const std::string& name) {
+  for (const auto& m : tensorflow_models()) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+const ModelInfo* find_mxnet_model(int id) {
+  for (const auto& m : mxnet_models()) {
+    if (m.id == id) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<const ModelInfo*> image_classification_models() {
+  std::vector<const ModelInfo*> out;
+  for (const auto& m : tensorflow_models()) {
+    if (m.task == "IC") out.push_back(&m);
+  }
+  return out;
+}
+
+}  // namespace xsp::models

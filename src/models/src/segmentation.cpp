@@ -1,0 +1,128 @@
+// Semantic-segmentation and super-resolution builders
+// (Table VIII ids 52-55).
+#include <array>
+
+#include "xsp/models/builder.hpp"
+#include "xsp/models/zoo.hpp"
+
+namespace xsp::models {
+
+namespace {
+
+GraphBuilder& cbr(GraphBuilder& b, std::int64_t out_c, std::int64_t k, std::int64_t stride = 1) {
+  return b.conv(out_c, k, stride).batch_norm().relu();
+}
+
+/// Xception-style separable conv block.
+void sep_conv(GraphBuilder& b, std::int64_t out_c, std::int64_t stride = 1) {
+  b.depthwise(3, stride).batch_norm();
+  cbr(b, out_c, 1, 1);
+}
+
+}  // namespace
+
+Graph deeplab_v3(const std::string& name, std::int64_t batch, bool decompose_bn,
+                 const std::string& backbone) {
+  GraphBuilder b(name, batch, decompose_bn);
+  constexpr std::int64_t kRes = 513;
+  b.input(3, kRes, kRes);
+
+  if (backbone == "xception65") {
+    cbr(b, 32, 3, 2);
+    cbr(b, 64, 3, 1);
+    // Entry flow: three residual stacks of separable convs.
+    for (std::int64_t c : {128, 256, 728}) {
+      const Shape4 entry = b.shape();
+      sep_conv(b, c);
+      sep_conv(b, c);
+      sep_conv(b, c, 2);
+      const Shape4 main_out = b.shape();
+      b.set_shape(entry);
+      b.conv(c, 1, 2).batch_norm();
+      b.set_shape(main_out);
+      b.add_n(2);
+    }
+    // Middle flow: 16 residual units of 3 separable convs at 728 channels.
+    for (int unit = 0; unit < 16; ++unit) {
+      sep_conv(b, 728);
+      sep_conv(b, 728);
+      sep_conv(b, 728);
+      b.add_n(2);
+    }
+    // Exit flow.
+    sep_conv(b, 728);
+    sep_conv(b, 1024);
+    sep_conv(b, 1024);
+    sep_conv(b, 1536);
+    sep_conv(b, 1536);
+    sep_conv(b, 2048);
+  } else {
+    // MobileNet v2 backbone, full or 0.5 depth-multiplier flavour.
+    const double alpha = backbone == "mobilenet_v2_dm05" ? 0.5 : 1.0;
+    const auto scale_c = [alpha](std::int64_t c) {
+      const auto s = static_cast<std::int64_t>(c * alpha / 8) * 8;
+      return s < 8 ? 8 : s;
+    };
+    cbr(b, scale_c(32), 3, 2);
+    const std::int64_t channels[] = {16, 24, 32, 64, 96, 160, 320};
+    const std::int64_t strides[] = {1, 2, 2, 2, 1, 1, 1};  // atrous: late stages keep stride 1
+    const int repeats[] = {1, 2, 3, 4, 3, 3, 1};
+    for (int s = 0; s < 7; ++s) {
+      for (int r = 0; r < repeats[s]; ++r) {
+        const std::int64_t in_c = b.shape().c;
+        cbr(b, in_c * 6, 1, 1);
+        b.depthwise(3, r == 0 ? strides[s] : 1).batch_norm().relu();
+        b.conv(scale_c(channels[s]), 1, 1).batch_norm();
+      }
+    }
+  }
+
+  // ASPP: parallel atrous convs + image pooling, concatenated.
+  const Shape4 feat = b.shape();
+  cbr(b, 256, 1);
+  for (int i = 0; i < 3; ++i) {
+    b.set_shape(feat);
+    cbr(b, 256, 3);  // atrous rates 6/12/18 cost like dense 3x3 here
+  }
+  b.set_shape(feat);
+  b.global_avg_pool();
+  cbr(b, 256, 1);
+  b.resize(feat.h, feat.w);
+  b.set_shape({feat.n, 256 * 5, feat.h, feat.w});
+  b.concat(256 * 5, 5);
+  cbr(b, 256, 1);
+  b.conv(21, 1, 1);
+  b.resize(kRes, kRes);  // logits back to input resolution
+  b.softmax();
+  return std::move(b).build();
+}
+
+Graph srgan(const std::string& name, std::int64_t batch, bool decompose_bn) {
+  GraphBuilder b(name, batch, decompose_bn);
+  constexpr std::int64_t kLowRes = 96;
+  b.input(3, kLowRes, kLowRes);
+  b.conv(64, 9, 1).relu();  // paper SRGAN uses PReLU; cost-equivalent
+
+  // 16 residual blocks.
+  for (int i = 0; i < 16; ++i) {
+    cbr(b, 64, 3);
+    b.conv(64, 3, 1).batch_norm();
+    b.add_n(2);
+  }
+  b.conv(64, 3, 1).batch_norm();
+  b.add_n(2);  // global skip
+
+  // Two 2x upsampling stages (conv + pixel shuffle).
+  for (int i = 0; i < 2; ++i) {
+    b.conv(256, 3, 1);
+    const Shape4 s = b.shape();
+    b.set_shape({s.n, 64, s.h * 2, s.w * 2});
+    b.transpose();  // pixel-shuffle data movement
+    b.relu();
+  }
+  b.conv(3, 9, 1);
+  b.tanh();
+  return std::move(b).build();
+}
+
+}  // namespace xsp::models

@@ -1,0 +1,83 @@
+// Leveled experimentation runner (paper Section III-C).
+//
+// "We refer to the profiling practice which uses traces from multiple runs
+//  with different profiling levels as leveled experimentation. Through
+//  leveled experimentation, XSP gets accurate timing of profiled events at
+//  all stack levels."
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "xsp/common/statistics.hpp"
+#include "xsp/framework/executor.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/model_profile.hpp"
+#include "xsp/profile/session.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+namespace xsp::profile {
+
+/// Result of one full leveled experiment, merged.
+///
+/// Three runs climb the profiling ladder (M, M/L, M/L/G with activity
+/// tracing) to quantify each level's overhead by subtraction — the paper's
+/// Figure 2. When GPU metrics are requested, a fourth run collects the
+/// hardware counters; its (replay-dominated, >100x — Section III-C) cost
+/// never contaminates the overhead numbers, and its per-kernel *durations*
+/// are identical to the activity run's because CUPTI reports a single
+/// replay's timing.
+struct LeveledResult {
+  RunTrace m;
+  RunTrace ml;
+  RunTrace mlg;   ///< GPU activity tracing, no metrics
+  RunTrace mlgm;  ///< GPU metric collection (empty unless requested)
+  ModelProfile profile;
+
+  [[nodiscard]] Ns layer_overhead() const noexcept { return ml.model_latency - m.model_latency; }
+  [[nodiscard]] Ns gpu_overhead() const noexcept { return mlg.model_latency - ml.model_latency; }
+  /// Cost of the metric-collection run relative to the activity run — the
+  /// kernel-replay slowdown factor.
+  [[nodiscard]] double metric_slowdown() const noexcept {
+    return mlg.model_latency > 0 && mlgm.model_latency > 0
+               ? static_cast<double>(mlgm.model_latency) / static_cast<double>(mlg.model_latency)
+               : 0;
+  }
+};
+
+/// Runs models through the M -> M/L -> M/L/G ladder on one system+framework.
+class LeveledRunner {
+ public:
+  LeveledRunner(const sim::GpuSpec& system, framework::FrameworkKind framework);
+
+  /// Full leveled experiment on a prebuilt graph.
+  LeveledResult run(const framework::Graph& graph, bool gpu_metrics = true,
+                    double timing_jitter = 0, std::uint64_t seed = 0) const;
+
+  /// Convenience: build `model` at `batch` for this runner's framework and
+  /// run the full experiment.
+  LeveledResult run_model(const models::ModelInfo& model, std::int64_t batch,
+                          bool gpu_metrics = true) const;
+
+  /// Cheap model-only (M) run returning the accurate model latency.
+  Ns model_latency(const framework::Graph& graph, double timing_jitter = 0,
+                   std::uint64_t seed = 0) const;
+
+  /// Repeated M-only evaluations with deterministic jitter, summarized the
+  /// way the paper's analysis pipeline summarizes multi-run data (trimmed
+  /// mean et al., Section III-D).
+  Summary repeated_model_latency_ms(const framework::Graph& graph, int runs,
+                                    double timing_jitter = 0.02) const;
+
+  [[nodiscard]] const sim::GpuSpec& system() const noexcept { return system_; }
+  [[nodiscard]] framework::FrameworkKind framework() const noexcept { return framework_; }
+  [[nodiscard]] bool decompose_batchnorm() const noexcept {
+    return framework::traits_for(framework_).decompose_batchnorm;
+  }
+
+ private:
+  sim::GpuSpec system_;
+  framework::FrameworkKind framework_;
+};
+
+}  // namespace xsp::profile

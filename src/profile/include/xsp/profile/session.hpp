@@ -1,0 +1,117 @@
+// XSP profiling session: one evaluation of one model at one profiling
+// level, producing one timeline trace.
+//
+// The session wires together the three tracers of the paper's GPU design
+// (Section III-B):
+//   1. model-level — the startSpan/finishSpan tracing API placed around
+//      code regions of interest (pre-process, prediction, post-process);
+//   2. layer-level — the framework profiler's records converted to spans
+//      offline and parented onto the model-prediction span;
+//   3. GPU-kernel-level — CUPTI callback records become launch spans and
+//      CUPTI activity records become execution spans, joined by
+//      correlation_id; metric values attach to the execution spans.
+//
+// No framework modification happens anywhere: the layer tracer consumes
+// the profiler's *output records* and the GPU tracer consumes CUPTI
+// records, exactly as the paper prescribes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xsp/common/clock.hpp"
+#include "xsp/cupti/cupti.hpp"
+#include "xsp/framework/executor.hpp"
+#include "xsp/sim/device.hpp"
+#include "xsp/trace/timeline.hpp"
+#include "xsp/trace/trace_server.hpp"
+#include "xsp/trace/tracer.hpp"
+
+namespace xsp::profile {
+
+/// Which stack levels to profile. The paper's M, M/L and M/L/G runs.
+struct ProfileOptions {
+  bool model_level = true;
+  bool layer_level = false;
+  /// ML-library (cuDNN/cuBLAS call) level between layer and kernel —
+  /// the paper's Section III-E extension.
+  bool library_level = false;
+  bool gpu_level = false;
+  /// Collect the four GPU metrics of Section III-D3 (requires gpu_level;
+  /// expensive: kernels are replayed per counter group).
+  bool gpu_metrics = false;
+  trace::PublishMode publish_mode = trace::PublishMode::kAsync;
+  /// Deterministic timing jitter (fraction; 0 disables) + seed, for
+  /// multi-run statistics.
+  double timing_jitter = 0;
+  std::uint64_t jitter_seed = 0;
+
+  [[nodiscard]] std::string level_string() const;  // "M", "M/L", "M/L/G"
+
+  static ProfileOptions model_only() { return {}; }
+  static ProfileOptions model_layer() {
+    ProfileOptions o;
+    o.layer_level = true;
+    return o;
+  }
+  static ProfileOptions full(bool metrics = true) {
+    ProfileOptions o;
+    o.layer_level = true;
+    o.gpu_level = true;
+    o.gpu_metrics = metrics;
+    return o;
+  }
+};
+
+/// The result of one profiled evaluation.
+struct RunTrace {
+  ProfileOptions options;
+  trace::Timeline timeline;
+  /// Duration of the model-prediction span *in this run* (includes the
+  /// overhead of whatever profilers were enabled below the model level).
+  Ns model_latency = 0;
+  /// Duration of the whole pipeline (pre-process + predict + post-process).
+  Ns pipeline_latency = 0;
+};
+
+/// One evaluation environment: a system, a framework, and the tracing
+/// plumbing. Sessions are single-threaded and cheap to construct; build a
+/// fresh one per run for fully independent virtual timelines.
+class Session {
+ public:
+  Session(const sim::GpuSpec& system, framework::FrameworkKind framework);
+
+  /// The model-level tracing API (paper Section III-B, point 1). Spans
+  /// started here are model-level; nesting is by explicit parent.
+  trace::SpanId start_span(const std::string& name, trace::SpanId parent = trace::kNoSpan);
+  void finish_span(trace::SpanId id);
+
+  /// Simulated CPU work inside user code (pre/post-processing bodies).
+  void cpu_work(Ns duration) { clock_.advance(duration); }
+
+  /// Profile one inference of `graph` end-to-end: input pre-processing,
+  /// model prediction, output post-processing, with the levels requested.
+  RunTrace profile(const framework::Graph& graph, const ProfileOptions& options);
+
+  [[nodiscard]] sim::GpuDevice& device() noexcept { return device_; }
+  [[nodiscard]] SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] framework::Executor& executor() noexcept { return executor_; }
+
+  /// Per-image costs of the (simulated) pre-/post-processing steps.
+  static constexpr Ns kPreprocessPerImage = us(120);
+  static constexpr Ns kPostprocessPerImage = us(20);
+
+ private:
+  SimClock clock_;
+  sim::GpuDevice device_;
+  framework::Executor executor_;
+  std::unique_ptr<trace::TraceServer> server_;
+  std::unique_ptr<trace::Tracer> model_tracer_;
+  std::unique_ptr<trace::Tracer> layer_tracer_;
+  std::unique_ptr<trace::Tracer> library_tracer_;
+  std::unique_ptr<trace::Tracer> gpu_tracer_;
+};
+
+}  // namespace xsp::profile

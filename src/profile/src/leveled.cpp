@@ -1,0 +1,70 @@
+#include "xsp/profile/leveled.hpp"
+
+#include <vector>
+
+namespace xsp::profile {
+
+LeveledRunner::LeveledRunner(const sim::GpuSpec& system, framework::FrameworkKind framework)
+    : system_(system), framework_(framework) {}
+
+LeveledResult LeveledRunner::run(const framework::Graph& graph, bool gpu_metrics,
+                                 double timing_jitter, std::uint64_t seed) const {
+  const auto with_jitter = [&](ProfileOptions o) {
+    o.timing_jitter = timing_jitter;
+    o.jitter_seed = seed;
+    return o;
+  };
+
+  LeveledResult result;
+  {
+    Session session(system_, framework_);
+    result.m = session.profile(graph, with_jitter(ProfileOptions::model_only()));
+  }
+  {
+    Session session(system_, framework_);
+    result.ml = session.profile(graph, with_jitter(ProfileOptions::model_layer()));
+  }
+  {
+    Session session(system_, framework_);
+    result.mlg = session.profile(graph, with_jitter(ProfileOptions::full(/*metrics=*/false)));
+  }
+  if (gpu_metrics) {
+    Session session(system_, framework_);
+    result.mlgm = session.profile(graph, with_jitter(ProfileOptions::full(/*metrics=*/true)));
+  }
+  const RunTrace& kernel_source = gpu_metrics ? result.mlgm : result.mlg;
+  result.profile =
+      merge_runs(result.m, result.ml, kernel_source, graph.model_name, system_.name,
+                 framework::framework_name(framework_), graph.batch());
+  // Overheads are quantified from the activity-level ladder regardless of
+  // which run supplied the kernel records.
+  result.profile.gpu_profiling_overhead = result.mlg.model_latency - result.ml.model_latency;
+  return result;
+}
+
+LeveledResult LeveledRunner::run_model(const models::ModelInfo& model, std::int64_t batch,
+                                       bool gpu_metrics) const {
+  return run(model.build(batch, decompose_batchnorm()), gpu_metrics);
+}
+
+Ns LeveledRunner::model_latency(const framework::Graph& graph, double timing_jitter,
+                                std::uint64_t seed) const {
+  Session session(system_, framework_);
+  auto opts = ProfileOptions::model_only();
+  opts.timing_jitter = timing_jitter;
+  opts.jitter_seed = seed;
+  return session.profile(graph, opts).model_latency;
+}
+
+Summary LeveledRunner::repeated_model_latency_ms(const framework::Graph& graph, int runs,
+                                                 double timing_jitter) const {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i) {
+    samples.push_back(
+        to_ms(model_latency(graph, timing_jitter, static_cast<std::uint64_t>(i) + 1)));
+  }
+  return summarize(samples);
+}
+
+}  // namespace xsp::profile

@@ -1,0 +1,142 @@
+#include "xsp/profile/model_profile.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "xsp/cupti/cupti.hpp"
+
+namespace xsp::profile {
+
+Ns ModelProfile::total_kernel_latency() const noexcept {
+  Ns total = 0;
+  for (const auto& k : kernels) {
+    if (!k.is_memcpy) total += k.latency;
+  }
+  return total;
+}
+
+double ModelProfile::total_flops() const noexcept {
+  double total = 0;
+  for (const auto& k : kernels) total += k.flops;
+  return total;
+}
+
+double ModelProfile::total_dram_reads() const noexcept {
+  double total = 0;
+  for (const auto& k : kernels) total += k.dram_read_bytes;
+  return total;
+}
+
+double ModelProfile::total_dram_writes() const noexcept {
+  double total = 0;
+  for (const auto& k : kernels) total += k.dram_write_bytes;
+  return total;
+}
+
+double ModelProfile::weighted_occupancy() const noexcept {
+  double weighted = 0;
+  Ns total = 0;
+  for (const auto& k : kernels) {
+    if (k.is_memcpy) continue;
+    weighted += k.achieved_occupancy * static_cast<double>(k.latency);
+    total += k.latency;
+  }
+  return total > 0 ? weighted / static_cast<double>(total) : 0;
+}
+
+namespace {
+
+double metric_or(const trace::Span& s, const char* key, double fallback) {
+  const auto it = s.metrics.find(key);
+  return it == s.metrics.end() ? fallback : it->second;
+}
+
+}  // namespace
+
+ModelProfile merge_runs(const RunTrace& m, const RunTrace& ml, const RunTrace& mlg,
+                        std::string model_name, std::string system_name,
+                        std::string framework_name, std::int64_t batch) {
+  ModelProfile out;
+  out.model_name = std::move(model_name);
+  out.system_name = std::move(system_name);
+  out.framework_name = std::move(framework_name);
+  out.batch = batch;
+  out.model_latency = m.model_latency;
+  out.pipeline_latency = m.pipeline_latency;
+  if (ml.model_latency > 0) out.layer_profiling_overhead = ml.model_latency - m.model_latency;
+  if (mlg.model_latency > 0 && ml.model_latency > 0) {
+    out.gpu_profiling_overhead = mlg.model_latency - ml.model_latency;
+  }
+
+  // --- layers: accurate records from the M/L run --------------------------
+  // Keyed by layer index so the M/L/G run's kernels can be attached.
+  std::map<int, std::size_t> layer_slot;
+  for (const auto id : ml.timeline.at_level(trace::kLayerLevel)) {
+    const auto& span = ml.timeline.node(id).span;
+    LayerView lv;
+    lv.index = static_cast<int>(metric_or(span, "layer_index", -1));
+    lv.name = span.name;
+    if (auto it = span.tags.find("layer_type"); it != span.tags.end()) lv.type = it->second;
+    if (auto it = span.tags.find("shape"); it != span.tags.end()) lv.shape = it->second;
+    lv.latency = span.duration();
+    lv.alloc_bytes = metric_or(span, "alloc_bytes", 0);
+    layer_slot[lv.index] = out.layers.size();
+    out.layers.push_back(std::move(lv));
+  }
+
+  // --- kernels: accurate records from the M/L/G run -----------------------
+  // Kernel nodes hang under that run's layer spans; the layer_index metric
+  // of the M/L/G layer span keys them back onto the accurate M/L layers.
+  for (const auto id : mlg.timeline.at_level(trace::kKernelLevel)) {
+    const auto& node = mlg.timeline.node(id);
+    const auto& span = node.span;
+    KernelView kv;
+    kv.name = span.name;
+    kv.latency = span.duration();
+    kv.flops = metric_or(span, cupti::kFlopCountSp, 0);
+    kv.dram_read_bytes = metric_or(span, cupti::kDramReadBytes, 0);
+    kv.dram_write_bytes = metric_or(span, cupti::kDramWriteBytes, 0);
+    kv.achieved_occupancy = metric_or(span, cupti::kAchievedOccupancy, 0);
+    if (auto it = span.tags.find("kind"); it != span.tags.end()) {
+      kv.is_memcpy = it->second == "memcpy";
+    }
+    // Walk ancestors until the layer span: with the optional ML-library
+    // level enabled, a kernel's immediate parent is the cuDNN/cuBLAS call
+    // span and the layer sits one level above it.
+    trace::SpanId ancestor = node.parent;
+    while (ancestor != trace::kNoSpan && mlg.timeline.contains(ancestor)) {
+      const auto& anc = mlg.timeline.node(ancestor).span;
+      if (anc.level == trace::kLayerLevel) {
+        kv.layer_index = static_cast<int>(metric_or(anc, "layer_index", -1));
+        break;
+      }
+      if (anc.level < trace::kLayerLevel) break;
+      ancestor = mlg.timeline.node(ancestor).parent;
+    }
+
+    const std::size_t kid = out.kernels.size();
+    if (auto slot = layer_slot.find(kv.layer_index); slot != layer_slot.end()) {
+      LayerView& lv = out.layers[slot->second];
+      lv.kernel_ids.push_back(kid);
+      if (!kv.is_memcpy) {
+        lv.kernel_latency += kv.latency;
+        lv.flops += kv.flops;
+        lv.dram_read_bytes += kv.dram_read_bytes;
+        lv.dram_write_bytes += kv.dram_write_bytes;
+        lv.achieved_occupancy += kv.achieved_occupancy * static_cast<double>(kv.latency);
+      }
+    }
+    out.kernels.push_back(std::move(kv));
+  }
+
+  // Finalize the latency-weighted layer occupancies.
+  for (auto& lv : out.layers) {
+    if (lv.kernel_latency > 0) {
+      lv.achieved_occupancy /= static_cast<double>(lv.kernel_latency);
+    }
+  }
+  return out;
+}
+
+}  // namespace xsp::profile

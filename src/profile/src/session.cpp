@@ -1,0 +1,165 @@
+#include "xsp/profile/session.hpp"
+
+#include <utility>
+
+namespace xsp::profile {
+
+std::string ProfileOptions::level_string() const {
+  std::string s = model_level ? "M" : "";
+  if (layer_level) s += s.empty() ? "L" : "/L";
+  if (library_level) s += s.empty() ? "Lib" : "/Lib";
+  if (gpu_level) s += s.empty() ? "G" : "/G";
+  return s;
+}
+
+Session::Session(const sim::GpuSpec& system, framework::FrameworkKind framework)
+    : device_(system, clock_), executor_(framework, device_) {}
+
+trace::SpanId Session::start_span(const std::string& name, trace::SpanId parent) {
+  if (!model_tracer_) return trace::kNoSpan;
+  return model_tracer_->start_span(name, clock_.now(), parent);
+}
+
+void Session::finish_span(trace::SpanId id) {
+  if (model_tracer_) model_tracer_->finish_span(id, clock_.now());
+}
+
+RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& options) {
+  // Fresh tracing plumbing per run: one server, one tracer per profiler.
+  server_ = std::make_unique<trace::TraceServer>(options.publish_mode);
+  model_tracer_ = std::make_unique<trace::Tracer>(*server_, "model_timer", trace::kModelLevel);
+  layer_tracer_ =
+      std::make_unique<trace::Tracer>(*server_, "framework_profiler", trace::kLayerLevel);
+  library_tracer_ =
+      std::make_unique<trace::Tracer>(*server_, "library_tracer", trace::kLibraryLevel);
+  gpu_tracer_ = std::make_unique<trace::Tracer>(*server_, "cupti", trace::kKernelLevel);
+  model_tracer_->set_enabled(options.model_level);
+  layer_tracer_->set_enabled(options.layer_level);
+  library_tracer_->set_enabled(options.library_level);
+  gpu_tracer_->set_enabled(options.gpu_level);
+
+  device_.reset();
+  device_.set_timing_jitter(options.timing_jitter, options.jitter_seed);
+
+  // Attach the GPU profiler before any device work, as nvprof/Nsight do.
+  std::unique_ptr<cupti::CuptiProfiler> cupti_profiler;
+  if (options.gpu_level) {
+    cupti::CuptiOptions copts;
+    if (options.gpu_metrics) {
+      copts.metrics = {cupti::kFlopCountSp, cupti::kDramReadBytes, cupti::kDramWriteBytes,
+                       cupti::kAchievedOccupancy};
+    }
+    cupti_profiler = std::make_unique<cupti::CuptiProfiler>(device_, copts);
+    cupti_profiler->start();
+  }
+
+  const std::int64_t batch = graph.batch();
+  const TimePoint pipeline_begin = clock_.now();
+
+  // --- input pre-processing ----------------------------------------------
+  const auto pre = start_span("Input Pre-Process");
+  cpu_work(kPreprocessPerImage * batch);
+  finish_span(pre);
+
+  // --- model prediction (TF_SessionRun / MXPredForward analogue) ----------
+  const auto predict = start_span("Model Prediction");
+  framework::RunOptions ropts;
+  ropts.enable_layer_profiling = options.layer_level;
+  ropts.enable_library_profiling = options.library_level;
+  const framework::RunResult run = executor_.run(graph, ropts);
+  finish_span(predict);
+
+  // --- output post-processing ----------------------------------------------
+  const auto post = start_span("Output Post-Process");
+  cpu_work(kPostprocessPerImage * batch);
+  finish_span(post);
+
+  const TimePoint pipeline_end = clock_.now();
+
+  // --- offline conversion: framework profiler records -> layer spans ------
+  // Layer spans are explicit children of the model-prediction span
+  // (Section III-B point 2), so no interval search is needed for them.
+  if (options.layer_level) {
+    for (const auto& rec : run.layer_records) {
+      trace::Span s;
+      s.name = rec.name;
+      s.kind = trace::SpanKind::kRegular;
+      s.begin = rec.begin;
+      s.end = rec.end;
+      s.parent = predict;
+      s.tags["layer_type"] = rec.type;
+      s.tags["shape"] = rec.shape.str();
+      s.metrics["layer_index"] = rec.index;
+      s.metrics["alloc_bytes"] = rec.alloc_bytes;
+      layer_tracer_->publish_completed(std::move(s));
+    }
+  }
+
+  // --- offline conversion: library-call records -> library spans ----------
+  // Library spans carry no explicit parent; interval containment nests them
+  // under their layer (and kernels under them, when this level is on).
+  if (options.library_level) {
+    for (const auto& rec : run.library_records) {
+      trace::Span s;
+      s.name = rec.name;
+      s.begin = rec.begin;
+      s.end = rec.end;
+      s.metrics["layer_index"] = rec.layer_index;
+      library_tracer_->publish_completed(std::move(s));
+    }
+  }
+
+  // --- offline conversion: CUPTI records -> launch/execution spans --------
+  if (options.gpu_level) {
+    cupti_profiler->stop();
+
+    for (const auto& api : cupti_profiler->api_records()) {
+      if (api.api != sim::ApiCallbackInfo::Api::kLaunchKernel &&
+          api.api != sim::ApiCallbackInfo::Api::kMemcpy) {
+        continue;
+      }
+      trace::Span s;
+      s.name = sim::api_name(api.api);
+      s.kind = trace::SpanKind::kLaunch;
+      s.begin = api.begin;
+      s.end = api.end;
+      s.correlation_id = api.correlation_id;
+      s.tags["kernel"] = api.name;
+      gpu_tracer_->publish_completed(std::move(s));
+    }
+
+    const auto& metric_records = cupti_profiler->metric_records();
+    for (const auto& act : cupti_profiler->activity_records()) {
+      trace::Span s;
+      s.name = act.name;
+      s.kind = trace::SpanKind::kExecution;
+      s.begin = act.begin;
+      s.end = act.end;
+      s.correlation_id = act.correlation_id;
+      if (act.type == sim::ActivityRecord::Type::kKernel) {
+        s.tags["grid"] = "[" + std::to_string(act.kernel.grid.x) + "," +
+                         std::to_string(act.kernel.grid.y) + "," +
+                         std::to_string(act.kernel.grid.z) + "]";
+        s.tags["block"] = "[" + std::to_string(act.kernel.block.x) + "," +
+                          std::to_string(act.kernel.block.y) + "," +
+                          std::to_string(act.kernel.block.z) + "]";
+        s.tags["kind"] = "kernel";
+      } else {
+        s.tags["kind"] = "memcpy";
+      }
+      if (auto it = metric_records.find(act.correlation_id); it != metric_records.end()) {
+        for (const auto& [metric, value] : it->second) s.metrics[metric] = value;
+      }
+      gpu_tracer_->publish_completed(std::move(s));
+    }
+  }
+
+  RunTrace result;
+  result.options = options;
+  result.timeline = trace::Timeline::assemble(server_->take_trace());
+  result.model_latency = run.latency();
+  result.pipeline_latency = pipeline_end - pipeline_begin;
+  return result;
+}
+
+}  // namespace xsp::profile

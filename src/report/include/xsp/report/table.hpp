@@ -1,0 +1,32 @@
+// Aligned-text / CSV / Markdown table rendering for benches and examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xsp::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Add one row; missing cells render empty, extra cells are dropped.
+  TextTable& add_row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Fixed-width aligned text with a header separator line.
+  [[nodiscard]] std::string str() const;
+
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  [[nodiscard]] std::string csv() const;
+
+  /// GitHub-flavoured Markdown.
+  [[nodiscard]] std::string markdown() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace xsp::report

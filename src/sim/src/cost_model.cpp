@@ -1,0 +1,172 @@
+#include "xsp/sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xsp::sim {
+
+const char* kernel_class_name(KernelClass c) {
+  switch (c) {
+    case KernelClass::kConvImplicitGemm: return "conv_implicit_gemm";
+    case KernelClass::kConvImplicitPrecompGemm: return "conv_implicit_precomp_gemm";
+    case KernelClass::kConvFft: return "conv_fft";
+    case KernelClass::kConvWinograd: return "conv_winograd";
+    case KernelClass::kGemm: return "gemm";
+    case KernelClass::kElementwise: return "elementwise";
+    case KernelClass::kReduction: return "reduction";
+    case KernelClass::kDataMovement: return "data_movement";
+  }
+  return "?";
+}
+
+const char* memcpy_direction_name(MemcpyDesc::Direction d) {
+  switch (d) {
+    case MemcpyDesc::Direction::kHostToDevice: return "HtoD";
+    case MemcpyDesc::Direction::kDeviceToHost: return "DtoH";
+    case MemcpyDesc::Direction::kDeviceToDevice: return "DtoD";
+  }
+  return "?";
+}
+
+ClassEfficiency class_efficiency(KernelClass c) {
+  // Fractions of theoretical peak attainable at full occupancy, set to the
+  // levels the paper's measured kernels reach on V100 (e.g. the big scudnn
+  // kernels sustain ~12.8 of 15.7 TFLOPS ~= 82%; Eigen element-wise kernels
+  // sustain ~75% of DRAM bandwidth).
+  switch (c) {
+    case KernelClass::kConvImplicitGemm: return {.compute = 0.70, .memory = 0.60};
+    case KernelClass::kConvImplicitPrecompGemm: return {.compute = 0.82, .memory = 0.65};
+    case KernelClass::kConvFft: return {.compute = 0.86, .memory = 0.70};
+    case KernelClass::kConvWinograd: return {.compute = 0.85, .memory = 0.65};
+    case KernelClass::kGemm: return {.compute = 0.80, .memory = 0.65};
+    case KernelClass::kElementwise: return {.compute = 0.10, .memory = 0.75};
+    case KernelClass::kReduction: return {.compute = 0.15, .memory = 0.60};
+    case KernelClass::kDataMovement: return {.compute = 0.05, .memory = 0.55};
+  }
+  return {};
+}
+
+namespace {
+
+/// Theoretical occupancy limit from per-block resource pressure.
+double theoretical_occupancy(const KernelDesc& k, const GpuSpec& g) {
+  const double threads_per_block = static_cast<double>(k.block.total());
+  const double warps_per_block = std::ceil(threads_per_block / 32.0);
+  if (warps_per_block <= 0) return 0;
+
+  // Register file: 64K 32-bit registers per SM on all simulated parts.
+  constexpr double kRegistersPerSm = 65536.0;
+  const double regs_per_block = threads_per_block * std::max(1, k.registers_per_thread);
+  const double blocks_by_regs = std::max(1.0, std::floor(kRegistersPerSm / regs_per_block));
+
+  // Shared memory: 96 KiB per SM.
+  constexpr double kSharedPerSm = 96.0 * 1024;
+  const double blocks_by_smem =
+      k.shared_mem_per_block_bytes > 0
+          ? std::max(1.0, std::floor(kSharedPerSm / k.shared_mem_per_block_bytes))
+          : 32.0;
+
+  // Hard cap of resident blocks per SM.
+  const double blocks_per_sm = std::min({blocks_by_regs, blocks_by_smem, 32.0});
+  const double warps_per_sm = blocks_per_sm * warps_per_block;
+  return std::min(1.0, warps_per_sm / g.max_warps_per_sm);
+}
+
+}  // namespace
+
+namespace {
+
+/// Tiled GEMM-style kernels reach their steady-state rate only after a few
+/// full waves of blocks have amortized the pipeline ramp and tail
+/// quantization; one wave suffices for streaming kernels. This is the
+/// mechanism behind throughput continuing to improve with batch size well
+/// past the point where one wave fills the device (paper Figure 3).
+double waves_for_full_rate(KernelClass c) {
+  switch (c) {
+    case KernelClass::kConvImplicitGemm:
+    case KernelClass::kConvImplicitPrecompGemm:
+    case KernelClass::kConvFft:
+    case KernelClass::kConvWinograd:
+    case KernelClass::kGemm:
+      return 2.5;
+    default:
+      return 1.0;
+  }
+}
+
+}  // namespace
+
+OccupancyInfo occupancy_info(const KernelDesc& k, const GpuSpec& g) {
+  const double theo = theoretical_occupancy(k, g);
+  const double warps_per_block = std::ceil(static_cast<double>(k.block.total()) / 32.0);
+  const double total_warps = static_cast<double>(k.grid.total()) * warps_per_block;
+  // Warps available per SM if the grid were spread perfectly.
+  const double supplied = total_warps / (g.sm_count * g.max_warps_per_sm);
+  // Achieved occupancy can neither exceed the resource-limited theoretical
+  // occupancy nor the warp supply; scheduling slack keeps it below both.
+  constexpr double kSchedulingSlack = 0.92;
+  const double occ = std::min(theo, supplied) * kSchedulingSlack;
+
+  OccupancyInfo info;
+  info.achieved = std::clamp(std::min(occ, k.occupancy_cap), 0.005, 1.0);
+  // Saturation: has the grid supplied enough warps — for enough waves — to
+  // reach the steady-state rate the kernel is designed for?
+  const double target =
+      std::max(0.02, std::min(theo, k.occupancy_cap)) * waves_for_full_rate(k.klass);
+  info.saturation = std::clamp(supplied / target, 0.12, 1.0);
+  return info;
+}
+
+double achieved_occupancy(const KernelDesc& k, const GpuSpec& g) {
+  return occupancy_info(k, g).achieved;
+}
+
+Ns kernel_duration(const KernelDesc& k, const GpuSpec& g, const OccupancyInfo& occ) {
+  const ClassEfficiency eff = class_efficiency(k.klass);
+  // An under-supplied grid (saturation < 1) leaves SMs idle and degrades
+  // the attainable rates; a fully supplied grid runs at the class rate
+  // regardless of how low its resource-capped occupancy is.
+  const double occ_factor = occ.saturation;
+
+  const double mem_eff =
+      k.memory_efficiency_override > 0 ? k.memory_efficiency_override : eff.memory;
+  const double flops_rate = g.peak_tflops * 1e12 * eff.compute * occ_factor;
+  const double mem_rate = g.mem_bw_gbps * 1e9 * mem_eff * (0.5 + 0.5 * occ_factor);
+
+  const double t_compute = k.flops > 0 ? k.flops / flops_rate : 0;
+  const double t_memory = k.total_dram_bytes() > 0 ? k.total_dram_bytes() / mem_rate : 0;
+  const double t = std::max(t_compute, t_memory);
+
+  // Fixed device-side pipeline tail per kernel (ramp-up + drain).
+  constexpr Ns kTailNs = 2'500;
+  return static_cast<Ns>(t * 1e9) + kTailNs;
+}
+
+Ns kernel_duration(const KernelDesc& k, const GpuSpec& g, double occ) {
+  OccupancyInfo info;
+  info.achieved = occ;
+  info.saturation = std::clamp(occ / 0.25, 0.15, 1.0);
+  return kernel_duration(k, g, info);
+}
+
+Ns memcpy_duration(const MemcpyDesc& m, const GpuSpec& g) {
+  const double bw = m.direction == MemcpyDesc::Direction::kDeviceToDevice
+                        ? g.mem_bw_gbps * 1e9 * 0.8
+                        : g.pcie_bw_gbps * 1e9 * 0.8;
+  constexpr Ns kSetupNs = 4'000;
+  return static_cast<Ns>(m.bytes / bw * 1e9) + kSetupNs;
+}
+
+double arithmetic_intensity(double flops, double dram_bytes) {
+  return dram_bytes > 0 ? flops / dram_bytes : 0;
+}
+
+double arithmetic_throughput(double flops, Ns latency) {
+  return latency > 0 ? flops / to_seconds(latency) : 0;
+}
+
+bool is_memory_bound(double flops, double dram_bytes, const GpuSpec& g) {
+  return arithmetic_intensity(flops, dram_bytes) < g.ideal_arithmetic_intensity();
+}
+
+}  // namespace xsp::sim

@@ -1,0 +1,25 @@
+// Trace exporters: Chrome trace-event JSON (chrome://tracing, Perfetto)
+// and a flat span JSON for downstream tooling.
+//
+// The tracing server aggregates spans the way Jaeger/Zipkin-style backends
+// do; exporting the assembled timeline in the Chrome trace-event format
+// gives the same "smooth hierarchical step-through" experience the paper
+// describes, inside a standard viewer.
+#pragma once
+
+#include <string>
+
+#include "xsp/trace/timeline.hpp"
+
+namespace xsp::trace {
+
+/// Chrome trace-event JSON ("traceEvents" array of complete "X" events).
+/// Stack levels map to track (tid) ids so the viewer shows one lane per
+/// level; tags and metrics become event args.
+std::string to_chrome_trace(const Timeline& timeline);
+
+/// Flat JSON array of spans with ids, parents, levels, timestamps, tags,
+/// and metrics — lossless for re-analysis.
+std::string to_span_json(const Timeline& timeline);
+
+}  // namespace xsp::trace

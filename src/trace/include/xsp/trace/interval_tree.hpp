@@ -1,0 +1,158 @@
+// Centered interval tree used to reconstruct span parent-child links.
+//
+// "XSP's profile analysis builds an interval tree and populates it with
+//  intervals corresponding to the spans' start/end timestamps. Using the
+//  interval tree, XSP reconstructs the parent-child relationship by checking
+//  for interval set inclusion."                          — paper, Section III-A
+//
+// The tree is built once from a fixed set of intervals (spans of one trace)
+// and then queried many times, so a static centered interval tree is the
+// right structure: O(n log n) build, O(log n + k) stabbing query.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "xsp/common/time.hpp"
+
+namespace xsp::trace {
+
+/// Static interval tree over closed intervals [lo, hi] with a payload.
+template <typename T>
+class IntervalTree {
+ public:
+  struct Entry {
+    TimePoint lo = 0;
+    TimePoint hi = 0;
+    T value{};
+  };
+
+  IntervalTree() = default;
+
+  explicit IntervalTree(std::vector<Entry> entries) : size_(entries.size()) {
+    root_ = build(std::move(entries));
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Invoke `fn(const Entry&)` for every interval containing point `p`.
+  template <typename Fn>
+  void visit_stabbing(TimePoint p, Fn&& fn) const {
+    visit_stabbing_impl(root_.get(), p, fn);
+  }
+
+  /// All entries whose interval fully contains [lo, hi].
+  [[nodiscard]] std::vector<const Entry*> containing(TimePoint lo, TimePoint hi) const {
+    std::vector<const Entry*> out;
+    visit_stabbing(lo, [&](const Entry& e) {
+      if (e.lo <= lo && e.hi >= hi) out.push_back(&e);
+    });
+    return out;
+  }
+
+  /// All entries overlapping [lo, hi] (closed-interval overlap).
+  [[nodiscard]] std::vector<const Entry*> overlapping(TimePoint lo, TimePoint hi) const {
+    std::vector<const Entry*> out;
+    collect_overlapping(root_.get(), lo, hi, out);
+    return out;
+  }
+
+ private:
+  struct Node {
+    TimePoint center = 0;
+    // Intervals crossing `center`, sorted two ways for pruned scans.
+    std::vector<Entry> by_lo;  // ascending lo
+    std::vector<Entry> by_hi;  // descending hi
+    std::unique_ptr<Node> left;   // intervals entirely left of center
+    std::unique_ptr<Node> right;  // intervals entirely right of center
+  };
+
+  static std::unique_ptr<Node> build(std::vector<Entry> entries) {
+    if (entries.empty()) return nullptr;
+    // Median of endpoints keeps the tree balanced for adversarial inputs.
+    std::vector<TimePoint> points;
+    points.reserve(entries.size() * 2);
+    for (const auto& e : entries) {
+      points.push_back(e.lo);
+      points.push_back(e.hi);
+    }
+    auto mid = points.begin() + static_cast<std::ptrdiff_t>(points.size() / 2);
+    std::nth_element(points.begin(), mid, points.end());
+    const TimePoint center = *mid;
+
+    auto node = std::make_unique<Node>();
+    node->center = center;
+    std::vector<Entry> lefts, rights;
+    for (auto& e : entries) {
+      if (e.hi < center) {
+        lefts.push_back(std::move(e));
+      } else if (e.lo > center) {
+        rights.push_back(std::move(e));
+      } else {
+        node->by_lo.push_back(e);
+        node->by_hi.push_back(std::move(e));
+      }
+    }
+    std::sort(node->by_lo.begin(), node->by_lo.end(),
+              [](const Entry& a, const Entry& b) { return a.lo < b.lo; });
+    std::sort(node->by_hi.begin(), node->by_hi.end(),
+              [](const Entry& a, const Entry& b) { return a.hi > b.hi; });
+    node->left = build(std::move(lefts));
+    node->right = build(std::move(rights));
+    return node;
+  }
+
+  template <typename Fn>
+  static void visit_stabbing_impl(const Node* node, TimePoint p, Fn& fn) {
+    while (node != nullptr) {
+      if (p < node->center) {
+        // Only intervals with lo <= p can contain p; by_lo is sorted asc.
+        for (const auto& e : node->by_lo) {
+          if (e.lo > p) break;
+          fn(e);
+        }
+        node = node->left.get();
+      } else if (p > node->center) {
+        // Only intervals with hi >= p can contain p; by_hi is sorted desc.
+        for (const auto& e : node->by_hi) {
+          if (e.hi < p) break;
+          fn(e);
+        }
+        node = node->right.get();
+      } else {
+        for (const auto& e : node->by_lo) fn(e);  // all cross the center
+        return;
+      }
+    }
+  }
+
+  static void collect_overlapping(const Node* node, TimePoint lo, TimePoint hi,
+                                  std::vector<const Entry*>& out) {
+    if (node == nullptr) return;
+    if (hi < node->center) {
+      for (const auto& e : node->by_lo) {
+        if (e.lo > hi) break;
+        out.push_back(&e);
+      }
+      collect_overlapping(node->left.get(), lo, hi, out);
+    } else if (lo > node->center) {
+      for (const auto& e : node->by_hi) {
+        if (e.hi < lo) break;
+        out.push_back(&e);
+      }
+      collect_overlapping(node->right.get(), lo, hi, out);
+    } else {
+      for (const auto& e : node->by_lo) out.push_back(&e);
+      collect_overlapping(node->left.get(), lo, hi, out);
+      collect_overlapping(node->right.get(), lo, hi, out);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xsp::trace

@@ -1,0 +1,94 @@
+// Span: the unit of profile data in XSP's distributed-tracing design.
+//
+// "In distributed tracing terminology, a timed operation representing a
+//  piece of work is referred to as a span. Each span contains a unique
+//  identifier (used as its reference), start/end timestamps, and
+//  user-defined annotations such as name, key-value tags, and logs. A span
+//  may also contain a parent reference to establish a parent-child
+//  relationship."                                      — paper, Section III-A
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "xsp/common/time.hpp"
+
+namespace xsp::trace {
+
+/// Unique span identifier. 0 is reserved for "no span".
+using SpanId = std::uint64_t;
+constexpr SpanId kNoSpan = 0;
+
+/// Stack levels, numbered as in the paper ("level 1 is the model level").
+/// The scheme is open-ended: Section III-E's extensions are first-class —
+/// an application level above the model level (level 0) and an ML-library
+/// level between layer and kernel (level 3, capturing cuDNN/cuBLAS API
+/// calls) — which is why the level is a plain integer rather than a closed
+/// enum. Absent levels are skipped during parent reconstruction (a kernel
+/// parents to its layer directly when no library tracer ran).
+constexpr int kApplicationLevel = 0;
+constexpr int kModelLevel = 1;
+constexpr int kLayerLevel = 2;
+constexpr int kLibraryLevel = 3;
+constexpr int kKernelLevel = 4;
+
+/// Returns a human-readable name for a stack level.
+const char* level_name(int level);
+
+/// Asynchronous operations are represented by two spans joined by a
+/// correlation identifier: the CPU-side launch and the device-side
+/// execution (paper, Section III-A/B).
+enum class SpanKind : std::uint8_t {
+  kRegular,    ///< ordinary synchronous timed operation
+  kLaunch,     ///< asynchronous launch (e.g. cudaLaunchKernel on the CPU)
+  kExecution,  ///< the corresponding future execution (e.g. the GPU kernel)
+};
+
+const char* kind_name(SpanKind k);
+
+/// A single profiled event converted into distributed-tracing form.
+struct Span {
+  SpanId id = kNoSpan;
+  /// Explicit parent reference, when the publishing tracer knows it (e.g.
+  /// layer spans are created as children of the model-prediction span).
+  /// kNoSpan means "to be reconstructed from interval containment".
+  SpanId parent = kNoSpan;
+  int level = kModelLevel;
+  SpanKind kind = SpanKind::kRegular;
+  std::string name;
+  /// Name of the tracer that published this span (one per profiler).
+  std::string tracer;
+  TimePoint begin = 0;
+  TimePoint end = 0;
+  /// Joins kLaunch/kExecution pairs; 0 when not applicable.
+  std::uint64_t correlation_id = 0;
+  /// Free-form string annotations (layer type, kernel grid, ...).
+  std::map<std::string, std::string> tags;
+  /// Numeric annotations (GPU counters, allocated bytes, ...).
+  std::map<std::string, double> metrics;
+
+  [[nodiscard]] Ns duration() const noexcept { return end - begin; }
+};
+
+inline const char* level_name(int level) {
+  switch (level) {
+    case kApplicationLevel: return "application";
+    case kModelLevel: return "model";
+    case kLayerLevel: return "layer";
+    case kLibraryLevel: return "library";
+    case kKernelLevel: return "gpu_kernel";
+    default: return "custom";
+  }
+}
+
+inline const char* kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kRegular: return "regular";
+    case SpanKind::kLaunch: return "launch";
+    case SpanKind::kExecution: return "execution";
+  }
+  return "?";
+}
+
+}  // namespace xsp::trace

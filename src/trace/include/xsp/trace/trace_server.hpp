@@ -1,0 +1,77 @@
+// TraceServer: aggregates spans published by all tracers into one trace.
+//
+// "Spans are published to a tracing server which is run on a local or remote
+//  system. The tracing server aggregates the spans published by the
+//  different tracers into one application timeline trace."  — Section III-A
+//
+// This implementation is in-process but keeps the same publish/aggregate
+// interface and supports asynchronous publication ("XSP converts the
+// captured CUPTI information into spans and publishes them to the tracer
+// server (asynchronously to avoid added overhead)" — Section III-B).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "xsp/trace/span.hpp"
+
+namespace xsp::trace {
+
+enum class PublishMode : std::uint8_t {
+  kSync,   ///< publish() appends under a lock on the caller thread
+  kAsync,  ///< publish() enqueues; a collector thread drains the queue
+};
+
+/// Thread-safe span sink + aggregator.
+class TraceServer {
+ public:
+  explicit TraceServer(PublishMode mode = PublishMode::kAsync);
+  ~TraceServer();
+
+  TraceServer(const TraceServer&) = delete;
+  TraceServer& operator=(const TraceServer&) = delete;
+
+  /// Allocate a fresh process-unique span id (never kNoSpan).
+  SpanId next_span_id() noexcept { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Allocate a fresh correlation id for an async launch/execution pair.
+  std::uint64_t next_correlation_id() noexcept {
+    return next_corr_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Publish one completed span. Thread-safe.
+  void publish(Span span);
+
+  /// Block until all queued spans have been aggregated.
+  void flush();
+
+  /// Number of spans aggregated so far (flushes first).
+  [[nodiscard]] std::size_t span_count();
+
+  /// Flush and move the aggregated trace out, leaving the server empty and
+  /// ready for the next evaluation run.
+  [[nodiscard]] std::vector<Span> take_trace();
+
+  [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
+
+ private:
+  void collector_loop();
+
+  PublishMode mode_;
+  std::atomic<SpanId> next_id_{1};
+  std::atomic<std::uint64_t> next_corr_{1};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Span> queue_;
+  std::vector<Span> trace_;
+  bool stop_ = false;
+  std::thread collector_;
+};
+
+}  // namespace xsp::trace

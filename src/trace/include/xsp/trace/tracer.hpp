@@ -1,0 +1,99 @@
+// Tracer: per-profiler span factory and publisher.
+//
+// "Each service in a distributed application has a tracer — some code to
+//  create and publish spans. ... 1. each profiler within a stack is turned
+//  into a tracer, 2. the profiled events each form a span, 3. each span is
+//  tagged with its stack level ... As a feature supported by distributed
+//  tracing, tracers can be enabled or disabled at runtime."  — Section III-A
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "xsp/trace/span.hpp"
+#include "xsp/trace/trace_server.hpp"
+
+namespace xsp::trace {
+
+/// One tracer per profiler (model timer, framework profiler, CUPTI, ...).
+/// Multiple tracers may share a stack level (e.g. CPU and GPU tracers at
+/// the hardware level).
+class Tracer {
+ public:
+  /// `name` identifies the publishing profiler; `level` is the stack level
+  /// all spans from this tracer are tagged with.
+  Tracer(TraceServer& server, std::string name, int level)
+      : server_(&server), name_(std::move(name)), level_(level) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int level() const noexcept { return level_; }
+
+  /// Tracers can be toggled at runtime; a disabled tracer drops all spans.
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool e) noexcept { enabled_ = e; }
+
+  /// Begin an open span at simulated time `t`. Returns kNoSpan when the
+  /// tracer is disabled (finish_span on kNoSpan is a no-op, so call sites
+  /// need no enabled() checks).
+  SpanId start_span(std::string span_name, TimePoint t, SpanId parent = kNoSpan,
+                    SpanKind kind = SpanKind::kRegular);
+
+  /// Attach a string tag to an open span.
+  void add_tag(SpanId id, const std::string& key, std::string value);
+
+  /// Attach a numeric metric to an open span.
+  void add_metric(SpanId id, const std::string& key, double value);
+
+  /// Set the correlation id of an open span (async launch/execution pairs).
+  void set_correlation(SpanId id, std::uint64_t correlation_id);
+
+  /// Close an open span at time `t` and publish it to the server.
+  void finish_span(SpanId id, TimePoint t);
+
+  /// Publish a span that was fully formed elsewhere (offline conversion of
+  /// a profiler's output — Section III-A: "the conversion from the profiled
+  /// events to spans can be performed ... off-line by processing the output
+  /// of the profiler"). The span's id is assigned here; tracer name and
+  /// level are stamped on. Returns the assigned id, or kNoSpan if disabled.
+  SpanId publish_completed(Span span);
+
+  /// Number of spans currently open (started, not yet finished).
+  [[nodiscard]] std::size_t open_count() const noexcept { return open_.size(); }
+
+  /// Access to the owning server (e.g. for correlation-id allocation).
+  [[nodiscard]] TraceServer& server() noexcept { return *server_; }
+
+ private:
+  TraceServer* server_;
+  std::string name_;
+  int level_;
+  bool enabled_ = true;
+  std::unordered_map<SpanId, Span> open_;
+};
+
+/// RAII helper that finishes a span when destroyed. The close timestamp is
+/// read from a caller-supplied callable so simulated clocks work naturally.
+template <typename NowFn>
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer& tracer, std::string name, NowFn now, SpanId parent = kNoSpan)
+      : tracer_(&tracer), now_(std::move(now)) {
+    id_ = tracer_->start_span(std::move(name), now_(), parent);
+  }
+  ~ScopedSpan() {
+    if (id_ != kNoSpan) tracer_->finish_span(id_, now_());
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  [[nodiscard]] SpanId id() const noexcept { return id_; }
+
+ private:
+  Tracer* tracer_;
+  NowFn now_;
+  SpanId id_;
+};
+
+}  // namespace xsp::trace

@@ -1,0 +1,118 @@
+#include "xsp/trace/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace xsp::trace {
+
+namespace {
+
+void append_escaped(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void append_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  os << buf;
+}
+
+void append_args(std::ostringstream& os, const Span& span) {
+  os << "\"args\":{";
+  bool first = true;
+  for (const auto& [k, v] : span.tags) {
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, k);
+    os << ':';
+    append_escaped(os, v);
+  }
+  for (const auto& [k, v] : span.metrics) {
+    if (!first) os << ',';
+    first = false;
+    append_escaped(os, k);
+    os << ':';
+    append_number(os, v);
+  }
+  os << '}';
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const Timeline& timeline) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  timeline.walk([&](const TimelineNode& node, int /*depth*/) {
+    const Span& s = node.span;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.level << ",\"name\":";
+    append_escaped(os, s.name);
+    os << ",\"cat\":";
+    append_escaped(os, level_name(s.level));
+    // Trace-event timestamps are microseconds.
+    os << ",\"ts\":" << static_cast<double>(s.begin) / 1e3
+       << ",\"dur\":" << static_cast<double>(s.duration()) / 1e3 << ',';
+    append_args(os, s);
+    os << '}';
+  });
+  // Name the per-level tracks.
+  for (const int level : {kApplicationLevel, kModelLevel, kLayerLevel, kLibraryLevel,
+                          kKernelLevel}) {
+    os << ",{\"ph\":\"M\",\"pid\":1,\"tid\":" << level
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
+    append_escaped(os, level_name(level));
+    os << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string to_span_json(const Timeline& timeline) {
+  std::ostringstream os;
+  os << '[';
+  bool first = true;
+  timeline.walk([&](const TimelineNode& node, int /*depth*/) {
+    const Span& s = node.span;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"id\":" << s.id << ",\"parent\":" << node.parent << ",\"level\":" << s.level
+       << ",\"kind\":";
+    append_escaped(os, kind_name(s.kind));
+    os << ",\"name\":";
+    append_escaped(os, s.name);
+    os << ",\"tracer\":";
+    append_escaped(os, s.tracer);
+    os << ",\"begin_ns\":" << s.begin << ",\"end_ns\":" << s.end
+       << ",\"correlation_id\":" << s.correlation_id << ',';
+    append_args(os, s);
+    os << '}';
+  });
+  os << ']';
+  return os.str();
+}
+
+}  // namespace xsp::trace

@@ -1,0 +1,209 @@
+#include "xsp/trace/timeline.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "xsp/trace/interval_tree.hpp"
+
+namespace xsp::trace {
+
+namespace {
+
+/// The interval a node uses when *searching for its parent*. Async events
+/// search with their CPU-side launch window: the launch call happens inside
+/// the parent layer's interval even when the device-side execution outlives
+/// the layer (Section III-B).
+struct SearchInterval {
+  TimePoint lo;
+  TimePoint hi;
+};
+
+SearchInterval parent_search_interval(const TimelineNode& n) {
+  if (n.is_async) return {n.launch_begin, n.launch_end};
+  return {n.span.begin, n.span.end};
+}
+
+}  // namespace
+
+Timeline Timeline::assemble(std::vector<Span> spans, const AssembleOptions& options) {
+  Timeline tl;
+
+  // --- Step 1: correlate launch/execution pairs. -------------------------
+  // Group async spans by correlation id; merge each complete pair into one
+  // node carrying the execution span's timing and metrics plus the launch
+  // window. Incomplete pairs degrade to regular nodes (counted).
+  std::unordered_map<std::uint64_t, Span> pending_launch;
+  std::unordered_map<std::uint64_t, Span> pending_exec;
+
+  std::vector<TimelineNode> merged;
+  merged.reserve(spans.size());
+
+  for (auto& s : spans) {
+    if (options.correlate_async && s.kind == SpanKind::kLaunch && s.correlation_id != 0) {
+      pending_launch.emplace(s.correlation_id, std::move(s));
+    } else if (options.correlate_async && s.kind == SpanKind::kExecution && s.correlation_id != 0) {
+      pending_exec.emplace(s.correlation_id, std::move(s));
+    } else {
+      TimelineNode n;
+      n.span = std::move(s);
+      merged.push_back(std::move(n));
+    }
+  }
+
+  for (auto& [corr, exec] : pending_exec) {
+    auto it = pending_launch.find(corr);
+    TimelineNode n;
+    if (it != pending_launch.end()) {
+      Span& launch = it->second;
+      n.span = std::move(exec);
+      // The launch span carries the explicit parent (if any) and the CPU
+      // window used for interval-containment parent search.
+      if (n.span.parent == kNoSpan) n.span.parent = launch.parent;
+      n.launch_begin = launch.begin;
+      n.launch_end = launch.end;
+      n.is_async = true;
+      // Preserve launch-side annotations that the execution side lacks.
+      for (auto& [k, v] : launch.tags) n.span.tags.emplace(k, std::move(v));
+      for (auto& [k, v] : launch.metrics) n.span.metrics.emplace(k, v);
+      pending_launch.erase(it);
+      ++tl.correlated_async_;
+    } else {
+      n.span = std::move(exec);
+      ++tl.unmatched_async_;
+    }
+    merged.push_back(std::move(n));
+  }
+  for (auto& [corr, launch] : pending_launch) {
+    (void)corr;
+    TimelineNode n;
+    n.span = std::move(launch);
+    ++tl.unmatched_async_;
+    merged.push_back(std::move(n));
+  }
+
+  // Deterministic order regardless of publication order (async publication
+  // may interleave arbitrarily): sort by begin time, then id.
+  std::sort(merged.begin(), merged.end(), [](const TimelineNode& a, const TimelineNode& b) {
+    if (a.span.begin != b.span.begin) return a.span.begin < b.span.begin;
+    return a.span.id < b.span.id;
+  });
+
+  // --- Step 2: build per-level interval trees for parent search. ---------
+  std::map<int, std::vector<IntervalTree<SpanId>::Entry>> level_entries;
+  for (const auto& n : merged) {
+    level_entries[n.span.level].push_back({n.span.begin, n.span.end, n.span.id});
+  }
+  std::map<int, IntervalTree<SpanId>> level_trees;
+  for (auto& [level, entries] : level_entries) {
+    level_trees.emplace(level, IntervalTree<SpanId>(std::move(entries)));
+  }
+
+  // Durations needed to pick the *smallest* enclosing candidate.
+  std::unordered_map<SpanId, Ns> durations;
+  durations.reserve(merged.size());
+  for (const auto& n : merged) durations.emplace(n.span.id, n.span.duration());
+
+  // --- Step 3: resolve parents. -------------------------------------------
+  for (auto& n : merged) {
+    SpanId parent = kNoSpan;
+    bool ambiguous = false;
+
+    if (options.trust_explicit_parents && n.span.parent != kNoSpan) {
+      parent = n.span.parent;
+    } else {
+      // The parent lives one level higher; levels with no tracer attached
+      // are skipped (e.g. kernels parent directly onto layers when no
+      // ML-library tracer ran — Section III-E extensibility).
+      auto tree_it = level_trees.end();
+      for (int parent_level = n.span.level - 1; parent_level >= kApplicationLevel;
+           --parent_level) {
+        tree_it = level_trees.find(parent_level);
+        if (tree_it != level_trees.end()) break;
+      }
+      if (tree_it != level_trees.end()) {
+        const auto [lo, hi] = parent_search_interval(n);
+        auto candidates = tree_it->second.containing(lo, hi);
+        if (!candidates.empty()) {
+          // Smallest enclosing interval is the immediate parent; a tie
+          // between distinct enclosing intervals means parallel events.
+          const IntervalTree<SpanId>::Entry* best = candidates.front();
+          for (const auto* c : candidates) {
+            if (durations[c->value] < durations[best->value]) best = c;
+          }
+          std::size_t equal_best = 0;
+          for (const auto* c : candidates) {
+            if (durations[c->value] == durations[best->value]) ++equal_best;
+          }
+          parent = best->value;
+          ambiguous = equal_best > 1;
+        }
+      }
+    }
+
+    n.parent = parent;
+    n.ambiguous_parent = ambiguous;
+    if (ambiguous) ++tl.ambiguous_;
+  }
+
+  // --- Step 4: materialize the hierarchy. ---------------------------------
+  // `merged` is already in begin-time order, so walking it in order keeps
+  // children lists and roots deterministic.
+  std::vector<SpanId> order;
+  order.reserve(merged.size());
+  for (auto& n : merged) {
+    const SpanId id = n.span.id;
+    order.push_back(id);
+    tl.nodes_.emplace(id, std::move(n));
+  }
+  for (SpanId id : order) {
+    auto& n = tl.nodes_.at(id);
+    if (n.parent != kNoSpan && tl.nodes_.count(n.parent) != 0) {
+      tl.nodes_.at(n.parent).children.push_back(id);
+    } else {
+      n.parent = kNoSpan;
+      tl.roots_.push_back(id);
+    }
+  }
+  return tl;
+}
+
+std::vector<SpanId> Timeline::at_level(int level) const {
+  std::vector<SpanId> out;
+  for (const auto& [id, n] : nodes_) {
+    if (n.span.level == level) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end(), [&](SpanId a, SpanId b) {
+    const auto& na = nodes_.at(a).span;
+    const auto& nb = nodes_.at(b).span;
+    if (na.begin != nb.begin) return na.begin < nb.begin;
+    return na.id < nb.id;
+  });
+  return out;
+}
+
+std::optional<SpanId> Timeline::find_by_name(const std::string& name) const {
+  std::optional<SpanId> best;
+  for (const auto& [id, n] : nodes_) {
+    if (n.span.name == name) {
+      if (!best || nodes_.at(*best).span.begin > n.span.begin ||
+          (nodes_.at(*best).span.begin == n.span.begin && *best > id)) {
+        best = id;
+      }
+    }
+  }
+  return best;
+}
+
+void Timeline::walk(const std::function<void(const TimelineNode&, int depth)>& fn) const {
+  for (SpanId root : roots_) walk_from(root, 0, fn);
+}
+
+void Timeline::walk_from(SpanId id, int depth,
+                         const std::function<void(const TimelineNode&, int depth)>& fn) const {
+  const auto& n = nodes_.at(id);
+  fn(n, depth);
+  for (SpanId c : n.children) walk_from(c, depth + 1, fn);
+}
+
+}  // namespace xsp::trace

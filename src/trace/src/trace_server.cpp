@@ -1,0 +1,65 @@
+#include "xsp/trace/trace_server.hpp"
+
+#include <utility>
+
+namespace xsp::trace {
+
+TraceServer::TraceServer(PublishMode mode) : mode_(mode) {
+  if (mode_ == PublishMode::kAsync) {
+    collector_ = std::thread([this] { collector_loop(); });
+  }
+}
+
+TraceServer::~TraceServer() {
+  if (mode_ == PublishMode::kAsync) {
+    {
+      std::lock_guard lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (collector_.joinable()) collector_.join();
+  }
+}
+
+void TraceServer::publish(Span span) {
+  std::lock_guard lk(mu_);
+  if (mode_ == PublishMode::kSync) {
+    trace_.push_back(std::move(span));
+    return;
+  }
+  queue_.push_back(std::move(span));
+  cv_.notify_one();
+}
+
+void TraceServer::collector_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+    while (!queue_.empty()) {
+      trace_.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    cv_.notify_all();  // wake any flush() waiters
+    if (stop_) return;
+  }
+}
+
+void TraceServer::flush() {
+  if (mode_ == PublishMode::kSync) return;
+  std::unique_lock lk(mu_);
+  cv_.wait(lk, [this] { return queue_.empty(); });
+}
+
+std::size_t TraceServer::span_count() {
+  flush();
+  std::lock_guard lk(mu_);
+  return trace_.size();
+}
+
+std::vector<Span> TraceServer::take_trace() {
+  flush();
+  std::lock_guard lk(mu_);
+  return std::exchange(trace_, {});
+}
+
+}  // namespace xsp::trace

@@ -1,0 +1,50 @@
+#include "xsp/trace/tracer.hpp"
+
+namespace xsp::trace {
+
+SpanId Tracer::start_span(std::string span_name, TimePoint t, SpanId parent, SpanKind kind) {
+  if (!enabled_) return kNoSpan;
+  Span s;
+  s.id = server_->next_span_id();
+  s.parent = parent;
+  s.level = level_;
+  s.kind = kind;
+  s.name = std::move(span_name);
+  s.tracer = name_;
+  s.begin = t;
+  const SpanId id = s.id;
+  open_.emplace(id, std::move(s));
+  return id;
+}
+
+void Tracer::add_tag(SpanId id, const std::string& key, std::string value) {
+  if (auto it = open_.find(id); it != open_.end()) it->second.tags[key] = std::move(value);
+}
+
+void Tracer::add_metric(SpanId id, const std::string& key, double value) {
+  if (auto it = open_.find(id); it != open_.end()) it->second.metrics[key] = value;
+}
+
+void Tracer::set_correlation(SpanId id, std::uint64_t correlation_id) {
+  if (auto it = open_.find(id); it != open_.end()) it->second.correlation_id = correlation_id;
+}
+
+void Tracer::finish_span(SpanId id, TimePoint t) {
+  auto it = open_.find(id);
+  if (it == open_.end()) return;
+  it->second.end = t;
+  server_->publish(std::move(it->second));
+  open_.erase(it);
+}
+
+SpanId Tracer::publish_completed(Span span) {
+  if (!enabled_) return kNoSpan;
+  span.id = server_->next_span_id();
+  span.tracer = name_;
+  span.level = level_;
+  const SpanId id = span.id;
+  server_->publish(std::move(span));
+  return id;
+}
+
+}  // namespace xsp::trace

@@ -1,0 +1,226 @@
+#include "xsp/analysis/analyses.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xsp/models/builder.hpp"
+#include "xsp/profile/leveled.hpp"
+
+namespace xsp::analysis {
+namespace {
+
+using profile::LeveledRunner;
+
+framework::Graph test_graph(std::int64_t batch = 8) {
+  models::GraphBuilder b("test_model", batch, true);
+  b.input(3, 64, 64);
+  b.conv(32, 3, 1).batch_norm().relu();
+  b.conv(64, 3, 2).batch_norm().relu();
+  b.add_n(2);
+  b.global_avg_pool().fc(10).softmax();
+  return std::move(b).build();
+}
+
+const ModelProfile& test_profile() {
+  static const ModelProfile p = [] {
+    LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+    return runner.run(test_graph()).profile;
+  }();
+  return p;
+}
+
+// --------------------------------------------------------------- A1 ----
+
+TEST(A1, OptimalBatchByDoublingRule) {
+  // Throughputs: 100, 180, 200 -> doubling 1->2 gains 80% (>5%), 2->4 gains
+  // 11% (>5%), so the sweep ends at the last point.
+  std::vector<BatchPoint> pts{{1, 10.0}, {2, 11.1}, {4, 20.0}};
+  auto info = a1_model_information(pts);
+  EXPECT_EQ(info.optimal_batch, 4);
+
+  // Flat curve: optimal is the first batch.
+  std::vector<BatchPoint> flat{{1, 10.0}, {2, 20.0}, {4, 40.0}};
+  info = a1_model_information(flat);
+  EXPECT_EQ(info.optimal_batch, 1);
+  EXPECT_DOUBLE_EQ(info.max_throughput, 100.0);
+}
+
+TEST(A1, OnlineLatencyIsBatchOne) {
+  std::vector<BatchPoint> pts{{2, 12.0}, {1, 7.0}};
+  const auto info = a1_model_information(pts);
+  EXPECT_DOUBLE_EQ(info.online_latency_ms, 7.0);
+}
+
+TEST(A1, ThroughputComputation) {
+  BatchPoint pt{256, 275.05};
+  EXPECT_NEAR(pt.throughput(), 930.7, 1.0);  // the paper's headline number
+}
+
+TEST(A1, EmptyPointsAreSafe) {
+  const auto info = a1_model_information({});
+  EXPECT_EQ(info.optimal_batch, 1);
+  EXPECT_DOUBLE_EQ(info.max_throughput, 0.0);
+}
+
+// ------------------------------------------------------------ A2-A4 ----
+
+TEST(A2, LayerTableMatchesProfile) {
+  const auto rows = a2_layer_info(test_profile());
+  EXPECT_EQ(rows.size(), test_profile().layers.size());
+  EXPECT_EQ(rows[0].type, "Data");
+  EXPECT_EQ(rows[1].type, "Conv2D");
+  EXPECT_GT(rows[1].latency_ms, 0);
+  EXPECT_GT(rows[1].alloc_mb, 0);
+}
+
+TEST(A2, TopLayersSortedByLatency) {
+  const auto top = top_layers_by_latency(test_profile(), 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_GE(top[0].latency_ms, top[1].latency_ms);
+  EXPECT_GE(top[1].latency_ms, top[2].latency_ms);
+}
+
+TEST(A3A4, VectorsInExecutionOrder) {
+  const auto latency = a3_layer_latency_us(test_profile());
+  const auto alloc = a4_layer_alloc_mb(test_profile());
+  EXPECT_EQ(latency.size(), test_profile().layers.size());
+  EXPECT_EQ(alloc.size(), test_profile().layers.size());
+  for (double v : latency) EXPECT_GE(v, 0);
+}
+
+// ------------------------------------------------------------ A5-A7 ----
+
+TEST(A5A6A7, TypeAggregationSumsTo100Percent) {
+  const auto aggs = layer_type_aggregation(test_profile());
+  double count_pct = 0;
+  double latency_pct = 0;
+  double alloc_pct = 0;
+  int count = 0;
+  for (const auto& a : aggs) {
+    count_pct += a.count_pct;
+    latency_pct += a.latency_pct;
+    alloc_pct += a.alloc_pct;
+    count += a.count;
+  }
+  EXPECT_NEAR(count_pct, 100.0, 1e-6);
+  EXPECT_NEAR(latency_pct, 100.0, 1e-6);
+  EXPECT_NEAR(alloc_pct, 100.0, 1e-6);
+  EXPECT_EQ(count, static_cast<int>(test_profile().layers.size()));
+  // Sorted by latency descending.
+  for (std::size_t i = 1; i < aggs.size(); ++i) {
+    EXPECT_GE(aggs[i - 1].latency_ms, aggs[i].latency_ms);
+  }
+}
+
+// ------------------------------------------------------------ A8-A10 ----
+
+TEST(A8, KernelTableExcludesMemcpys) {
+  const auto rows = a8_kernel_info(test_profile(), sim::tesla_v100());
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.name.find("Memcpy"), std::string::npos);
+    EXPECT_GE(r.layer_index, 0);
+  }
+}
+
+TEST(A8, RooflineFieldsConsistent) {
+  for (const auto& r : a8_kernel_info(test_profile(), sim::tesla_v100())) {
+    if (r.gflops > 0) {
+      EXPECT_GT(r.tflops, 0) << r.name;
+      const bool expect_bound =
+          r.arithmetic_intensity < sim::tesla_v100().ideal_arithmetic_intensity();
+      EXPECT_EQ(r.memory_bound, expect_bound) << r.name;
+    }
+  }
+}
+
+TEST(A9, RooflinePointsMatchKernelTable) {
+  const auto pts = a9_kernel_roofline(test_profile(), sim::tesla_v100());
+  const auto rows = a8_kernel_info(test_profile(), sim::tesla_v100());
+  EXPECT_EQ(pts.size(), rows.size());
+}
+
+TEST(A10, AggregationByNameConservesTotals) {
+  const auto aggs = a10_kernel_by_name(test_profile(), sim::tesla_v100());
+  double agg_latency = 0;
+  int agg_count = 0;
+  for (const auto& a : aggs) {
+    agg_latency += a.latency_ms;
+    agg_count += a.count;
+    EXPECT_GE(a.occupancy_pct, 0);
+    EXPECT_LE(a.occupancy_pct, 100);
+  }
+  EXPECT_NEAR(agg_latency, to_ms(test_profile().total_kernel_latency()), 1e-6);
+  EXPECT_EQ(agg_count, static_cast<int>(a8_kernel_info(test_profile(), sim::tesla_v100()).size()));
+}
+
+// ----------------------------------------------------------- A11-A14 ----
+
+TEST(A11, PerLayerAggregatesConserveKernelTotals) {
+  const auto rows = a11_kernel_by_layer(test_profile(), sim::tesla_v100());
+  EXPECT_EQ(rows.size(), test_profile().layers.size());
+  double total_kernel_ms = 0;
+  for (const auto& r : rows) {
+    EXPECT_LE(r.kernel_latency_ms, r.layer_latency_ms + 1e-9) << r.name;
+    total_kernel_ms += r.kernel_latency_ms;
+  }
+  EXPECT_NEAR(total_kernel_ms, to_ms(test_profile().total_kernel_latency()), 1e-6);
+}
+
+TEST(A12, MetricsVectorsAligned) {
+  const auto m = a12_layer_gpu_metrics(test_profile());
+  EXPECT_EQ(m.gflops.size(), test_profile().layers.size());
+  EXPECT_EQ(m.dram_reads_mb.size(), test_profile().layers.size());
+  EXPECT_EQ(m.dram_writes_mb.size(), test_profile().layers.size());
+}
+
+TEST(A13, GpuPlusNonGpuEqualsLayer) {
+  for (const auto& r : a13_gpu_vs_nongpu(test_profile())) {
+    EXPECT_NEAR(r.gpu_ms + r.non_gpu_ms, r.layer_ms, 1e-9);
+    EXPECT_GE(r.gpu_pct, 0);
+    EXPECT_LE(r.gpu_pct, 100.0 + 1e-9);
+  }
+}
+
+TEST(A14, LayerRooflineSkipsGpuFreeLayers) {
+  const auto pts = a14_layer_roofline(test_profile(), sim::tesla_v100());
+  EXPECT_LE(pts.size(), test_profile().layers.size());
+  for (const auto& p : pts) EXPECT_GE(p.arithmetic_intensity, 0);
+}
+
+// --------------------------------------------------------------- A15 ----
+
+TEST(A15, ModelAggregateConsistent) {
+  const auto agg = a15_model_aggregate(test_profile(), sim::tesla_v100());
+  EXPECT_EQ(agg.batch, 8);
+  EXPECT_NEAR(agg.model_latency_ms, to_ms(test_profile().model_latency), 1e-9);
+  EXPECT_LE(agg.kernel_latency_ms, agg.model_latency_ms);
+  EXPECT_NEAR(agg.gflops, test_profile().total_flops() / 1e9, 1e-6);
+  EXPECT_GT(agg.occupancy_pct, 0);
+}
+
+// ------------------------------------------------------------ derived ----
+
+TEST(Derived, ConvPercentageBetweenZeroAndHundred) {
+  const double pct = conv_latency_percentage(test_profile());
+  EXPECT_GT(pct, 0);
+  EXPECT_LT(pct, 100);
+}
+
+TEST(Derived, GpuLatencyPercentage) {
+  const double pct = gpu_latency_percentage(test_profile());
+  EXPECT_GT(pct, 30);
+  EXPECT_LE(pct, 100);
+}
+
+TEST(Derived, StageAnalysisProducesValidStages) {
+  const auto s = stage_analysis(test_profile());
+  for (auto stage : {s.latency, s.alloc, s.flops, s.memory_access}) {
+    EXPECT_GE(static_cast<int>(stage), 0);
+    EXPECT_LE(static_cast<int>(stage), 2);
+  }
+  EXPECT_STREQ(stage_name(Stage::kBeginning), "B");
+  EXPECT_STREQ(stage_name(Stage::kMiddle), "M");
+  EXPECT_STREQ(stage_name(Stage::kEnd), "E");
+}
+
+}  // namespace
+}  // namespace xsp::analysis

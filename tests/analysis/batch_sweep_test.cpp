@@ -1,0 +1,38 @@
+#include "xsp/analysis/batch_sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsp::analysis {
+namespace {
+
+TEST(BatchSweep, GridIsPowersOfTwo) {
+  const auto grid = batch_grid(256);
+  EXPECT_EQ(grid, (std::vector<std::int64_t>{1, 2, 4, 8, 16, 32, 64, 128, 256}));
+  EXPECT_EQ(batch_grid(1).size(), 1u);
+}
+
+TEST(BatchSweep, LatencyGrowsWithBatch) {
+  const auto* model = models::find_tensorflow_model("MobileNet_v1_0.25_128");
+  ASSERT_NE(model, nullptr);
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto points = sweep_batches(runner, *model, {1, 4, 16});
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_LT(points[0].latency_ms, points[1].latency_ms);
+  EXPECT_LT(points[1].latency_ms, points[2].latency_ms);
+  // Throughput improves with batching for a tiny classification model.
+  EXPECT_GT(points[2].throughput(), points[0].throughput());
+}
+
+TEST(BatchSweep, ModelInformationEndToEnd) {
+  const auto* model = models::find_tensorflow_model("MobileNet_v1_0.25_128");
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto info = model_information(runner, *model, 64);
+  EXPECT_EQ(info.points.size(), 7u);
+  EXPECT_GE(info.optimal_batch, 1);
+  EXPECT_LE(info.optimal_batch, 64);
+  EXPECT_GT(info.max_throughput, 0);
+  EXPECT_GT(info.online_latency_ms, 0);
+}
+
+}  // namespace
+}  // namespace xsp::analysis

@@ -1,0 +1,106 @@
+#include "xsp/analysis/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+
+namespace xsp::analysis {
+namespace {
+
+using profile::LeveledRunner;
+
+const profile::ModelProfile& tf_profile() {
+  static const profile::ModelProfile p = [] {
+    LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+    return runner.run_model(*models::find_tensorflow_model("MobileNet_v1_0.5_128"), 128).profile;
+  }();
+  return p;
+}
+
+const profile::ModelProfile& mx_profile() {
+  static const profile::ModelProfile p = [] {
+    LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kMXLite);
+    return runner.run_model(*models::find_tensorflow_model("MobileNet_v1_0.5_128"), 128).profile;
+  }();
+  return p;
+}
+
+TEST(Compare, LabelsIdentifyConfigurations) {
+  const auto cmp =
+      compare_profiles(tf_profile(), sim::tesla_v100(), mx_profile(), sim::tesla_v100());
+  EXPECT_NE(cmp.label_a.find("TFlow"), std::string::npos);
+  EXPECT_NE(cmp.label_b.find("MXLite"), std::string::npos);
+  EXPECT_NE(cmp.label_a.find("Tesla_V100"), std::string::npos);
+}
+
+TEST(Compare, CoversThePaperComparedQuantities) {
+  const auto cmp =
+      compare_profiles(tf_profile(), sim::tesla_v100(), mx_profile(), sim::tesla_v100());
+  for (const char* q : {"model_latency_ms", "throughput_per_s", "gpu_latency_pct",
+                        "non_gpu_latency_ms", "conv_latency_pct", "gflops", "dram_read_mb",
+                        "dram_write_mb", "achieved_occupancy_pct", "arithmetic_intensity",
+                        "memory_bound"}) {
+    EXPECT_NE(cmp.find(q), nullptr) << q;
+  }
+  EXPECT_EQ(cmp.find("no_such_quantity"), nullptr);
+}
+
+TEST(Compare, RatiosConsistentWithValues) {
+  const auto cmp =
+      compare_profiles(tf_profile(), sim::tesla_v100(), mx_profile(), sim::tesla_v100());
+  const auto* latency = cmp.find("model_latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GT(latency->a, 0);
+  EXPECT_GT(latency->b, 0);
+  EXPECT_NEAR(latency->ratio(), latency->b / latency->a, 1e-12);
+}
+
+TEST(Compare, MxnetWinsOnElementwiseLayerTypes) {
+  // The paper's drill-down: the TF/MXNet MobileNet gap comes from the
+  // element-wise (Eigen) layers. TF reports Mul/Add (decomposed BN); MXNet
+  // reports fused BatchNorm — both should show TF paying more on its side.
+  const auto rows = compare_layer_types(tf_profile(), mx_profile());
+  double tf_elementwise = 0;
+  double mx_elementwise = 0;
+  for (const auto& r : rows) {
+    if (r.quantity == "Mul" || r.quantity == "Add" || r.quantity == "Relu") {
+      tf_elementwise += r.a;
+      mx_elementwise += r.b;
+    }
+    if (r.quantity == "FusedBatchNorm") mx_elementwise += r.b;
+  }
+  EXPECT_GT(tf_elementwise, mx_elementwise);
+}
+
+TEST(Compare, SameProfileComparesAsUnity) {
+  const auto cmp =
+      compare_profiles(tf_profile(), sim::tesla_v100(), tf_profile(), sim::tesla_v100());
+  for (const auto& r : cmp.rows) {
+    if (r.a != 0) {
+      EXPECT_NEAR(r.ratio(), 1.0, 1e-12) << r.quantity;
+    }
+  }
+}
+
+TEST(Compare, CrossSystemComparisonUsesEachRoofline) {
+  // Same model+framework on two systems: boundness may differ because the
+  // roofline knee differs (17.44 vs 30.0 flops/byte).
+  LeveledRunner v100(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  LeveledRunner m60(sim::tesla_m60(), framework::FrameworkKind::kTFlow);
+  const auto* model = models::find_tensorflow_model("ResNet_v1_50");
+  const auto a = v100.run_model(*model, 64).profile;
+  const auto b = m60.run_model(*model, 64).profile;
+  const auto cmp = compare_profiles(a, sim::tesla_v100(), b, sim::tesla_m60());
+  const auto* latency = cmp.find("model_latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_LT(latency->a, latency->b);  // V100 faster
+  const auto* bound = cmp.find("memory_bound");
+  ASSERT_NE(bound, nullptr);
+  // ResNet-50 at batch 64: compute-bound nowhere near M60's 30 flops/byte
+  // knee -> memory-bound there, while V100's 17.44 knee is reachable.
+  EXPECT_EQ(bound->b, 1.0);
+}
+
+}  // namespace
+}  // namespace xsp::analysis

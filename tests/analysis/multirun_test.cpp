@@ -1,0 +1,98 @@
+#include "xsp/analysis/multirun.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/models/builder.hpp"
+
+namespace xsp::analysis {
+namespace {
+
+using profile::LeveledRunner;
+
+framework::Graph tiny(std::int64_t batch = 4) {
+  models::GraphBuilder b("tiny", batch, true);
+  b.input(3, 32, 32);
+  b.conv(16, 3, 1).batch_norm().relu();
+  b.global_avg_pool().fc(10).softmax();
+  return std::move(b).build();
+}
+
+TEST(MultiRun, AggregatesAcrossJitteredRuns) {
+  LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto agg = profile_n_runs(runner, tiny(), 8, 0.05);
+  EXPECT_EQ(agg.runs, 8u);
+  EXPECT_EQ(agg.model_latency_ms.count, 8u);
+  EXPECT_GT(agg.model_latency_ms.stddev, 0);  // jitter produced spread
+  EXPECT_GE(agg.model_latency_ms.trimmed_mean, agg.model_latency_ms.min);
+  EXPECT_LE(agg.model_latency_ms.trimmed_mean, agg.model_latency_ms.max);
+}
+
+TEST(MultiRun, PerLayerAndKernelStatsAligned) {
+  LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto agg = profile_n_runs(runner, tiny(), 5, 0.05);
+  EXPECT_EQ(agg.layers.size(), tiny().layers.size());
+  EXPECT_FALSE(agg.kernels.empty());
+  for (const auto& l : agg.layers) {
+    EXPECT_EQ(l.latency_ms.count, 5u);
+    EXPECT_LE(l.kernel_latency_ms.trimmed_mean, l.latency_ms.trimmed_mean + 1e-9) << l.name;
+  }
+  for (const auto& k : agg.kernels) {
+    EXPECT_GE(k.layer_index, 0) << k.name;
+    EXPECT_GT(k.latency_ms.trimmed_mean, 0) << k.name;
+  }
+}
+
+TEST(MultiRun, RepresentativeCarriesTrimmedMeans) {
+  LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto agg = profile_n_runs(runner, tiny(), 6, 0.05);
+  EXPECT_NEAR(to_ms(agg.representative.model_latency), agg.model_latency_ms.trimmed_mean,
+              1e-6);
+  for (std::size_t i = 0; i < agg.layers.size(); ++i) {
+    EXPECT_NEAR(to_ms(agg.representative.layers[i].latency),
+                agg.layers[i].latency_ms.trimmed_mean, 1e-6);
+  }
+  // The downstream analyses run directly on the representative profile.
+  const auto rows = a2_layer_info(agg.representative);
+  EXPECT_EQ(rows.size(), agg.layers.size());
+}
+
+TEST(MultiRun, TrimmedMeanShrugsOffOutlierRun) {
+  LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  std::vector<profile::ModelProfile> profiles;
+  for (int i = 0; i < 9; ++i) {
+    profiles.push_back(runner.run(tiny(), true, 0.01, static_cast<std::uint64_t>(i) + 1).profile);
+  }
+  // Fabricate one pathological run (e.g. the machine hiccupped).
+  auto outlier = profiles.front();
+  outlier.model_latency *= 50;
+  profiles.push_back(outlier);
+
+  const auto agg = aggregate_runs(profiles);
+  EXPECT_LT(agg.model_latency_ms.trimmed_mean, agg.model_latency_ms.mean);
+  EXPECT_LT(agg.model_latency_ms.trimmed_mean, to_ms(profiles.front().model_latency) * 1.2);
+}
+
+TEST(MultiRun, RejectsEmptyAndMismatchedInputs) {
+  EXPECT_THROW(aggregate_runs({}), std::invalid_argument);
+
+  LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  std::vector<profile::ModelProfile> mixed;
+  mixed.push_back(runner.run(tiny(2)).profile);
+  models::GraphBuilder b("other", 2, true);
+  b.input(3, 32, 32);
+  b.conv(8, 3, 1).relu();
+  b.global_avg_pool().fc(10).softmax();
+  mixed.push_back(runner.run(std::move(b).build()).profile);
+  EXPECT_THROW(aggregate_runs(mixed), std::invalid_argument);
+}
+
+TEST(MultiRun, ZeroJitterGivesZeroSpread) {
+  LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto agg = profile_n_runs(runner, tiny(), 4, 0.0);
+  EXPECT_DOUBLE_EQ(agg.model_latency_ms.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(agg.model_latency_ms.min, agg.model_latency_ms.max);
+}
+
+}  // namespace
+}  // namespace xsp::analysis

@@ -1,0 +1,58 @@
+#include "xsp/common/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsp {
+namespace {
+
+TEST(SimClock, StartsAtZero) {
+  SimClock c;
+  EXPECT_EQ(c.now(), 0);
+}
+
+TEST(SimClock, StartsAtGivenOrigin) {
+  SimClock c(ms(5));
+  EXPECT_EQ(c.now(), ms(5));
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock c;
+  c.advance(us(10));
+  c.advance(us(15));
+  EXPECT_EQ(c.now(), us(25));
+}
+
+TEST(SimClock, AdvanceReturnsNewTime) {
+  SimClock c;
+  EXPECT_EQ(c.advance(ms(1)), ms(1));
+}
+
+TEST(SimClock, AdvanceToFutureMoves) {
+  SimClock c;
+  c.advance_to(ms(3));
+  EXPECT_EQ(c.now(), ms(3));
+}
+
+TEST(SimClock, AdvanceToPastIsNoOp) {
+  SimClock c(ms(10));
+  c.advance_to(ms(2));
+  EXPECT_EQ(c.now(), ms(10));
+}
+
+TEST(SimClock, ResetRestoresOrigin) {
+  SimClock c;
+  c.advance(seconds(1));
+  c.reset();
+  EXPECT_EQ(c.now(), 0);
+}
+
+TEST(TimeUnits, ConversionsRoundTrip) {
+  EXPECT_EQ(ms(1), us(1000));
+  EXPECT_EQ(seconds(1), ms(1000));
+  EXPECT_DOUBLE_EQ(to_ms(ms(275.05)), 275.05);
+  EXPECT_DOUBLE_EQ(to_us(us(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(2)), 2.0);
+}
+
+}  // namespace
+}  // namespace xsp

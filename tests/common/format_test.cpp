@@ -1,0 +1,36 @@
+#include "xsp/common/format.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsp {
+namespace {
+
+TEST(Format, Fixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(3.0, 0), "3");
+  EXPECT_EQ(fmt_fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Format, BytesMb) {
+  EXPECT_EQ(fmt_bytes_mb(25'700'000.0, 1), "25.7");
+}
+
+TEST(Format, BytesGb) {
+  EXPECT_EQ(fmt_bytes_gb(50'640'000'000.0, 2), "50.64");
+}
+
+TEST(Format, CountSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(-1234567), "-1,234,567");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.3087, 2), "30.87%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace xsp

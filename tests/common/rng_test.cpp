@@ -1,0 +1,47 @@
+#include "xsp/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsp {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, DoubleInUnitInterval) {
+  SplitMix64 g(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = g.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(SplitMix64, UniformRespectsBounds) {
+  SplitMix64 g(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = g.uniform(5.0, 6.0);
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 6.0);
+  }
+}
+
+TEST(SplitMix64, BelowZeroIsZero) {
+  SplitMix64 g(3);
+  EXPECT_EQ(g.below(0), 0u);
+}
+
+TEST(SplitMix64, BelowRespectsModulus) {
+  SplitMix64 g(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(g.below(10), 10u);
+}
+
+}  // namespace
+}  // namespace xsp

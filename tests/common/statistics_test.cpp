@@ -1,0 +1,98 @@
+#include "xsp/common/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace xsp {
+namespace {
+
+TEST(Statistics, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Statistics, MeanOfConstants) {
+  const std::vector<double> xs{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+}
+
+TEST(Statistics, MeanSimple) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Statistics, StddevNeedsTwoSamples) {
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(stddev(one), 0.0);
+}
+
+TEST(Statistics, StddevKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(Statistics, TrimmedMeanDropsOutliers) {
+  // One enormous outlier among ten samples; 20% trim removes it.
+  std::vector<double> xs{10, 10, 10, 10, 10, 10, 10, 10, 10, 1000};
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.2), 10.0);
+}
+
+TEST(Statistics, TrimmedMeanFallsBackForTinySamples) {
+  const std::vector<double> xs{1.0, 100.0};
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.2), 50.5);
+}
+
+TEST(Statistics, TrimmedMeanZeroTrimIsMean) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(trimmed_mean(xs, 0.0), mean(xs));
+}
+
+TEST(Statistics, PercentileEndpoints) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Statistics, PercentileClampsOutOfRange) {
+  const std::vector<double> xs{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 200), 3.0);
+}
+
+TEST(Statistics, SummaryFieldsConsistent) {
+  const std::vector<double> xs{3, 1, 4, 1, 5, 9, 2, 6};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, xs.size());
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, mean(xs));
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+// Property sweep: trimmed mean always lies within [min, max] and trimming
+// never moves the estimate outside the untrimmed extremes.
+class TrimmedMeanProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TrimmedMeanProperty, WithinBounds) {
+  const double trim = GetParam();
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) xs.push_back(static_cast<double>((i * 37) % 101));
+  const double tm = trimmed_mean(xs, trim);
+  EXPECT_GE(tm, min_of(xs));
+  EXPECT_LE(tm, max_of(xs));
+}
+
+INSTANTIATE_TEST_SUITE_P(Trims, TrimmedMeanProperty,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2, 0.3, 0.45, 0.49));
+
+}  // namespace
+}  // namespace xsp

@@ -1,0 +1,221 @@
+#include "xsp/cupti/cupti.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xsp::cupti {
+namespace {
+
+sim::KernelDesc test_kernel(const std::string& name = "k") {
+  sim::KernelDesc k;
+  k.name = name;
+  k.klass = sim::KernelClass::kElementwise;
+  k.grid = {2048, 1, 1};
+  k.block = {256, 1, 1};
+  k.flops = 1e7;
+  k.dram_read_bytes = 50e6;
+  k.dram_write_bytes = 50e6;
+  return k;
+}
+
+TEST(Cupti, KnownMetricsMatchPaperSet) {
+  // The four metrics the paper's analyses use (Section III-D3).
+  EXPECT_TRUE(is_known_metric("flop_count_sp"));
+  EXPECT_TRUE(is_known_metric("dram_read_bytes"));
+  EXPECT_TRUE(is_known_metric("dram_write_bytes"));
+  EXPECT_TRUE(is_known_metric("achieved_occupancy"));
+  EXPECT_FALSE(is_known_metric("warp_execution_efficiency"));
+  EXPECT_EQ(known_metrics().size(), 4u);
+}
+
+TEST(Cupti, MemoryMetricsAreTheExpensiveOnes) {
+  // Section III-C: "GPU memory metrics are especially expensive to profile".
+  EXPECT_GT(metric_replay_passes(kDramReadBytes), metric_replay_passes(kFlopCountSp));
+  EXPECT_GT(metric_replay_passes(kDramWriteBytes), metric_replay_passes(kAchievedOccupancy));
+}
+
+TEST(Cupti, UnknownMetricThrows) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  CuptiOptions opts;
+  opts.metrics = {"no_such_counter"};
+  EXPECT_THROW(CuptiProfiler(dev, opts), std::invalid_argument);
+}
+
+TEST(Cupti, CapturesApiAndActivityRecords) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  CuptiProfiler prof(dev, {});
+  prof.start();
+  const auto r = dev.launch_kernel(sim::kDefaultStream, test_kernel("conv"));
+  prof.stop();
+
+  ASSERT_GE(prof.api_records().size(), 1u);
+  EXPECT_EQ(prof.api_records()[0].correlation_id, r.correlation_id);
+  ASSERT_EQ(prof.activity_records().size(), 1u);
+  EXPECT_EQ(prof.activity_records()[0].name, "conv");
+  EXPECT_EQ(prof.activity_records()[0].correlation_id, r.correlation_id);
+}
+
+TEST(Cupti, NoMetricsMeansNoReplay) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  CuptiProfiler prof(dev, {});
+  EXPECT_EQ(prof.replay_count(), 1);
+  prof.start();
+  EXPECT_EQ(dev.replay_count(), 1);
+  EXPECT_FALSE(dev.serialized());
+  prof.stop();
+}
+
+TEST(Cupti, MetricsConfigureReplayAndSerialization) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  CuptiOptions opts;
+  opts.metrics = {kFlopCountSp, kDramReadBytes};
+  CuptiProfiler prof(dev, opts);
+  EXPECT_EQ(prof.replay_count(), 1 + metric_replay_passes(kFlopCountSp) +
+                                     metric_replay_passes(kDramReadBytes));
+  prof.start();
+  EXPECT_EQ(dev.replay_count(), prof.replay_count());
+  EXPECT_TRUE(dev.serialized());
+  prof.stop();
+  EXPECT_EQ(dev.replay_count(), 1);
+  EXPECT_FALSE(dev.serialized());
+}
+
+TEST(Cupti, MetricValuesComeFromHardwareCounters) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  CuptiOptions opts;
+  opts.metrics = {kFlopCountSp, kDramReadBytes, kDramWriteBytes, kAchievedOccupancy};
+  CuptiProfiler prof(dev, opts);
+  prof.start();
+  const auto r = dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  prof.stop();
+
+  const auto& metrics = prof.metric_records();
+  ASSERT_EQ(metrics.count(r.correlation_id), 1u);
+  const auto& values = metrics.at(r.correlation_id);
+  EXPECT_DOUBLE_EQ(values.at(kFlopCountSp), 1e7);
+  EXPECT_DOUBLE_EQ(values.at(kDramReadBytes), 50e6);
+  EXPECT_DOUBLE_EQ(values.at(kDramWriteBytes), 50e6);
+  EXPECT_GT(values.at(kAchievedOccupancy), 0.0);
+  EXPECT_LE(values.at(kAchievedOccupancy), 1.0);
+}
+
+TEST(Cupti, MetricCollectionSlowsExecutionDramatically) {
+  // Section III-C: memory-metric profiling "can slow down execution by over
+  // 100x" on kernel-heavy workloads; verify replay dominates wall time.
+  const auto run = [](bool with_metrics) {
+    SimClock clock;
+    sim::GpuDevice dev(sim::tesla_v100(), clock);
+    CuptiOptions opts;
+    opts.init_overhead_ns = 0;
+    opts.flush_overhead_ns = 0;
+    if (with_metrics) {
+      opts.metrics = {kFlopCountSp, kDramReadBytes, kDramWriteBytes, kAchievedOccupancy};
+    }
+    CuptiProfiler prof(dev, opts);
+    prof.start();
+    const TimePoint begin = clock.now();
+    for (int i = 0; i < 50; ++i) dev.launch_kernel(sim::kDefaultStream, test_kernel());
+    dev.synchronize();
+    const TimePoint end = clock.now();
+    prof.stop();
+    return end - begin;
+  };
+  const Ns plain = run(false);
+  const Ns with_metrics = run(true);
+  EXPECT_GT(with_metrics, plain * 10);
+}
+
+TEST(Cupti, ReportedKernelDurationUnaffectedByReplay) {
+  // CUPTI reports one replay's timing even though the device ran many.
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+
+  CuptiProfiler plain(dev, {});
+  plain.start();
+  dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  plain.stop();
+  const Ns plain_duration = plain.activity_records().at(0).duration();
+
+  dev.reset();
+  CuptiOptions opts;
+  opts.metrics = {kDramReadBytes};
+  CuptiProfiler with_metrics(dev, opts);
+  with_metrics.start();
+  dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  with_metrics.stop();
+  EXPECT_EQ(with_metrics.activity_records().at(0).duration(), plain_duration);
+}
+
+TEST(Cupti, CallbacksChargeCpuOverhead) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  CuptiOptions opts;
+  opts.init_overhead_ns = 0;
+  opts.flush_overhead_ns = 0;
+  opts.callback_overhead_ns = us(40);
+  opts.activity_overhead_ns = us(40);
+
+  const TimePoint t0 = clock.now();
+  dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  const Ns unprofiled_cpu = clock.now() - t0;
+
+  dev.reset();
+  CuptiProfiler prof(dev, opts);
+  prof.start();
+  const TimePoint t1 = clock.now();
+  dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  const Ns profiled_cpu = clock.now() - t1;
+  prof.stop();
+
+  EXPECT_GE(profiled_cpu - unprofiled_cpu, us(80));
+}
+
+TEST(Cupti, StopRestoresDeviceState) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  dev.set_serialized(true);
+  dev.set_replay_count(2);
+  {
+    CuptiOptions opts;
+    opts.metrics = {kFlopCountSp};
+    CuptiProfiler prof(dev, opts);
+    prof.start();
+    prof.stop();
+  }
+  EXPECT_TRUE(dev.serialized());
+  EXPECT_EQ(dev.replay_count(), 2);
+}
+
+TEST(Cupti, DestructorStopsRunningProfiler) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  {
+    CuptiProfiler prof(dev, {});
+    prof.start();
+    dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  }  // destructor must stop and detach
+  dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  SUCCEED();
+}
+
+TEST(Cupti, ActivitiesCanBeDisabled) {
+  SimClock clock;
+  sim::GpuDevice dev(sim::tesla_v100(), clock);
+  CuptiOptions opts;
+  opts.enable_activities = false;
+  CuptiProfiler prof(dev, opts);
+  prof.start();
+  dev.launch_kernel(sim::kDefaultStream, test_kernel());
+  prof.stop();
+  EXPECT_TRUE(prof.activity_records().empty());
+  EXPECT_FALSE(prof.api_records().empty());
+}
+
+}  // namespace
+}  // namespace xsp::cupti

@@ -1,0 +1,147 @@
+#include "xsp/dnn/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xsp/sim/cost_model.hpp"
+
+namespace xsp::dnn {
+namespace {
+
+const Shape4 kBig{256, 256, 56, 56};
+
+TEST(Elementwise, EigenNamesMatchPaperTableIV) {
+  EXPECT_EQ(elementwise_kernel(EwOp::kMul, kBig, 1, EwBackend::kEigen).name,
+            "Eigen::TensorCwiseBinaryOp<scalar_product_op>");
+  EXPECT_EQ(elementwise_kernel(EwOp::kAdd, kBig, 1, EwBackend::kEigen).name,
+            "Eigen::TensorCwiseBinaryOp<scalar_sum_op>");
+  EXPECT_EQ(elementwise_kernel(EwOp::kMax, kBig, 1, EwBackend::kEigen).name,
+            "Eigen::TensorCwiseBinaryOp<scalar_max_op>");
+}
+
+TEST(Elementwise, MaxOpHasZeroFlops) {
+  // Table IV: scalar_max_op reports 0 flops (comparisons are not FLOPs).
+  EXPECT_DOUBLE_EQ(elementwise_kernel(EwOp::kMax, kBig, 1, EwBackend::kEigen).flops, 0.0);
+  EXPECT_GT(elementwise_kernel(EwOp::kMul, kBig, 1, EwBackend::kEigen).flops, 0.0);
+}
+
+TEST(Elementwise, MaxOpAchievesNearFullOccupancy) {
+  // Table IV: scalar_max_op achieves 98.39% occupancy; the binary arith
+  // ops sit near 50%.
+  const auto max_k = elementwise_kernel(EwOp::kMax, kBig, 1, EwBackend::kEigen);
+  const auto mul_k = elementwise_kernel(EwOp::kMul, kBig, 1, EwBackend::kEigen);
+  EXPECT_GT(sim::achieved_occupancy(max_k, sim::tesla_v100()), 0.9);
+  EXPECT_NEAR(sim::achieved_occupancy(mul_k, sim::tesla_v100()), 0.5, 0.05);
+}
+
+TEST(Elementwise, EigenMovesMoreTrafficThanMxnet) {
+  // Section IV-B: "the Eigen library ... incurs excessive DRAM reads and
+  // writes" relative to MXNet's kernels.
+  const auto eigen = elementwise_kernel(EwOp::kMul, kBig, 1, EwBackend::kEigen);
+  const auto mx = elementwise_kernel(EwOp::kMul, kBig, 1, EwBackend::kMxMath);
+  EXPECT_GT(eigen.total_dram_bytes(), mx.total_dram_bytes());
+}
+
+TEST(Elementwise, MxnetKernelsAreFasterOnSameTensor) {
+  const auto& gpu = sim::tesla_v100();
+  const auto eigen = elementwise_kernel(EwOp::kMul, kBig, 1, EwBackend::kEigen);
+  const auto mx = elementwise_kernel(EwOp::kMul, kBig, 1, EwBackend::kMxMath);
+  const Ns t_eigen = sim::kernel_duration(eigen, gpu, sim::occupancy_info(eigen, gpu));
+  const Ns t_mx = sim::kernel_duration(mx, gpu, sim::occupancy_info(mx, gpu));
+  EXPECT_LT(t_mx, t_eigen);
+}
+
+TEST(Elementwise, ElementwiseKernelsAreMemoryBound) {
+  const auto& gpu = sim::tesla_v100();
+  for (auto op : {EwOp::kMul, EwOp::kAdd, EwOp::kMax, EwOp::kAddN}) {
+    const auto k = elementwise_kernel(op, kBig, 2, EwBackend::kEigen);
+    EXPECT_TRUE(sim::is_memory_bound(k.flops, k.total_dram_bytes(), gpu)) << ew_op_name(op);
+  }
+}
+
+TEST(Elementwise, AddNScalesReadsWithInputs) {
+  const auto two = elementwise_kernel(EwOp::kAddN, kBig, 2, EwBackend::kEigen);
+  const auto four = elementwise_kernel(EwOp::kAddN, kBig, 4, EwBackend::kEigen);
+  EXPECT_NEAR(four.dram_read_bytes / two.dram_read_bytes, 2.0, 0.01);
+  EXPECT_DOUBLE_EQ(four.dram_write_bytes, two.dram_write_bytes);
+}
+
+TEST(Gemm, FlopsAndNaming) {
+  const auto k = gemm_kernel(256, 1001, 2048, sim::tesla_v100());
+  EXPECT_DOUBLE_EQ(k.flops, 2.0 * 256 * 1001 * 2048);
+  EXPECT_EQ(k.name, "volta_sgemm_128x64_tn");
+  const auto km = gemm_kernel(256, 1001, 2048, sim::tesla_m60());
+  EXPECT_EQ(km.name, "maxwell_sgemm_128x64_tn");
+}
+
+TEST(Gemm, ComputeBoundForLargeK) {
+  const auto& gpu = sim::tesla_v100();
+  const auto k = gemm_kernel(4096, 4096, 4096, gpu);
+  EXPECT_FALSE(sim::is_memory_bound(k.flops, k.total_dram_bytes(), gpu));
+}
+
+TEST(Pooling, MaxPoolHasNoFlopsAvgDoes) {
+  const auto& gpu = sim::tesla_v100();
+  const Shape4 in{8, 64, 112, 112};
+  EXPECT_DOUBLE_EQ(pooling_kernel(in, 3, 2, false, gpu).flops, 0.0);
+  EXPECT_GT(pooling_kernel(in, 3, 2, true, gpu).flops, 0.0);
+}
+
+TEST(Pooling, OutputSmallerThanInput) {
+  const auto& gpu = sim::tesla_v100();
+  const Shape4 in{8, 64, 112, 112};
+  const auto k = pooling_kernel(in, 2, 2, false, gpu);
+  EXPECT_LT(k.dram_write_bytes, k.dram_read_bytes);
+}
+
+TEST(BatchNorm, FusedKernelTouchesTensorTwice) {
+  const auto& gpu = sim::tesla_v100();
+  const auto k = batchnorm_inference_kernel(kBig, gpu);
+  EXPECT_DOUBLE_EQ(k.dram_read_bytes, kBig.bytes());
+  EXPECT_DOUBLE_EQ(k.dram_write_bytes, kBig.bytes());
+  EXPECT_DOUBLE_EQ(k.flops, static_cast<double>(kBig.elements()) * 2.0);
+}
+
+TEST(Depthwise, MemoryBoundUnlikeDenseConv) {
+  const auto& gpu = sim::tesla_v100();
+  const Shape4 in{64, 512, 14, 14};
+  const Shape4 out{64, 512, 14, 14};
+  const auto k = depthwise_conv_kernel(in, out, 3, gpu);
+  EXPECT_TRUE(sim::is_memory_bound(k.flops, k.total_dram_bytes(), gpu));
+  EXPECT_EQ(k.name, "tensorflow::DepthwiseConv2dGPUKernelNCHW");
+}
+
+TEST(Where, PoorLocalityInflatesTraffic) {
+  const auto& gpu = sim::tesla_v100();
+  const auto k = where_kernel(1'000'000, gpu);
+  const double bytes = 1'000'000 * kElementBytes;
+  EXPECT_GT(k.dram_read_bytes, bytes * 2);  // gather amplification
+  EXPECT_GT(k.dram_write_bytes, bytes);
+  EXPECT_LT(k.occupancy_cap, 0.5);
+}
+
+TEST(Softmax, TrafficScalesWithTensor) {
+  const auto& gpu = sim::tesla_v100();
+  const Shape4 small{1, 1001, 1, 1};
+  const Shape4 large{256, 1001, 1, 1};
+  EXPECT_GT(softmax_kernel(large, gpu).total_dram_bytes(),
+            softmax_kernel(small, gpu).total_dram_bytes());
+}
+
+TEST(OpNames, AllOpsNamed) {
+  for (auto op : {EwOp::kMul, EwOp::kAdd, EwOp::kMax, EwOp::kRelu, EwOp::kAddN, EwOp::kSigmoid,
+                  EwOp::kTanh}) {
+    EXPECT_STRNE(ew_op_name(op), "?");
+    EXPECT_NE(elementwise_kernel(op, kBig, 1, EwBackend::kEigen).name, "?");
+    EXPECT_NE(elementwise_kernel(op, kBig, 1, EwBackend::kMxMath).name, "?");
+  }
+}
+
+TEST(Shape4, ElementsAndBytes) {
+  const Shape4 s{2, 3, 4, 5};
+  EXPECT_EQ(s.elements(), 120);
+  EXPECT_DOUBLE_EQ(s.bytes(), 480.0);
+  EXPECT_EQ(s.str(), "<2, 3, 4, 5>");
+}
+
+}  // namespace
+}  // namespace xsp::dnn

@@ -1,0 +1,92 @@
+// Integration sweep: every registered model profiles end-to-end through
+// the full XSP stack, and the merged profile satisfies the cross-level
+// invariants the analyses depend on.
+#include <gtest/gtest.h>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+namespace xsp {
+namespace {
+
+class FullZoo : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullZoo, ProfilesEndToEndWithConsistentInvariants) {
+  const auto& model = models::tensorflow_models()[static_cast<std::size_t>(GetParam() - 1)];
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto result = runner.run_model(model, /*batch=*/1);
+  const auto& p = result.profile;
+
+  // Structure.
+  ASSERT_GT(p.layers.size(), 5u) << model.name;
+  ASSERT_GT(p.kernels.size(), 3u) << model.name;
+  EXPECT_GT(p.model_latency, 0) << model.name;
+
+  // Leveled-experimentation overheads are positive.
+  EXPECT_GT(p.layer_profiling_overhead, 0) << model.name;
+  EXPECT_GT(p.gpu_profiling_overhead, 0) << model.name;
+
+  // Every kernel correlates to a layer, and no correlation is ambiguous.
+  for (const auto& k : p.kernels) {
+    EXPECT_GE(k.layer_index, 0) << model.name << ": " << k.name;
+  }
+  EXPECT_EQ(result.mlg.timeline.ambiguous_count(), 0u) << model.name;
+  EXPECT_EQ(result.mlg.timeline.unmatched_async_count(), 0u) << model.name;
+
+  // Per-layer: kernel time within layer time; metrics non-negative.
+  for (const auto& l : p.layers) {
+    EXPECT_LE(l.kernel_latency, l.latency) << model.name << ": " << l.name;
+    EXPECT_GE(l.flops, 0) << model.name;
+    EXPECT_GE(l.dram_bytes(), 0) << model.name;
+  }
+
+  // Aggregates.
+  EXPECT_LE(p.total_kernel_latency(), p.model_latency) << model.name;
+  const double gpu_pct = analysis::gpu_latency_percentage(p);
+  EXPECT_GT(gpu_pct, 5.0) << model.name;
+  EXPECT_LE(gpu_pct, 100.0) << model.name;
+  const double conv_pct = analysis::conv_latency_percentage(p);
+  EXPECT_GE(conv_pct, 0.0) << model.name;
+  EXPECT_LT(conv_pct, 100.0) << model.name;
+
+  const double occ = p.weighted_occupancy();
+  EXPECT_GT(occ, 0.0) << model.name;
+  EXPECT_LE(occ, 1.0) << model.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTensorflowModels, FullZoo, ::testing::Range(1, 56),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name =
+                               models::tensorflow_models()[static_cast<std::size_t>(
+                                                               info.param - 1)]
+                                   .name;
+                           for (auto& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+class MxnetZoo : public ::testing::TestWithParam<int> {};
+
+TEST_P(MxnetZoo, ProfilesEndToEndUnderMxlite) {
+  const auto* model = models::find_mxnet_model(GetParam());
+  ASSERT_NE(model, nullptr);
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kMXLite);
+  const auto result = runner.run_model(*model, /*batch=*/1);
+  EXPECT_GT(result.profile.layers.size(), 5u);
+  for (const auto& k : result.profile.kernels) {
+    EXPECT_GE(k.layer_index, 0) << k.name;
+  }
+  // MXNet graphs carry fused BatchNorm layers, never decomposed Mul/Add.
+  for (const auto& l : result.profile.layers) {
+    EXPECT_NE(l.type, "Mul") << model->name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMxnetModels, MxnetZoo,
+                         ::testing::Values(4, 5, 6, 8, 10, 11, 18, 23, 28, 34));
+
+}  // namespace
+}  // namespace xsp

@@ -1,0 +1,178 @@
+// Regression guards on the headline reproduction numbers. The simulator is
+// deterministic, so these pin the calibrated behaviour: if a change moves a
+// headline result out of its paper-anchored band, a test fails and the
+// change needs a conscious recalibration (and an EXPERIMENTS.md update).
+#include <gtest/gtest.h>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/analysis/batch_sweep.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+namespace xsp {
+namespace {
+
+const profile::LeveledResult& headline() {
+  static const profile::LeveledResult result = [] {
+    profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+    return runner.run_model(*models::find_tensorflow_model("MLPerf_ResNet50_v1.5"), 256);
+  }();
+  return result;
+}
+
+TEST(Headline, ModelLatencyNearPaperScale) {
+  // Paper: 275.05 ms. Band: within 1.6x.
+  const double ms_measured = to_ms(headline().profile.model_latency);
+  EXPECT_GT(ms_measured, 200.0);
+  EXPECT_LT(ms_measured, 440.0);
+}
+
+TEST(Headline, LayerProfilingOverheadNearPaper) {
+  // Paper: 157 ms.
+  const double ms_measured = to_ms(headline().layer_overhead());
+  EXPECT_GT(ms_measured, 100.0);
+  EXPECT_LT(ms_measured, 220.0);
+}
+
+TEST(Headline, GpuProfilingOverheadNearPaper) {
+  // Paper: 215.2 ms.
+  const double ms_measured = to_ms(headline().gpu_overhead());
+  EXPECT_GT(ms_measured, 120.0);
+  EXPECT_LT(ms_measured, 320.0);
+}
+
+TEST(Headline, LayerAndKernelCountsNearPaper) {
+  // Paper: 234 layers, 375 kernel invocations.
+  EXPECT_NEAR(static_cast<double>(headline().profile.layers.size()), 234.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(headline().profile.kernels.size()), 375.0, 60.0);
+}
+
+TEST(Headline, ComputeBoundAtBatch256) {
+  // Paper Table VI: compute-bound at batch 256.
+  const auto agg = analysis::a15_model_aggregate(headline().profile, sim::tesla_v100());
+  EXPECT_FALSE(agg.memory_bound);
+  EXPECT_GT(agg.occupancy_pct, 30.0);  // paper: 43.15%
+  EXPECT_LT(agg.occupancy_pct, 55.0);
+}
+
+TEST(Headline, TopTwoLayersAreTheDeep7x7Convs) {
+  // Paper Table II: conv2d_48 and conv2d_51 lead.
+  const auto top = analysis::top_layers_by_latency(headline().profile, 2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].name, "conv2d_48/Conv2D");
+  EXPECT_EQ(top[1].name, "conv2d_51/Conv2D");
+  EXPECT_EQ(top[0].shape, "<256, 512, 7, 7>");
+}
+
+TEST(Headline, MostTimeConsumingKernelIsScudnn128x64) {
+  // Paper Table IV: volta_scudnn_128x64_relu_interior_nn_v1, ~31% of the
+  // model latency, ~34 invocations.
+  const auto rows = analysis::a10_kernel_by_name(headline().profile, sim::tesla_v100());
+  ASSERT_FALSE(rows.empty());
+  EXPECT_EQ(rows[0].name, "volta_scudnn_128x64_relu_interior_nn_v1");
+  EXPECT_NEAR(rows[0].latency_pct, 31.0, 8.0);
+  EXPECT_NEAR(rows[0].count, 34, 6);
+  EXPECT_FALSE(rows[0].memory_bound);
+}
+
+TEST(Headline, EigenMaxOpHasZeroFlopsHighOccupancy) {
+  // Paper Table IV's scalar_max_op row: 0 flops, 98.4% occupancy.
+  for (const auto& r : analysis::a10_kernel_by_name(headline().profile, sim::tesla_v100())) {
+    if (r.name.find("scalar_max_op") != std::string::npos) {
+      EXPECT_DOUBLE_EQ(r.gflops, 0.0);
+      EXPECT_GT(r.occupancy_pct, 85.0);
+      EXPECT_TRUE(r.memory_bound);
+      return;
+    }
+  }
+  FAIL() << "scalar_max_op kernel not found";
+}
+
+TEST(Headline, CgemmServesTheDeepLayersAtBatch256) {
+  // Paper Table III: volta_cgemm_32x32_tn on the two deepest conv layers.
+  const auto top =
+      analysis::top_kernels_by_latency(headline().profile, sim::tesla_v100(), 5);
+  int cgemm = 0;
+  for (const auto& r : top) {
+    if (r.name == "volta_cgemm_32x32_tn") ++cgemm;
+  }
+  EXPECT_EQ(cgemm, 2);
+}
+
+TEST(Headline, AlgorithmSwitchAtBatch16) {
+  // Paper Section III-D3: implicit_convolve_sgemm below batch 16,
+  // volta_scudnn_* at and above.
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto* model = models::find_tensorflow_model("MLPerf_ResNet50_v1.5");
+
+  const auto has_kernel = [&](std::int64_t batch, const char* needle) {
+    const auto result = runner.run_model(*model, batch, /*gpu_metrics=*/false);
+    for (const auto& k : result.profile.kernels) {
+      if (k.name.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+  // Below batch 16 the 3x3/7x7 convolutions use implicit GEMM (1x1
+  // convolutions always take the precomputed path); at 16 the switch to
+  // the scudnn kernels is complete.
+  EXPECT_TRUE(has_kernel(8, "implicit_convolve_sgemm"));
+  EXPECT_TRUE(has_kernel(16, "scudnn_128x64"));
+  EXPECT_FALSE(has_kernel(16, "implicit_convolve_sgemm"));
+}
+
+TEST(Headline, OccupancyClimbsTowardOptimalBatch) {
+  // Paper Table VI: achieved occupancy grows with batch size.
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto* model = models::find_tensorflow_model("MLPerf_ResNet50_v1.5");
+  double prev = 0;
+  for (std::int64_t batch : {1, 8, 64}) {
+    const auto result = runner.run_model(*model, batch);
+    const double occ = result.profile.weighted_occupancy();
+    EXPECT_GT(occ, prev) << "batch " << batch;
+    prev = occ;
+  }
+}
+
+TEST(Headline, MobileNetMxnetThroughputAdvantageInPaperRange) {
+  // Paper Table X: MXNet MobileNets reach 1.35-1.76x TF's max throughput.
+  const auto* model = models::find_tensorflow_model("MobileNet_v1_1.0_224");
+  profile::LeveledRunner tf(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  profile::LeveledRunner mx(sim::tesla_v100(), framework::FrameworkKind::kMXLite);
+  const auto tf_info = analysis::model_information(tf, *model, 256);
+  const auto mx_info = analysis::model_information(mx, *model, 256);
+  const double ratio = mx_info.max_throughput / tf_info.max_throughput;
+  EXPECT_GT(ratio, 1.25);
+  EXPECT_LT(ratio, 1.85);
+}
+
+TEST(Headline, SystemOrderingMatchesPaper) {
+  // Paper Fig. 11: V100 fastest, then RTX, P100, P4, M60 on ResNet-50.
+  const auto* model = models::find_tensorflow_model("MLPerf_ResNet50_v1.5");
+  const auto latency_on = [&](const sim::GpuSpec& system) {
+    profile::LeveledRunner runner(system, framework::FrameworkKind::kTFlow);
+    return runner.model_latency(model->build(64, runner.decompose_batchnorm()));
+  };
+  const Ns v100 = latency_on(sim::tesla_v100());
+  const Ns rtx = latency_on(sim::quadro_rtx());
+  const Ns p100 = latency_on(sim::tesla_p100());
+  const Ns p4 = latency_on(sim::tesla_p4());
+  const Ns m60 = latency_on(sim::tesla_m60());
+  EXPECT_LE(v100, rtx);
+  EXPECT_LT(rtx, p100);
+  EXPECT_LT(p100, p4);
+  EXPECT_LT(p4, m60);
+}
+
+TEST(Headline, DetectionModelIsWhereDominated) {
+  // Paper Section IV-A.
+  profile::LeveledRunner runner(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto* ssd = models::find_tensorflow_model("MLPerf_SSD_MobileNet_v1_300x300");
+  const auto result = runner.run_model(*ssd, 1);
+  const auto types = analysis::layer_type_aggregation(result.profile);
+  EXPECT_EQ(types[0].type, "Where");
+  EXPECT_LT(analysis::conv_latency_percentage(result.profile), 20.0);
+}
+
+}  // namespace
+}  // namespace xsp

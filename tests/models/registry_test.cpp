@@ -1,0 +1,123 @@
+#include "xsp/models/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace xsp::models {
+namespace {
+
+TEST(Registry, FiftyFiveTensorflowModels) {
+  EXPECT_EQ(tensorflow_models().size(), 55u);
+}
+
+TEST(Registry, TenMxnetModels) {
+  EXPECT_EQ(mxnet_models().size(), 10u);
+}
+
+TEST(Registry, IdsAreTableVIIIOrder) {
+  int expected = 1;
+  for (const auto& m : tensorflow_models()) {
+    EXPECT_EQ(m.id, expected++);
+  }
+}
+
+TEST(Registry, TaskCountsMatchTableVIII) {
+  std::map<std::string, int> tasks;
+  for (const auto& m : tensorflow_models()) tasks[m.task] += 1;
+  EXPECT_EQ(tasks.at("IC"), 37);
+  EXPECT_EQ(tasks.at("OD"), 10);
+  EXPECT_EQ(tasks.at("IS"), 4);
+  EXPECT_EQ(tasks.at("SS"), 3);
+  EXPECT_EQ(tasks.at("SR"), 1);
+}
+
+TEST(Registry, NamesAreUnique) {
+  std::set<std::string> names;
+  for (const auto& m : tensorflow_models()) names.insert(m.name);
+  EXPECT_EQ(names.size(), 55u);
+}
+
+TEST(Registry, AccuracySortedWithinImageClassification) {
+  // Table VIII sorts models within a task by reported accuracy.
+  const auto ic = image_classification_models();
+  ASSERT_EQ(ic.size(), 37u);
+  for (std::size_t i = 1; i < ic.size(); ++i) {
+    EXPECT_GE(ic[i - 1]->paper.accuracy, ic[i]->paper.accuracy)
+        << ic[i - 1]->name << " vs " << ic[i]->name;
+  }
+}
+
+TEST(Registry, FindByName) {
+  const auto* m = find_tensorflow_model("MLPerf_ResNet50_v1.5");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->id, 7);
+  EXPECT_DOUBLE_EQ(m->paper.accuracy, 76.46);
+  EXPECT_EQ(m->paper.optimal_batch, 256);
+  EXPECT_EQ(find_tensorflow_model("NoSuchModel"), nullptr);
+}
+
+TEST(Registry, MxnetIdsMatchComparableTensorflowRows) {
+  // Table X labels MXNet models with the same ids as Table VIII.
+  const std::set<int> expected{4, 5, 6, 8, 10, 11, 18, 23, 28, 34};
+  std::set<int> got;
+  for (const auto& m : mxnet_models()) got.insert(m.id);
+  EXPECT_EQ(got, expected);
+
+  for (int id : expected) {
+    const auto* mx = find_mxnet_model(id);
+    ASSERT_NE(mx, nullptr);
+    EXPECT_EQ(tensorflow_models()[static_cast<std::size_t>(id - 1)].name, mx->name);
+  }
+  EXPECT_EQ(find_mxnet_model(1), nullptr);
+}
+
+TEST(Registry, EveryModelBuilds) {
+  // Every registered builder must produce a non-trivial graph at batch 1
+  // in both frameworks' lowering modes.
+  for (const auto& m : tensorflow_models()) {
+    const auto g = m.build(1, true);
+    EXPECT_GT(g.layers.size(), 10u) << m.name;
+    EXPECT_EQ(g.batch(), 1) << m.name;
+    EXPECT_GT(g.graph_size_bytes(), 0) << m.name;
+  }
+  for (const auto& m : mxnet_models()) {
+    const auto g = m.build(1, false);
+    EXPECT_GT(g.layers.size(), 10u) << m.name;
+  }
+}
+
+TEST(Registry, GraphSizesTrackPaperOrdering) {
+  // Bigger paper-reported frozen graphs should have more parameters here:
+  // spot-check a clearly ordered pair set.
+  const auto size_of = [](const char* name) {
+    return find_tensorflow_model(name)->build(1, true).graph_size_bytes();
+  };
+  EXPECT_GT(size_of("VGG16"), size_of("ResNet_v1_50"));
+  EXPECT_GT(size_of("ResNet_v1_152"), size_of("ResNet_v1_50"));
+  EXPECT_GT(size_of("MobileNet_v1_1.0_224"), size_of("MobileNet_v1_0.25_224"));
+  EXPECT_GT(size_of("Inception_v4"), size_of("Inception_v1"));
+}
+
+TEST(Registry, PaperRowsPopulatedForTensorflow) {
+  for (const auto& m : tensorflow_models()) {
+    EXPECT_GT(m.paper.online_latency_ms, 0) << m.name;
+    EXPECT_GT(m.paper.max_throughput, 0) << m.name;
+    EXPECT_GE(m.paper.optimal_batch, 1) << m.name;
+  }
+}
+
+class RegistryBatchBuild : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(RegistryBatchBuild, ResNet50BuildsAtEveryBatch) {
+  const auto* m = find_tensorflow_model("MLPerf_ResNet50_v1.5");
+  const auto g = m->build(GetParam(), true);
+  EXPECT_EQ(g.batch(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, RegistryBatchBuild,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace xsp::models

@@ -1,0 +1,258 @@
+#include "xsp/models/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "xsp/models/registry.hpp"
+
+namespace xsp::models {
+namespace {
+
+std::map<std::string, int> type_histogram(const Graph& g) {
+  std::map<std::string, int> h;
+  for (const auto& l : g.layers) h[layer_type_name(l.type)] += 1;
+  return h;
+}
+
+double conv_flops(const Graph& g) {
+  double total = 0;
+  for (const auto& l : g.layers) {
+    if (l.type == framework::LayerType::kConv2D) {
+      total += 2.0 * static_cast<double>(l.output.elements()) *
+               static_cast<double>(l.input.c * l.kernel_hw * l.kernel_hw);
+    }
+  }
+  return total;
+}
+
+TEST(Zoo, ResNet50V15LayerCountMatchesPaperScale) {
+  // The paper reports 234 runtime layers for MLPerf_ResNet50_v1.5 in
+  // TensorFlow (Table II caption).
+  const auto g = resnet("r50", 256, true, 1, {3, 4, 6, 3}, true);
+  EXPECT_GE(g.layers.size(), 220u);
+  EXPECT_LE(g.layers.size(), 245u);
+}
+
+TEST(Zoo, ResNet50LayerTypeMixMatchesFigure4) {
+  // Figure 4a: Add, Mul, Conv2D, Relu each ~20-24% of layers, AddN ~6%.
+  const auto g = resnet("r50", 1, true, 1, {3, 4, 6, 3}, true);
+  const auto h = type_histogram(g);
+  const auto total = static_cast<double>(g.layers.size());
+  EXPECT_NEAR(h.at("Conv2D") / total, 0.23, 0.03);
+  EXPECT_NEAR(h.at("Mul") / total, 0.23, 0.03);
+  EXPECT_NEAR(h.at("Add") / total, 0.23, 0.03);
+  EXPECT_NEAR(h.at("Relu") / total, 0.21, 0.03);
+  EXPECT_NEAR(h.at("AddN") / total, 0.06, 0.03);
+}
+
+TEST(Zoo, ResNet50FlopsNearFourGplopsPerImage) {
+  // ResNet50's published forward cost is ~3.9-4.1 GMACs (~8 Gflops).
+  const auto g = resnet("r50", 1, true, 1, {3, 4, 6, 3}, true);
+  const double gflops = conv_flops(g) / 1e9;
+  EXPECT_GT(gflops, 5.0);
+  EXPECT_LT(gflops, 10.0);
+}
+
+TEST(Zoo, ResNetDepthOrdering) {
+  const auto r50 = resnet("r50", 1, true, 1, {3, 4, 6, 3}, false);
+  const auto r101 = resnet("r101", 1, true, 1, {3, 4, 23, 3}, false);
+  const auto r152 = resnet("r152", 1, true, 1, {3, 8, 36, 3}, false);
+  EXPECT_LT(r50.layers.size(), r101.layers.size());
+  EXPECT_LT(r101.layers.size(), r152.layers.size());
+  EXPECT_LT(conv_flops(r50), conv_flops(r101));
+  EXPECT_LT(conv_flops(r101), conv_flops(r152));
+}
+
+TEST(Zoo, ResNetV2HasPreActivationStructure) {
+  const auto v1 = resnet("v1", 1, true, 1, {3, 4, 6, 3}, false);
+  const auto v2 = resnet("v2", 1, true, 2, {3, 4, 6, 3}, false);
+  // Both are runnable and have comparable sizes.
+  EXPECT_GT(v2.layers.size(), 150u);
+  EXPECT_NEAR(static_cast<double>(v1.layers.size()),
+              static_cast<double>(v2.layers.size()), 40.0);
+}
+
+TEST(Zoo, MobileNetGridScalesWithAlphaAndResolution) {
+  const auto full = mobilenet_v1("m", 1, true, 1.0, 224);
+  const auto half = mobilenet_v1("m", 1, true, 0.5, 224);
+  const auto small = mobilenet_v1("m", 1, true, 1.0, 128);
+  EXPECT_LT(conv_flops(half), conv_flops(full));
+  EXPECT_LT(conv_flops(small), conv_flops(full));
+  // alpha halves channels -> ~4x fewer pointwise flops.
+  EXPECT_NEAR(conv_flops(full) / conv_flops(half), 4.0, 1.0);
+}
+
+TEST(Zoo, MobileNetIsDepthwiseSeparable) {
+  const auto g = mobilenet_v1("m", 1, true, 1.0, 224);
+  const auto h = type_histogram(g);
+  EXPECT_EQ(h.at("DepthwiseConv2dNative"), 13);
+  EXPECT_EQ(h.at("Conv2D"), 14);  // stem + 13 pointwise
+}
+
+TEST(Zoo, VggIsParameterHeavy) {
+  // Table VIII: VGG16 = 528 MB frozen graph, dominated by FC weights.
+  const auto g16 = vgg("vgg16", 1, 16);
+  const auto g19 = vgg("vgg19", 1, 19);
+  EXPECT_NEAR(g16.graph_size_bytes() / 1e6, 528, 60);
+  EXPECT_GT(g19.graph_size_bytes(), g16.graph_size_bytes());
+}
+
+TEST(Zoo, AlexNetIsShallow) {
+  const auto g = alexnet("alex", 1);
+  EXPECT_EQ(type_histogram(g).at("Conv2D"), 5);
+  EXPECT_NEAR(g.graph_size_bytes() / 1e6, 233, 60);
+}
+
+TEST(Zoo, InceptionFamilyDepthOrdering) {
+  const auto v1 = inception_v1("i1", 1, true, true);
+  const auto v3 = inception_v3("i3", 1, true);
+  const auto v4 = inception_v4("i4", 1, true);
+  EXPECT_LT(v1.layers.size(), v3.layers.size());
+  EXPECT_LT(v3.layers.size(), v4.layers.size());
+  EXPECT_LT(conv_flops(v3), conv_flops(v4));
+}
+
+TEST(Zoo, BvlcGoogleNetHasNoBatchNorm) {
+  const auto g = inception_v1("bvlc", 1, true, /*with_bn=*/false);
+  const auto h = type_histogram(g);
+  EXPECT_EQ(h.count("Mul"), 0u);
+  EXPECT_GT(h.at("BiasAdd"), 10);
+}
+
+TEST(Zoo, InceptionResnetHasResidualAdds) {
+  const auto g = inception_resnet_v2("ir2", 1, true);
+  const auto h = type_histogram(g);
+  EXPECT_GE(h.at("AddN"), 40);  // 10 + 20 + 10 residual blocks
+}
+
+TEST(Zoo, DenseNetIsConcatHeavy) {
+  const auto g = densenet121("d121", 1, true);
+  const auto h = type_histogram(g);
+  EXPECT_EQ(h.at("ConcatV2"), 58);  // 6+12+24+16 dense layers
+  EXPECT_GT(g.layers.size(), 350u);
+}
+
+TEST(Zoo, SsdIsWhereDominatedInLayerCount) {
+  // Section IV-A: for detection models "the dominating layer type is
+  // Where".
+  const auto g = ssd("ssd", 1, true, "mobilenet_v1", 300, 0);
+  const auto h = type_histogram(g);
+  int max_count = 0;
+  std::string max_type;
+  for (const auto& [type, count] : h) {
+    if (count > max_count) {
+      max_count = count;
+      max_type = type;
+    }
+  }
+  EXPECT_EQ(max_type, "Where");
+}
+
+TEST(Zoo, DetectionPostprocessScalesWithBatch) {
+  const auto b1 = ssd("ssd", 1, true, "mobilenet_v1", 300, 0);
+  const auto b4 = ssd("ssd", 4, true, "mobilenet_v1", 300, 0);
+  // Per-image NMS unrolling: layer count grows with batch.
+  EXPECT_GT(b4.layers.size(), b1.layers.size() + 50);
+}
+
+TEST(Zoo, FasterRcnnNasIsConvDominated) {
+  const auto nas = faster_rcnn("nas", 1, true, "nas", true);
+  const auto h = type_histogram(nas);
+  EXPECT_GT(h.at("Conv2D") + h.at("DepthwiseConv2dNative"), h.at("Where"));
+  EXPECT_GT(conv_flops(nas), conv_flops(faster_rcnn("r50", 1, true, "resnet50")));
+}
+
+TEST(Zoo, MaskRcnnExtendsFasterRcnn) {
+  const auto frcnn = faster_rcnn("f", 1, true, "resnet50");
+  const auto mrcnn = mask_rcnn("m", 1, true, "resnet50");
+  EXPECT_GT(mrcnn.layers.size(), frcnn.layers.size());
+}
+
+TEST(Zoo, DeepLabVariantsScale) {
+  const auto xception = deeplab_v3("x65", 1, true, "xception65");
+  const auto mnv2 = deeplab_v3("mnv2", 1, true, "mobilenet_v2");
+  const auto dm05 = deeplab_v3("dm05", 1, true, "mobilenet_v2_dm05");
+  EXPECT_GT(conv_flops(xception), conv_flops(mnv2));
+  EXPECT_GT(conv_flops(mnv2), conv_flops(dm05));
+  // Segmentation heads emit resize layers.
+  EXPECT_GE(type_histogram(xception).count("ResizeBilinear"), 1u);
+}
+
+TEST(Zoo, SrganUpsamples) {
+  const auto g = srgan("sr", 1, true);
+  // Output resolution is 4x the 96x96 input.
+  bool found_4x = false;
+  for (const auto& l : g.layers) {
+    if (l.output.h == 384) found_4x = true;
+  }
+  EXPECT_TRUE(found_4x);
+  EXPECT_GE(type_histogram(g).at("Conv2D"), 35);  // 16 res blocks x2 + ends
+}
+
+// Published forward-pass costs (GFlops per image, multiply-add counted as
+// 2 flops) for the classic architectures. Bands are generous (+-40%)
+// because our graphs approximate auxiliary structure, but they catch
+// order-of-magnitude construction mistakes.
+struct KnownCost {
+  const char* model;
+  double gflops;
+};
+
+class ZooFlopsFidelity : public ::testing::TestWithParam<KnownCost> {};
+
+TEST_P(ZooFlopsFidelity, ConvFlopsNearPublishedValue) {
+  const auto& expected = GetParam();
+  const auto* info = find_tensorflow_model(expected.model);
+  ASSERT_NE(info, nullptr);
+  const auto g = info->build(1, true);
+  double total = 0;
+  for (const auto& l : g.layers) {
+    if (l.type == framework::LayerType::kConv2D) {
+      const std::int64_t kw = l.kernel_w2 > 0 ? l.kernel_w2 : l.kernel_hw;
+      total += 2.0 * static_cast<double>(l.output.elements()) *
+               static_cast<double>(l.input.c * l.kernel_hw * kw);
+    } else if (l.type == framework::LayerType::kDepthwiseConv2D) {
+      total += 2.0 * static_cast<double>(l.output.elements()) *
+               static_cast<double>(l.kernel_hw * l.kernel_hw);
+    } else if (l.type == framework::LayerType::kMatMul) {
+      total += 2.0 * static_cast<double>(l.output.elements()) *
+               static_cast<double>(l.matmul_k);
+    }
+  }
+  const double measured = total / 1e9;
+  EXPECT_GT(measured, expected.gflops * 0.6) << expected.model;
+  EXPECT_LT(measured, expected.gflops * 1.6) << expected.model;
+}
+
+INSTANTIATE_TEST_SUITE_P(PublishedCosts, ZooFlopsFidelity,
+                         ::testing::Values(KnownCost{"ResNet_v1_50", 7.7},
+                                           KnownCost{"ResNet_v1_101", 15.2},
+                                           KnownCost{"ResNet_v1_152", 22.6},
+                                           KnownCost{"MLPerf_ResNet50_v1.5", 8.2},
+                                           KnownCost{"VGG16", 31.0},
+                                           KnownCost{"VGG19", 39.0},
+                                           KnownCost{"MobileNet_v1_1.0_224", 1.14},
+                                           KnownCost{"MobileNet_v1_0.5_224", 0.30},
+                                           KnownCost{"BVLC_AlexNet_Caffe", 1.5},
+                                           KnownCost{"Inception_v1", 3.0},
+                                           KnownCost{"Inception_v3", 11.4},
+                                           KnownCost{"AI_Matrix_DenseNet121", 5.7}),
+                         [](const ::testing::TestParamInfo<KnownCost>& info) {
+                           std::string name = info.param.model;
+                           for (auto& c : name) {
+                             if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(Zoo, AllGraphsRespectBatchParameter) {
+  for (std::int64_t batch : {1, 8}) {
+    EXPECT_EQ(resnet("r", batch, true, 1, {3, 4, 6, 3}, true).batch(), batch);
+    EXPECT_EQ(mobilenet_v1("m", batch, true, 1.0, 224).batch(), batch);
+    EXPECT_EQ(ssd("s", batch, true, "mobilenet_v1", 300, 0).batch(), batch);
+  }
+}
+
+}  // namespace
+}  // namespace xsp::models

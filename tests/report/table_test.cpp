@@ -1,0 +1,57 @@
+#include "xsp/report/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsp::report {
+namespace {
+
+TEST(TextTable, AlignedOutput) {
+  TextTable t({"Name", "Latency"});
+  t.add_row({"conv2d", "7.59"});
+  t.add_row({"x", "1"});
+  const auto s = t.str();
+  EXPECT_NE(s.find("Name    Latency"), std::string::npos);
+  EXPECT_NE(s.find("conv2d  7.59"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, MissingCellsRenderEmpty) {
+  TextTable t({"A", "B", "C"});
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.str());
+}
+
+TEST(TextTable, ExtraCellsDropped) {
+  TextTable t({"A"});
+  t.add_row({"1", "2", "3"});
+  const auto s = t.csv();
+  EXPECT_EQ(s, "A\n1\n");
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable t({"Kernel"});
+  t.add_row({"Eigen::TensorCwiseBinaryOp<a,b>"});
+  t.add_row({"say \"hi\""});
+  const auto s = t.csv();
+  EXPECT_NE(s.find("\"Eigen::TensorCwiseBinaryOp<a,b>\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, MarkdownShape) {
+  TextTable t({"A", "B"});
+  t.add_row({"1", "2"});
+  const auto s = t.markdown();
+  EXPECT_NE(s.find("| A | B |"), std::string::npos);
+  EXPECT_NE(s.find("|---|---|"), std::string::npos);
+  EXPECT_NE(s.find("| 1 | 2 |"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableStillRenders) {
+  TextTable t({"OnlyHeader"});
+  EXPECT_NE(t.str().find("OnlyHeader"), std::string::npos);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace xsp::report

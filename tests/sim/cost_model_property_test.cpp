@@ -1,0 +1,132 @@
+// Parameterized property sweeps of the cost and occupancy models across
+// every Table VII system and kernel class.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "xsp/sim/cost_model.hpp"
+
+namespace xsp::sim {
+namespace {
+
+constexpr KernelClass kAllClasses[] = {
+    KernelClass::kConvImplicitGemm, KernelClass::kConvImplicitPrecompGemm,
+    KernelClass::kConvFft,          KernelClass::kConvWinograd,
+    KernelClass::kGemm,             KernelClass::kElementwise,
+    KernelClass::kReduction,        KernelClass::kDataMovement,
+};
+
+KernelDesc make_kernel(KernelClass klass, double flops, double bytes, int grid) {
+  KernelDesc k;
+  k.name = kernel_class_name(klass);
+  k.klass = klass;
+  k.grid = {grid, 1, 1};
+  k.block = {256, 1, 1};
+  k.registers_per_thread = 64;
+  k.flops = flops;
+  k.dram_read_bytes = bytes / 2;
+  k.dram_write_bytes = bytes / 2;
+  return k;
+}
+
+using SystemClass = std::tuple<std::size_t, KernelClass>;
+
+class CostModelSweep : public ::testing::TestWithParam<SystemClass> {
+ protected:
+  const GpuSpec& system() const { return all_systems()[std::get<0>(GetParam())]; }
+  KernelClass klass() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(CostModelSweep, DurationPositiveAndFiniteAcrossScales) {
+  for (double scale : {1e3, 1e6, 1e9, 1e12}) {
+    const auto k = make_kernel(klass(), scale, scale, 1024);
+    const Ns t = kernel_duration(k, system(), occupancy_info(k, system()));
+    EXPECT_GT(t, 0);
+    EXPECT_LT(t, seconds(3600));
+  }
+}
+
+TEST_P(CostModelSweep, MonotoneInWork) {
+  Ns prev = 0;
+  for (double scale : {1e6, 1e7, 1e8, 1e9, 1e10}) {
+    const auto k = make_kernel(klass(), scale, scale / 10, 4096);
+    const Ns t = kernel_duration(k, system(), occupancy_info(k, system()));
+    EXPECT_GE(t, prev) << "flops " << scale;
+    prev = t;
+  }
+}
+
+TEST_P(CostModelSweep, MonotoneInGridSaturation) {
+  // More blocks never make a fixed-work kernel slower per unit.
+  Ns prev_total = seconds(3600);
+  for (int grid : {1, 8, 64, 512, 4096, 32768}) {
+    const auto k = make_kernel(klass(), 1e9, 1e8, grid);
+    const Ns t = kernel_duration(k, system(), occupancy_info(k, system()));
+    EXPECT_LE(t, prev_total) << "grid " << grid;
+    prev_total = t;
+  }
+}
+
+TEST_P(CostModelSweep, OccupancyInUnitRange) {
+  for (int grid : {1, 17, 333, 5000, 100000}) {
+    const auto k = make_kernel(klass(), 1e8, 1e8, grid);
+    const auto occ = occupancy_info(k, system());
+    EXPECT_GT(occ.achieved, 0.0);
+    EXPECT_LE(occ.achieved, 1.0);
+    EXPECT_GT(occ.saturation, 0.0);
+    EXPECT_LE(occ.saturation, 1.0);
+  }
+}
+
+TEST_P(CostModelSweep, NeverFasterThanPhysics) {
+  // No kernel may beat the device's theoretical peak FLOPS or bandwidth.
+  const auto& g = system();
+  const auto k = make_kernel(klass(), 1e12, 1e11, 65536);
+  const Ns t = kernel_duration(k, g, occupancy_info(k, g));
+  const double secs = to_seconds(t);
+  EXPECT_GE(secs, k.flops / (g.peak_tflops * 1e12) * 0.999);
+  EXPECT_GE(secs, k.total_dram_bytes() / (g.mem_bw_gbps * 1e9) * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SystemsByClasses, CostModelSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2, 3, 4),
+                       ::testing::ValuesIn(kAllClasses)),
+    [](const ::testing::TestParamInfo<SystemClass>& info) {
+      return std::string(all_systems()[std::get<0>(info.param)].name) + "_" +
+             kernel_class_name(std::get<1>(info.param));
+    });
+
+TEST(CostModelCrossSystem, PeakOrderingHoldsForComputeBoundKernels) {
+  // For a saturated compute-bound kernel, systems rank by peak FLOPS.
+  const auto k = make_kernel(KernelClass::kGemm, 1e11, 1e8, 65536);
+  std::vector<std::pair<double, Ns>> results;
+  for (const auto& g : all_systems()) {
+    results.emplace_back(g.peak_tflops, kernel_duration(k, g, occupancy_info(k, g)));
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (results[i].first > results[j].first) {
+        EXPECT_LT(results[i].second, results[j].second);
+      }
+    }
+  }
+}
+
+TEST(CostModelCrossSystem, BandwidthOrderingHoldsForMemoryBoundKernels) {
+  const auto k = make_kernel(KernelClass::kElementwise, 1e6, 1e10, 65536);
+  std::vector<std::pair<double, Ns>> results;
+  for (const auto& g : all_systems()) {
+    results.emplace_back(g.mem_bw_gbps, kernel_duration(k, g, occupancy_info(k, g)));
+  }
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (std::size_t j = 0; j < results.size(); ++j) {
+      if (results[i].first > results[j].first) {
+        EXPECT_LT(results[i].second, results[j].second);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xsp::sim

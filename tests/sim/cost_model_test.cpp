@@ -1,0 +1,182 @@
+#include "xsp/sim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsp::sim {
+namespace {
+
+KernelDesc big_conv() {
+  KernelDesc k;
+  k.name = "volta_scudnn_128x64_relu_interior_nn_v1";
+  k.klass = KernelClass::kConvImplicitPrecompGemm;
+  k.grid = {512, 1, 1};
+  k.block = {256, 1, 1};
+  k.flops = 62.89e9;
+  k.dram_read_bytes = 11.55e6;
+  k.dram_write_bytes = 283.05e6;
+  return k;
+}
+
+KernelDesc elementwise() {
+  KernelDesc k;
+  k.name = "Eigen::TensorCwiseBinaryOp";
+  k.klass = KernelClass::kElementwise;
+  k.grid = {4096, 1, 1};
+  k.block = {256, 1, 1};
+  k.flops = 51.4e6;
+  k.dram_read_bytes = 80e6;
+  k.dram_write_bytes = 123e6;
+  return k;
+}
+
+TEST(CostModel, ComputeBoundKernelScalesWithFlops) {
+  const auto& g = tesla_v100();
+  auto k = big_conv();
+  const double occ = achieved_occupancy(k, g);
+  const Ns t1 = kernel_duration(k, g, occ);
+  k.flops *= 2;
+  const Ns t2 = kernel_duration(k, g, occ);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.1);
+}
+
+TEST(CostModel, MemoryBoundKernelScalesWithBytes) {
+  const auto& g = tesla_v100();
+  auto k = elementwise();
+  const double occ = achieved_occupancy(k, g);
+  const Ns t1 = kernel_duration(k, g, occ);
+  k.dram_read_bytes *= 2;
+  k.dram_write_bytes *= 2;
+  const Ns t2 = kernel_duration(k, g, occ);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(static_cast<double>(t2) / static_cast<double>(t1), 2.0, 0.15);
+}
+
+TEST(CostModel, BigConvLandsInPaperLatencyRange) {
+  // Table III: this kernel measures 4.91 ms on V100 at batch 256.
+  const auto& g = tesla_v100();
+  const auto k = big_conv();
+  const double occ = achieved_occupancy(k, g);
+  const Ns t = kernel_duration(k, g, occ);
+  EXPECT_GT(to_ms(t), 2.0);
+  EXPECT_LT(to_ms(t), 10.0);
+}
+
+TEST(CostModel, FasterGpuIsFasterOnComputeBoundKernels) {
+  const auto k = big_conv();
+  const Ns v100 = kernel_duration(k, tesla_v100(), 0.5);
+  const Ns m60 = kernel_duration(k, tesla_m60(), 0.5);
+  EXPECT_LT(v100, m60);
+}
+
+TEST(CostModel, HigherBandwidthWinsOnMemoryBoundKernels) {
+  const auto k = elementwise();
+  // V100: 900 GB/s; Quadro RTX: 624 GB/s. The paper notes Quadro RTX
+  // "straggles on memory-bound layers" despite higher peak FLOPS.
+  const Ns v100 = kernel_duration(k, tesla_v100(), 0.6);
+  const Ns rtx = kernel_duration(k, quadro_rtx(), 0.6);
+  EXPECT_LT(v100, rtx);
+}
+
+TEST(CostModel, LowOccupancySlowsKernels) {
+  const auto& g = tesla_v100();
+  const auto k = big_conv();
+  const Ns high = kernel_duration(k, g, 0.9);
+  const Ns low = kernel_duration(k, g, 0.05);
+  EXPECT_GT(low, high);
+}
+
+TEST(CostModel, DurationIsAlwaysPositive) {
+  const auto& g = tesla_v100();
+  KernelDesc empty;
+  empty.name = "noop";
+  EXPECT_GT(kernel_duration(empty, g, 0.5), 0);
+}
+
+TEST(Occupancy, SmallGridCannotFillDevice) {
+  const auto& g = tesla_v100();
+  KernelDesc k = big_conv();
+  k.grid = {2, 1, 1};  // 2 blocks on an 80-SM part
+  EXPECT_LT(achieved_occupancy(k, g), 0.05);
+}
+
+TEST(Occupancy, LargeGridApproachesTheoreticalLimit) {
+  const auto& g = tesla_v100();
+  KernelDesc k = elementwise();
+  k.grid = {100'000, 1, 1};
+  k.registers_per_thread = 32;
+  EXPECT_GT(achieved_occupancy(k, g), 0.5);
+}
+
+TEST(Occupancy, RegisterPressureLimitsOccupancy) {
+  const auto& g = tesla_v100();
+  KernelDesc heavy = elementwise();
+  heavy.grid = {100'000, 1, 1};
+  heavy.registers_per_thread = 255;
+  KernelDesc light = heavy;
+  light.registers_per_thread = 32;
+  EXPECT_LT(achieved_occupancy(heavy, g), achieved_occupancy(light, g));
+}
+
+TEST(Occupancy, AlwaysInUnitInterval) {
+  const auto& g = tesla_p4();
+  for (int grid = 1; grid <= 1 << 20; grid *= 4) {
+    KernelDesc k = elementwise();
+    k.grid = {grid, 1, 1};
+    const double occ = achieved_occupancy(k, g);
+    EXPECT_GT(occ, 0.0);
+    EXPECT_LE(occ, 1.0);
+  }
+}
+
+TEST(Roofline, ClassificationMatchesIdealIntensity) {
+  const auto& g = tesla_v100();  // knee at 17.44 flops/byte
+  EXPECT_TRUE(is_memory_bound(10.0, 1.0, g));    // AI = 10
+  EXPECT_FALSE(is_memory_bound(100.0, 1.0, g));  // AI = 100
+}
+
+TEST(Roofline, PaperKernelClassifications) {
+  const auto& g = tesla_v100();
+  // Table III: volta_cgemm_32x32_tn — AI 876.97, compute-bound.
+  EXPECT_FALSE(is_memory_bound(77.42e9, 40.33e6 + 43.86e6, g));
+  // Table IV: Eigen scalar_product_op — AI 0.26, memory-bound.
+  EXPECT_TRUE(is_memory_bound(2.85e9, 4181.23e6 + 6371.12e6, g));
+}
+
+TEST(Roofline, ArithmeticHelpers) {
+  EXPECT_DOUBLE_EQ(arithmetic_intensity(100.0, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(arithmetic_intensity(100.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(arithmetic_throughput(1e9, ms(1)), 1e12);
+  EXPECT_DOUBLE_EQ(arithmetic_throughput(1e9, 0), 0.0);
+}
+
+TEST(Memcpy, DurationScalesWithBytes) {
+  const auto& g = tesla_v100();
+  MemcpyDesc small{MemcpyDesc::Direction::kHostToDevice, 1e6};
+  MemcpyDesc large{MemcpyDesc::Direction::kHostToDevice, 100e6};
+  EXPECT_LT(memcpy_duration(small, g), memcpy_duration(large, g));
+}
+
+TEST(Memcpy, DeviceToDeviceUsesDramBandwidth) {
+  const auto& g = tesla_v100();
+  MemcpyDesc h2d{MemcpyDesc::Direction::kHostToDevice, 100e6};
+  MemcpyDesc d2d{MemcpyDesc::Direction::kDeviceToDevice, 100e6};
+  EXPECT_LT(memcpy_duration(d2d, g), memcpy_duration(h2d, g));
+}
+
+TEST(KernelClass, AllClassesHaveNamesAndEfficiencies) {
+  for (auto c : {KernelClass::kConvImplicitGemm, KernelClass::kConvImplicitPrecompGemm,
+                 KernelClass::kConvFft, KernelClass::kConvWinograd, KernelClass::kGemm,
+                 KernelClass::kElementwise, KernelClass::kReduction,
+                 KernelClass::kDataMovement}) {
+    EXPECT_STRNE(kernel_class_name(c), "?");
+    const auto eff = class_efficiency(c);
+    EXPECT_GT(eff.compute, 0.0);
+    EXPECT_LE(eff.compute, 1.0);
+    EXPECT_GT(eff.memory, 0.0);
+    EXPECT_LE(eff.memory, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace xsp::sim

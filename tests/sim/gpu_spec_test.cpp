@@ -1,0 +1,70 @@
+#include "xsp/sim/gpu_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace xsp::sim {
+namespace {
+
+TEST(GpuSpec, FiveSystemsInPaperOrder) {
+  auto all = all_systems();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].name, "Quadro_RTX");
+  EXPECT_EQ(all[1].name, "Tesla_V100");
+  EXPECT_EQ(all[2].name, "Tesla_P100");
+  EXPECT_EQ(all[3].name, "Tesla_P4");
+  EXPECT_EQ(all[4].name, "Tesla_M60");
+}
+
+TEST(GpuSpec, TableSevenNumbers) {
+  EXPECT_DOUBLE_EQ(quadro_rtx().peak_tflops, 16.3);
+  EXPECT_DOUBLE_EQ(quadro_rtx().mem_bw_gbps, 624);
+  EXPECT_DOUBLE_EQ(tesla_v100().peak_tflops, 15.7);
+  EXPECT_DOUBLE_EQ(tesla_v100().mem_bw_gbps, 900);
+  EXPECT_DOUBLE_EQ(tesla_p100().peak_tflops, 9.3);
+  EXPECT_DOUBLE_EQ(tesla_p100().mem_bw_gbps, 732);
+  EXPECT_DOUBLE_EQ(tesla_p4().peak_tflops, 5.5);
+  EXPECT_DOUBLE_EQ(tesla_p4().mem_bw_gbps, 192);
+  EXPECT_DOUBLE_EQ(tesla_m60().peak_tflops, 4.8);
+  EXPECT_DOUBLE_EQ(tesla_m60().mem_bw_gbps, 160);
+}
+
+TEST(GpuSpec, IdealArithmeticIntensityMatchesTableSeven) {
+  // Table VII's last column, computed the same way the paper does.
+  EXPECT_NEAR(quadro_rtx().ideal_arithmetic_intensity(), 26.12, 0.01);
+  EXPECT_NEAR(tesla_v100().ideal_arithmetic_intensity(), 17.44, 0.01);
+  EXPECT_NEAR(tesla_p100().ideal_arithmetic_intensity(), 12.70, 0.01);
+  EXPECT_NEAR(tesla_p4().ideal_arithmetic_intensity(), 28.64, 0.35);
+  EXPECT_NEAR(tesla_m60().ideal_arithmetic_intensity(), 30.0, 0.15);
+}
+
+TEST(GpuSpec, ArchitecturesMatchGenerations) {
+  EXPECT_EQ(quadro_rtx().arch, GpuArch::kTuring);
+  EXPECT_EQ(tesla_v100().arch, GpuArch::kVolta);
+  EXPECT_EQ(tesla_p100().arch, GpuArch::kPascal);
+  EXPECT_EQ(tesla_p4().arch, GpuArch::kPascal);
+  EXPECT_EQ(tesla_m60().arch, GpuArch::kMaxwell);
+}
+
+TEST(GpuSpec, KernelPrefixSplitsAtVolta) {
+  // Section IV-C: Volta/Turing dispatch volta_* kernels, earlier parts
+  // dispatch maxwell_* kernels.
+  EXPECT_STREQ(arch_kernel_prefix(GpuArch::kTuring), "volta");
+  EXPECT_STREQ(arch_kernel_prefix(GpuArch::kVolta), "volta");
+  EXPECT_STREQ(arch_kernel_prefix(GpuArch::kPascal), "maxwell");
+  EXPECT_STREQ(arch_kernel_prefix(GpuArch::kMaxwell), "maxwell");
+}
+
+TEST(GpuSpec, LookupByName) {
+  EXPECT_EQ(system_by_name("Tesla_V100").gpu, "Tesla V100-SXM2-16GB");
+  EXPECT_THROW(system_by_name("Tesla_K80"), std::invalid_argument);
+}
+
+TEST(GpuSpec, ArchNames) {
+  EXPECT_STREQ(arch_name(GpuArch::kMaxwell), "Maxwell");
+  EXPECT_STREQ(arch_name(GpuArch::kTuring), "Turing");
+}
+
+}  // namespace
+}  // namespace xsp::sim

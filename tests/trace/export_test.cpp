@@ -1,0 +1,109 @@
+#include "xsp/trace/export.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsp::trace {
+namespace {
+
+Timeline sample_timeline() {
+  std::vector<Span> spans;
+  Span model;
+  model.id = 1;
+  model.level = kModelLevel;
+  model.name = "Model Prediction";
+  model.tracer = "model_timer";
+  model.begin = 0;
+  model.end = ms(10);
+  spans.push_back(model);
+
+  Span layer;
+  layer.id = 2;
+  layer.level = kLayerLevel;
+  layer.name = "conv2d/Conv2D";
+  layer.begin = us(100);
+  layer.end = us(900);
+  layer.tags["layer_type"] = "Conv2D";
+  layer.metrics["alloc_bytes"] = 1024;
+  spans.push_back(layer);
+  return Timeline::assemble(spans);
+}
+
+TEST(Export, ChromeTraceHasCompleteEvents) {
+  const auto json = to_chrome_trace(sample_timeline());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"Model Prediction\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"conv2d/Conv2D\""), std::string::npos);
+  // Duration of the model span: 10 ms = 10000 us.
+  EXPECT_NE(json.find("\"dur\":10000"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceNamesLevelTracks) {
+  const auto json = to_chrome_trace(sample_timeline());
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"gpu_kernel\""), std::string::npos);
+  EXPECT_NE(json.find("\"layer\""), std::string::npos);
+}
+
+TEST(Export, ArgsCarryTagsAndMetrics) {
+  const auto json = to_chrome_trace(sample_timeline());
+  EXPECT_NE(json.find("\"layer_type\":\"Conv2D\""), std::string::npos);
+  EXPECT_NE(json.find("\"alloc_bytes\":1024"), std::string::npos);
+}
+
+TEST(Export, SpanJsonRoundTripsStructure) {
+  const auto json = to_span_json(sample_timeline());
+  EXPECT_NE(json.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"parent\":1"), std::string::npos);  // layer -> model
+  EXPECT_NE(json.find("\"begin_ns\":100000"), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"regular\""), std::string::npos);
+}
+
+TEST(Export, EscapesSpecialCharacters) {
+  std::vector<Span> spans;
+  Span s;
+  s.id = 1;
+  s.level = kKernelLevel;
+  s.name = "Eigen::TensorCwiseBinaryOp<scalar_max_op<float>, \"quoted\">\n";
+  s.begin = 0;
+  s.end = 1;
+  spans.push_back(s);
+  const auto json = to_chrome_trace(Timeline::assemble(spans));
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // no raw newlines
+}
+
+TEST(Export, EmptyTimelineIsValidJson) {
+  const auto chrome = to_chrome_trace(Timeline::assemble({}));
+  EXPECT_EQ(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_EQ(to_span_json(Timeline::assemble({})), "[]");
+}
+
+TEST(Export, BalancedBracesSmokeCheck) {
+  const auto json = to_chrome_trace(sample_timeline());
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+    } else if (c == '"') {
+      in_string = !in_string;
+    } else if (!in_string && (c == '{' || c == '[')) {
+      ++depth;
+    } else if (!in_string && (c == '}' || c == ']')) {
+      --depth;
+      EXPECT_GE(depth, 0);
+    }
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+}  // namespace
+}  // namespace xsp::trace

@@ -1,0 +1,147 @@
+// Property tests: randomized nested traces checked against a brute-force
+// parent-assignment oracle, and structural invariants of assembly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "xsp/common/rng.hpp"
+#include "xsp/trace/timeline.hpp"
+
+namespace xsp::trace {
+namespace {
+
+/// Generate a random strictly-nested trace: the model span covers
+/// disjoint layer spans, each covering disjoint kernel spans.
+std::vector<Span> random_nested_trace(std::uint64_t seed, int layers, int kernels_per_layer) {
+  SplitMix64 rng(seed);
+  std::vector<Span> spans;
+  SpanId next_id = 1;
+
+  Span model;
+  model.id = next_id++;
+  model.level = kModelLevel;
+  model.name = "Predict";
+  model.begin = 0;
+
+  TimePoint t = 10;
+  for (int l = 0; l < layers; ++l) {
+    Span layer;
+    layer.id = next_id++;
+    layer.level = kLayerLevel;
+    layer.name = "layer_" + std::to_string(l);
+    layer.begin = t;
+    TimePoint kt = t + 1 + static_cast<TimePoint>(rng.below(5));
+    for (int k = 0; k < kernels_per_layer; ++k) {
+      Span kernel;
+      kernel.id = next_id++;
+      kernel.level = kKernelLevel;
+      kernel.name = "kernel_" + std::to_string(l) + "_" + std::to_string(k);
+      kernel.begin = kt;
+      kernel.end = kt + 1 + static_cast<TimePoint>(rng.below(50));
+      kt = kernel.end + 1 + static_cast<TimePoint>(rng.below(5));
+      spans.push_back(kernel);
+    }
+    layer.end = kt + static_cast<TimePoint>(rng.below(5));
+    t = layer.end + 1 + static_cast<TimePoint>(rng.below(10));
+    spans.push_back(layer);
+  }
+  model.end = t + 5;
+  spans.push_back(model);
+  return spans;
+}
+
+/// Brute-force oracle: smallest enclosing span at the nearest lower level
+/// that has any spans (mirroring assembly's absent-level fall-through).
+std::map<SpanId, SpanId> oracle_parents(const std::vector<Span>& spans) {
+  std::map<SpanId, SpanId> parents;
+  std::map<int, int> level_counts;
+  for (const auto& s : spans) level_counts[s.level] += 1;
+
+  for (const auto& child : spans) {
+    int parent_level = child.level - 1;
+    while (parent_level >= kApplicationLevel && level_counts[parent_level] == 0) {
+      --parent_level;
+    }
+    SpanId best = kNoSpan;
+    Ns best_len = 0;
+    for (const auto& cand : spans) {
+      if (cand.level != parent_level) continue;
+      if (cand.begin <= child.begin && cand.end >= child.end) {
+        if (best == kNoSpan || cand.duration() < best_len) {
+          best = cand.id;
+          best_len = cand.duration();
+        }
+      }
+    }
+    parents[child.id] = best;
+  }
+  return parents;
+}
+
+class TimelineRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimelineRandomized, MatchesBruteForceOracle) {
+  const auto spans = random_nested_trace(GetParam(), 20, 4);
+  const auto expected = oracle_parents(spans);
+  const auto tl = Timeline::assemble(spans);
+  ASSERT_EQ(tl.size(), spans.size());
+  for (const auto& s : spans) {
+    EXPECT_EQ(tl.node(s.id).parent, expected.at(s.id)) << s.name;
+  }
+  EXPECT_EQ(tl.ambiguous_count(), 0u);
+}
+
+TEST_P(TimelineRandomized, EveryNodeReachableExactlyOnceFromRoots) {
+  const auto spans = random_nested_trace(GetParam(), 15, 3);
+  const auto tl = Timeline::assemble(spans);
+  std::map<SpanId, int> visits;
+  tl.walk([&](const TimelineNode& n, int) { visits[n.span.id] += 1; });
+  EXPECT_EQ(visits.size(), spans.size());
+  for (const auto& [id, count] : visits) {
+    EXPECT_EQ(count, 1) << "span " << id;
+  }
+}
+
+TEST_P(TimelineRandomized, ChildrenIntervalsWithinParent) {
+  const auto spans = random_nested_trace(GetParam(), 15, 3);
+  const auto tl = Timeline::assemble(spans);
+  tl.walk([&](const TimelineNode& n, int) {
+    for (const SpanId c : n.children) {
+      const auto& child = tl.node(c).span;
+      EXPECT_GE(child.begin, n.span.begin);
+      EXPECT_LE(child.end, n.span.end);
+    }
+  });
+}
+
+TEST_P(TimelineRandomized, ChildrenSortedByBeginTime) {
+  const auto spans = random_nested_trace(GetParam(), 15, 3);
+  const auto tl = Timeline::assemble(spans);
+  tl.walk([&](const TimelineNode& n, int) {
+    for (std::size_t i = 1; i < n.children.size(); ++i) {
+      EXPECT_LE(tl.node(n.children[i - 1]).span.begin, tl.node(n.children[i]).span.begin);
+    }
+  });
+}
+
+TEST_P(TimelineRandomized, ShuffledPublicationOrderIsIrrelevant) {
+  auto spans = random_nested_trace(GetParam(), 12, 3);
+  const auto reference = Timeline::assemble(spans);
+  SplitMix64 rng(GetParam() ^ 0xABCDEF);
+  for (std::size_t i = spans.size(); i > 1; --i) {
+    std::swap(spans[i - 1], spans[rng.below(i)]);
+  }
+  const auto shuffled = Timeline::assemble(spans);
+  ASSERT_EQ(shuffled.size(), reference.size());
+  reference.walk([&](const TimelineNode& n, int) {
+    EXPECT_EQ(shuffled.node(n.span.id).parent, n.parent) << n.span.name;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimelineRandomized,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u));
+
+}  // namespace
+}  // namespace xsp::trace

@@ -1,0 +1,301 @@
+// xsp — command-line front-end to the profiler.
+//
+//   xsp list-models                      enumerate the model zoo
+//   xsp list-systems                     enumerate the Table VII systems
+//   xsp profile  --model NAME [...]      leveled profile + chosen analyses
+//   xsp sweep    --model NAME [...]      batch sweep + optimal batch (A1)
+//
+// Common options:
+//   --system NAME        (default Tesla_V100)
+//   --framework tflow|mxlite             (default tflow)
+//   --batch N            (default 1)
+//   --analyses LIST      comma list of a1..a15 or "all" (default a2,a10,a15)
+//   --library-level      enable the cuDNN/cuBLAS call tracing level
+//   --export-chrome F    write the M/L/G timeline as Chrome trace JSON
+//   --export-spans F     write the flat span JSON
+//   --csv                emit tables as CSV instead of aligned text
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "xsp/analysis/analyses.hpp"
+#include "xsp/analysis/batch_sweep.hpp"
+#include "xsp/common/format.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/leveled.hpp"
+#include "xsp/report/table.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+#include "xsp/trace/export.hpp"
+
+namespace {
+
+using namespace xsp;
+
+struct CliOptions {
+  std::string command;
+  std::string model = "MLPerf_ResNet50_v1.5";
+  std::string system = "Tesla_V100";
+  std::string framework = "tflow";
+  std::int64_t batch = 1;
+  std::int64_t max_batch = 256;
+  std::set<std::string> analyses{"a2", "a10", "a15"};
+  bool library_level = false;
+  bool csv = false;
+  std::string export_chrome;
+  std::string export_spans;
+};
+
+void print_usage() {
+  std::printf(
+      "usage: xsp <list-models|list-systems|profile|sweep> [options]\n"
+      "  --model NAME --system NAME --framework tflow|mxlite --batch N\n"
+      "  --max-batch N --analyses a1,..,a15|all --library-level\n"
+      "  --export-chrome FILE --export-spans FILE --csv\n");
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  if (argc < 2) return false;
+  opts.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--model") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.model = v;
+    } else if (arg == "--system") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.system = v;
+    } else if (arg == "--framework") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.framework = v;
+    } else if (arg == "--batch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.batch = std::atoll(v);
+    } else if (arg == "--max-batch") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.max_batch = std::atoll(v);
+    } else if (arg == "--analyses") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.analyses.clear();
+      std::stringstream ss(v);
+      std::string item;
+      while (std::getline(ss, item, ',')) opts.analyses.insert(item);
+    } else if (arg == "--library-level") {
+      opts.library_level = true;
+    } else if (arg == "--csv") {
+      opts.csv = true;
+    } else if (arg == "--export-chrome") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.export_chrome = v;
+    } else if (arg == "--export-spans") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      opts.export_spans = v;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool wants(const CliOptions& opts, const std::string& id) {
+  return opts.analyses.count("all") != 0 || opts.analyses.count(id) != 0;
+}
+
+void emit(const CliOptions& opts, const report::TextTable& t) {
+  std::printf("%s\n", opts.csv ? t.csv().c_str() : t.str().c_str());
+}
+
+int cmd_list_models(const CliOptions& opts) {
+  report::TextTable t({"ID", "Name", "Task", "Accuracy", "Frameworks"});
+  for (const auto& m : models::tensorflow_models()) {
+    const bool also_mxnet = models::find_mxnet_model(m.id) != nullptr &&
+                            models::find_mxnet_model(m.id)->name == m.name;
+    t.add_row({std::to_string(m.id), m.name, m.task, fmt_fixed(m.paper.accuracy, 2),
+               also_mxnet ? "tflow,mxlite" : "tflow"});
+  }
+  emit(opts, t);
+  return 0;
+}
+
+int cmd_list_systems(const CliOptions& opts) {
+  report::TextTable t({"Name", "GPU", "Architecture", "TFLOPS", "GB/s", "Ideal AI"});
+  for (const auto& s : sim::all_systems()) {
+    t.add_row({s.name, s.gpu, sim::arch_name(s.arch), fmt_fixed(s.peak_tflops, 1),
+               fmt_fixed(s.mem_bw_gbps, 0), fmt_fixed(s.ideal_arithmetic_intensity(), 2)});
+  }
+  emit(opts, t);
+  return 0;
+}
+
+int write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << content;
+  std::printf("wrote %s (%zu bytes)\n", path.c_str(), content.size());
+  return 0;
+}
+
+int cmd_profile(const CliOptions& opts) {
+  const auto* model = models::find_tensorflow_model(opts.model);
+  if (model == nullptr) {
+    std::fprintf(stderr, "unknown model: %s (try `xsp list-models`)\n", opts.model.c_str());
+    return 1;
+  }
+  const auto& system = sim::system_by_name(opts.system);
+  const auto fw = opts.framework == "mxlite" ? framework::FrameworkKind::kMXLite
+                                             : framework::FrameworkKind::kTFlow;
+
+  profile::LeveledRunner runner(system, fw);
+  const auto graph = model->build(opts.batch, runner.decompose_batchnorm());
+  const auto result = runner.run(graph);
+
+  std::printf("%s | %s | %s | batch %lld\n", model->name.c_str(), system.name.c_str(),
+              framework::framework_name(fw), static_cast<long long>(opts.batch));
+  std::printf("model latency %.3f ms | layer overhead %.3f ms | GPU overhead %.3f ms | "
+              "GPU latency %.1f%% | conv latency %.1f%%\n\n",
+              to_ms(result.profile.model_latency), to_ms(result.layer_overhead()),
+              to_ms(result.gpu_overhead()), analysis::gpu_latency_percentage(result.profile),
+              analysis::conv_latency_percentage(result.profile));
+
+  const auto& p = result.profile;
+  if (wants(opts, "a2") || wants(opts, "a3") || wants(opts, "a4")) {
+    report::TextTable t({"Index", "Name", "Type", "Shape", "Latency (ms)", "Alloc (MB)"});
+    for (const auto& r : analysis::top_layers_by_latency(p, 10)) {
+      t.add_row({std::to_string(r.index), r.name, r.type, r.shape, fmt_fixed(r.latency_ms, 3),
+                 fmt_fixed(r.alloc_mb, 1)});
+    }
+    std::printf("A2 top-10 layers:\n");
+    emit(opts, t);
+  }
+  if (wants(opts, "a5") || wants(opts, "a6") || wants(opts, "a7")) {
+    report::TextTable t({"Type", "Count", "Count %", "Latency %", "Alloc %"});
+    for (const auto& a : analysis::layer_type_aggregation(p)) {
+      t.add_row({a.type, std::to_string(a.count), fmt_fixed(a.count_pct, 1),
+                 fmt_fixed(a.latency_pct, 1), fmt_fixed(a.alloc_pct, 1)});
+    }
+    std::printf("A5-A7 layer types:\n");
+    emit(opts, t);
+  }
+  if (wants(opts, "a8") || wants(opts, "a9")) {
+    report::TextTable t({"Kernel", "Layer", "Latency (ms)", "Gflops", "AI", "Bound"});
+    for (const auto& r : analysis::top_kernels_by_latency(p, system, 10)) {
+      t.add_row({r.name, std::to_string(r.layer_index), fmt_fixed(r.latency_ms, 3),
+                 fmt_fixed(r.gflops, 2), fmt_fixed(r.arithmetic_intensity, 2),
+                 r.memory_bound ? "memory" : "compute"});
+    }
+    std::printf("A8 top-10 kernel invocations:\n");
+    emit(opts, t);
+  }
+  if (wants(opts, "a10")) {
+    report::TextTable t({"Kernel", "Count", "Latency (ms)", "Latency %", "Occup %", "Bound"});
+    for (const auto& r : analysis::a10_kernel_by_name(p, system)) {
+      t.add_row({r.name, std::to_string(r.count), fmt_fixed(r.latency_ms, 3),
+                 fmt_fixed(r.latency_pct, 2), fmt_fixed(r.occupancy_pct, 1),
+                 r.memory_bound ? "memory" : "compute"});
+    }
+    std::printf("A10 kernels by name:\n");
+    emit(opts, t);
+  }
+  if (wants(opts, "a11") || wants(opts, "a12") || wants(opts, "a13") || wants(opts, "a14")) {
+    report::TextTable t({"Index", "Type", "Layer (ms)", "Kernel (ms)", "GPU %", "Gflops",
+                         "AI", "Bound"});
+    const auto rows = analysis::a11_kernel_by_layer(p, system);
+    const auto gpu = analysis::a13_gpu_vs_nongpu(p);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      t.add_row({std::to_string(r.index), r.type, fmt_fixed(r.layer_latency_ms, 3),
+                 fmt_fixed(r.kernel_latency_ms, 3), fmt_fixed(gpu[i].gpu_pct, 1),
+                 fmt_fixed(r.gflops, 2), fmt_fixed(r.arithmetic_intensity, 2),
+                 r.memory_bound ? "memory" : "compute"});
+    }
+    std::printf("A11-A14 per-layer GPU aggregation:\n");
+    emit(opts, t);
+  }
+  if (wants(opts, "a15")) {
+    const auto agg = analysis::a15_model_aggregate(p, system);
+    std::printf("A15 model aggregate: kernels %.3f ms | %.2f Gflops | reads %.1f MB | "
+                "writes %.1f MB | occupancy %.1f%% | AI %.2f | %s-bound\n\n",
+                agg.kernel_latency_ms, agg.gflops, agg.dram_reads_mb, agg.dram_writes_mb,
+                agg.occupancy_pct, agg.arithmetic_intensity,
+                agg.memory_bound ? "memory" : "compute");
+  }
+
+  if (!opts.export_chrome.empty() || !opts.export_spans.empty()) {
+    // Re-profile once with everything on for the richest timeline.
+    profile::Session session(system, fw);
+    auto popts = profile::ProfileOptions::full(true);
+    popts.library_level = opts.library_level;
+    const auto run = session.profile(graph, popts);
+    if (!opts.export_chrome.empty()) {
+      const int rc = write_file(opts.export_chrome, trace::to_chrome_trace(run.timeline));
+      if (rc != 0) return rc;
+    }
+    if (!opts.export_spans.empty()) {
+      const int rc = write_file(opts.export_spans, trace::to_span_json(run.timeline));
+      if (rc != 0) return rc;
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep(const CliOptions& opts) {
+  const auto* model = models::find_tensorflow_model(opts.model);
+  if (model == nullptr) {
+    std::fprintf(stderr, "unknown model: %s\n", opts.model.c_str());
+    return 1;
+  }
+  const auto& system = sim::system_by_name(opts.system);
+  const auto fw = opts.framework == "mxlite" ? framework::FrameworkKind::kMXLite
+                                             : framework::FrameworkKind::kTFlow;
+  profile::LeveledRunner runner(system, fw);
+  const auto info = analysis::model_information(runner, *model, opts.max_batch);
+
+  report::TextTable t({"Batch", "Latency (ms)", "Inputs/sec"});
+  for (const auto& pt : info.points) {
+    t.add_row({std::to_string(pt.batch), fmt_fixed(pt.latency_ms, 3),
+               fmt_fixed(pt.throughput(), 1)});
+  }
+  emit(opts, t);
+  std::printf("optimal batch %lld | max throughput %.1f inputs/sec | online latency %.3f ms\n",
+              static_cast<long long>(info.optimal_batch), info.max_throughput,
+              info.online_latency_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!parse_args(argc, argv, opts)) {
+    print_usage();
+    return 2;
+  }
+  try {
+    if (opts.command == "list-models") return cmd_list_models(opts);
+    if (opts.command == "list-systems") return cmd_list_systems(opts);
+    if (opts.command == "profile") return cmd_profile(opts);
+    if (opts.command == "sweep") return cmd_sweep(opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  print_usage();
+  return 2;
+}
