@@ -32,7 +32,7 @@ int main() {
       lat_row.push_back(fmt_fixed(kernel_ms, 1));
       if (batch == 256) {
         for (const auto& k : result.profile.kernels) {
-          if (k.name.find("scudnn") != std::string::npos) conv_kernels.insert(k.name);
+          if (k.name.view().find("scudnn") != std::string_view::npos) conv_kernels.insert(k.name.str());
         }
       }
     }

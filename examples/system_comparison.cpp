@@ -39,9 +39,9 @@ int main() {
     const auto result = runner.run_model(*model, 256, /*gpu_metrics=*/false);
     std::map<std::string, int> counts;
     for (const auto& k : result.profile.kernels) {
-      if (k.name.find("scudnn") != std::string::npos ||
-          k.name.find("convolve") != std::string::npos) {
-        counts[k.name] += 1;
+      if (k.name.view().find("scudnn") != std::string_view::npos ||
+          k.name.view().find("convolve") != std::string_view::npos) {
+        counts[k.name.str()] += 1;
       }
     }
     std::printf("  %-11s:", system.name.c_str());

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <array>
-#include <map>
+#include <unordered_map>
 
 #include "xsp/sim/cost_model.hpp"
 
@@ -45,9 +45,9 @@ std::vector<LayerInfoRow> a2_layer_info(const ModelProfile& p) {
   for (const auto& l : p.layers) {
     LayerInfoRow r;
     r.index = l.index;
-    r.name = l.name;
-    r.type = l.type;
-    r.shape = l.shape;
+    r.name = l.name.str();
+    r.type = l.type.str();
+    r.shape = l.shape.str();
     r.latency_ms = to_ms(l.latency);
     r.alloc_mb = l.alloc_bytes / 1e6;
     rows.push_back(std::move(r));
@@ -79,12 +79,14 @@ std::vector<double> a4_layer_alloc_mb(const ModelProfile& p) {
 }
 
 std::vector<LayerTypeAgg> layer_type_aggregation(const ModelProfile& p) {
-  std::map<std::string, LayerTypeAgg> by_type;
+  // Aggregation keys are interned ids: grouping compares/hashes 32 bits
+  // instead of layer-type strings.
+  std::unordered_map<common::StrId, LayerTypeAgg, common::StrIdHash> by_type;
   double total_latency = 0;
   double total_alloc = 0;
   for (const auto& l : p.layers) {
     auto& agg = by_type[l.type];
-    agg.type = l.type;
+    if (agg.type.empty()) agg.type = l.type.str();
     agg.count += 1;
     agg.latency_ms += to_ms(l.latency);
     agg.alloc_mb += l.alloc_bytes / 1e6;
@@ -100,7 +102,8 @@ std::vector<LayerTypeAgg> layer_type_aggregation(const ModelProfile& p) {
     out.push_back(std::move(agg));
   }
   std::sort(out.begin(), out.end(), [](const LayerTypeAgg& a, const LayerTypeAgg& b) {
-    return a.latency_ms > b.latency_ms;
+    if (a.latency_ms != b.latency_ms) return a.latency_ms > b.latency_ms;
+    return a.type < b.type;  // deterministic tie-break
   });
   return out;
 }
@@ -109,7 +112,7 @@ namespace {
 
 KernelInfoRow kernel_row(const profile::KernelView& k, const sim::GpuSpec& gpu) {
   KernelInfoRow r;
-  r.name = k.name;
+  r.name = k.name.str();
   r.layer_index = k.layer_index;
   r.latency_ms = to_ms(k.latency);
   r.gflops = k.flops / 1e9;
@@ -149,7 +152,7 @@ std::vector<RooflinePoint> a9_kernel_roofline(const ModelProfile& p, const sim::
   for (const auto& k : p.kernels) {
     if (k.is_memcpy) continue;
     RooflinePoint pt;
-    pt.label = k.name;
+    pt.label = k.name.str();
     pt.arithmetic_intensity = sim::arithmetic_intensity(k.flops, k.dram_bytes());
     pt.tflops = sim::arithmetic_throughput(k.flops, k.latency) / 1e12;
     pt.latency_ms = to_ms(k.latency);
@@ -165,7 +168,7 @@ std::vector<KernelAggRow> a10_kernel_by_name(const ModelProfile& p, const sim::G
     Ns latency = 0;
     double flops = 0, reads = 0, writes = 0, weighted_occ = 0;
   };
-  std::map<std::string, Acc> by_name;
+  std::unordered_map<common::StrId, Acc, common::StrIdHash> by_name;
   for (const auto& k : p.kernels) {
     if (k.is_memcpy) continue;
     auto& acc = by_name[k.name];
@@ -180,7 +183,7 @@ std::vector<KernelAggRow> a10_kernel_by_name(const ModelProfile& p, const sim::G
   out.reserve(by_name.size());
   for (auto& [name, acc] : by_name) {
     KernelAggRow r;
-    r.name = name;
+    r.name = name.str();
     r.count = acc.count;
     r.latency_ms = to_ms(acc.latency);
     r.latency_pct = safe_pct(to_ms(acc.latency), to_ms(p.model_latency));
@@ -195,7 +198,8 @@ std::vector<KernelAggRow> a10_kernel_by_name(const ModelProfile& p, const sim::G
     out.push_back(std::move(r));
   }
   std::sort(out.begin(), out.end(), [](const KernelAggRow& a, const KernelAggRow& b) {
-    return a.latency_ms > b.latency_ms;
+    if (a.latency_ms != b.latency_ms) return a.latency_ms > b.latency_ms;
+    return a.name < b.name;  // deterministic tie-break
   });
   return out;
 }
@@ -207,8 +211,8 @@ std::vector<LayerKernelAggRow> a11_kernel_by_layer(const ModelProfile& p,
   for (const auto& l : p.layers) {
     LayerKernelAggRow r;
     r.index = l.index;
-    r.name = l.name;
-    r.type = l.type;
+    r.name = l.name.str();
+    r.type = l.type.str();
     r.layer_latency_ms = to_ms(l.latency);
     r.kernel_latency_ms = to_ms(l.kernel_latency);
     r.gflops = l.flops / 1e9;
@@ -254,7 +258,7 @@ std::vector<RooflinePoint> a14_layer_roofline(const ModelProfile& p, const sim::
   for (const auto& l : p.layers) {
     if (l.kernel_latency == 0) continue;  // layers with no GPU work
     RooflinePoint pt;
-    pt.label = l.type;
+    pt.label = l.type.str();
     pt.arithmetic_intensity = sim::arithmetic_intensity(l.flops, l.dram_bytes());
     pt.tflops = sim::arithmetic_throughput(l.flops, l.kernel_latency) / 1e12;
     pt.latency_ms = to_ms(l.latency);
@@ -281,11 +285,13 @@ ModelAggRow a15_model_aggregate(const ModelProfile& p, const sim::GpuSpec& gpu) 
 }
 
 double conv_latency_percentage(const ModelProfile& p) {
+  static const common::StrId kConv2D{"Conv2D"};
+  static const common::StrId kDepthwise{"DepthwiseConv2dNative"};
   Ns conv = 0;
   Ns total = 0;
   for (const auto& l : p.layers) {
     total += l.latency;
-    if (l.type == "Conv2D" || l.type == "DepthwiseConv2dNative") conv += l.latency;
+    if (l.type == kConv2D || l.type == kDepthwise) conv += l.latency;
   }
   return safe_pct(to_ms(conv), to_ms(total));
 }

@@ -33,8 +33,8 @@ MultiRunProfile aggregate_runs(std::span<const profile::ModelProfile> profiles,
   for (std::size_t i = 0; i < first.layers.size(); ++i) {
     LayerStats stats;
     stats.index = first.layers[i].index;
-    stats.name = first.layers[i].name;
-    stats.type = first.layers[i].type;
+    stats.name = first.layers[i].name.str();
+    stats.type = first.layers[i].type.str();
     stats.latency_ms = summarize_over(
         [i](const profile::ModelProfile& p) { return to_ms(p.layers[i].latency); });
     stats.kernel_latency_ms = summarize_over(
@@ -46,7 +46,7 @@ MultiRunProfile aggregate_runs(std::span<const profile::ModelProfile> profiles,
 
   for (std::size_t i = 0; i < first.kernels.size(); ++i) {
     KernelStats stats;
-    stats.name = first.kernels[i].name;
+    stats.name = first.kernels[i].name.str();
     stats.layer_index = first.kernels[i].layer_index;
     stats.latency_ms = summarize_over(
         [i](const profile::ModelProfile& p) { return to_ms(p.kernels[i].latency); });

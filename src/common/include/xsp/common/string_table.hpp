@@ -1,0 +1,110 @@
+// StringTable / StrId: process-wide string interning for the span hot path.
+//
+// Every profiled event at every stack level becomes a span (paper,
+// Section III-A), so at production trace rates the measurement layer's own
+// allocation behaviour dominates: two heap strings plus two node-based maps
+// per span is what the pre-refactor profile showed. Spans therefore carry
+// 32-bit interned ids; the bytes live once, in a sharded global table.
+//
+// Properties:
+//   * interning is thread-safe (sharded; shared-lock fast path on hit),
+//   * ids are stable for the process lifetime — resolution never dangles,
+//   * equal strings always intern to the equal id, so span-keyed
+//     aggregations compare and hash ids instead of bytes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace xsp::common {
+
+class StringTable {
+ public:
+  /// The process-wide table all StrIds resolve against.
+  static StringTable& global();
+
+  StringTable();
+  StringTable(const StringTable&) = delete;
+  StringTable& operator=(const StringTable&) = delete;
+
+  /// Intern `s`, returning its stable id. The empty string is always id 0.
+  std::uint32_t intern(std::string_view s);
+
+  /// Resolve an id. Valid for the lifetime of the table (the global table
+  /// never evicts, so resolved references are stable).
+  [[nodiscard]] const std::string& str(std::uint32_t id) const;
+  [[nodiscard]] std::string_view view(std::uint32_t id) const { return str(id); }
+
+  /// Number of distinct strings interned so far.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  // The id encodes (slot << kShardBits) | shard; shard choice follows the
+  // string hash so unrelated producers rarely contend on one shard lock.
+  static constexpr std::uint32_t kShardBits = 4;
+  static constexpr std::uint32_t kShardCount = 1u << kShardBits;
+
+  /// Process-unique table generation: guards per-thread intern caches
+  /// against a destroyed table whose address was reused.
+  std::uint64_t uid_;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    // Views key into `strings`, whose elements have stable addresses.
+    std::unordered_map<std::string_view, std::uint32_t> index;
+    std::deque<std::string> strings;
+  };
+
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// Interned string id. Implicitly constructible from any string-ish value
+/// (which interns into the global table), so call sites read like plain
+/// string assignment while storage stays a 32-bit handle.
+class StrId {
+ public:
+  constexpr StrId() noexcept = default;
+  StrId(std::string_view s) : id_(StringTable::global().intern(s)) {}  // NOLINT(google-explicit-constructor)
+  StrId(const char* s) : StrId(std::string_view(s)) {}                 // NOLINT(google-explicit-constructor)
+  StrId(const std::string& s) : StrId(std::string_view(s)) {}          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] std::uint32_t raw() const noexcept { return id_; }
+  [[nodiscard]] bool empty() const noexcept { return id_ == 0; }
+
+  [[nodiscard]] const std::string& str() const { return StringTable::global().str(id_); }
+  [[nodiscard]] std::string_view view() const { return str(); }
+  [[nodiscard]] const char* c_str() const { return str().c_str(); }
+
+  friend bool operator==(StrId a, StrId b) noexcept { return a.id_ == b.id_; }
+  friend bool operator!=(StrId a, StrId b) noexcept { return a.id_ != b.id_; }
+  // Exact-match text comparisons (avoid ambiguity with the implicit
+  // interning constructor; comparing does not intern).
+  friend bool operator==(StrId a, std::string_view b) { return a.view() == b; }
+  friend bool operator==(std::string_view a, StrId b) { return a == b.view(); }
+  friend bool operator==(StrId a, const char* b) { return a.view() == b; }
+  friend bool operator==(const char* a, StrId b) { return b.view() == a; }
+  friend bool operator==(StrId a, const std::string& b) { return a.view() == b; }
+  friend bool operator==(const std::string& a, StrId b) { return b.view() == a; }
+  /// Lexicographic, for deterministic presentation-order sorts.
+  friend bool operator<(StrId a, StrId b) { return a.id_ != b.id_ && a.view() < b.view(); }
+
+  friend std::ostream& operator<<(std::ostream& os, StrId id) { return os << id.view(); }
+
+ private:
+  std::uint32_t id_ = 0;
+};
+
+struct StrIdHash {
+  std::size_t operator()(StrId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.raw());
+  }
+};
+
+}  // namespace xsp::common

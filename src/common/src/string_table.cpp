@@ -1,0 +1,105 @@
+#include "xsp/common/string_table.hpp"
+
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
+namespace xsp::common {
+
+StringTable& StringTable::global() {
+  static StringTable table;
+  return table;
+}
+
+namespace {
+
+std::uint64_t next_table_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+StringTable::StringTable() : uid_(next_table_uid()) {
+  // Reserve id 0 for the empty string: shard 0, slot 0.
+  auto& shard = shards_[0];
+  shard.strings.emplace_back();
+  shard.index.emplace(std::string_view(shard.strings.back()), 0u);
+}
+
+namespace {
+
+/// Per-thread direct-mapped intern cache. Producers intern the same few
+/// names over and over (kernel names, tag keys); a hit answers from TLS
+/// with zero atomics, which also keeps concurrent publishers from
+/// ping-ponging the shard lock cache line. Entries reference the table's
+/// stable canonical storage, so hits never dangle.
+struct InternCacheLine {
+  const void* table;
+  std::uint64_t table_uid;  ///< address reuse guard
+  std::size_t hash;
+  const char* data;
+  std::uint32_t size;
+  std::uint32_t id;
+};
+
+constexpr std::size_t kInternCacheSize = 256;  // power of two
+
+}  // namespace
+
+std::uint32_t StringTable::intern(std::string_view s) {
+  if (s.empty()) return 0;
+  const std::size_t hash = std::hash<std::string_view>{}(s);
+
+  thread_local InternCacheLine cache[kInternCacheSize] = {};
+  InternCacheLine& line = cache[hash & (kInternCacheSize - 1)];
+  if (line.table == this && line.table_uid == uid_ && line.hash == hash &&
+      line.size == s.size() && std::memcmp(line.data, s.data(), s.size()) == 0) {
+    return line.id;
+  }
+
+  const auto shard_idx = static_cast<std::uint32_t>(hash & (kShardCount - 1));
+  Shard& shard = shards_[shard_idx];
+  std::string_view canonical;
+  std::uint32_t id = 0;
+  {
+    std::shared_lock lk(shard.mu);
+    if (auto it = shard.index.find(s); it != shard.index.end()) {
+      canonical = it->first;
+      id = it->second;
+    }
+  }
+  if (canonical.data() == nullptr) {
+    std::unique_lock lk(shard.mu);
+    if (auto it = shard.index.find(s); it != shard.index.end()) {
+      canonical = it->first;
+      id = it->second;
+    } else {
+      const auto slot = static_cast<std::uint32_t>(shard.strings.size());
+      shard.strings.emplace_back(s);
+      id = (slot << kShardBits) | shard_idx;
+      canonical = std::string_view(shard.strings.back());
+      shard.index.emplace(canonical, id);
+    }
+  }
+  line = {this, uid_, hash, canonical.data(), static_cast<std::uint32_t>(canonical.size()), id};
+  return id;
+}
+
+const std::string& StringTable::str(std::uint32_t id) const {
+  const Shard& shard = shards_[id & (kShardCount - 1)];
+  std::shared_lock lk(shard.mu);
+  return shard.strings.at(id >> kShardBits);
+}
+
+std::size_t StringTable::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lk(shard.mu);
+    total += shard.strings.size();
+  }
+  // Subtract the reserved empty string.
+  return total - 1;
+}
+
+}  // namespace xsp::common

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "xsp/common/string_table.hpp"
 #include "xsp/common/time.hpp"
 #include "xsp/sim/device.hpp"
 
@@ -64,11 +65,12 @@ struct CuptiOptions {
   Ns flush_overhead_ns = ms(75);
 };
 
-/// One captured runtime API call.
+/// One captured runtime API call. The kernel name is interned: capturing a
+/// record in the callback hot path stores a 32-bit id, not a string copy.
 struct ApiRecord {
   sim::ApiCallbackInfo::Api api = sim::ApiCallbackInfo::Api::kLaunchKernel;
   std::uint64_t correlation_id = 0;
-  std::string name;
+  common::StrId name;
   TimePoint begin = 0;
   TimePoint end = 0;
 };

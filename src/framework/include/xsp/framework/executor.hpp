@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "xsp/common/string_table.hpp"
 #include "xsp/common/time.hpp"
 #include "xsp/dnn/ops.hpp"
 #include "xsp/framework/layer.hpp"
@@ -55,11 +56,13 @@ struct FrameworkTraits {
 FrameworkTraits traits_for(FrameworkKind kind);
 
 /// One record emitted by the framework profiler — the layer-level data XSP
-/// converts into spans (index, name, type, shape, latency, memory).
+/// converts into spans (index, name, type, shape, latency, memory). Names
+/// and types are interned so per-layer record emission allocates nothing
+/// after the first run over a graph.
 struct LayerRecord {
   int index = 0;
-  std::string name;
-  std::string type;
+  common::StrId name;
+  common::StrId type;
   dnn::Shape4 shape;
   TimePoint begin = 0;
   TimePoint end = 0;
@@ -80,7 +83,7 @@ struct RunOptions {
 /// One ML-library API call (cudnnConvolutionForward, cublasSgemm, ...)
 /// with its CPU-side window.
 struct LibraryCallRecord {
-  std::string name;
+  common::StrId name;
   int layer_index = 0;
   TimePoint begin = 0;
   TimePoint end = 0;

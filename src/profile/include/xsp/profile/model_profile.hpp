@@ -15,14 +15,17 @@
 #include <string>
 #include <vector>
 
+#include "xsp/common/string_table.hpp"
 #include "xsp/common/time.hpp"
 #include "xsp/profile/session.hpp"
 
 namespace xsp::profile {
 
-/// One GPU kernel (or memcpy) invocation, correlated to its layer.
+/// One GPU kernel (or memcpy) invocation, correlated to its layer. Names
+/// are interned StrIds so analyses aggregate by 32-bit id comparison; use
+/// .str()/.view() at presentation boundaries.
 struct KernelView {
-  std::string name;
+  common::StrId name;
   int layer_index = -1;  ///< -1 when no layer profile was available
   Ns latency = 0;
   double flops = 0;
@@ -38,9 +41,9 @@ struct KernelView {
 /// aggregated GPU-kernel statistics.
 struct LayerView {
   int index = 0;
-  std::string name;
-  std::string type;   ///< "Conv2D", "Mul", ...
-  std::string shape;  ///< output shape, "<256, 512, 7, 7>"
+  common::StrId name;
+  common::StrId type;   ///< "Conv2D", "Mul", ...
+  common::StrId shape;  ///< output shape, "<256, 512, 7, 7>"
   Ns latency = 0;     ///< from the M/L run (accurate at layer level)
   double alloc_bytes = 0;
 

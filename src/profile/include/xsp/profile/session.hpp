@@ -85,7 +85,7 @@ class Session {
 
   /// The model-level tracing API (paper Section III-B, point 1). Spans
   /// started here are model-level; nesting is by explicit parent.
-  trace::SpanId start_span(const std::string& name, trace::SpanId parent = trace::kNoSpan);
+  trace::SpanId start_span(trace::StrId name, trace::SpanId parent = trace::kNoSpan);
   void finish_span(trace::SpanId id);
 
   /// Simulated CPU work inside user code (pre/post-processing bodies).

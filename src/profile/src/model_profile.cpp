@@ -4,7 +4,7 @@
 #include <map>
 #include <utility>
 
-#include "xsp/cupti/cupti.hpp"
+#include "xsp/profile/span_keys.hpp"
 
 namespace xsp::profile {
 
@@ -47,10 +47,7 @@ double ModelProfile::weighted_occupancy() const noexcept {
 
 namespace {
 
-double metric_or(const trace::Span& s, const char* key, double fallback) {
-  const auto it = s.metrics.find(key);
-  return it == s.metrics.end() ? fallback : it->second;
-}
+const SpanKeys& keys() { return span_keys(); }
 
 }  // namespace
 
@@ -75,12 +72,12 @@ ModelProfile merge_runs(const RunTrace& m, const RunTrace& ml, const RunTrace& m
   for (const auto id : ml.timeline.at_level(trace::kLayerLevel)) {
     const auto& span = ml.timeline.node(id).span;
     LayerView lv;
-    lv.index = static_cast<int>(metric_or(span, "layer_index", -1));
+    lv.index = static_cast<int>(span.metric_or(keys().layer_index, -1));
     lv.name = span.name;
-    if (auto it = span.tags.find("layer_type"); it != span.tags.end()) lv.type = it->second;
-    if (auto it = span.tags.find("shape"); it != span.tags.end()) lv.shape = it->second;
+    lv.type = span.tag_or(keys().layer_type);
+    lv.shape = span.tag_or(keys().shape);
     lv.latency = span.duration();
-    lv.alloc_bytes = metric_or(span, "alloc_bytes", 0);
+    lv.alloc_bytes = span.metric_or(keys().alloc_bytes, 0);
     layer_slot[lv.index] = out.layers.size();
     out.layers.push_back(std::move(lv));
   }
@@ -94,13 +91,11 @@ ModelProfile merge_runs(const RunTrace& m, const RunTrace& ml, const RunTrace& m
     KernelView kv;
     kv.name = span.name;
     kv.latency = span.duration();
-    kv.flops = metric_or(span, cupti::kFlopCountSp, 0);
-    kv.dram_read_bytes = metric_or(span, cupti::kDramReadBytes, 0);
-    kv.dram_write_bytes = metric_or(span, cupti::kDramWriteBytes, 0);
-    kv.achieved_occupancy = metric_or(span, cupti::kAchievedOccupancy, 0);
-    if (auto it = span.tags.find("kind"); it != span.tags.end()) {
-      kv.is_memcpy = it->second == "memcpy";
-    }
+    kv.flops = span.metric_or(keys().flop_count_sp, 0);
+    kv.dram_read_bytes = span.metric_or(keys().dram_read_bytes, 0);
+    kv.dram_write_bytes = span.metric_or(keys().dram_write_bytes, 0);
+    kv.achieved_occupancy = span.metric_or(keys().achieved_occupancy, 0);
+    kv.is_memcpy = span.tag_or(keys().kind) == keys().kind_memcpy;
     // Walk ancestors until the layer span: with the optional ML-library
     // level enabled, a kernel's immediate parent is the cuDNN/cuBLAS call
     // span and the layer sits one level above it.
@@ -108,7 +103,7 @@ ModelProfile merge_runs(const RunTrace& m, const RunTrace& ml, const RunTrace& m
     while (ancestor != trace::kNoSpan && mlg.timeline.contains(ancestor)) {
       const auto& anc = mlg.timeline.node(ancestor).span;
       if (anc.level == trace::kLayerLevel) {
-        kv.layer_index = static_cast<int>(metric_or(anc, "layer_index", -1));
+        kv.layer_index = static_cast<int>(anc.metric_or(keys().layer_index, -1));
         break;
       }
       if (anc.level < trace::kLayerLevel) break;

@@ -2,7 +2,25 @@
 
 #include <utility>
 
+#include "xsp/profile/span_keys.hpp"
+
 namespace xsp::profile {
+
+namespace {
+
+const SpanKeys& keys() { return span_keys(); }
+
+// Keep the span's fidelity signal honest: a capacity-rejected annotation
+// must increment dropped_annotations here exactly as Tracer::add_tag does.
+void set_tag(trace::Span& s, trace::StrId key, trace::StrId value) {
+  if (!s.tags.set(key, value)) ++s.dropped_annotations;
+}
+
+void set_metric(trace::Span& s, trace::StrId key, double value) {
+  if (!s.metrics.set(key, value)) ++s.dropped_annotations;
+}
+
+}  // namespace
 
 std::string ProfileOptions::level_string() const {
   std::string s = model_level ? "M" : "";
@@ -15,7 +33,7 @@ std::string ProfileOptions::level_string() const {
 Session::Session(const sim::GpuSpec& system, framework::FrameworkKind framework)
     : device_(system, clock_), executor_(framework, device_) {}
 
-trace::SpanId Session::start_span(const std::string& name, trace::SpanId parent) {
+trace::SpanId Session::start_span(trace::StrId name, trace::SpanId parent) {
   if (!model_tracer_) return trace::kNoSpan;
   return model_tracer_->start_span(name, clock_.now(), parent);
 }
@@ -87,10 +105,10 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       s.begin = rec.begin;
       s.end = rec.end;
       s.parent = predict;
-      s.tags["layer_type"] = rec.type;
-      s.tags["shape"] = rec.shape.str();
-      s.metrics["layer_index"] = rec.index;
-      s.metrics["alloc_bytes"] = rec.alloc_bytes;
+      set_tag(s, keys().layer_type, rec.type);
+      set_tag(s, keys().shape, rec.shape.str());
+      set_metric(s, keys().layer_index, rec.index);
+      set_metric(s, keys().alloc_bytes, rec.alloc_bytes);
       layer_tracer_->publish_completed(std::move(s));
     }
   }
@@ -104,7 +122,7 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       s.name = rec.name;
       s.begin = rec.begin;
       s.end = rec.end;
-      s.metrics["layer_index"] = rec.layer_index;
+      set_metric(s, keys().layer_index, rec.layer_index);
       library_tracer_->publish_completed(std::move(s));
     }
   }
@@ -124,7 +142,7 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       s.begin = api.begin;
       s.end = api.end;
       s.correlation_id = api.correlation_id;
-      s.tags["kernel"] = api.name;
+      set_tag(s, keys().kernel, api.name);
       gpu_tracer_->publish_completed(std::move(s));
     }
 
@@ -137,18 +155,18 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       s.end = act.end;
       s.correlation_id = act.correlation_id;
       if (act.type == sim::ActivityRecord::Type::kKernel) {
-        s.tags["grid"] = "[" + std::to_string(act.kernel.grid.x) + "," +
-                         std::to_string(act.kernel.grid.y) + "," +
-                         std::to_string(act.kernel.grid.z) + "]";
-        s.tags["block"] = "[" + std::to_string(act.kernel.block.x) + "," +
-                          std::to_string(act.kernel.block.y) + "," +
-                          std::to_string(act.kernel.block.z) + "]";
-        s.tags["kind"] = "kernel";
+        set_tag(s, keys().grid, "[" + std::to_string(act.kernel.grid.x) + "," +
+                                    std::to_string(act.kernel.grid.y) + "," +
+                                    std::to_string(act.kernel.grid.z) + "]");
+        set_tag(s, keys().block, "[" + std::to_string(act.kernel.block.x) + "," +
+                                     std::to_string(act.kernel.block.y) + "," +
+                                     std::to_string(act.kernel.block.z) + "]");
+        set_tag(s, keys().kind, keys().kind_kernel);
       } else {
-        s.tags["kind"] = "memcpy";
+        set_tag(s, keys().kind, keys().kind_memcpy);
       }
       if (auto it = metric_records.find(act.correlation_id); it != metric_records.end()) {
-        for (const auto& [metric, value] : it->second) s.metrics[metric] = value;
+        for (const auto& [metric, value] : it->second) set_metric(s, metric, value);
       }
       gpu_tracer_->publish_completed(std::move(s));
     }
@@ -156,7 +174,7 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
 
   RunTrace result;
   result.options = options;
-  result.timeline = trace::Timeline::assemble(server_->take_trace());
+  result.timeline = trace::Timeline::assemble(server_->take_batches());
   result.model_latency = run.latency();
   result.pipeline_latency = pipeline_end - pipeline_begin;
   return result;

@@ -6,12 +6,20 @@
 //  user-defined annotations such as name, key-value tags, and logs. A span
 //  may also contain a parent reference to establish a parent-child
 //  relationship."                                      — paper, Section III-A
+//
+// Representation: every profiled event at every stack level becomes a span
+// (Section III-A), so span construction and publication are the profiling
+// system's own hot path. Names, tracer ids, tag keys/values are interned
+// 32-bit StrIds and annotations live in flat inline-capacity storage —
+// building and publishing a typical span performs no heap allocation.
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <string>
+#include <type_traits>
+#include <vector>
 
+#include "xsp/common/flat_map.hpp"
+#include "xsp/common/string_table.hpp"
 #include "xsp/common/time.hpp"
 
 namespace xsp::trace {
@@ -19,6 +27,10 @@ namespace xsp::trace {
 /// Unique span identifier. 0 is reserved for "no span".
 using SpanId = std::uint64_t;
 constexpr SpanId kNoSpan = 0;
+
+/// Interned string handle used for span names, tracer ids, and annotation
+/// keys/values (resolves against common::StringTable::global()).
+using common::StrId;
 
 /// Stack levels, numbered as in the paper ("level 1 is the model level").
 /// The scheme is open-ended: Section III-E's extensions are first-class —
@@ -47,6 +59,12 @@ enum class SpanKind : std::uint8_t {
 
 const char* kind_name(SpanKind k);
 
+/// Free-form string annotations (layer type, kernel grid, ...), interned.
+/// Capacities bound the span size; see FlatMap for the overflow contract.
+using TagMap = common::FlatMap<StrId, 6>;
+/// Numeric annotations (GPU counters, allocated bytes, ...).
+using MetricMap = common::FlatMap<double, 6>;
+
 /// A single profiled event converted into distributed-tracing form.
 struct Span {
   SpanId id = kNoSpan;
@@ -56,20 +74,43 @@ struct Span {
   SpanId parent = kNoSpan;
   int level = kModelLevel;
   SpanKind kind = SpanKind::kRegular;
-  std::string name;
+  StrId name;
   /// Name of the tracer that published this span (one per profiler).
-  std::string tracer;
+  StrId tracer;
   TimePoint begin = 0;
   TimePoint end = 0;
   /// Joins kLaunch/kExecution pairs; 0 when not applicable.
   std::uint64_t correlation_id = 0;
-  /// Free-form string annotations (layer type, kernel grid, ...).
-  std::map<std::string, std::string> tags;
-  /// Numeric annotations (GPU counters, allocated bytes, ...).
-  std::map<std::string, double> metrics;
+  TagMap tags;
+  MetricMap metrics;
+  /// Annotations rejected because tags/metrics hit capacity. Non-zero
+  /// means the trace lost fidelity for this span; exporters surface it.
+  std::uint16_t dropped_annotations = 0;
 
   [[nodiscard]] Ns duration() const noexcept { return end - begin; }
+
+  /// Tag lookup; the empty StrId when absent.
+  [[nodiscard]] StrId tag_or(StrId key, StrId fallback = {}) const noexcept {
+    const StrId* v = tags.find(key);
+    return v ? *v : fallback;
+  }
+
+  /// Metric lookup with fallback.
+  [[nodiscard]] double metric_or(StrId key, double fallback) const noexcept {
+    const double* v = metrics.find(key);
+    return v ? *v : fallback;
+  }
 };
+
+// The publish pipeline hands spans around in whole batches; triviality is
+// what makes a batch hand-off a pointer swap and a flatten a memcpy.
+static_assert(std::is_trivially_copyable_v<Span>);
+
+/// One producer batch of spans, and a trace as the list of batches it was
+/// published in. The server aggregates and hands off batch handles; spans
+/// are laid out once, by Timeline::assemble or an exporter.
+using SpanBatch = std::vector<Span>;
+using SpanBatches = std::vector<SpanBatch>;
 
 inline const char* level_name(int level) {
   switch (level) {

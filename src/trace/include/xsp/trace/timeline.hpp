@@ -12,12 +12,18 @@
 // parent is ambiguous; XSP then "requires another profiling run where the
 // parallel events are serialized" — assembly records the ambiguity count so
 // the caller knows a serialized re-run is needed.
+//
+// Storage: nodes live in one flat vector ordered by (begin, id), with a
+// side index from span id to vector position. The per-level interval trees
+// are built once per assembly and queried with allocation-free stabbing
+// visits, so assembling a trace of n spans performs O(n log n) work and
+// O(n) allocations total rather than per-lookup.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <optional>
-#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -50,8 +56,16 @@ struct AssembleOptions {
 
 class Timeline {
  public:
-  /// Assemble a hierarchy from the raw spans of one run.
-  static Timeline assemble(std::vector<Span> spans, const AssembleOptions& options = {});
+  /// Assemble a hierarchy from the raw spans of one run, in the publication
+  /// batches TraceServer::take_batches() hands off.
+  static Timeline assemble(SpanBatches batches, const AssembleOptions& options = {});
+
+  /// Convenience overload for a flat span vector (wrapped as one batch).
+  static Timeline assemble(std::vector<Span> spans, const AssembleOptions& options = {}) {
+    SpanBatches batches;
+    batches.push_back(std::move(spans));
+    return assemble(std::move(batches), options);
+  }
 
   [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
   [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
@@ -61,19 +75,19 @@ class Timeline {
   [[nodiscard]] const std::vector<SpanId>& roots() const noexcept { return roots_; }
 
   /// Node lookup; throws std::out_of_range on an unknown id.
-  [[nodiscard]] const TimelineNode& node(SpanId id) const { return nodes_.at(id); }
-  [[nodiscard]] bool contains(SpanId id) const { return nodes_.count(id) != 0; }
+  [[nodiscard]] const TimelineNode& node(SpanId id) const { return nodes_[index_.at(id)]; }
+  [[nodiscard]] bool contains(SpanId id) const { return index_.count(id) != 0; }
 
   /// All node ids at a stack level, ordered by begin time.
   [[nodiscard]] std::vector<SpanId> at_level(int level) const;
 
   /// Children of `id` ordered by begin time (empty for a leaf).
   [[nodiscard]] const std::vector<SpanId>& children(SpanId id) const {
-    return nodes_.at(id).children;
+    return node(id).children;
   }
 
-  /// First node whose span name equals `name`, if any.
-  [[nodiscard]] std::optional<SpanId> find_by_name(const std::string& name) const;
+  /// First node (in begin-time order) whose span name equals `name`.
+  [[nodiscard]] std::optional<SpanId> find_by_name(StrId name) const;
 
   /// Depth-first pre-order walk over the whole hierarchy.
   void walk(const std::function<void(const TimelineNode&, int depth)>& fn) const;
@@ -93,7 +107,9 @@ class Timeline {
   void walk_from(SpanId id, int depth,
                  const std::function<void(const TimelineNode&, int depth)>& fn) const;
 
-  std::unordered_map<SpanId, TimelineNode> nodes_;
+  /// Ordered by (span.begin, span.id); `index_` maps span id -> position.
+  std::vector<TimelineNode> nodes_;
+  std::unordered_map<SpanId, std::uint32_t> index_;
   std::vector<SpanId> roots_;
   std::size_t ambiguous_ = 0;
   std::size_t correlated_async_ = 0;

@@ -8,12 +8,22 @@
 // interface and supports asynchronous publication ("XSP converts the
 // captured CUPTI information into spans and publishes them to the tracer
 // server (asynchronously to avoid added overhead)" — Section III-B).
+//
+// Publication path: instead of one global queue behind one mutex, each
+// publishing thread owns a producer slot holding an append-only batch.
+// publish() appends to the caller's slot under a slot-private spinlock that
+// is uncontended except when the collector steals a batch — there is no
+// cross-producer synchronization. Full batches are sealed and handed to the
+// collector whole, so the global trace mutex is touched once per
+// kBatchCapacity spans rather than once per span. flush()/take_trace()
+// semantics are unchanged: after flush() every span published
+// happens-before the call is aggregated.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -23,54 +33,122 @@
 namespace xsp::trace {
 
 enum class PublishMode : std::uint8_t {
-  kSync,   ///< publish() appends under a lock on the caller thread
-  kAsync,  ///< publish() enqueues; a collector thread drains the queue
+  kSync,   ///< no collector thread; callers drain batches on flush()
+  kAsync,  ///< a collector thread drains sealed batches in the background
 };
+
+// SpanBatch/SpanBatches live in span.hpp (shared with Timeline::assemble).
 
 /// Thread-safe span sink + aggregator.
 class TraceServer {
  public:
+  /// Spans per producer batch: the granularity at which the collector takes
+  /// work and the worst-case count a crashing producer could strand.
+  static constexpr std::size_t kBatchCapacity = 256;
+
   explicit TraceServer(PublishMode mode = PublishMode::kAsync);
   ~TraceServer();
 
   TraceServer(const TraceServer&) = delete;
   TraceServer& operator=(const TraceServer&) = delete;
 
-  /// Allocate a fresh process-unique span id (never kNoSpan).
-  SpanId next_span_id() noexcept { return next_id_.fetch_add(1, std::memory_order_relaxed); }
+  /// Allocate a fresh server-unique span id (never kNoSpan). Ids are
+  /// handed to threads in blocks, so concurrent tracers do not contend on
+  /// one counter cache line; ids are unique but not globally dense.
+  SpanId next_span_id() noexcept;
 
   /// Allocate a fresh correlation id for an async launch/execution pair.
   std::uint64_t next_correlation_id() noexcept {
     return next_corr_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  /// Publish one completed span. Thread-safe.
+  /// Publish one completed span. Thread-safe; appends to the calling
+  /// thread's batch without touching any global lock.
   void publish(Span span);
 
-  /// Block until all queued spans have been aggregated.
+  /// Block until every span published before this call has been aggregated
+  /// (drains all sealed and partial batches on the caller thread).
   void flush();
 
   /// Number of spans aggregated so far (flushes first).
   [[nodiscard]] std::size_t span_count();
 
   /// Flush and move the aggregated trace out, leaving the server empty and
-  /// ready for the next evaluation run.
+  /// ready for the next evaluation run. Flattens into one contiguous span
+  /// vector; prefer take_batches() on the hot path.
   [[nodiscard]] std::vector<Span> take_trace();
+
+  /// Flush and move the aggregated trace out in publication batches — the
+  /// zero-copy hand-off Timeline::assemble consumes directly.
+  [[nodiscard]] SpanBatches take_batches();
 
   [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
 
+  /// True while the background collector thread exists (kAsync only; kSync
+  /// must never spawn one).
+  [[nodiscard]] bool has_collector() const noexcept { return collector_.joinable(); }
+
  private:
+  /// Slots are cache-line aligned: a producer's spinlock and batch head
+  /// never share a line with another producer's (or with the server's id
+  /// counters below).
+  struct alignas(64) ProducerSlot {
+    /// Guards `active` and `sealed`. Only the owning thread and the
+    /// collector/flush ever touch a slot, so this spinlock is effectively
+    /// uncontended on the publish path.
+    std::atomic_flag lock = ATOMIC_FLAG_INIT;
+    SpanBatch active;
+    SpanBatches sealed;
+    /// Stable key of the owning thread: re-registration after a TLS cache
+    /// eviction finds this slot again instead of growing slots_.
+    std::uint64_t owner = 0;
+
+    void acquire() noexcept {
+      int spins = 0;
+      while (lock.test_and_set(std::memory_order_acquire)) {
+        // The holder is the collector moving batch handles (sub-µs) — spin
+        // briefly, then yield so an oversubscribed core can run the holder.
+        if (++spins > 64) std::this_thread::yield();
+      }
+    }
+    void release() noexcept { lock.clear(std::memory_order_release); }
+  };
+
+  /// The calling thread's slot for this server (registered on first use,
+  /// cached thread-locally keyed by a process-unique server uid so slot
+  /// pointers never dangle across server lifetimes).
+  ProducerSlot& local_slot();
+
   void collector_loop();
+  /// Move sealed (and, when `steal_active`, partial) batches of every slot
+  /// into trace_.
+  void drain(bool steal_active);
 
   PublishMode mode_;
-  std::atomic<SpanId> next_id_{1};
+  std::uint64_t uid_;
+
+  /// Id counters are hammered by every producer; isolate them from the
+  /// locks the collector/flush paths take so RMWs on one never evict the
+  /// other's line.
+  alignas(64) std::atomic<SpanId> next_id_{1};
   std::atomic<std::uint64_t> next_corr_{1};
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Span> queue_;
-  std::vector<Span> trace_;
-  bool stop_ = false;
+  /// Serializes whole drain passes (slot sweep + trace append). Without
+  /// it, a flush could sweep the slots while a concurrent collector pass
+  /// still holds swept batches in its local staging — and hand the trace
+  /// off incomplete.
+  alignas(64) std::mutex drain_mu_;
+
+  alignas(64) std::mutex registry_mu_;
+  std::vector<std::unique_ptr<ProducerSlot>> slots_;
+
+  alignas(64) std::mutex trace_mu_;
+  SpanBatches trace_;
+
+  alignas(64) std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<std::size_t> pending_batches_{0};
+  std::atomic<bool> stop_{false};
   std::thread collector_;
 };
 

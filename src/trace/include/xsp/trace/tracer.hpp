@@ -9,8 +9,8 @@
 
 #include <cstdint>
 #include <string>
-#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "xsp/trace/span.hpp"
 #include "xsp/trace/trace_server.hpp"
@@ -23,11 +23,13 @@ namespace xsp::trace {
 class Tracer {
  public:
   /// `name` identifies the publishing profiler; `level` is the stack level
-  /// all spans from this tracer are tagged with.
-  Tracer(TraceServer& server, std::string name, int level)
-      : server_(&server), name_(std::move(name)), level_(level) {}
+  /// all spans from this tracer are tagged with. The name is interned once
+  /// here, so publishing stamps a 32-bit id instead of copying a string.
+  Tracer(TraceServer& server, StrId name, int level)
+      : server_(&server), name_(name), level_(level) {}
 
-  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& name() const { return name_.str(); }
+  [[nodiscard]] StrId name_id() const noexcept { return name_; }
   [[nodiscard]] int level() const noexcept { return level_; }
 
   /// Tracers can be toggled at runtime; a disabled tracer drops all spans.
@@ -37,14 +39,14 @@ class Tracer {
   /// Begin an open span at simulated time `t`. Returns kNoSpan when the
   /// tracer is disabled (finish_span on kNoSpan is a no-op, so call sites
   /// need no enabled() checks).
-  SpanId start_span(std::string span_name, TimePoint t, SpanId parent = kNoSpan,
+  SpanId start_span(StrId span_name, TimePoint t, SpanId parent = kNoSpan,
                     SpanKind kind = SpanKind::kRegular);
 
   /// Attach a string tag to an open span.
-  void add_tag(SpanId id, const std::string& key, std::string value);
+  void add_tag(SpanId id, StrId key, StrId value);
 
   /// Attach a numeric metric to an open span.
-  void add_metric(SpanId id, const std::string& key, double value);
+  void add_metric(SpanId id, StrId key, double value);
 
   /// Set the correlation id of an open span (async launch/execution pairs).
   void set_correlation(SpanId id, std::uint64_t correlation_id);
@@ -66,11 +68,17 @@ class Tracer {
   [[nodiscard]] TraceServer& server() noexcept { return *server_; }
 
  private:
+  /// Open spans live in a flat stack-like vector: tracer nesting depth is
+  /// small, and finish almost always closes a recently started span, so a
+  /// backwards linear scan beats a hash map and allocates nothing after
+  /// warm-up.
+  Span* find_open(SpanId id) noexcept;
+
   TraceServer* server_;
-  std::string name_;
+  StrId name_;
   int level_;
   bool enabled_ = true;
-  std::unordered_map<SpanId, Span> open_;
+  std::vector<Span> open_;
 };
 
 /// RAII helper that finishes a span when destroyed. The close timestamp is
@@ -78,9 +86,9 @@ class Tracer {
 template <typename NowFn>
 class ScopedSpan {
  public:
-  ScopedSpan(Tracer& tracer, std::string name, NowFn now, SpanId parent = kNoSpan)
+  ScopedSpan(Tracer& tracer, StrId name, NowFn now, SpanId parent = kNoSpan)
       : tracer_(&tracer), now_(std::move(now)) {
-    id_ = tracer_->start_span(std::move(name), now_(), parent);
+    id_ = tracer_->start_span(name, now_(), parent);
   }
   ~ScopedSpan() {
     if (id_ != kNoSpan) tracer_->finish_span(id_, now_());

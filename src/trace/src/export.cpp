@@ -3,12 +3,13 @@
 #include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <string_view>
 
 namespace xsp::trace {
 
 namespace {
 
-void append_escaped(std::ostringstream& os, const std::string& s) {
+void append_escaped(std::ostringstream& os, std::string_view s) {
   os << '"';
   for (const char c : s) {
     switch (c) {
@@ -42,19 +43,19 @@ void append_number(std::ostringstream& os, double v) {
 void append_args(std::ostringstream& os, const Span& span) {
   os << "\"args\":{";
   bool first = true;
-  for (const auto& [k, v] : span.tags) {
+  for (const auto& e : span.tags) {
     if (!first) os << ',';
     first = false;
-    append_escaped(os, k);
+    append_escaped(os, e.key.view());
     os << ':';
-    append_escaped(os, v);
+    append_escaped(os, e.value.view());
   }
-  for (const auto& [k, v] : span.metrics) {
+  for (const auto& e : span.metrics) {
     if (!first) os << ',';
     first = false;
-    append_escaped(os, k);
+    append_escaped(os, e.key.view());
     os << ':';
-    append_number(os, v);
+    append_number(os, e.value);
   }
   os << '}';
 }
@@ -70,7 +71,7 @@ std::string to_chrome_trace(const Timeline& timeline) {
     if (!first) os << ',';
     first = false;
     os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.level << ",\"name\":";
-    append_escaped(os, s.name);
+    append_escaped(os, s.name.view());
     os << ",\"cat\":";
     append_escaped(os, level_name(s.level));
     // Trace-event timestamps are microseconds.
@@ -103,11 +104,14 @@ std::string to_span_json(const Timeline& timeline) {
        << ",\"kind\":";
     append_escaped(os, kind_name(s.kind));
     os << ",\"name\":";
-    append_escaped(os, s.name);
+    append_escaped(os, s.name.view());
     os << ",\"tracer\":";
-    append_escaped(os, s.tracer);
+    append_escaped(os, s.tracer.view());
     os << ",\"begin_ns\":" << s.begin << ",\"end_ns\":" << s.end
        << ",\"correlation_id\":" << s.correlation_id << ',';
+    if (s.dropped_annotations > 0) {
+      os << "\"dropped_annotations\":" << s.dropped_annotations << ',';
+    }
     append_args(os, s);
     os << '}';
   });

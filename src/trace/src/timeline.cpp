@@ -26,8 +26,11 @@ SearchInterval parent_search_interval(const TimelineNode& n) {
 
 }  // namespace
 
-Timeline Timeline::assemble(std::vector<Span> spans, const AssembleOptions& options) {
+Timeline Timeline::assemble(SpanBatches batches, const AssembleOptions& options) {
   Timeline tl;
+
+  std::size_t span_count = 0;
+  for (const auto& batch : batches) span_count += batch.size();
 
   // --- Step 1: correlate launch/execution pairs. -------------------------
   // Group async spans by correlation id; merge each complete pair into one
@@ -37,19 +40,23 @@ Timeline Timeline::assemble(std::vector<Span> spans, const AssembleOptions& opti
   std::unordered_map<std::uint64_t, Span> pending_exec;
 
   std::vector<TimelineNode> merged;
-  merged.reserve(spans.size());
+  merged.reserve(span_count);
 
-  for (auto& s : spans) {
-    if (options.correlate_async && s.kind == SpanKind::kLaunch && s.correlation_id != 0) {
-      pending_launch.emplace(s.correlation_id, std::move(s));
-    } else if (options.correlate_async && s.kind == SpanKind::kExecution && s.correlation_id != 0) {
-      pending_exec.emplace(s.correlation_id, std::move(s));
-    } else {
-      TimelineNode n;
-      n.span = std::move(s);
-      merged.push_back(std::move(n));
+  for (auto& batch : batches) {
+    for (auto& s : batch) {
+      if (options.correlate_async && s.kind == SpanKind::kLaunch && s.correlation_id != 0) {
+        pending_launch.emplace(s.correlation_id, s);
+      } else if (options.correlate_async && s.kind == SpanKind::kExecution &&
+                 s.correlation_id != 0) {
+        pending_exec.emplace(s.correlation_id, s);
+      } else {
+        TimelineNode n;
+        n.span = s;
+        merged.push_back(std::move(n));
+      }
     }
   }
+  batches.clear();
 
   for (auto& [corr, exec] : pending_exec) {
     auto it = pending_launch.find(corr);
@@ -64,8 +71,18 @@ Timeline Timeline::assemble(std::vector<Span> spans, const AssembleOptions& opti
       n.launch_end = launch.end;
       n.is_async = true;
       // Preserve launch-side annotations that the execution side lacks.
-      for (auto& [k, v] : launch.tags) n.span.tags.emplace(k, std::move(v));
-      for (auto& [k, v] : launch.metrics) n.span.metrics.emplace(k, v);
+      for (const auto& e : launch.tags) {
+        if (n.span.tags.count(e.key) == 0 && !n.span.tags.set(e.key, e.value)) {
+          ++n.span.dropped_annotations;
+        }
+      }
+      for (const auto& e : launch.metrics) {
+        if (n.span.metrics.count(e.key) == 0 && !n.span.metrics.set(e.key, e.value)) {
+          ++n.span.dropped_annotations;
+        }
+      }
+      n.span.dropped_annotations =
+          static_cast<std::uint16_t>(n.span.dropped_annotations + launch.dropped_annotations);
       pending_launch.erase(it);
       ++tl.correlated_async_;
     } else {
@@ -89,20 +106,20 @@ Timeline Timeline::assemble(std::vector<Span> spans, const AssembleOptions& opti
     return a.span.id < b.span.id;
   });
 
-  // --- Step 2: build per-level interval trees for parent search. ---------
-  std::map<int, std::vector<IntervalTree<SpanId>::Entry>> level_entries;
-  for (const auto& n : merged) {
-    level_entries[n.span.level].push_back({n.span.begin, n.span.end, n.span.id});
+  // --- Step 2: build the parent index once. ------------------------------
+  // Per-level interval trees whose payload is the node's position in
+  // `merged`, so candidate inspection during the stabbing visit is an array
+  // access instead of a hash lookup, and no per-query candidate vectors are
+  // materialized.
+  std::map<int, std::vector<IntervalTree<std::uint32_t>::Entry>> level_entries;
+  for (std::uint32_t i = 0; i < merged.size(); ++i) {
+    const Span& s = merged[i].span;
+    level_entries[s.level].push_back({s.begin, s.end, i});
   }
-  std::map<int, IntervalTree<SpanId>> level_trees;
+  std::map<int, IntervalTree<std::uint32_t>> level_trees;
   for (auto& [level, entries] : level_entries) {
-    level_trees.emplace(level, IntervalTree<SpanId>(std::move(entries)));
+    level_trees.emplace(level, IntervalTree<std::uint32_t>(std::move(entries)));
   }
-
-  // Durations needed to pick the *smallest* enclosing candidate.
-  std::unordered_map<SpanId, Ns> durations;
-  durations.reserve(merged.size());
-  for (const auto& n : merged) durations.emplace(n.span.id, n.span.duration());
 
   // --- Step 3: resolve parents. -------------------------------------------
   for (auto& n : merged) {
@@ -123,19 +140,25 @@ Timeline Timeline::assemble(std::vector<Span> spans, const AssembleOptions& opti
       }
       if (tree_it != level_trees.end()) {
         const auto [lo, hi] = parent_search_interval(n);
-        auto candidates = tree_it->second.containing(lo, hi);
-        if (!candidates.empty()) {
-          // Smallest enclosing interval is the immediate parent; a tie
-          // between distinct enclosing intervals means parallel events.
-          const IntervalTree<SpanId>::Entry* best = candidates.front();
-          for (const auto* c : candidates) {
-            if (durations[c->value] < durations[best->value]) best = c;
+        // Smallest enclosing interval is the immediate parent; a tie
+        // between distinct enclosing intervals means parallel events.
+        const TimelineNode* best = nullptr;
+        Ns best_duration = 0;
+        std::size_t equal_best = 0;
+        tree_it->second.visit_stabbing(lo, [&](const IntervalTree<std::uint32_t>::Entry& e) {
+          if (e.lo > lo || e.hi < hi) return;  // must contain [lo, hi]
+          const TimelineNode& candidate = merged[e.value];
+          const Ns duration = candidate.span.duration();
+          if (best == nullptr || duration < best_duration) {
+            best = &candidate;
+            best_duration = duration;
+            equal_best = 1;
+          } else if (duration == best_duration) {
+            ++equal_best;
           }
-          std::size_t equal_best = 0;
-          for (const auto* c : candidates) {
-            if (durations[c->value] == durations[best->value]) ++equal_best;
-          }
-          parent = best->value;
+        });
+        if (best != nullptr) {
+          parent = best->span.id;
           ambiguous = equal_best > 1;
         }
       }
@@ -149,50 +172,39 @@ Timeline Timeline::assemble(std::vector<Span> spans, const AssembleOptions& opti
   // --- Step 4: materialize the hierarchy. ---------------------------------
   // `merged` is already in begin-time order, so walking it in order keeps
   // children lists and roots deterministic.
-  std::vector<SpanId> order;
-  order.reserve(merged.size());
-  for (auto& n : merged) {
-    const SpanId id = n.span.id;
-    order.push_back(id);
-    tl.nodes_.emplace(id, std::move(n));
+  tl.index_.reserve(merged.size());
+  for (std::uint32_t i = 0; i < merged.size(); ++i) {
+    tl.index_.emplace(merged[i].span.id, i);
   }
-  for (SpanId id : order) {
-    auto& n = tl.nodes_.at(id);
-    if (n.parent != kNoSpan && tl.nodes_.count(n.parent) != 0) {
-      tl.nodes_.at(n.parent).children.push_back(id);
-    } else {
+  tl.nodes_ = std::move(merged);
+  for (auto& n : tl.nodes_) {
+    const SpanId id = n.span.id;
+    if (n.parent != kNoSpan) {
+      if (auto it = tl.index_.find(n.parent); it != tl.index_.end()) {
+        tl.nodes_[it->second].children.push_back(id);
+        continue;
+      }
       n.parent = kNoSpan;
-      tl.roots_.push_back(id);
     }
+    tl.roots_.push_back(id);
   }
   return tl;
 }
 
 std::vector<SpanId> Timeline::at_level(int level) const {
+  // nodes_ is ordered by (begin, id) already.
   std::vector<SpanId> out;
-  for (const auto& [id, n] : nodes_) {
-    if (n.span.level == level) out.push_back(id);
+  for (const auto& n : nodes_) {
+    if (n.span.level == level) out.push_back(n.span.id);
   }
-  std::sort(out.begin(), out.end(), [&](SpanId a, SpanId b) {
-    const auto& na = nodes_.at(a).span;
-    const auto& nb = nodes_.at(b).span;
-    if (na.begin != nb.begin) return na.begin < nb.begin;
-    return na.id < nb.id;
-  });
   return out;
 }
 
-std::optional<SpanId> Timeline::find_by_name(const std::string& name) const {
-  std::optional<SpanId> best;
-  for (const auto& [id, n] : nodes_) {
-    if (n.span.name == name) {
-      if (!best || nodes_.at(*best).span.begin > n.span.begin ||
-          (nodes_.at(*best).span.begin == n.span.begin && *best > id)) {
-        best = id;
-      }
-    }
+std::optional<SpanId> Timeline::find_by_name(StrId name) const {
+  for (const auto& n : nodes_) {
+    if (n.span.name == name) return n.span.id;
   }
-  return best;
+  return std::nullopt;
 }
 
 void Timeline::walk(const std::function<void(const TimelineNode&, int depth)>& fn) const {
@@ -201,7 +213,7 @@ void Timeline::walk(const std::function<void(const TimelineNode&, int depth)>& f
 
 void Timeline::walk_from(SpanId id, int depth,
                          const std::function<void(const TimelineNode&, int depth)>& fn) const {
-  const auto& n = nodes_.at(id);
+  const auto& n = node(id);
   fn(n, depth);
   for (SpanId c : n.children) walk_from(c, depth + 1, fn);
 }

@@ -1,65 +1,216 @@
 #include "xsp/trace/trace_server.hpp"
 
+#include <chrono>
 #include <utility>
 
 namespace xsp::trace {
 
-TraceServer::TraceServer(PublishMode mode) : mode_(mode) {
+namespace {
+
+std::uint64_t next_server_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Span ids per block handed to a publishing thread.
+constexpr SpanId kIdBlockSize = 1024;
+
+struct IdBlock {
+  const void* server;
+  std::uint64_t uid;
+  SpanId next;
+  SpanId end;
+};
+
+thread_local IdBlock tls_id_block{nullptr, 0, 0, 0};
+
+}  // namespace
+
+SpanId TraceServer::next_span_id() noexcept {
+  IdBlock& block = tls_id_block;
+  if (block.server == this && block.uid == uid_ && block.next != block.end) {
+    return block.next++;
+  }
+  const SpanId start = next_id_.fetch_add(kIdBlockSize, std::memory_order_relaxed);
+  block = {this, uid_, start + 1, start + kIdBlockSize};
+  return start;
+}
+
+TraceServer::TraceServer(PublishMode mode) : mode_(mode), uid_(next_server_uid()) {
   if (mode_ == PublishMode::kAsync) {
     collector_ = std::thread([this] { collector_loop(); });
   }
 }
 
 TraceServer::~TraceServer() {
-  if (mode_ == PublishMode::kAsync) {
+  // The no-drop guarantee is that flush()/take_trace() return every span
+  // published before them, at any point up to destruction — queued spans
+  // are never lost while the server is alive. Destruction itself only
+  // joins the collector; whatever the owner chose not to take is freed
+  // with the slots.
+  if (collector_.joinable()) {
+    stop_.store(true, std::memory_order_release);
     {
-      std::lock_guard lk(mu_);
-      stop_ = true;
+      std::lock_guard lk(wake_mu_);
     }
-    cv_.notify_all();
-    if (collector_.joinable()) collector_.join();
+    wake_cv_.notify_all();
+    collector_.join();
   }
+}
+
+namespace {
+
+struct CacheEntry {
+  const void* server;
+  std::uint64_t uid;
+  void* slot;
+};
+
+// Single-entry fast path: the overwhelmingly common case is one thread
+// publishing to one server in a tight loop. POD thread_local, so no TLS
+// guard check on access.
+thread_local CacheEntry tls_last_slot{nullptr, 0, nullptr};
+
+/// Process-unique key for the calling thread (thread ids can be reused by
+/// the OS; this never is).
+std::uint64_t this_thread_key() {
+  static std::atomic<std::uint64_t> counter{1};
+  thread_local std::uint64_t key = counter.fetch_add(1, std::memory_order_relaxed);
+  return key;
+}
+
+}  // namespace
+
+TraceServer::ProducerSlot& TraceServer::local_slot() {
+  if (tls_last_slot.server == this && tls_last_slot.uid == uid_) {
+    return *static_cast<ProducerSlot*>(tls_last_slot.slot);
+  }
+  thread_local std::vector<CacheEntry> cache;
+  for (const auto& e : cache) {
+    if (e.server == this && e.uid == uid_) {
+      tls_last_slot = e;
+      return *static_cast<ProducerSlot*>(e.slot);
+    }
+  }
+  // Cache miss: find this thread's existing slot (registered before a
+  // cache eviction) or register a new one. The uid check above makes
+  // stale entries (a dead server whose address was reused) miss, and the
+  // cache is bounded so long-lived threads touching many short-lived
+  // servers re-look-up instead of growing forever.
+  if (cache.size() >= 64) cache.clear();
+  const std::uint64_t me = this_thread_key();
+  ProducerSlot* slot = nullptr;
+  {
+    std::lock_guard lk(registry_mu_);
+    for (const auto& existing : slots_) {
+      if (existing->owner == me) {
+        slot = existing.get();
+        break;
+      }
+    }
+    if (slot == nullptr) {
+      auto owned = std::make_unique<ProducerSlot>();
+      owned->active.reserve(kBatchCapacity);
+      owned->owner = me;
+      slot = owned.get();
+      slots_.push_back(std::move(owned));
+    }
+  }
+  cache.push_back({this, uid_, slot});
+  tls_last_slot = cache.back();
+  return *slot;
 }
 
 void TraceServer::publish(Span span) {
-  std::lock_guard lk(mu_);
-  if (mode_ == PublishMode::kSync) {
-    trace_.push_back(std::move(span));
-    return;
+  ProducerSlot& slot = local_slot();
+  bool sealed = false;
+  slot.acquire();
+  slot.active.push_back(std::move(span));
+  if (slot.active.size() >= kBatchCapacity) {
+    slot.sealed.push_back(std::move(slot.active));
+    slot.active = {};
+    slot.active.reserve(kBatchCapacity);
+    sealed = true;
   }
-  queue_.push_back(std::move(span));
-  cv_.notify_one();
+  slot.release();
+  if (sealed && mode_ == PublishMode::kAsync) {
+    // Wake the collector once several batches are ready (its periodic
+    // timeout bounds staleness); per-batch wakeups would have the collector
+    // competing with producers for CPU.
+    if (pending_batches_.fetch_add(1, std::memory_order_release) + 1 >= 16) {
+      wake_cv_.notify_one();
+    }
+  }
+}
+
+void TraceServer::drain(bool steal_active) {
+  // One drain pass at a time: batches must never sit in a concurrent
+  // pass's staging while another pass reports the slots empty.
+  std::lock_guard drain_lk(drain_mu_);
+  SpanBatches taken;
+  {
+    std::lock_guard lk(registry_mu_);
+    for (auto& slot : slots_) {
+      slot->acquire();
+      for (auto& batch : slot->sealed) taken.push_back(std::move(batch));
+      slot->sealed.clear();
+      if (steal_active && !slot->active.empty()) {
+        taken.push_back(std::move(slot->active));
+        slot->active = {};
+        slot->active.reserve(kBatchCapacity);
+      }
+      slot->release();
+    }
+  }
+  if (taken.empty()) return;
+  // Aggregation is batch-handle moves only; spans themselves stay put.
+  std::lock_guard lk(trace_mu_);
+  for (auto& batch : taken) trace_.push_back(std::move(batch));
 }
 
 void TraceServer::collector_loop() {
-  std::unique_lock lk(mu_);
-  for (;;) {
-    cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-    while (!queue_.empty()) {
-      trace_.push_back(std::move(queue_.front()));
-      queue_.pop_front();
-    }
-    cv_.notify_all();  // wake any flush() waiters
-    if (stop_) return;
+  std::unique_lock lk(wake_mu_);
+  while (!stop_.load(std::memory_order_acquire)) {
+    wake_cv_.wait_for(lk, std::chrono::milliseconds(50), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             pending_batches_.load(std::memory_order_acquire) > 0;
+    });
+    pending_batches_.store(0, std::memory_order_release);
+    lk.unlock();
+    drain(/*steal_active=*/false);
+    lk.lock();
   }
 }
 
 void TraceServer::flush() {
-  if (mode_ == PublishMode::kSync) return;
-  std::unique_lock lk(mu_);
-  cv_.wait(lk, [this] { return queue_.empty(); });
+  // The caller drains directly instead of waiting for the collector: this
+  // both bounds flush latency and keeps kSync (no collector) correct.
+  drain(/*steal_active=*/true);
 }
 
 std::size_t TraceServer::span_count() {
   flush();
-  std::lock_guard lk(mu_);
-  return trace_.size();
+  std::lock_guard lk(trace_mu_);
+  std::size_t total = 0;
+  for (const auto& batch : trace_) total += batch.size();
+  return total;
+}
+
+SpanBatches TraceServer::take_batches() {
+  flush();
+  std::lock_guard lk(trace_mu_);
+  return std::exchange(trace_, {});
 }
 
 std::vector<Span> TraceServer::take_trace() {
-  flush();
-  std::lock_guard lk(mu_);
-  return std::exchange(trace_, {});
+  SpanBatches batches = take_batches();
+  std::size_t total = 0;
+  for (const auto& batch : batches) total += batch.size();
+  std::vector<Span> flat;
+  flat.reserve(total);
+  // Spans are trivially copyable: each batch append lowers to one memcpy.
+  for (const auto& batch : batches) flat.insert(flat.end(), batch.begin(), batch.end());
+  return flat;
 }
 
 }  // namespace xsp::trace

@@ -2,39 +2,52 @@
 
 namespace xsp::trace {
 
-SpanId Tracer::start_span(std::string span_name, TimePoint t, SpanId parent, SpanKind kind) {
+Span* Tracer::find_open(SpanId id) noexcept {
+  for (auto it = open_.rbegin(); it != open_.rend(); ++it) {
+    if (it->id == id) return &*it;
+  }
+  return nullptr;
+}
+
+SpanId Tracer::start_span(StrId span_name, TimePoint t, SpanId parent, SpanKind kind) {
   if (!enabled_) return kNoSpan;
   Span s;
   s.id = server_->next_span_id();
   s.parent = parent;
   s.level = level_;
   s.kind = kind;
-  s.name = std::move(span_name);
+  s.name = span_name;
   s.tracer = name_;
   s.begin = t;
   const SpanId id = s.id;
-  open_.emplace(id, std::move(s));
+  open_.push_back(std::move(s));
   return id;
 }
 
-void Tracer::add_tag(SpanId id, const std::string& key, std::string value) {
-  if (auto it = open_.find(id); it != open_.end()) it->second.tags[key] = std::move(value);
+void Tracer::add_tag(SpanId id, StrId key, StrId value) {
+  if (Span* s = find_open(id)) {
+    if (!s->tags.set(key, value)) ++s->dropped_annotations;
+  }
 }
 
-void Tracer::add_metric(SpanId id, const std::string& key, double value) {
-  if (auto it = open_.find(id); it != open_.end()) it->second.metrics[key] = value;
+void Tracer::add_metric(SpanId id, StrId key, double value) {
+  if (Span* s = find_open(id)) {
+    if (!s->metrics.set(key, value)) ++s->dropped_annotations;
+  }
 }
 
 void Tracer::set_correlation(SpanId id, std::uint64_t correlation_id) {
-  if (auto it = open_.find(id); it != open_.end()) it->second.correlation_id = correlation_id;
+  if (Span* s = find_open(id)) s->correlation_id = correlation_id;
 }
 
 void Tracer::finish_span(SpanId id, TimePoint t) {
-  auto it = open_.find(id);
-  if (it == open_.end()) return;
-  it->second.end = t;
-  server_->publish(std::move(it->second));
-  open_.erase(it);
+  Span* s = find_open(id);
+  if (s == nullptr) return;
+  s->end = t;
+  server_->publish(std::move(*s));
+  // Swap-erase: order of the open list is irrelevant.
+  if (s != &open_.back()) *s = std::move(open_.back());
+  open_.pop_back();
 }
 
 SpanId Tracer::publish_completed(Span span) {

@@ -165,7 +165,7 @@ TEST(Executor, LibraryRecordsNameTheBackendCalls) {
 
   ASSERT_FALSE(result.library_records.empty());
   // One record per device-backed layer (no Reshape), in layer order.
-  std::vector<std::string> names;
+  std::vector<common::StrId> names;
   for (const auto& rec : result.library_records) {
     EXPECT_LE(rec.begin, rec.end);
     names.push_back(rec.name);

@@ -109,7 +109,7 @@ TEST(Headline, AlgorithmSwitchAtBatch16) {
   const auto has_kernel = [&](std::int64_t batch, const char* needle) {
     const auto result = runner.run_model(*model, batch, /*gpu_metrics=*/false);
     for (const auto& k : result.profile.kernels) {
-      if (k.name.find(needle) != std::string::npos) return true;
+      if (k.name.view().find(needle) != std::string_view::npos) return true;
     }
     return false;
   };

@@ -75,8 +75,8 @@ TEST(Session, ConvLayerOwnsItsSetupKernels) {
   ASSERT_TRUE(conv.has_value());
   const auto& kids = run.timeline.children(*conv);
   ASSERT_EQ(kids.size(), 3u);
-  EXPECT_NE(run.timeline.node(kids[0]).span.name.find("Shuffle"), std::string::npos);
-  EXPECT_NE(run.timeline.node(kids[2]).span.name.find("scudnn"), std::string::npos);
+  EXPECT_NE(run.timeline.node(kids[0]).span.name.view().find("Shuffle"), std::string::npos);
+  EXPECT_NE(run.timeline.node(kids[2]).span.name.view().find("scudnn"), std::string::npos);
 }
 
 TEST(Session, MetricsAttachToKernelSpans) {

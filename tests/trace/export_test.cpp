@@ -22,8 +22,8 @@ Timeline sample_timeline() {
   layer.name = "conv2d/Conv2D";
   layer.begin = us(100);
   layer.end = us(900);
-  layer.tags["layer_type"] = "Conv2D";
-  layer.metrics["alloc_bytes"] = 1024;
+  layer.tags.set("layer_type", "Conv2D");
+  layer.metrics.set("alloc_bytes", 1024);
   spans.push_back(layer);
   return Timeline::assemble(spans);
 }
@@ -75,9 +75,9 @@ TEST(Export, EscapesSpecialCharacters) {
 }
 
 TEST(Export, EmptyTimelineIsValidJson) {
-  const auto chrome = to_chrome_trace(Timeline::assemble({}));
+  const auto chrome = to_chrome_trace(Timeline::assemble(std::vector<Span>{}));
   EXPECT_EQ(chrome.find("\"ph\":\"X\""), std::string::npos);
-  EXPECT_EQ(to_span_json(Timeline::assemble({})), "[]");
+  EXPECT_EQ(to_span_json(Timeline::assemble(std::vector<Span>{})), "[]");
 }
 
 TEST(Export, BalancedBracesSmokeCheck) {

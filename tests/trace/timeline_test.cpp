@@ -120,7 +120,7 @@ TEST(Timeline, CorrelatesLaunchAndExecutionSpans) {
   Span exec = make(4, kKernelLevel, 120, 200, "volta_scudnn");
   exec.kind = SpanKind::kExecution;
   exec.correlation_id = 42;
-  exec.metrics["flop_count_sp"] = 5e9;
+  exec.metrics.set("flop_count_sp", 5e9);
   spans.push_back(launch);
   spans.push_back(exec);
 
@@ -196,7 +196,7 @@ TEST(Timeline, WalkVisitsEveryNodeWithDepths) {
 }
 
 TEST(Timeline, EmptyTraceYieldsEmptyTimeline) {
-  auto tl = Timeline::assemble({});
+  auto tl = Timeline::assemble(std::vector<Span>{});
   EXPECT_TRUE(tl.empty());
   EXPECT_TRUE(tl.roots().empty());
 }

@@ -105,6 +105,21 @@ TEST(Tracer, OpenCountTracksUnfinishedSpans) {
   EXPECT_EQ(tracer.open_count(), 0u);
 }
 
+TEST(Tracer, AnnotationOverflowIsCountedNotSilent) {
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "gpu", kKernelLevel);
+  const SpanId id = tracer.start_span("kernel", 0);
+  for (int i = 0; i < static_cast<int>(TagMap::capacity()) + 2; ++i) {
+    tracer.add_tag(id, "tag_" + std::to_string(i), "v");
+  }
+  tracer.finish_span(id, 10);
+
+  auto trace = server.take_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].tags.size(), TagMap::capacity());
+  EXPECT_EQ(trace[0].dropped_annotations, 2u);
+}
+
 TEST(Tracer, ScopedSpanFinishesOnDestruction) {
   TraceServer server(PublishMode::kSync);
   Tracer tracer(server, "t", kModelLevel);
