@@ -18,12 +18,15 @@
 #include <cstddef>
 #include <memory>
 
+#include "xsp/trace/sharded_trace_server.hpp"
 #include "xsp/trace/trace_server.hpp"
 
 namespace {
 
 using xsp::trace::PublishMode;
+using xsp::trace::ShardedTraceServer;
 using xsp::trace::Span;
+using xsp::trace::SpanBatches;
 using xsp::trace::TraceServer;
 
 /// Spans between take_trace() drains: large enough to amortize the drain,
@@ -31,7 +34,8 @@ using xsp::trace::TraceServer;
 /// than unbounded trace accumulation.
 constexpr std::size_t kDrainEvery = 1 << 16;
 
-Span make_span(TraceServer& server, int i) {
+template <typename Server>
+Span make_span(Server& server, int i) {
   Span s;
   s.id = server.next_span_id();
   s.name = "volta_scudnn_128x64_relu_interior_nn_v1";
@@ -101,9 +105,64 @@ void BM_PublishContended(benchmark::State& state) {
   }
 }
 
+/// Single producer draining through take_batches() + recycle(): the
+/// intended steady-state hand-off, where batch buffers circulate through
+/// the server freelist instead of being malloc'd/freed per batch.
+void BM_PublishSyncRecycled(benchmark::State& state) {
+  TraceServer server(PublishMode::kSync);
+  std::size_t since_drain = 0;
+  int i = 0;
+  for (auto _ : state) {
+    server.publish(make_span(server, i++));
+    if (++since_drain == kDrainEvery) {
+      since_drain = 0;
+      server.recycle(server.take_batches());
+    }
+  }
+  server.recycle(server.take_batches());
+  state.SetItemsProcessed(state.iterations());
+}
+
+/// Contended publication through a ShardedTraceServer: the same four
+/// pre-spawned publisher threads as BM_PublishContended, fanned out across
+/// state.range(0) shards by the thread-hash selector. The merge step
+/// (take_batches concatenation + recycle) runs on thread 0. On multicore
+/// hardware this is the case that scales with shard count; on one core it
+/// shows the fleet does not regress under scheduler churn.
+void BM_PublishContendedSharded(benchmark::State& state) {
+  static std::unique_ptr<ShardedTraceServer> server;
+  if (state.thread_index() == 0) {
+    server = std::make_unique<ShardedTraceServer>(static_cast<std::size_t>(state.range(0)),
+                                                  PublishMode::kAsync);
+  }
+
+  std::size_t since_drain = 0;
+  int i = 0;
+  for (auto _ : state) {
+    server->publish(make_span(*server, i++));
+    if (state.thread_index() == 0 && ++since_drain == kDrainEvery) {
+      since_drain = 0;
+      server->recycle(server->take_batches());
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+
+  if (state.thread_index() == 0) {
+    server->recycle(server->take_batches());
+    server.reset();
+  }
+}
+
 BENCHMARK(BM_PublishSync);
 BENCHMARK(BM_PublishAsync);
+BENCHMARK(BM_PublishSyncRecycled);
 BENCHMARK(BM_PublishContended)->Threads(4)->UseRealTime();
+BENCHMARK(BM_PublishContendedSharded)
+    ->ArgName("shards")
+    ->Arg(2)
+    ->Arg(4)
+    ->Threads(4)
+    ->UseRealTime();
 
 }  // namespace
 

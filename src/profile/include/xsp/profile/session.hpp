@@ -25,6 +25,8 @@
 #include "xsp/cupti/cupti.hpp"
 #include "xsp/framework/executor.hpp"
 #include "xsp/sim/device.hpp"
+#include "xsp/trace/export.hpp"
+#include "xsp/trace/sharded_trace_server.hpp"
 #include "xsp/trace/timeline.hpp"
 #include "xsp/trace/trace_server.hpp"
 #include "xsp/trace/tracer.hpp"
@@ -43,6 +45,15 @@ struct ProfileOptions {
   /// expensive: kernels are replayed per counter group).
   bool gpu_metrics = false;
   trace::PublishMode publish_mode = trace::PublishMode::kAsync;
+  /// Trace-server shards to collect into. 1 (default) collects into a
+  /// single server; 0 means one shard per hardware thread (capped); >1
+  /// fans publication out across that many independent shards, merged at
+  /// assembly. Sessions are single-threaded, so >1 only matters when the
+  /// session's trace plumbing is shared with concurrent publishers — but
+  /// any setting yields an identical assembled timeline.
+  std::size_t trace_shards = 1;
+  /// How publishers map to shards when trace_shards != 1.
+  trace::ShardPolicy shard_policy = trace::ShardPolicy::kByThread;
   /// Deterministic timing jitter (fraction; 0 disables) + seed, for
   /// multi-run statistics.
   double timing_jitter = 0;
@@ -74,6 +85,16 @@ struct RunTrace {
   Ns model_latency = 0;
   /// Duration of the whole pipeline (pre-process + predict + post-process).
   Ns pipeline_latency = 0;
+  /// Server-level aggregate of annotations dropped to capacity limits
+  /// during this run (trace fidelity telemetry; 0 means lossless).
+  std::uint64_t dropped_annotations = 0;
+  /// Shards the trace was collected across (for export metadata).
+  std::size_t trace_shards = 1;
+
+  /// Export metadata for to_span_json(timeline, meta).
+  [[nodiscard]] trace::TraceMeta trace_meta() const noexcept {
+    return {dropped_annotations, trace_shards};
+  }
 };
 
 /// One evaluation environment: a system, a framework, and the tracing
@@ -107,7 +128,7 @@ class Session {
   SimClock clock_;
   sim::GpuDevice device_;
   framework::Executor executor_;
-  std::unique_ptr<trace::TraceServer> server_;
+  std::unique_ptr<trace::ShardedTraceServer> server_;
   std::unique_ptr<trace::Tracer> model_tracer_;
   std::unique_ptr<trace::Tracer> layer_tracer_;
   std::unique_ptr<trace::Tracer> library_tracer_;

@@ -43,8 +43,26 @@ void Session::finish_span(trace::SpanId id) {
 }
 
 RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& options) {
-  // Fresh tracing plumbing per run: one server, one tracer per profiler.
-  server_ = std::make_unique<trace::TraceServer>(options.publish_mode);
+  // One (possibly sharded) collection fleet, one fresh tracer per
+  // profiler per run. trace_shards == 1 is the plain single-server shape;
+  // 0 lets the fleet size itself to the hardware. The fleet is reused
+  // across runs when its configuration matches — take_batches() left it
+  // empty, and reuse is what lets the recycled batch buffers below feed
+  // the next run's publication.
+  if (server_ == nullptr ||
+      server_->shard_count() != trace::ShardedTraceServer::resolve_shard_count(options.trace_shards) ||
+      server_->mode() != options.publish_mode || server_->policy() != options.shard_policy) {
+    server_ = std::make_unique<trace::ShardedTraceServer>(
+        options.trace_shards, options.publish_mode, options.shard_policy);
+  } else {
+    // A prior run that threw mid-publication may have left spans queued;
+    // a reused fleet must start the run empty (and with drop counters
+    // zeroed), exactly like a fresh one. The discarded buffers refill the
+    // freelists. Span ids continue across runs, like the session clock
+    // does — per-run reproducibility is per fresh Session (see
+    // DeterministicAcrossIdenticalRuns), not per profile() call.
+    server_->recycle(server_->take_batches());
+  }
   model_tracer_ = std::make_unique<trace::Tracer>(*server_, "model_timer", trace::kModelLevel);
   layer_tracer_ =
       std::make_unique<trace::Tracer>(*server_, "framework_profiler", trace::kLayerLevel);
@@ -174,7 +192,15 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
 
   RunTrace result;
   result.options = options;
-  result.timeline = trace::Timeline::assemble(server_->take_batches());
+  // Merge step: the per-shard batch lists concatenate in O(batches), and
+  // assemble begin-orders the nodes, so shard count never changes the
+  // assembled timeline. Buffers go back to the shard freelists, feeding
+  // the next run on this session (the fleet outlives the run above).
+  result.dropped_annotations = server_->dropped_annotation_count();
+  result.trace_shards = server_->shard_count();
+  trace::SpanBatches batches = server_->take_batches();
+  result.timeline = trace::Timeline::assemble(batches);
+  server_->recycle(std::move(batches));
   result.model_latency = run.latency();
   result.pipeline_latency = pipeline_end - pipeline_begin;
   return result;

@@ -7,6 +7,7 @@
 // describes, inside a standard viewer.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "xsp/trace/timeline.hpp"
@@ -21,5 +22,20 @@ std::string to_chrome_trace(const Timeline& timeline);
 /// Flat JSON array of spans with ids, parents, levels, timestamps, tags,
 /// and metrics — lossless for re-analysis.
 std::string to_span_json(const Timeline& timeline);
+
+/// Collection-level telemetry to embed alongside the spans — the numbers
+/// an operator needs without scanning the trace. Populated from
+/// TraceServer::dropped_annotation_count() / ShardedTraceServer.
+struct TraceMeta {
+  /// Server-level aggregate of per-span annotation drops (tag/metric
+  /// capacity overflow) for the run that produced the timeline.
+  std::uint64_t dropped_annotations = 0;
+  /// Number of trace-server shards the spans were collected across.
+  std::size_t shard_count = 1;
+};
+
+/// Like to_span_json(timeline), but wraps the span array in an object with
+/// a "metadata" section: {"metadata":{...},"spans":[...]}.
+std::string to_span_json(const Timeline& timeline, const TraceMeta& meta);
 
 }  // namespace xsp::trace

@@ -1,0 +1,134 @@
+// ShardedTraceServer: N independent TraceServer shards behind one SpanSink.
+//
+// After the batched publication refactor, one TraceServer per trace was the
+// last global aggregation point: every producer's sealed batches funnel
+// through a single drain lock and collector thread. Sharding removes it —
+// publishers are routed to one of N fully independent servers by a cheap
+// selector, so heavy multi-model traffic fans out instead of serializing on
+// one collector. This is the paper's "tracing server" run as a small fleet
+// (Section III-A: the server may be "on a local or remote system" — here,
+// N in-process instances).
+//
+// Design:
+//   * Id uniqueness: shard i of N allocates id blocks striped i, i+N,
+//     i+2N, ... (TraceServer::IdStripe), so span ids are unique across the
+//     whole fleet with zero cross-shard coordination.
+//   * Routing: by publishing thread (default — keeps a producer's slot,
+//     id block, and batch all on one shard), by publishing tracer, or by
+//     span begin-time window. All selectors are branch-cheap and
+//     allocation-free.
+//   * Merge: take_batches() concatenates the per-shard batch lists —
+//     O(number of batches) handle moves, no span is touched. Ordering is
+//     restored downstream: Timeline::assemble begin-orders nodes anyway,
+//     so a merged multi-shard trace assembles identically to a
+//     single-server trace of the same spans.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "xsp/common/time.hpp"
+#include "xsp/trace/span_sink.hpp"
+#include "xsp/trace/trace_server.hpp"
+
+namespace xsp::trace {
+
+/// How publishers are routed to shards.
+enum class ShardPolicy : std::uint8_t {
+  /// Hash of the publishing thread (default): each producer thread sticks
+  /// to one shard, so its slot, id block, and collector stay shard-local.
+  kByThread,
+  /// Hash of the span's tracer id: all spans of one profiler land on one
+  /// shard regardless of which thread publishes them.
+  kByTracer,
+  /// Span begin-timestamp window: time-sliced traces, so one shard holds
+  /// a contiguous window of the timeline.
+  kByTimeWindow,
+};
+
+const char* shard_policy_name(ShardPolicy p);
+
+class ShardedTraceServer final : public SpanSink {
+ public:
+  /// Hard cap on shard count; beyond this the collector threads themselves
+  /// become the contention.
+  static constexpr std::size_t kMaxShards = 64;
+
+  /// Default shard count: hardware concurrency, capped at 8 (one collector
+  /// per shard in kAsync mode; more shards than cores only adds churn).
+  static std::size_t default_shard_count() noexcept;
+
+  /// The shard count a `requested` value resolves to (0 -> default, else
+  /// capped at kMaxShards) — what shard_count() will report after
+  /// construction with the same request.
+  static std::size_t resolve_shard_count(std::size_t requested) noexcept;
+
+  /// `shard_count` 0 means default_shard_count(). `time_window` is only
+  /// used by ShardPolicy::kByTimeWindow.
+  explicit ShardedTraceServer(std::size_t shard_count = 0,
+                              PublishMode mode = PublishMode::kAsync,
+                              ShardPolicy policy = ShardPolicy::kByThread,
+                              Ns time_window = kNsPerMs);
+  ~ShardedTraceServer() override = default;
+
+  ShardedTraceServer(const ShardedTraceServer&) = delete;
+  ShardedTraceServer& operator=(const ShardedTraceServer&) = delete;
+
+  /// Fleet-unique span id, allocated from the calling thread's shard. Any
+  /// shard's ids are unique across the whole fleet (striped blocks), so id
+  /// allocation never needs to match publish routing.
+  SpanId next_span_id() noexcept override;
+
+  /// Fleet-wide correlation id (one counter; correlation ids pair launch
+  /// and execution spans that may land on different shards).
+  std::uint64_t next_correlation_id() noexcept override {
+    return next_corr_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Publish to the shard the policy selects.
+  void publish(Span span) override;
+
+  /// Flush every shard.
+  void flush();
+
+  /// Total spans aggregated across all shards (flushes first).
+  [[nodiscard]] std::size_t span_count();
+
+  /// Sum of the per-shard dropped-annotation aggregates (flushes first).
+  [[nodiscard]] std::uint64_t dropped_annotation_count();
+
+  /// The merge step: concatenation of every shard's batch list, cost
+  /// O(batches). Span order across shards is arbitrary, exactly as it is
+  /// across producer slots of one server; Timeline::assemble orders it.
+  [[nodiscard]] SpanBatches take_batches();
+
+  /// Flush and flatten the merged trace (convenience; prefer take_batches).
+  [[nodiscard]] std::vector<Span> take_trace();
+
+  /// Distribute recycled batch buffers round-robin across shard freelists.
+  void recycle(SpanBatches batches);
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] ShardPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
+
+  /// Direct shard access (tests, per-shard telemetry).
+  [[nodiscard]] TraceServer& shard(std::size_t i) noexcept { return *shards_[i]; }
+
+  /// The shard index the given span would be routed to under the current
+  /// policy, from the current thread. Exposed so routing is testable.
+  [[nodiscard]] std::size_t shard_for(const Span& span) const noexcept;
+
+  /// The shard index kByThread routes the calling thread to.
+  [[nodiscard]] std::size_t shard_for_current_thread() const noexcept;
+
+ private:
+  PublishMode mode_;
+  ShardPolicy policy_;
+  Ns time_window_;
+  std::vector<std::unique_ptr<TraceServer>> shards_;
+  alignas(64) std::atomic<std::uint64_t> next_corr_{1};
+};
+
+}  // namespace xsp::trace

@@ -112,6 +112,18 @@ static_assert(std::is_trivially_copyable_v<Span>);
 using SpanBatch = std::vector<Span>;
 using SpanBatches = std::vector<SpanBatch>;
 
+/// Flatten publication batches into one contiguous span vector. Spans are
+/// trivially copyable, so each batch append lowers to one memcpy; the
+/// batches are left intact for the caller to recycle.
+inline std::vector<Span> flatten_batches(const SpanBatches& batches) {
+  std::size_t total = 0;
+  for (const auto& batch : batches) total += batch.size();
+  std::vector<Span> flat;
+  flat.reserve(total);
+  for (const auto& batch : batches) flat.insert(flat.end(), batch.begin(), batch.end());
+  return flat;
+}
+
 inline const char* level_name(int level) {
   switch (level) {
     case kApplicationLevel: return "application";

@@ -1,0 +1,34 @@
+// SpanSink: the minimal interface a tracer needs from a span collector.
+//
+// The paper's tracers only ever do three things against the tracing server
+// (Section III-A): obtain ids and publish completed spans. Everything else
+// — aggregation, flushing, trace hand-off — is a consumer-side concern.
+// Splitting that producer surface out lets Tracer/ScopedSpan publish
+// through either a single TraceServer or a ShardedTraceServer (N servers
+// behind one selector) without caring which, and keeps the hot publish
+// call as one virtual dispatch into a `final` implementation the compiler
+// can devirtualize at concrete call sites.
+#pragma once
+
+#include <cstdint>
+
+#include "xsp/trace/span.hpp"
+
+namespace xsp::trace {
+
+/// Producer-facing surface of a span collector.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+
+  /// Allocate a fresh sink-unique span id (never kNoSpan).
+  virtual SpanId next_span_id() noexcept = 0;
+
+  /// Allocate a fresh correlation id for an async launch/execution pair.
+  virtual std::uint64_t next_correlation_id() noexcept = 0;
+
+  /// Publish one completed span. Thread-safe.
+  virtual void publish(Span span) = 0;
+};
+
+}  // namespace xsp::trace

@@ -57,8 +57,10 @@ struct AssembleOptions {
 class Timeline {
  public:
   /// Assemble a hierarchy from the raw spans of one run, in the publication
-  /// batches TraceServer::take_batches() hands off.
-  static Timeline assemble(SpanBatches batches, const AssembleOptions& options = {});
+  /// batches TraceServer::take_batches() hands off. Spans are copied out
+  /// (they are trivially copyable), so the caller keeps the batch buffers
+  /// and can hand them back via TraceServer::recycle().
+  static Timeline assemble(const SpanBatches& batches, const AssembleOptions& options = {});
 
   /// Convenience overload for a flat span vector (wrapped as one batch).
   static Timeline assemble(std::vector<Span> spans, const AssembleOptions& options = {}) {

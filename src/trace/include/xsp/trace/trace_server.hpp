@@ -18,6 +18,10 @@
 // kBatchCapacity spans rather than once per span. flush()/take_trace()
 // semantics are unchanged: after flush() every span published
 // happens-before the call is aggregated.
+//
+// A server can also run as one shard of a ShardedTraceServer: the IdStripe
+// constructor parameter stripes the id-block sequence so N shards hand out
+// disjoint span ids with no cross-shard coordination.
 #pragma once
 
 #include <atomic>
@@ -29,6 +33,7 @@
 #include <vector>
 
 #include "xsp/trace/span.hpp"
+#include "xsp/trace/span_sink.hpp"
 
 namespace xsp::trace {
 
@@ -39,15 +44,32 @@ enum class PublishMode : std::uint8_t {
 
 // SpanBatch/SpanBatches live in span.hpp (shared with Timeline::assemble).
 
-/// Thread-safe span sink + aggregator.
-class TraceServer {
+/// Which id blocks this server hands out: global block k of this server is
+/// block `index + k * stride` of the process-wide sequence. A standalone
+/// server uses {0, 1} (every block); shard i of N uses {i, N}, so ids are
+/// unique across shards without any shared counter.
+struct IdStripe {
+  std::uint64_t index = 0;
+  std::uint64_t stride = 1;
+};
+
+/// Thread-safe span sink + aggregator. `final` so calls through a concrete
+/// TraceServer reference devirtualize.
+class TraceServer final : public SpanSink {
  public:
   /// Spans per producer batch: the granularity at which the collector takes
   /// work and the worst-case count a crashing producer could strand.
   static constexpr std::size_t kBatchCapacity = 256;
 
-  explicit TraceServer(PublishMode mode = PublishMode::kAsync);
-  ~TraceServer();
+  /// Span ids per block handed to a publishing thread.
+  static constexpr SpanId kIdBlockSize = 1024;
+
+  /// Batch vectors kept for reuse after recycle(); bounds idle memory at
+  /// kFreelistCapacity * kBatchCapacity * sizeof(Span).
+  static constexpr std::size_t kFreelistCapacity = 16;
+
+  explicit TraceServer(PublishMode mode = PublishMode::kAsync, IdStripe stripe = {});
+  ~TraceServer() override;
 
   TraceServer(const TraceServer&) = delete;
   TraceServer& operator=(const TraceServer&) = delete;
@@ -55,16 +77,16 @@ class TraceServer {
   /// Allocate a fresh server-unique span id (never kNoSpan). Ids are
   /// handed to threads in blocks, so concurrent tracers do not contend on
   /// one counter cache line; ids are unique but not globally dense.
-  SpanId next_span_id() noexcept;
+  SpanId next_span_id() noexcept override;
 
   /// Allocate a fresh correlation id for an async launch/execution pair.
-  std::uint64_t next_correlation_id() noexcept {
+  std::uint64_t next_correlation_id() noexcept override {
     return next_corr_.fetch_add(1, std::memory_order_relaxed);
   }
 
   /// Publish one completed span. Thread-safe; appends to the calling
   /// thread's batch without touching any global lock.
-  void publish(Span span);
+  void publish(Span span) override;
 
   /// Block until every span published before this call has been aggregated
   /// (drains all sealed and partial batches on the caller thread).
@@ -72,6 +94,12 @@ class TraceServer {
 
   /// Number of spans aggregated so far (flushes first).
   [[nodiscard]] std::size_t span_count();
+
+  /// Total annotations dropped (tag/metric capacity overflow) across all
+  /// spans aggregated so far, summed at aggregation time so operators see
+  /// fidelity loss without scanning spans (flushes first). Reset by
+  /// take_trace()/take_batches() along with the trace itself.
+  [[nodiscard]] std::uint64_t dropped_annotation_count();
 
   /// Flush and move the aggregated trace out, leaving the server empty and
   /// ready for the next evaluation run. Flattens into one contiguous span
@@ -82,7 +110,20 @@ class TraceServer {
   /// zero-copy hand-off Timeline::assemble consumes directly.
   [[nodiscard]] SpanBatches take_batches();
 
+  /// Return batch buffers from a previous take_batches() for reuse once the
+  /// consumer is done with them. Recycled vectors feed the freelist that
+  /// publish()/drain() draw replacement batches from, making steady-state
+  /// publication allocation-free end to end. Dropping batches instead of
+  /// recycling them is always safe — the freelist is an optimization.
+  void recycle(SpanBatches batches);
+
+  /// Recycle a single batch buffer (ShardedTraceServer distributes a merged
+  /// take across shard freelists one batch at a time).
+  void recycle_one(SpanBatch batch);
+
   [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
+
+  [[nodiscard]] IdStripe id_stripe() const noexcept { return stripe_; }
 
   /// True while the background collector thread exists (kAsync only; kSync
   /// must never spawn one).
@@ -93,12 +134,15 @@ class TraceServer {
   /// never share a line with another producer's (or with the server's id
   /// counters below).
   struct alignas(64) ProducerSlot {
-    /// Guards `active` and `sealed`. Only the owning thread and the
-    /// collector/flush ever touch a slot, so this spinlock is effectively
-    /// uncontended on the publish path.
+    /// Guards `active`, `sealed`, and `dropped`. Only the owning thread and
+    /// the collector/flush ever touch a slot, so this spinlock is
+    /// effectively uncontended on the publish path.
     std::atomic_flag lock = ATOMIC_FLAG_INIT;
     SpanBatch active;
     SpanBatches sealed;
+    /// Annotation drops published through this slot since the last drain;
+    /// aggregated into the server-wide counter when batches are taken.
+    std::uint64_t dropped = 0;
     /// Stable key of the owning thread: re-registration after a TLS cache
     /// eviction finds this slot again instead of growing slots_.
     std::uint64_t owner = 0;
@@ -124,13 +168,19 @@ class TraceServer {
   /// into trace_.
   void drain(bool steal_active);
 
+  /// Pop a recycled batch vector, or allocate a fresh one. Never blocks
+  /// (try-lock), so it is safe to call while holding a slot spinlock.
+  SpanBatch take_free_batch_or_new();
+
   PublishMode mode_;
+  IdStripe stripe_;
   std::uint64_t uid_;
 
   /// Id counters are hammered by every producer; isolate them from the
   /// locks the collector/flush paths take so RMWs on one never evict the
-  /// other's line.
-  alignas(64) std::atomic<SpanId> next_id_{1};
+  /// other's line. next_block_ counts blocks *this server* allocated; the
+  /// stripe maps them onto the process-wide block sequence.
+  alignas(64) std::atomic<std::uint64_t> next_block_{0};
   std::atomic<std::uint64_t> next_corr_{1};
 
   /// Serializes whole drain passes (slot sweep + trace append). Without
@@ -138,12 +188,21 @@ class TraceServer {
   /// still holds swept batches in its local staging — and hand the trace
   /// off incomplete.
   alignas(64) std::mutex drain_mu_;
+  /// Drain staging, reused across passes (guarded by drain_mu_).
+  SpanBatches drain_staging_;
 
   alignas(64) std::mutex registry_mu_;
   std::vector<std::unique_ptr<ProducerSlot>> slots_;
 
   alignas(64) std::mutex trace_mu_;
   SpanBatches trace_;
+  std::uint64_t dropped_total_ = 0;
+
+  /// Freelist of cleared batch vectors (and outer batch-list vectors) fed
+  /// by recycle(); drawn from by publish()/drain()/take_batches().
+  alignas(64) std::mutex free_mu_;
+  SpanBatches free_batches_;
+  std::vector<SpanBatches> free_outers_;
 
   alignas(64) std::mutex wake_mu_;
   std::condition_variable wake_cv_;

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "xsp/trace/span.hpp"
-#include "xsp/trace/trace_server.hpp"
+#include "xsp/trace/span_sink.hpp"
 
 namespace xsp::trace {
 
@@ -25,7 +25,9 @@ class Tracer {
   /// `name` identifies the publishing profiler; `level` is the stack level
   /// all spans from this tracer are tagged with. The name is interned once
   /// here, so publishing stamps a 32-bit id instead of copying a string.
-  Tracer(TraceServer& server, StrId name, int level)
+  /// The sink may be a single TraceServer or a ShardedTraceServer; the
+  /// tracer neither knows nor cares.
+  Tracer(SpanSink& server, StrId name, int level)
       : server_(&server), name_(name), level_(level) {}
 
   [[nodiscard]] const std::string& name() const { return name_.str(); }
@@ -64,8 +66,8 @@ class Tracer {
   /// Number of spans currently open (started, not yet finished).
   [[nodiscard]] std::size_t open_count() const noexcept { return open_.size(); }
 
-  /// Access to the owning server (e.g. for correlation-id allocation).
-  [[nodiscard]] TraceServer& server() noexcept { return *server_; }
+  /// Access to the owning sink (e.g. for correlation-id allocation).
+  [[nodiscard]] SpanSink& server() noexcept { return *server_; }
 
  private:
   /// Open spans live in a flat stack-like vector: tracer nesting depth is
@@ -74,7 +76,7 @@ class Tracer {
   /// warm-up.
   Span* find_open(SpanId id) noexcept;
 
-  TraceServer* server_;
+  SpanSink* server_;
   StrId name_;
   int level_;
   bool enabled_ = true;

@@ -92,8 +92,9 @@ std::string to_chrome_trace(const Timeline& timeline) {
   return os.str();
 }
 
-std::string to_span_json(const Timeline& timeline) {
-  std::ostringstream os;
+namespace {
+
+void append_span_array(std::ostringstream& os, const Timeline& timeline) {
   os << '[';
   bool first = true;
   timeline.walk([&](const TimelineNode& node, int /*depth*/) {
@@ -116,6 +117,23 @@ std::string to_span_json(const Timeline& timeline) {
     os << '}';
   });
   os << ']';
+}
+
+}  // namespace
+
+std::string to_span_json(const Timeline& timeline) {
+  std::ostringstream os;
+  append_span_array(os, timeline);
+  return os.str();
+}
+
+std::string to_span_json(const Timeline& timeline, const TraceMeta& meta) {
+  std::ostringstream os;
+  os << "{\"metadata\":{\"dropped_annotations\":" << meta.dropped_annotations
+     << ",\"shard_count\":" << meta.shard_count << ",\"span_count\":" << timeline.size()
+     << "},\"spans\":";
+  append_span_array(os, timeline);
+  os << '}';
   return os.str();
 }
 

@@ -1,0 +1,136 @@
+#include "xsp/trace/sharded_trace_server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xsp::trace {
+
+namespace {
+
+/// Process-unique key for the calling thread, mixed so consecutive keys
+/// spread across shards instead of clustering (threads are typically
+/// created in a burst and keyed consecutively).
+std::uint64_t mixed_thread_key() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  thread_local const std::uint64_t key =
+      counter.fetch_add(1, std::memory_order_relaxed) * 0x9E3779B97F4A7C15ull;
+  return key;
+}
+
+}  // namespace
+
+const char* shard_policy_name(ShardPolicy p) {
+  switch (p) {
+    case ShardPolicy::kByThread: return "by_thread";
+    case ShardPolicy::kByTracer: return "by_tracer";
+    case ShardPolicy::kByTimeWindow: return "by_time_window";
+  }
+  return "?";
+}
+
+std::size_t ShardedTraceServer::default_shard_count() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 1, 8);
+}
+
+std::size_t ShardedTraceServer::resolve_shard_count(std::size_t requested) noexcept {
+  if (requested == 0) requested = default_shard_count();
+  return std::min(requested, kMaxShards);
+}
+
+ShardedTraceServer::ShardedTraceServer(std::size_t shard_count, PublishMode mode,
+                                       ShardPolicy policy, Ns time_window)
+    : mode_(mode), policy_(policy), time_window_(time_window > 0 ? time_window : kNsPerMs) {
+  shard_count = resolve_shard_count(shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<TraceServer>(mode, IdStripe{i, shard_count}));
+  }
+}
+
+std::size_t ShardedTraceServer::shard_for_current_thread() const noexcept {
+  return static_cast<std::size_t>(mixed_thread_key() >> 32) % shards_.size();
+}
+
+std::size_t ShardedTraceServer::shard_for(const Span& span) const noexcept {
+  switch (policy_) {
+    case ShardPolicy::kByTracer:
+      // StrIds are dense small integers; mix before reducing.
+      return static_cast<std::size_t>(
+                 (span.tracer.raw() * 0x9E3779B9u) >> 16) %
+             shards_.size();
+    case ShardPolicy::kByTimeWindow:
+      return static_cast<std::size_t>(static_cast<std::uint64_t>(span.begin) /
+                                      static_cast<std::uint64_t>(time_window_)) %
+             shards_.size();
+    case ShardPolicy::kByThread:
+    default:
+      return shard_for_current_thread();
+  }
+}
+
+SpanId ShardedTraceServer::next_span_id() noexcept {
+  // Always the thread's shard: cheapest selector, and striped blocks make
+  // any shard's ids fleet-unique, so routing of the *span* is free to
+  // differ (kByTracer/kByTimeWindow).
+  return shards_[shard_for_current_thread()]->next_span_id();
+}
+
+void ShardedTraceServer::publish(Span span) {
+  shards_[shard_for(span)]->publish(std::move(span));
+}
+
+void ShardedTraceServer::flush() {
+  for (auto& shard : shards_) shard->flush();
+}
+
+std::size_t ShardedTraceServer::span_count() {
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->span_count();
+  return total;
+}
+
+std::uint64_t ShardedTraceServer::dropped_annotation_count() {
+  std::uint64_t total = 0;
+  for (auto& shard : shards_) total += shard->dropped_annotation_count();
+  return total;
+}
+
+SpanBatches ShardedTraceServer::take_batches() {
+  SpanBatches merged = shards_[0]->take_batches();
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    SpanBatches part = shards_[i]->take_batches();
+    merged.reserve(merged.size() + part.size());
+    for (auto& batch : part) merged.push_back(std::move(batch));
+    part.clear();
+    shards_[i]->recycle(std::move(part));
+  }
+  return merged;
+}
+
+std::vector<Span> ShardedTraceServer::take_trace() {
+  SpanBatches batches = take_batches();
+  std::vector<Span> flat = flatten_batches(batches);
+  recycle(std::move(batches));
+  return flat;
+}
+
+void ShardedTraceServer::recycle(SpanBatches batches) {
+  const std::size_t n = shards_.size();
+  if (n == 1) {
+    shards_[0]->recycle(std::move(batches));
+    return;
+  }
+  // Round-robin the buffers so every shard's freelist refills, not just
+  // the one the consumer thread would hash to; allocation-free (no
+  // per-call scaffolding), matching the single-server recycle path.
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    shards_[i % n]->recycle_one(std::move(batches[i]));
+  }
+  // Re-home the (now empty) outer vector so the next take_batches() merge
+  // starts from pre-grown storage.
+  batches.clear();
+  shards_[0]->recycle(std::move(batches));
+}
+
+}  // namespace xsp::trace

@@ -26,7 +26,7 @@ SearchInterval parent_search_interval(const TimelineNode& n) {
 
 }  // namespace
 
-Timeline Timeline::assemble(SpanBatches batches, const AssembleOptions& options) {
+Timeline Timeline::assemble(const SpanBatches& batches, const AssembleOptions& options) {
   Timeline tl;
 
   std::size_t span_count = 0;
@@ -42,8 +42,8 @@ Timeline Timeline::assemble(SpanBatches batches, const AssembleOptions& options)
   std::vector<TimelineNode> merged;
   merged.reserve(span_count);
 
-  for (auto& batch : batches) {
-    for (auto& s : batch) {
+  for (const auto& batch : batches) {
+    for (const auto& s : batch) {
       if (options.correlate_async && s.kind == SpanKind::kLaunch && s.correlation_id != 0) {
         pending_launch.emplace(s.correlation_id, s);
       } else if (options.correlate_async && s.kind == SpanKind::kExecution &&
@@ -56,7 +56,6 @@ Timeline Timeline::assemble(SpanBatches batches, const AssembleOptions& options)
       }
     }
   }
-  batches.clear();
 
   for (auto& [corr, exec] : pending_exec) {
     auto it = pending_launch.find(corr);

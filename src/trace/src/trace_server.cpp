@@ -12,9 +12,6 @@ std::uint64_t next_server_uid() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
-/// Span ids per block handed to a publishing thread.
-constexpr SpanId kIdBlockSize = 1024;
-
 struct IdBlock {
   const void* server;
   std::uint64_t uid;
@@ -31,12 +28,18 @@ SpanId TraceServer::next_span_id() noexcept {
   if (block.server == this && block.uid == uid_ && block.next != block.end) {
     return block.next++;
   }
-  const SpanId start = next_id_.fetch_add(kIdBlockSize, std::memory_order_relaxed);
+  // Global block number under the stripe: shard i of N allocates blocks
+  // i, i+N, i+2N, ... — disjoint across shards by construction. Block 0
+  // starts at id 1, so kNoSpan is never handed out.
+  const std::uint64_t k = next_block_.fetch_add(1, std::memory_order_relaxed);
+  const SpanId start = (stripe_.index + k * stripe_.stride) * kIdBlockSize + 1;
   block = {this, uid_, start + 1, start + kIdBlockSize};
   return start;
 }
 
-TraceServer::TraceServer(PublishMode mode) : mode_(mode), uid_(next_server_uid()) {
+TraceServer::TraceServer(PublishMode mode, IdStripe stripe)
+    : mode_(mode), stripe_(stripe), uid_(next_server_uid()) {
+  if (stripe_.stride == 0) stripe_.stride = 1;
   if (mode_ == PublishMode::kAsync) {
     collector_ = std::thread([this] { collector_loop(); });
   }
@@ -121,15 +124,28 @@ TraceServer::ProducerSlot& TraceServer::local_slot() {
   return *slot;
 }
 
+SpanBatch TraceServer::take_free_batch_or_new() {
+  SpanBatch batch;
+  if (free_mu_.try_lock()) {
+    if (!free_batches_.empty()) {
+      batch = std::move(free_batches_.back());
+      free_batches_.pop_back();
+    }
+    free_mu_.unlock();
+  }
+  if (batch.capacity() < kBatchCapacity) batch.reserve(kBatchCapacity);
+  return batch;
+}
+
 void TraceServer::publish(Span span) {
   ProducerSlot& slot = local_slot();
   bool sealed = false;
   slot.acquire();
+  if (span.dropped_annotations != 0) slot.dropped += span.dropped_annotations;
   slot.active.push_back(std::move(span));
   if (slot.active.size() >= kBatchCapacity) {
     slot.sealed.push_back(std::move(slot.active));
-    slot.active = {};
-    slot.active.reserve(kBatchCapacity);
+    slot.active = take_free_batch_or_new();
     sealed = true;
   }
   slot.release();
@@ -147,7 +163,8 @@ void TraceServer::drain(bool steal_active) {
   // One drain pass at a time: batches must never sit in a concurrent
   // pass's staging while another pass reports the slots empty.
   std::lock_guard drain_lk(drain_mu_);
-  SpanBatches taken;
+  SpanBatches& taken = drain_staging_;
+  std::uint64_t dropped = 0;
   {
     std::lock_guard lk(registry_mu_);
     for (auto& slot : slots_) {
@@ -156,16 +173,19 @@ void TraceServer::drain(bool steal_active) {
       slot->sealed.clear();
       if (steal_active && !slot->active.empty()) {
         taken.push_back(std::move(slot->active));
-        slot->active = {};
-        slot->active.reserve(kBatchCapacity);
+        slot->active = take_free_batch_or_new();
       }
+      dropped += slot->dropped;
+      slot->dropped = 0;
       slot->release();
     }
   }
-  if (taken.empty()) return;
+  if (taken.empty() && dropped == 0) return;
   // Aggregation is batch-handle moves only; spans themselves stay put.
   std::lock_guard lk(trace_mu_);
   for (auto& batch : taken) trace_.push_back(std::move(batch));
+  taken.clear();
+  dropped_total_ += dropped;
 }
 
 void TraceServer::collector_loop() {
@@ -196,20 +216,55 @@ std::size_t TraceServer::span_count() {
   return total;
 }
 
-SpanBatches TraceServer::take_batches() {
+std::uint64_t TraceServer::dropped_annotation_count() {
   flush();
   std::lock_guard lk(trace_mu_);
-  return std::exchange(trace_, {});
+  return dropped_total_;
+}
+
+SpanBatches TraceServer::take_batches() {
+  flush();
+  // Replace the outgoing trace's outer vector with a recycled one so the
+  // next aggregation cycle appends into pre-grown storage.
+  SpanBatches fresh;
+  {
+    std::lock_guard lk(free_mu_);
+    if (!free_outers_.empty()) {
+      fresh = std::move(free_outers_.back());
+      free_outers_.pop_back();
+    }
+  }
+  std::lock_guard lk(trace_mu_);
+  dropped_total_ = 0;
+  return std::exchange(trace_, std::move(fresh));
+}
+
+void TraceServer::recycle_one(SpanBatch batch) {
+  batch.clear();
+  if (batch.capacity() == 0) return;
+  std::lock_guard lk(free_mu_);
+  if (free_batches_.size() < kFreelistCapacity) free_batches_.push_back(std::move(batch));
+}
+
+void TraceServer::recycle(SpanBatches batches) {
+  std::lock_guard lk(free_mu_);
+  for (auto& batch : batches) {
+    if (free_batches_.size() >= kFreelistCapacity) break;
+    batch.clear();
+    // Undersized vectors (partial batches from a steal) are still useful:
+    // take_free_batch_or_new() grows them to capacity on reuse.
+    if (batch.capacity() != 0) free_batches_.push_back(std::move(batch));
+  }
+  batches.clear();
+  if (free_outers_.size() < 4 && batches.capacity() != 0) {
+    free_outers_.push_back(std::move(batches));
+  }
 }
 
 std::vector<Span> TraceServer::take_trace() {
   SpanBatches batches = take_batches();
-  std::size_t total = 0;
-  for (const auto& batch : batches) total += batch.size();
-  std::vector<Span> flat;
-  flat.reserve(total);
-  // Spans are trivially copyable: each batch append lowers to one memcpy.
-  for (const auto& batch : batches) flat.insert(flat.end(), batch.begin(), batch.end());
+  std::vector<Span> flat = flatten_batches(batches);
+  recycle(std::move(batches));
   return flat;
 }
 

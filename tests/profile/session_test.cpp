@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
 #include "xsp/models/builder.hpp"
 
 namespace xsp::profile {
@@ -155,6 +158,38 @@ TEST(Session, JitterMakesRunsDiffer) {
   };
   EXPECT_NE(run_with_seed(1), run_with_seed(2));
   EXPECT_EQ(run_with_seed(3), run_with_seed(3));
+}
+
+TEST(Session, ShardCountNeverChangesTheAssembledTimeline) {
+  // The trace_shards knob fans collection out across independent servers;
+  // the merged, assembled result must be structurally identical.
+  const auto shape_of = [](std::size_t shards) {
+    Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+    auto opts = ProfileOptions::full(/*metrics=*/false);
+    opts.trace_shards = shards;
+    const auto run = s.profile(small_graph(), opts);
+    std::vector<std::tuple<TimePoint, TimePoint, int, int>> shape;
+    run.timeline.walk([&](const trace::TimelineNode& n, int depth) {
+      shape.emplace_back(n.span.begin, n.span.end, n.span.level, depth);
+    });
+    return shape;
+  };
+  const auto single = shape_of(1);
+  EXPECT_FALSE(single.empty());
+  EXPECT_EQ(single, shape_of(4));
+}
+
+TEST(Session, RunTraceCarriesCollectionTelemetry) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::model_layer();
+  opts.trace_shards = 2;
+  const auto run = s.profile(small_graph(), opts);
+  EXPECT_EQ(run.trace_shards, 2u);
+  // The simulated profilers stay within annotation capacity.
+  EXPECT_EQ(run.dropped_annotations, 0u);
+  const auto meta = run.trace_meta();
+  EXPECT_EQ(meta.shard_count, 2u);
+  EXPECT_EQ(meta.dropped_annotations, 0u);
 }
 
 }  // namespace

@@ -74,6 +74,19 @@ TEST(Export, EscapesSpecialCharacters) {
   EXPECT_EQ(json.find('\n'), std::string::npos);  // no raw newlines
 }
 
+TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
+  TraceMeta meta;
+  meta.dropped_annotations = 7;
+  meta.shard_count = 4;
+  const auto json = to_span_json(sample_timeline(), meta);
+  EXPECT_EQ(json.find("{\"metadata\":{"), 0u);
+  EXPECT_NE(json.find("\"dropped_annotations\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"shard_count\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"span_count\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"id\":1"), std::string::npos);
+}
+
 TEST(Export, EmptyTimelineIsValidJson) {
   const auto chrome = to_chrome_trace(Timeline::assemble(std::vector<Span>{}));
   EXPECT_EQ(chrome.find("\"ph\":\"X\""), std::string::npos);

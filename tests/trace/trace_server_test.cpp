@@ -78,6 +78,37 @@ TEST(TraceServer, ConcurrentPublishersLoseNothing) {
   EXPECT_EQ(server.span_count(), static_cast<std::size_t>(kThreads * kPerThread));
 }
 
+TEST(TraceServer, DroppedAnnotationsAggregateAtAggregationTime) {
+  TraceServer server(PublishMode::kSync);
+  EXPECT_EQ(server.dropped_annotation_count(), 0u);
+  Span a = make_span(server.next_span_id(), 0, 10);
+  a.dropped_annotations = 2;
+  Span b = make_span(server.next_span_id(), 10, 20);
+  b.dropped_annotations = 5;
+  server.publish(std::move(a));
+  server.publish(std::move(b));
+  server.publish(make_span(server.next_span_id(), 20, 30));  // lossless span
+  EXPECT_EQ(server.dropped_annotation_count(), 7u);
+  // Taking the trace starts the next run's count from zero.
+  (void)server.take_batches();
+  EXPECT_EQ(server.dropped_annotation_count(), 0u);
+}
+
+TEST(TraceServer, IdStripesProduceDisjointIds) {
+  // Two striped servers (shard 0 and 1 of 2) must never hand out the same
+  // id, even across many blocks.
+  TraceServer even(PublishMode::kSync, IdStripe{0, 2});
+  TraceServer odd(PublishMode::kSync, IdStripe{1, 2});
+  std::vector<SpanId> ids;
+  for (int i = 0; i < 5000; ++i) {
+    ids.push_back(even.next_span_id());
+    ids.push_back(odd.next_span_id());
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_NE(ids.front(), kNoSpan);
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
 TEST(TraceServer, DestructionWithQueuedSpansIsClean) {
   // No hang or crash when a server with pending async work is destroyed.
   auto server = std::make_unique<TraceServer>(PublishMode::kAsync);

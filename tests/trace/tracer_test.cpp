@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "xsp/trace/trace_server.hpp"
+
 namespace xsp::trace {
 namespace {
 

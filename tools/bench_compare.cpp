@@ -1,0 +1,191 @@
+// bench_compare: regression gate over google-benchmark JSON dumps.
+//
+// Usage: bench_compare <baseline.json> <current.json>
+//                      [--threshold 0.30] [--ignore <substring>]...
+//
+// Compares `items_per_second` of matching benchmark cases between a
+// recorded baseline (bench/results/BENCH_*.json) and a fresh run, and
+// exits non-zero if any case regressed by more than the threshold
+// (default 30% — see bench/README.md for how thresholds were chosen).
+// --ignore excludes cases whose name contains the substring from gating
+// (they are still printed): CI uses it for the contended cases, whose
+// documented cross-machine variance exceeds any useful threshold.
+//
+// Parsing is deliberately specialized to google-benchmark's output: each
+// object in the "benchmarks" array lists "name" before its metrics, so a
+// linear scan pairing each "name" with the next "items_per_second" is
+// exact for this format — no JSON library needed. When aggregate entries
+// are present (--benchmark_report_aggregates_only), only the `_median`
+// rows are compared (medians are robust to scheduler noise on shared CI
+// runners); otherwise the raw rows are compared by full name. Cases
+// present in only one file (new benchmarks, retired benchmarks) are
+// reported and skipped.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+std::optional<std::string> read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Extract the JSON string starting at the opening quote `pos` points at.
+std::string parse_string(const std::string& text, std::size_t pos) {
+  std::string out;
+  for (std::size_t i = pos + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      out.push_back(text[++i]);
+    } else if (c == '"') {
+      break;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// name -> items_per_second for every benchmark entry that reports one.
+std::map<std::string, double> parse_rates(const std::string& text) {
+  std::map<std::string, double> rates;
+  std::string current_name;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t name_at = text.find("\"name\"", pos);
+    const std::size_t rate_at = text.find("\"items_per_second\"", pos);
+    if (name_at == std::string::npos && rate_at == std::string::npos) break;
+    if (name_at < rate_at) {
+      // The value's opening quote is the first quote after the colon.
+      const std::size_t colon = text.find(':', name_at);
+      if (colon == std::string::npos) break;
+      const std::size_t q = text.find('"', colon + 1);
+      if (q == std::string::npos) break;
+      current_name = parse_string(text, q);
+      pos = q + current_name.size() + 2;
+    } else {
+      const std::size_t colon = text.find(':', rate_at);
+      if (colon == std::string::npos) break;
+      if (!current_name.empty()) {
+        rates[current_name] = std::strtod(text.c_str() + colon + 1, nullptr);
+        current_name.clear();  // one rate per name
+      }
+      pos = colon + 1;
+    }
+  }
+  return rates;
+}
+
+constexpr const char* kMedianSuffix = "_median";
+
+/// Keep only `_median` aggregates (stripping the suffix) when any exist;
+/// otherwise return all entries unchanged.
+std::map<std::string, double> prefer_medians(const std::map<std::string, double>& rates) {
+  std::map<std::string, double> medians;
+  for (const auto& [name, rate] : rates) {
+    const std::size_t suffix_len = std::strlen(kMedianSuffix);
+    if (name.size() > suffix_len &&
+        name.compare(name.size() - suffix_len, suffix_len, kMedianSuffix) == 0) {
+      medians.emplace(name.substr(0, name.size() - suffix_len), rate);
+    }
+  }
+  return medians.empty() ? rates : medians;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.30;
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  std::vector<std::string> ignore;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--ignore") == 0 && i + 1 < argc) {
+      ignore.emplace_back(argv[++i]);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> [--threshold 0.30] "
+                 "[--ignore <substring>]...\n");
+    return 2;
+  }
+  const auto ignored = [&ignore](const std::string& name) {
+    for (const auto& needle : ignore) {
+      if (name.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  const auto baseline_text = read_file(baseline_path);
+  const auto current_text = read_file(current_path);
+  if (!baseline_text || !current_text) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n",
+                 !baseline_text ? baseline_path : current_path);
+    return 2;
+  }
+
+  const auto baseline = prefer_medians(parse_rates(*baseline_text));
+  const auto current = prefer_medians(parse_rates(*current_text));
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench_compare: no items_per_second entries in %s\n", baseline_path);
+    return 2;
+  }
+
+  std::printf("%-44s %14s %14s %8s\n", "case", "baseline/s", "current/s", "ratio");
+  int compared = 0;
+  int failed = 0;
+  for (const auto& [name, base_rate] : baseline) {
+    const auto it = current.find(name);
+    if (it == current.end() || base_rate <= 0) {
+      std::printf("%-44s %14.3g %14s %8s\n", name.c_str(), base_rate, "-", "skip");
+      continue;
+    }
+    const double ratio = it->second / base_rate;
+    if (ignored(name)) {
+      std::printf("%-44s %14.3g %14.3g %7.2fx  (not gated)\n", name.c_str(), base_rate,
+                  it->second, ratio);
+      continue;
+    }
+    ++compared;
+    const bool regressed = ratio < 1.0 - threshold;
+    failed += regressed ? 1 : 0;
+    std::printf("%-44s %14.3g %14.3g %7.2fx%s\n", name.c_str(), base_rate, it->second, ratio,
+                regressed ? "  << REGRESSION" : "");
+  }
+  for (const auto& [name, rate] : current) {
+    if (baseline.find(name) == baseline.end()) {
+      std::printf("%-44s %14s %14.3g %8s\n", name.c_str(), "-", rate, "new");
+    }
+  }
+
+  if (compared == 0) {
+    std::fprintf(stderr, "bench_compare: no common cases between the two files\n");
+    return 2;
+  }
+  if (failed > 0) {
+    std::fprintf(stderr,
+                 "bench_compare: %d case(s) regressed more than %.0f%% vs %s\n", failed,
+                 threshold * 100, baseline_path);
+    return 1;
+  }
+  std::printf("bench_compare: %d case(s) within %.0f%% of baseline\n", compared,
+              threshold * 100);
+  return 0;
+}
