@@ -58,6 +58,18 @@ struct ProfileOptions {
   /// multi-run statistics.
   double timing_jitter = 0;
   std::uint64_t jitter_seed = 0;
+  /// When non-empty, the run's spans are additionally streamed to this
+  /// file *as they drain* from the trace server (a StreamingExporter
+  /// attached as a drain subscriber on every shard), in publication form:
+  /// raw spans, pre-assembly, launch/execution pairs unmerged. The
+  /// in-memory timeline in RunTrace is unaffected. The file is finalized
+  /// (footer + metadata) before profile() returns; if the run throws, the
+  /// partial file is removed so a failed run never leaves a valid-looking
+  /// export behind.
+  std::string stream_export_path;
+  /// Document shape for stream_export_path (span JSON carries a metadata
+  /// footer with the run's dropped-annotation/shard telemetry).
+  trace::ExportFormat stream_export_format = trace::ExportFormat::kChromeTrace;
 
   [[nodiscard]] std::string level_string() const;  // "M", "M/L", "M/L/G"
 
@@ -90,6 +102,11 @@ struct RunTrace {
   std::uint64_t dropped_annotations = 0;
   /// Shards the trace was collected across (for export metadata).
   std::size_t trace_shards = 1;
+  /// Spans written to stream_export_path (0 when streaming was off). This
+  /// counts *raw publication* spans, so with GPU tracing it exceeds
+  /// timeline.size(): launch/execution pairs stream unmerged and are only
+  /// joined at assembly.
+  std::uint64_t streamed_spans = 0;
 
   /// Export metadata for to_span_json(timeline, meta).
   [[nodiscard]] trace::TraceMeta trace_meta() const noexcept {

@@ -1,5 +1,8 @@
 #include "xsp/profile/session.hpp"
 
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
 #include <utility>
 
 #include "xsp/profile/span_keys.hpp"
@@ -63,6 +66,43 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
     // DeterministicAcrossIdenticalRuns), not per profile() call.
     server_->recycle(server_->take_batches());
   }
+  // Streaming export: observe batches as the shards drain them, writing
+  // raw publication spans to the file during the run. kObserve (tee)
+  // because this run also assembles an in-memory timeline; a service that
+  // only wants the file attaches its own subscriber with kConsume.
+  std::ofstream stream_file;
+  std::unique_ptr<trace::StreamingExporter> stream_exporter;
+  struct SubscriberGuard {
+    trace::ShardedTraceServer* server = nullptr;
+    const std::string* partial_file = nullptr;
+    ~SubscriberGuard() {
+      // Detach before the exporter (captured below) dies — also on the
+      // exception path, so a reused fleet never calls a dead exporter.
+      if (server != nullptr) server->set_drain_subscriber(nullptr);
+      // A failed run must not leave a valid-looking export: the exporter's
+      // destructor would still footer the partial document, so unlink the
+      // file (the remaining writes go to the orphaned handle, harmlessly).
+      if (partial_file != nullptr) std::remove(partial_file->c_str());
+    }
+  } subscriber_guard;
+  if (!options.stream_export_path.empty()) {
+    stream_file.open(options.stream_export_path, std::ios::binary | std::ios::trunc);
+    if (!stream_file) {
+      throw std::runtime_error("Session: cannot open stream_export_path: " +
+                               options.stream_export_path);
+    }
+    stream_exporter = std::make_unique<trace::StreamingExporter>(
+        options.stream_export_format, stream_file,
+        /*with_metadata=*/options.stream_export_format == trace::ExportFormat::kSpanJson);
+    server_->set_drain_subscriber(
+        [exporter = stream_exporter.get()](const trace::SpanBatches& batches) {
+          exporter->write_batches(batches);
+        },
+        trace::DrainHandoff::kObserve);
+    subscriber_guard.server = server_.get();
+    subscriber_guard.partial_file = &options.stream_export_path;
+  }
+
   model_tracer_ = std::make_unique<trace::Tracer>(*server_, "model_timer", trace::kModelLevel);
   layer_tracer_ =
       std::make_unique<trace::Tracer>(*server_, "framework_profiler", trace::kLayerLevel);
@@ -198,6 +238,22 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   // the next run on this session (the fleet outlives the run above).
   result.dropped_annotations = server_->dropped_annotation_count();
   result.trace_shards = server_->shard_count();
+  if (stream_exporter != nullptr) {
+    // dropped_annotation_count() flushed every shard, so the subscriber
+    // has observed every span of the run; detach, then finalize the file
+    // with the run's telemetry in the footer.
+    server_->set_drain_subscriber(nullptr);
+    subscriber_guard.server = nullptr;
+    subscriber_guard.partial_file = nullptr;
+    stream_exporter->set_meta(result.trace_meta());
+    stream_exporter->finish();
+    result.streamed_spans = stream_exporter->spans_written();
+    stream_file.close();
+    if (!stream_file) {
+      throw std::runtime_error("Session: short write to stream_export_path: " +
+                               options.stream_export_path);
+    }
+  }
   trace::SpanBatches batches = server_->take_batches();
   result.timeline = trace::Timeline::assemble(batches);
   server_->recycle(std::move(batches));

@@ -5,23 +5,37 @@
 // do; exporting the assembled timeline in the Chrome trace-event format
 // gives the same "smooth hierarchical step-through" experience the paper
 // describes, inside a standard viewer.
+//
+// There is exactly one JSON-emission path: StreamingExporter. It consumes
+// spans incrementally (single spans, publication batches, or whole batch
+// lists) and writes through a bounded internal buffer to any std::ostream
+// or sink callback — no whole-trace string is ever materialized, so a
+// long-running service can export an unbounded trace with bounded memory.
+// The classic to_chrome_trace()/to_span_json() helpers are thin wrappers
+// that drive the same core over an assembled timeline into a string.
+//
+// Number formatting is exact by construction:
+//   * Chrome "ts"/"dur" are fixed-point microseconds computed from the
+//     integer nanosecond timestamps (123456789 ns -> "123456.789"), never
+//     default-precision double streaming — a >1 s trace keeps microsecond
+//     positions instead of snapping to 6 significant digits.
+//   * Metric values print integers up to 2^53 exactly and round-trip every
+//     other finite double (shortest-round-trip via std::to_chars);
+//     non-finite values emit null.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
 #include <string>
+#include <string_view>
 
+#include "xsp/trace/span.hpp"
 #include "xsp/trace/timeline.hpp"
 
 namespace xsp::trace {
-
-/// Chrome trace-event JSON ("traceEvents" array of complete "X" events).
-/// Stack levels map to track (tid) ids so the viewer shows one lane per
-/// level; tags and metrics become event args.
-std::string to_chrome_trace(const Timeline& timeline);
-
-/// Flat JSON array of spans with ids, parents, levels, timestamps, tags,
-/// and metrics — lossless for re-analysis.
-std::string to_span_json(const Timeline& timeline);
 
 /// Collection-level telemetry to embed alongside the spans — the numbers
 /// an operator needs without scanning the trace. Populated from
@@ -34,8 +48,114 @@ struct TraceMeta {
   std::size_t shard_count = 1;
 };
 
+/// Output document shape of a StreamingExporter.
+enum class ExportFormat : std::uint8_t {
+  /// Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}
+  /// with one complete "X" event per span and per-level track names.
+  kChromeTrace,
+  /// Flat span JSON — lossless for re-analysis. A plain array [...] by
+  /// default; with_metadata wraps it as {"spans":[...],"metadata":{...}}
+  /// (metadata in the footer, so counts/drops can be filled in after the
+  /// last span has streamed).
+  kSpanJson,
+};
+
+const char* export_format_name(ExportFormat f);
+
+/// Incremental JSON exporter with bounded memory.
+///
+/// Spans stream through a fixed-size internal buffer into the sink; the
+/// exporter's footprint is independent of how many spans pass through it
+/// (pinned by StreamingExport.ExporterAllocationIsIndependentOfSpanCount).
+///
+/// Thread safety: write_span/write_batch/write_batches/set_meta/finish may
+/// be called from any thread; batches are formatted into a per-thread
+/// scratch buffer outside the sink lock, so N shard collector threads pay
+/// the lock only to splice finished chunks into the one ordered output.
+/// Events never interleave mid-object; cross-batch order is the arrival
+/// order at the sink, which is as arbitrary as publication order itself
+/// (viewers and re-analysis order by timestamp, not array position).
+class StreamingExporter {
+ public:
+  using WriteFn = std::function<void(std::string_view)>;
+
+  /// Internal buffer size at which buffered output is pushed to the sink.
+  /// The buffer may transiently exceed this by one formatted event.
+  static constexpr std::size_t kFlushThreshold = 64 * 1024;
+
+  /// Stream to a sink callback. `with_metadata` selects the span-JSON
+  /// wrapped form (ignored for kChromeTrace).
+  StreamingExporter(ExportFormat format, WriteFn sink, bool with_metadata = false);
+
+  /// Stream to an ostream (file, socket, stringstream). The stream must
+  /// outlive the exporter.
+  StreamingExporter(ExportFormat format, std::ostream& os, bool with_metadata = false);
+
+  /// Finishes the document if finish() was not called explicitly.
+  ~StreamingExporter();
+
+  StreamingExporter(const StreamingExporter&) = delete;
+  StreamingExporter& operator=(const StreamingExporter&) = delete;
+
+  /// Write one span. `parent` is the parent reference to emit for span
+  /// JSON (wrappers pass the timeline-resolved parent; raw streaming uses
+  /// the span's own explicit parent).
+  void write_span(const Span& span, SpanId parent);
+
+  /// Write every span of a publication batch (parents: span.parent).
+  void write_batch(const SpanBatch& batch);
+
+  /// Write every span of a batch list — the TraceServer drain-subscriber
+  /// shape (parents: span.parent).
+  void write_batches(const SpanBatches& batches);
+
+  /// Set/update the metadata emitted in the span-JSON footer. May be
+  /// called any time before finish() — telemetry like the dropped-
+  /// annotation count is only final after the last drain.
+  void set_meta(const TraceMeta& meta);
+
+  /// Write the document footer and flush. Idempotent. Writes arriving
+  /// after finish() are dropped (asserted in debug builds) — detach drain
+  /// subscribers before finishing so no spans are lost. Chrome footer
+  /// carries the per-level track-name events; span-JSON footer carries
+  /// the metadata section when enabled.
+  void finish();
+
+  /// Spans written so far (also the "span_count" the footer reports).
+  [[nodiscard]] std::uint64_t spans_written() const;
+
+ private:
+  void append_event(std::string& out, const Span& span, SpanId parent) const;
+  /// Splice pre-formatted events (each ','-prefixed) into the output.
+  void append_chunk_locked(std::string_view chunk, std::uint64_t span_count);
+  void flush_locked();
+
+  ExportFormat format_;
+  bool with_metadata_;
+  WriteFn sink_;
+
+  mutable std::mutex mu_;
+  std::string buf_;
+  bool wrote_event_ = false;
+  bool finished_ = false;
+  std::uint64_t spans_written_ = 0;
+  TraceMeta meta_{};
+};
+
+/// Chrome trace-event JSON ("traceEvents" array of complete "X" events).
+/// Stack levels map to track (tid) ids so the viewer shows one lane per
+/// level; tags and metrics become event args. Thin wrapper over
+/// StreamingExporter collecting into a string.
+std::string to_chrome_trace(const Timeline& timeline);
+
+/// Flat JSON array of spans with ids, parents, levels, timestamps, tags,
+/// and metrics — lossless for re-analysis.
+std::string to_span_json(const Timeline& timeline);
+
 /// Like to_span_json(timeline), but wraps the span array in an object with
-/// a "metadata" section: {"metadata":{...},"spans":[...]}.
+/// a trailing "metadata" section: {"spans":[...],"metadata":{...}} — the
+/// same layout the streaming path produces, where final telemetry is only
+/// known after the last span.
 std::string to_span_json(const Timeline& timeline, const TraceMeta& meta);
 
 }  // namespace xsp::trace

@@ -109,6 +109,16 @@ class ShardedTraceServer final : public SpanSink {
   /// Distribute recycled batch buffers round-robin across shard freelists.
   void recycle(SpanBatches batches);
 
+  /// Attach/detach one drain subscriber on every shard — the per-shard
+  /// exporter shape: in kAsync mode each shard's collector thread drains
+  /// its own producers and pushes formatted output into the (thread-safe)
+  /// subscriber, N writers funneling into one sink. The subscriber must
+  /// tolerate concurrent calls (per-shard drains are serialized, cross-
+  /// shard drains are not); StreamingExporter is. kConsume keeps every
+  /// shard's memory bounded for arbitrarily long traces.
+  void set_drain_subscriber(DrainSubscriber subscriber,
+                            DrainHandoff handoff = DrainHandoff::kConsume);
+
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
   [[nodiscard]] ShardPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] PublishMode mode() const noexcept { return mode_; }

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -43,6 +44,29 @@ enum class PublishMode : std::uint8_t {
 };
 
 // SpanBatch/SpanBatches live in span.hpp (shared with Timeline::assemble).
+
+/// What happens to drained batches after a drain subscriber has seen them.
+enum class DrainHandoff : std::uint8_t {
+  /// Tee: the subscriber observes the batches, which then accumulate in
+  /// the server as usual for take_batches()/take_trace(). Memory grows
+  /// with the trace — the shape for "stream a copy while also assembling".
+  kObserve,
+  /// The subscriber *is* the consumer: after the callback returns, the
+  /// batch buffers go straight back to the server freelist and never
+  /// accumulate. Server memory stays bounded regardless of trace length;
+  /// take_batches()/take_trace() return nothing while attached.
+  kConsume,
+};
+
+/// Observes every drained batch list, in the drain pass that moved it out
+/// of the producer slots (collector thread in kAsync, the flushing caller
+/// in kSync). Invoked with the drain serialized — calls never overlap for
+/// one server — and with no slot spinlock held, so publishers keep
+/// publishing while the subscriber writes. Should not throw: a throwing
+/// subscriber is detached on the spot and the drained batches (and all
+/// later ones) accumulate in the server as if none were attached — spans
+/// are preserved for take_batches(), never re-delivered.
+using DrainSubscriber = std::function<void(const SpanBatches&)>;
 
 /// Which id blocks this server hands out: global block k of this server is
 /// block `index + k * stride` of the process-wide sequence. A standalone
@@ -121,6 +145,17 @@ class TraceServer final : public SpanSink {
   /// take across shard freelists one batch at a time).
   void recycle_one(SpanBatch batch);
 
+  /// Attach (or, with an empty function, detach) a drain subscriber: the
+  /// streaming-export hook. The subscriber observes batches as they drain
+  /// instead of a consumer waiting for take_batches(); with kConsume the
+  /// buffers are recycled to the freelist right after the callback, so the
+  /// publish → seal → drain → write → recycle cycle runs in bounded memory
+  /// for arbitrarily long traces. Attaching/detaching synchronizes with
+  /// in-flight drains; spans already aggregated before attach are NOT
+  /// replayed to the subscriber (attach before publishing starts).
+  void set_drain_subscriber(DrainSubscriber subscriber,
+                            DrainHandoff handoff = DrainHandoff::kConsume);
+
   [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
 
   [[nodiscard]] IdStripe id_stripe() const noexcept { return stripe_; }
@@ -190,6 +225,9 @@ class TraceServer final : public SpanSink {
   alignas(64) std::mutex drain_mu_;
   /// Drain staging, reused across passes (guarded by drain_mu_).
   SpanBatches drain_staging_;
+  /// Streaming-export hook (guarded by drain_mu_; called mid-drain).
+  DrainSubscriber subscriber_;
+  DrainHandoff handoff_ = DrainHandoff::kConsume;
 
   alignas(64) std::mutex registry_mu_;
   std::vector<std::unique_ptr<ProducerSlot>> slots_;

@@ -95,8 +95,18 @@ class ScopedSpan {
   ~ScopedSpan() {
     if (id_ != kNoSpan) tracer_->finish_span(id_, now_());
   }
+
+  /// Move-constructible so helper factories can return a ScopedSpan; the
+  /// moved-from object relinquishes the span (id kNoSpan) and its
+  /// destructor finishes nothing.
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : tracer_(other.tracer_),
+        now_(std::move(other.now_)),
+        id_(std::exchange(other.id_, kNoSpan)) {}
+
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(ScopedSpan&&) = delete;
 
   [[nodiscard]] SpanId id() const noexcept { return id_; }
 

@@ -1,140 +1,350 @@
 #include "xsp/trace/export.hpp"
 
+#include <cassert>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
-#include <sstream>
-#include <string_view>
+#include <ostream>
+#include <utility>
 
 namespace xsp::trace {
 
 namespace {
 
-void append_escaped(std::ostringstream& os, std::string_view s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, r.ptr);
 }
 
-void append_number(std::ostringstream& os, double v) {
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, r.ptr);
+}
+
+/// Fixed-point microseconds from integer nanoseconds: 123456789 ->
+/// "123456.789", trailing zeros trimmed ("1234.5", "1234"). Exact for the
+/// whole TimePoint range — the default-precision double streaming this
+/// replaces rounded any timestamp past ~1 s to 6 significant digits.
+void append_us_from_ns(std::string& out, Ns ns) {
+  std::uint64_t mag;
+  if (ns < 0) {
+    out += '-';
+    mag = ~static_cast<std::uint64_t>(ns) + 1;
+  } else {
+    mag = static_cast<std::uint64_t>(ns);
+  }
+  append_uint(out, mag / 1000);
+  const unsigned frac = static_cast<unsigned>(mag % 1000);
+  if (frac != 0) {
+    const char digits[4] = {'.', static_cast<char>('0' + frac / 100),
+                            static_cast<char>('0' + (frac / 10) % 10),
+                            static_cast<char>('0' + frac % 10)};
+    std::size_t len = 4;
+    while (digits[len - 1] == '0') --len;
+    out.append(digits, len);
+  }
+}
+
+/// JSON number from a double: integers up to 2^53 print exactly via the
+/// integer path; every other finite value prints the shortest string that
+/// round-trips (std::to_chars) — the old "%.6g" truncated large byte/flop
+/// counters. Non-finite values have no JSON representation; emit null.
+void append_number(std::string& out, double v) {
   if (!std::isfinite(v)) {
-    os << "null";
+    out += "null";
     return;
   }
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  os << buf;
+  constexpr double kMaxExactInt = 9007199254740992.0;  // 2^53
+  if (v == std::floor(v) && v >= -kMaxExactInt && v <= kMaxExactInt) {
+    // Sign emitted separately so -0.0 round-trips as "-0".
+    if (std::signbit(v)) out += '-';
+    append_int(out, static_cast<std::int64_t>(std::fabs(v)));
+    return;
+  }
+#if defined(__cpp_lib_to_chars)
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, r.ptr);
+#else
+  char buf[32];
+  out.append(buf, static_cast<std::size_t>(std::snprintf(buf, sizeof buf, "%.17g", v)));
+#endif
 }
 
-void append_args(std::ostringstream& os, const Span& span) {
-  os << "\"args\":{";
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default: {
+        const auto u = static_cast<unsigned char>(c);
+        // Control characters must be escaped per JSON; DEL is escaped too
+        // so exported traces stay printable. Bytes >= 0x80 pass through
+        // untouched (UTF-8 sequences are valid JSON string content).
+        if (u < 0x20 || u == 0x7f) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xf];
+        } else {
+          out += c;
+        }
+      }
+    }
+  }
+  out += '"';
+}
+
+void append_args(std::string& out, const Span& span) {
+  out += "\"args\":{";
   bool first = true;
   for (const auto& e : span.tags) {
-    if (!first) os << ',';
+    if (!first) out += ',';
     first = false;
-    append_escaped(os, e.key.view());
-    os << ':';
-    append_escaped(os, e.value.view());
+    append_escaped(out, e.key.view());
+    out += ':';
+    append_escaped(out, e.value.view());
   }
   for (const auto& e : span.metrics) {
-    if (!first) os << ',';
+    if (!first) out += ',';
     first = false;
-    append_escaped(os, e.key.view());
-    os << ':';
-    append_number(os, e.value);
+    append_escaped(out, e.key.view());
+    out += ':';
+    append_number(out, e.value);
   }
-  os << '}';
+  out += '}';
+}
+
+/// Per-thread event-formatting scratch: batches are serialized here outside
+/// the sink lock, so concurrent shard exporters only contend to splice
+/// finished chunks. Reused across calls — its capacity is bounded by the
+/// largest single batch formatted on this thread, not by trace length.
+std::string& tls_scratch() {
+  thread_local std::string scratch;
+  return scratch;
+}
+
+}  // namespace
+
+const char* export_format_name(ExportFormat f) {
+  switch (f) {
+    case ExportFormat::kChromeTrace: return "chrome_trace";
+    case ExportFormat::kSpanJson: return "span_json";
+  }
+  return "?";
+}
+
+StreamingExporter::StreamingExporter(ExportFormat format, WriteFn sink, bool with_metadata)
+    : format_(format),
+      with_metadata_(format == ExportFormat::kSpanJson && with_metadata),
+      sink_(std::move(sink)) {
+  // Warm start at the flush threshold. Chunks are spliced whole (up to a
+  // full formatted batch, which can exceed this headroom), so capacity
+  // may grow past the reservation once — it then sticks (clear() keeps
+  // capacity), which is what makes steady-state streaming allocation-free
+  // while the effective bound stays threshold + one batch's text.
+  buf_.reserve(kFlushThreshold + 4096);
+  if (format_ == ExportFormat::kChromeTrace) {
+    buf_ += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  } else {
+    buf_ += with_metadata_ ? "{\"spans\":[" : "[";
+  }
+}
+
+StreamingExporter::StreamingExporter(ExportFormat format, std::ostream& os, bool with_metadata)
+    : StreamingExporter(
+          format,
+          [out = &os](std::string_view chunk) {
+            out->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+          },
+          with_metadata) {}
+
+StreamingExporter::~StreamingExporter() {
+  try {
+    finish();
+  } catch (...) {
+    // A sink failing during unwind must not terminate; explicit finish()
+    // is the path that propagates sink errors.
+  }
+}
+
+void StreamingExporter::append_event(std::string& out, const Span& s, SpanId parent) const {
+  if (format_ == ExportFormat::kChromeTrace) {
+    out += "{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_int(out, s.level);
+    out += ",\"name\":";
+    append_escaped(out, s.name.view());
+    out += ",\"cat\":";
+    append_escaped(out, level_name(s.level));
+    // Trace-event timestamps are microseconds.
+    out += ",\"ts\":";
+    append_us_from_ns(out, s.begin);
+    out += ",\"dur\":";
+    append_us_from_ns(out, s.duration());
+    out += ',';
+    append_args(out, s);
+    out += '}';
+  } else {
+    out += "{\"id\":";
+    append_uint(out, s.id);
+    out += ",\"parent\":";
+    append_uint(out, parent);
+    out += ",\"level\":";
+    append_int(out, s.level);
+    out += ",\"kind\":";
+    append_escaped(out, kind_name(s.kind));
+    out += ",\"name\":";
+    append_escaped(out, s.name.view());
+    out += ",\"tracer\":";
+    append_escaped(out, s.tracer.view());
+    out += ",\"begin_ns\":";
+    append_int(out, s.begin);
+    out += ",\"end_ns\":";
+    append_int(out, s.end);
+    out += ",\"correlation_id\":";
+    append_uint(out, s.correlation_id);
+    out += ',';
+    if (s.dropped_annotations > 0) {
+      out += "\"dropped_annotations\":";
+      append_uint(out, s.dropped_annotations);
+      out += ',';
+    }
+    append_args(out, s);
+    out += '}';
+  }
+}
+
+void StreamingExporter::append_chunk_locked(std::string_view chunk, std::uint64_t span_count) {
+  // A write after finish() (e.g. a drain subscriber still attached on a
+  // kAsync server) must not corrupt the already-footered document: assert
+  // in debug, drop the events in release. Detach subscribers before
+  // finishing to not lose spans.
+  assert(!finished_ && "StreamingExporter: write after finish()");
+  if (finished_ || chunk.empty()) return;
+  // Every event in a chunk is ','-prefixed; the document-first event drops
+  // the separator here, under the lock, where "first" is well-defined.
+  if (!wrote_event_) chunk.remove_prefix(1);
+  wrote_event_ = true;
+  buf_.append(chunk);
+  spans_written_ += span_count;
+  if (buf_.size() >= kFlushThreshold) flush_locked();
+}
+
+void StreamingExporter::flush_locked() {
+  if (buf_.empty()) return;
+  sink_(buf_);
+  buf_.clear();
+}
+
+void StreamingExporter::write_span(const Span& span, SpanId parent) {
+  std::string& scratch = tls_scratch();
+  scratch.clear();
+  scratch += ',';
+  append_event(scratch, span, parent);
+  std::lock_guard lk(mu_);
+  append_chunk_locked(scratch, 1);
+}
+
+void StreamingExporter::write_batch(const SpanBatch& batch) {
+  if (batch.empty()) return;
+  std::string& scratch = tls_scratch();
+  scratch.clear();
+  for (const Span& s : batch) {
+    scratch += ',';
+    append_event(scratch, s, s.parent);
+  }
+  std::lock_guard lk(mu_);
+  append_chunk_locked(scratch, batch.size());
+}
+
+void StreamingExporter::write_batches(const SpanBatches& batches) {
+  // One batch at a time: scratch stays bounded by a single batch even when
+  // a final flush() drains a long backlog in one subscriber call.
+  for (const SpanBatch& batch : batches) write_batch(batch);
+}
+
+void StreamingExporter::set_meta(const TraceMeta& meta) {
+  std::lock_guard lk(mu_);
+  meta_ = meta;
+}
+
+void StreamingExporter::finish() {
+  std::lock_guard lk(mu_);
+  if (finished_) return;
+  if (format_ == ExportFormat::kChromeTrace) {
+    // Name the per-level tracks.
+    std::string& scratch = tls_scratch();
+    scratch.clear();
+    for (const int level : {kApplicationLevel, kModelLevel, kLayerLevel, kLibraryLevel,
+                            kKernelLevel}) {
+      scratch += ",{\"ph\":\"M\",\"pid\":1,\"tid\":";
+      append_int(scratch, level);
+      scratch += ",\"name\":\"thread_name\",\"args\":{\"name\":";
+      append_escaped(scratch, level_name(level));
+      scratch += "}}";
+    }
+    append_chunk_locked(scratch, 0);
+    buf_ += "]}";
+  } else {
+    buf_ += ']';
+    if (with_metadata_) {
+      buf_ += ",\"metadata\":{\"dropped_annotations\":";
+      append_uint(buf_, meta_.dropped_annotations);
+      buf_ += ",\"shard_count\":";
+      append_uint(buf_, meta_.shard_count);
+      buf_ += ",\"span_count\":";
+      append_uint(buf_, spans_written_);
+      buf_ += "}}";
+    }
+  }
+  finished_ = true;
+  flush_locked();
+}
+
+std::uint64_t StreamingExporter::spans_written() const {
+  std::lock_guard lk(mu_);
+  return spans_written_;
+}
+
+namespace {
+
+/// Drive the streaming core over an assembled timeline into one string —
+/// the materializing wrappers are this and nothing else, so their bytes
+/// are the streaming exporter's bytes by construction.
+std::string export_timeline(const Timeline& timeline, ExportFormat format,
+                            const TraceMeta* meta) {
+  std::string out;
+  StreamingExporter exporter(
+      format, [&out](std::string_view chunk) { out.append(chunk); }, meta != nullptr);
+  if (meta != nullptr) exporter.set_meta(*meta);
+  timeline.walk(
+      [&exporter](const TimelineNode& node, int /*depth*/) {
+        exporter.write_span(node.span, node.parent);
+      });
+  exporter.finish();
+  return out;
 }
 
 }  // namespace
 
 std::string to_chrome_trace(const Timeline& timeline) {
-  std::ostringstream os;
-  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  bool first = true;
-  timeline.walk([&](const TimelineNode& node, int /*depth*/) {
-    const Span& s = node.span;
-    if (!first) os << ',';
-    first = false;
-    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << s.level << ",\"name\":";
-    append_escaped(os, s.name.view());
-    os << ",\"cat\":";
-    append_escaped(os, level_name(s.level));
-    // Trace-event timestamps are microseconds.
-    os << ",\"ts\":" << static_cast<double>(s.begin) / 1e3
-       << ",\"dur\":" << static_cast<double>(s.duration()) / 1e3 << ',';
-    append_args(os, s);
-    os << '}';
-  });
-  // Name the per-level tracks.
-  for (const int level : {kApplicationLevel, kModelLevel, kLayerLevel, kLibraryLevel,
-                          kKernelLevel}) {
-    os << ",{\"ph\":\"M\",\"pid\":1,\"tid\":" << level
-       << ",\"name\":\"thread_name\",\"args\":{\"name\":";
-    append_escaped(os, level_name(level));
-    os << "}}";
-  }
-  os << "]}";
-  return os.str();
+  return export_timeline(timeline, ExportFormat::kChromeTrace, nullptr);
 }
-
-namespace {
-
-void append_span_array(std::ostringstream& os, const Timeline& timeline) {
-  os << '[';
-  bool first = true;
-  timeline.walk([&](const TimelineNode& node, int /*depth*/) {
-    const Span& s = node.span;
-    if (!first) os << ',';
-    first = false;
-    os << "{\"id\":" << s.id << ",\"parent\":" << node.parent << ",\"level\":" << s.level
-       << ",\"kind\":";
-    append_escaped(os, kind_name(s.kind));
-    os << ",\"name\":";
-    append_escaped(os, s.name.view());
-    os << ",\"tracer\":";
-    append_escaped(os, s.tracer.view());
-    os << ",\"begin_ns\":" << s.begin << ",\"end_ns\":" << s.end
-       << ",\"correlation_id\":" << s.correlation_id << ',';
-    if (s.dropped_annotations > 0) {
-      os << "\"dropped_annotations\":" << s.dropped_annotations << ',';
-    }
-    append_args(os, s);
-    os << '}';
-  });
-  os << ']';
-}
-
-}  // namespace
 
 std::string to_span_json(const Timeline& timeline) {
-  std::ostringstream os;
-  append_span_array(os, timeline);
-  return os.str();
+  return export_timeline(timeline, ExportFormat::kSpanJson, nullptr);
 }
 
 std::string to_span_json(const Timeline& timeline, const TraceMeta& meta) {
-  std::ostringstream os;
-  os << "{\"metadata\":{\"dropped_annotations\":" << meta.dropped_annotations
-     << ",\"shard_count\":" << meta.shard_count << ",\"span_count\":" << timeline.size()
-     << "},\"spans\":";
-  append_span_array(os, timeline);
-  os << '}';
-  return os.str();
+  return export_timeline(timeline, ExportFormat::kSpanJson, &meta);
 }
 
 }  // namespace xsp::trace

@@ -115,6 +115,10 @@ std::vector<Span> ShardedTraceServer::take_trace() {
   return flat;
 }
 
+void ShardedTraceServer::set_drain_subscriber(DrainSubscriber subscriber, DrainHandoff handoff) {
+  for (auto& shard : shards_) shard->set_drain_subscriber(subscriber, handoff);
+}
+
 void ShardedTraceServer::recycle(SpanBatches batches) {
   const std::size_t n = shards_.size();
   if (n == 1) {

@@ -181,11 +181,46 @@ void TraceServer::drain(bool steal_active) {
     }
   }
   if (taken.empty() && dropped == 0) return;
+  // Streaming-export hook: the subscriber sees the drained batches here,
+  // after the slot spinlocks are released (publishers are not blocked) and
+  // under drain_mu_ (subscriber calls never overlap). In kConsume mode the
+  // buffers feed the freelist straight back and never touch trace_ — the
+  // bounded-memory path for unbounded traces.
+  if (subscriber_) {
+    if (!taken.empty()) {
+      try {
+        subscriber_(taken);
+      } catch (...) {
+        // A throwing subscriber is detached and its spans fall through to
+        // in-server accumulation: re-delivering the still-staged batches
+        // next pass would duplicate them, and an exception escaping the
+        // collector thread would terminate the process.
+        subscriber_ = nullptr;
+      }
+    }
+    if (subscriber_ && handoff_ == DrainHandoff::kConsume) {
+      {
+        std::lock_guard lk(trace_mu_);
+        dropped_total_ += dropped;
+      }
+      for (auto& batch : taken) recycle_one(std::move(batch));
+      taken.clear();
+      return;
+    }
+  }
   // Aggregation is batch-handle moves only; spans themselves stay put.
   std::lock_guard lk(trace_mu_);
   for (auto& batch : taken) trace_.push_back(std::move(batch));
   taken.clear();
   dropped_total_ += dropped;
+}
+
+void TraceServer::set_drain_subscriber(DrainSubscriber subscriber, DrainHandoff handoff) {
+  // Synchronize with in-flight drains: after this returns, no drain pass
+  // will call a detached subscriber (safe to destroy the exporter).
+  std::lock_guard lk(drain_mu_);
+  subscriber_ = std::move(subscriber);
+  handoff_ = handoff;
 }
 
 void TraceServer::collector_loop() {

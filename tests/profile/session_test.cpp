@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 #include <vector>
 
+#include "../trace/json_check.hpp"
 #include "xsp/models/builder.hpp"
 
 namespace xsp::profile {
@@ -190,6 +196,61 @@ TEST(Session, RunTraceCarriesCollectionTelemetry) {
   const auto meta = run.trace_meta();
   EXPECT_EQ(meta.shard_count, 2u);
   EXPECT_EQ(meta.dropped_annotations, 0u);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Session, StreamExportPathWritesChromeTraceDuringTheRun) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::model_layer();
+  opts.stream_export_path = ::testing::TempDir() + "xsp_stream_chrome.json";
+  const auto run = s.profile(small_graph(), opts);
+
+  const std::string streamed = read_file(opts.stream_export_path);
+  ASSERT_FALSE(streamed.empty());
+  std::string error;
+  EXPECT_TRUE(trace::testjson::valid_json(streamed, &error)) << error;
+  // M/L has no async pairs, so raw published spans == assembled nodes.
+  EXPECT_EQ(trace::testjson::count_occurrences(streamed, "\"ph\":\"X\""), run.timeline.size());
+  EXPECT_EQ(run.streamed_spans, run.timeline.size());
+  EXPECT_NE(streamed.find("\"name\":\"Model Prediction\""), std::string::npos);
+  std::remove(opts.stream_export_path.c_str());
+}
+
+TEST(Session, StreamExportSpanJsonCarriesRunTelemetryFooter) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::model_layer();
+  opts.trace_shards = 2;
+  opts.stream_export_path = ::testing::TempDir() + "xsp_stream_spans.json";
+  opts.stream_export_format = trace::ExportFormat::kSpanJson;
+  const auto run = s.profile(small_graph(), opts);
+
+  const std::string streamed = read_file(opts.stream_export_path);
+  std::string error;
+  EXPECT_TRUE(trace::testjson::valid_json(streamed, &error)) << error;
+  EXPECT_EQ(streamed.find("{\"spans\":[{"), 0u);
+  EXPECT_NE(streamed.find("\"metadata\":{\"dropped_annotations\":0,\"shard_count\":2,"
+                          "\"span_count\":" + std::to_string(run.timeline.size()) + "}}"),
+            std::string::npos);
+  // The session still assembled its in-memory timeline (observe mode tees).
+  EXPECT_GT(run.timeline.size(), 3u);
+  std::remove(opts.stream_export_path.c_str());
+}
+
+TEST(Session, StreamExportToUnwritablePathThrowsAndSessionStaysUsable) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::model_only();
+  opts.stream_export_path = "/nonexistent-dir/trace.json";
+  EXPECT_THROW(s.profile(small_graph(), opts), std::runtime_error);
+  // The failed run must not leave a dangling subscriber on the reused
+  // fleet: a follow-up run works and assembles normally.
+  const auto run = s.profile(small_graph(), ProfileOptions::model_only());
+  EXPECT_EQ(run.timeline.size(), 3u);
 }
 
 }  // namespace

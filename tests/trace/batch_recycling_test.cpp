@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <new>
 
+#include "test_alloc_count.hpp"
 #include "xsp/trace/sharded_trace_server.hpp"
 #include "xsp/trace/trace_server.hpp"
 
@@ -22,14 +23,12 @@
 #pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 #endif
 
-namespace {
-
-std::atomic<std::uint64_t> g_alloc_count{0};
-
-}  // namespace
+// Binary-wide counter (declared in test_alloc_count.hpp): other suites in
+// this binary assert on it too, e.g. streaming-export memory bounds.
+std::atomic<std::uint64_t> g_xsp_test_alloc_count{0};
 
 void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_xsp_test_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size)) return p;
   throw std::bad_alloc();
 }
@@ -71,9 +70,9 @@ TEST(BatchRecycling, SteadyStatePublishIsAllocationFree) {
   // vectors, and fills the freelist.
   for (int round = 0; round < 3; ++round) cycle(server, 4);
 
-  const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  const std::uint64_t before = g_xsp_test_alloc_count.load(std::memory_order_relaxed);
   for (int round = 0; round < 4; ++round) cycle(server, 4);
-  const std::uint64_t during = g_alloc_count.load(std::memory_order_relaxed) - before;
+  const std::uint64_t during = g_xsp_test_alloc_count.load(std::memory_order_relaxed) - before;
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
   // Sanitizer runtimes may allocate on their own; only require that the

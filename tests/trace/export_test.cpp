@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+
+#include "json_check.hpp"
+
 namespace xsp::trace {
 namespace {
+
+using testjson::valid_json;
 
 Timeline sample_timeline() {
   std::vector<Span> spans;
@@ -79,18 +86,136 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
   meta.dropped_annotations = 7;
   meta.shard_count = 4;
   const auto json = to_span_json(sample_timeline(), meta);
-  EXPECT_EQ(json.find("{\"metadata\":{"), 0u);
-  EXPECT_NE(json.find("\"dropped_annotations\":7"), std::string::npos);
-  EXPECT_NE(json.find("\"shard_count\":4"), std::string::npos);
-  EXPECT_NE(json.find("\"span_count\":2"), std::string::npos);
-  EXPECT_NE(json.find("\"spans\":[{"), std::string::npos);
+  // Metadata lives in the footer — the streaming layout, where telemetry
+  // totals are only final after the last span has been written.
+  EXPECT_EQ(json.find("{\"spans\":[{"), 0u);
+  EXPECT_NE(json.find("\"metadata\":{\"dropped_annotations\":7,\"shard_count\":4,"
+                      "\"span_count\":2}}"),
+            std::string::npos);
   EXPECT_NE(json.find("\"id\":1"), std::string::npos);
+  EXPECT_TRUE(valid_json(json));
 }
 
 TEST(Export, EmptyTimelineIsValidJson) {
   const auto chrome = to_chrome_trace(Timeline::assemble(std::vector<Span>{}));
   EXPECT_EQ(chrome.find("\"ph\":\"X\""), std::string::npos);
+  // Regression: the pre-streaming exporter emitted "[,{" for an empty
+  // timeline (track-name events always comma-prefixed).
+  EXPECT_TRUE(valid_json(chrome));
   EXPECT_EQ(to_span_json(Timeline::assemble(std::vector<Span>{})), "[]");
+}
+
+// --- timestamp/metric precision regressions --------------------------------
+
+TEST(Export, ChromeTimestampsStayExactPastOneSecond) {
+  // > 1 s of trace: 6-significant-digit double streaming (the old path)
+  // rounded 2500123.456 us to 2.50012e+06, snapping spans off their true
+  // positions by up to a millisecond.
+  std::vector<Span> spans;
+  Span s;
+  s.id = 1;
+  s.level = kKernelLevel;
+  s.name = "late_kernel";
+  s.begin = 2'500'123'456;          // ns -> ts 2500123.456 us, exactly
+  s.end = s.begin + 1'000'001;      // -> dur 1000.001 us, exactly
+  spans.push_back(s);
+  const auto json = to_chrome_trace(Timeline::assemble(spans));
+  EXPECT_NE(json.find("\"ts\":2500123.456,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":1000.001,"), std::string::npos) << json;
+  EXPECT_EQ(json.find("e+"), std::string::npos) << "timestamps must be fixed-point";
+  EXPECT_TRUE(valid_json(json));
+}
+
+TEST(Export, ChromeTimestampsTrimTrailingZeros) {
+  std::vector<Span> spans;
+  Span s;
+  s.id = 1;
+  s.name = "k";
+  s.begin = 1'500;  // 1.5 us
+  s.end = 3'500;    // dur 2 us exactly
+  spans.push_back(s);
+  const auto json = to_chrome_trace(Timeline::assemble(spans));
+  EXPECT_NE(json.find("\"ts\":1.5,"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":2,"), std::string::npos) << json;
+}
+
+TEST(Export, LargeIntegerMetricsPrintExactly) {
+  // Byte/flop counters: the old "%.6g" collapsed 1099511627776 to
+  // 1.09951e+12. Integers up to 2^53 must print exactly.
+  std::vector<Span> spans;
+  Span s;
+  s.id = 1;
+  s.name = "kernel";
+  s.begin = 0;
+  s.end = 1;
+  s.metrics.set("dram_read_bytes", 1099511627776.0);              // 2^40
+  s.metrics.set("flop_count_sp", 9007199254740992.0);             // 2^53
+  s.metrics.set("achieved_occupancy", 0.125);
+  spans.push_back(s);
+  const auto json = to_span_json(Timeline::assemble(spans));
+  EXPECT_NE(json.find("\"dram_read_bytes\":1099511627776"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"flop_count_sp\":9007199254740992"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"achieved_occupancy\":0.125"), std::string::npos) << json;
+  EXPECT_TRUE(valid_json(json));
+}
+
+TEST(Export, NonIntegralMetricsRoundTrip) {
+  std::vector<Span> spans;
+  Span s;
+  s.id = 1;
+  s.name = "kernel";
+  s.begin = 0;
+  s.end = 1;
+  const double third = 1.0 / 3.0;
+  s.metrics.set("ratio", third);
+  s.metrics.set("nan_metric", std::nan(""));
+  s.metrics.set("neg_zero", -0.0);
+  spans.push_back(s);
+  const auto json = to_span_json(Timeline::assemble(spans));
+  // Shortest-round-trip printing: parsing the emitted text recovers the
+  // exact double.
+  const auto pos = json.find("\"ratio\":");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(std::stod(json.substr(pos + 8)), third);
+  EXPECT_NE(json.find("\"nan_metric\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"neg_zero\":-0"), std::string::npos);  // sign round-trips
+  EXPECT_TRUE(valid_json(json));
+}
+
+TEST(Export, EscapingEdgeCasesSurviveARealJsonParse) {
+  std::vector<Span> spans;
+  Span s;
+  s.id = 1;
+  s.level = kKernelLevel;
+  s.name = "name with \"quotes\" and \\backslashes\\";
+  s.begin = 0;
+  s.end = 1;
+  s.tags.set("crlf", "line1\r\nline2");
+  s.tags.set("del", std::string("before\x7f") + "after");
+  s.tags.set("utf8", "µs → 畳み込み");  // multi-byte UTF-8 passes through raw
+  s.tags.set("controls", std::string("\x01\x1f\b\f", 4));
+  spans.push_back(s);
+  for (const auto& json : {to_chrome_trace(Timeline::assemble(spans)),
+                           to_span_json(Timeline::assemble(spans))}) {
+    std::string error;
+    EXPECT_TRUE(valid_json(json, &error)) << error << "\n" << json;
+    EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\\\backslashes\\\\"), std::string::npos);
+    EXPECT_NE(json.find("line1\\r\\nline2"), std::string::npos);
+    EXPECT_NE(json.find("before\\u007fafter"), std::string::npos);
+    EXPECT_NE(json.find("µs → 畳み込み"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001\\u001f\\b\\f"), std::string::npos);
+    // No raw control bytes anywhere in the document.
+    for (const char c : json) EXPECT_GE(static_cast<unsigned char>(c), 0x20);
+  }
+}
+
+TEST(Export, AllExporterOutputsParseAsJson) {
+  const auto timeline = sample_timeline();
+  std::string error;
+  EXPECT_TRUE(valid_json(to_chrome_trace(timeline), &error)) << error;
+  EXPECT_TRUE(valid_json(to_span_json(timeline), &error)) << error;
+  EXPECT_TRUE(valid_json(to_span_json(timeline, TraceMeta{3, 2}), &error)) << error;
 }
 
 TEST(Export, BalancedBracesSmokeCheck) {

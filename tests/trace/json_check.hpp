@@ -1,0 +1,168 @@
+// Minimal validating JSON parser for exporter tests: the satellite tests
+// must prove exporter output *parses*, not merely that substrings appear.
+// Recursive descent over the full RFC 8259 grammar (objects, arrays,
+// strings with escape validation, numbers, literals); no DOM is built.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace xsp::trace::testjson {
+
+class Validator {
+ public:
+  explicit Validator(std::string_view s) : s_(s) {}
+
+  /// True when the whole input is exactly one valid JSON value.
+  bool validate(std::string* error = nullptr) {
+    skip_ws();
+    const bool ok = value() && (skip_ws(), pos_ == s_.size());
+    if (!ok && error != nullptr) {
+      *error = "JSON parse error near offset " + std::to_string(pos_) + ": '" +
+               std::string(s_.substr(pos_, 24)) + "'";
+    }
+    return ok;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= s_.size(); }
+  char peek() const { return s_[pos_]; }
+  bool eat(char c) {
+    if (at_end() || s_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool value() {
+    if (at_end()) return false;
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return false;
+    }
+  }
+
+  bool string() {
+    if (!eat('"')) return false;
+    while (!at_end()) {
+      const unsigned char c = static_cast<unsigned char>(s_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c < 0x20) return false;  // raw control characters are invalid
+      if (c == '\\') {
+        ++pos_;
+        if (at_end()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + i >= s_.size() ||
+                std::isxdigit(static_cast<unsigned char>(s_[pos_ + i])) == 0) {
+              return false;
+            }
+          }
+          pos_ += 5;
+          continue;
+        }
+        if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' && e != 'n' && e != 'r' &&
+            e != 't') {
+          return false;
+        }
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (eat('-')) {
+    }
+    if (at_end()) return false;
+    if (eat('0')) {
+    } else {
+      if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!at_end() && peek() == '.') {
+      ++pos_;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    if (!at_end() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!at_end() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (at_end() || std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+inline bool valid_json(std::string_view s, std::string* error = nullptr) {
+  return Validator(s).validate(error);
+}
+
+/// Occurrences of a literal substring — e.g. counting "\"ph\":\"X\"" events.
+inline std::size_t count_occurrences(std::string_view haystack, std::string_view needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string_view::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace xsp::trace::testjson

@@ -1,0 +1,11 @@
+// Shared allocation counter for the trace test binary. The global
+// operator new/delete replacements live in batch_recycling_test.cpp (one
+// definition per binary); any test in this suite can read the counter to
+// assert allocation behaviour — e.g. that streaming-export memory is
+// independent of span count.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+extern std::atomic<std::uint64_t> g_xsp_test_alloc_count;

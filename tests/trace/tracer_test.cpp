@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <utility>
+
 #include "xsp/trace/trace_server.hpp"
 
 namespace xsp::trace {
@@ -133,6 +136,30 @@ TEST(Tracer, ScopedSpanFinishesOnDestruction) {
   auto trace = server.take_trace();
   ASSERT_EQ(trace.size(), 1u);
   EXPECT_EQ(trace[0].end, us(50));
+}
+
+TEST(Tracer, MovedFromScopedSpanDoesNotDoubleFinish) {
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "t", kModelLevel);
+  TimePoint now = 0;
+  auto now_fn = [&now] { return now; };
+  // optional forces a real move construction (a factory `return` could be
+  // elided by NRVO) and lets the moved-from object die first.
+  std::optional<ScopedSpan<decltype(now_fn)>> moved_to;
+  {
+    ScopedSpan inner(tracer, "factory", now_fn);
+    moved_to.emplace(std::move(inner));
+    now = us(10);
+    // inner's destructor runs here, at 10us — it must finish nothing.
+  }
+  EXPECT_EQ(tracer.open_count(), 1u);
+  now = us(20);
+  moved_to.reset();
+  auto trace = server.take_trace();
+  ASSERT_EQ(trace.size(), 1u) << "span finished once, not per ScopedSpan object";
+  // Finished by the moved-to span at 20us, not by the moved-from at 10us.
+  EXPECT_EQ(trace[0].end, us(20));
+  EXPECT_EQ(tracer.open_count(), 0u);
 }
 
 }  // namespace

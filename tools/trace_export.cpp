@@ -1,0 +1,155 @@
+// trace_export — run one profiled evaluation and stream its trace to a
+// file as it is collected (the streaming-export subsystem end to end:
+// session -> sharded trace server -> drain subscribers -> one sink).
+//
+//   trace_export --out trace.json
+//   trace_export --model MLPerf_ResNet50_v1.5 --batch 8 --level mlg
+//                --format spans --shards 4 --out run.json   (one line)
+//
+// Options:
+//   --model NAME     model-zoo model (default MLPerf_ResNet50_v1.5)
+//   --system NAME    simulated system (default Tesla_V100)
+//   --batch N        batch size (default 1)
+//   --level m|ml|mlg profiling levels (default mlg, no GPU metric replay)
+//   --gpu-metrics    collect the four GPU metrics too (implies mlg)
+//   --format chrome|spans   output document (default chrome)
+//   --shards N       trace-server shards (default 1; 0 = per-core default)
+//   --out FILE       output path (required)
+//
+// CI runs this as the streaming-export smoke: the output must parse as
+// JSON and carry at least the three pipeline spans.
+#include <cerrno>
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/session.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+#include "xsp/trace/export.hpp"
+
+namespace {
+
+using namespace xsp;
+
+struct Options {
+  std::string model = "MLPerf_ResNet50_v1.5";
+  std::string system = "Tesla_V100";
+  std::int64_t batch = 1;
+  std::string level = "mlg";
+  bool gpu_metrics = false;
+  std::string format = "chrome";
+  std::size_t shards = 1;
+  std::string out;
+};
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: trace_export --out FILE [--model NAME] [--system NAME] [--batch N]\n"
+               "                    [--level m|ml|mlg] [--gpu-metrics] [--format chrome|spans]\n"
+               "                    [--shards N]\n");
+}
+
+/// Strict integer parse: the whole argument must be a number (atoll-style
+/// silent zero on a typo would profile the wrong configuration).
+bool parse_int(const char* s, std::int64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    std::int64_t n = 0;
+    if (arg == "--model" && (v = next()) != nullptr) {
+      opts.model = v;
+    } else if (arg == "--system" && (v = next()) != nullptr) {
+      opts.system = v;
+    } else if (arg == "--batch" && (v = next()) != nullptr && parse_int(v, n) && n > 0) {
+      opts.batch = n;
+    } else if (arg == "--level" && (v = next()) != nullptr) {
+      opts.level = v;
+    } else if (arg == "--gpu-metrics") {
+      opts.gpu_metrics = true;
+    } else if (arg == "--format" && (v = next()) != nullptr) {
+      opts.format = v;
+    } else if (arg == "--shards" && (v = next()) != nullptr && parse_int(v, n) && n >= 0) {
+      opts.shards = static_cast<std::size_t>(n);
+    } else if (arg == "--out" && (v = next()) != nullptr) {
+      opts.out = v;
+    } else if (v != nullptr) {
+      std::fprintf(stderr, "trace_export: bad value '%s' for %s\n", v, arg.c_str());
+      return false;
+    } else {
+      std::fprintf(stderr, "trace_export: bad argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts.out.empty()) {
+    std::fprintf(stderr, "trace_export: --out is required\n");
+    return false;
+  }
+  if (opts.level != "m" && opts.level != "ml" && opts.level != "mlg") {
+    std::fprintf(stderr, "trace_export: --level must be m, ml, or mlg\n");
+    return false;
+  }
+  if (opts.format != "chrome" && opts.format != "spans") {
+    std::fprintf(stderr, "trace_export: --format must be chrome or spans\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    print_usage();
+    return 2;
+  }
+
+  const models::ModelInfo* model = models::find_tensorflow_model(opts.model);
+  if (model == nullptr) {
+    std::fprintf(stderr, "trace_export: unknown model '%s'\n", opts.model.c_str());
+    return 1;
+  }
+
+  profile::ProfileOptions popts;
+  // --gpu-metrics implies the full M/L/G stack, as the usage text says.
+  popts.layer_level = opts.level != "m" || opts.gpu_metrics;
+  popts.gpu_level = opts.level == "mlg" || opts.gpu_metrics;
+  popts.gpu_metrics = opts.gpu_metrics;
+  popts.trace_shards = opts.shards;
+  popts.stream_export_path = opts.out;
+  popts.stream_export_format = opts.format == "chrome" ? trace::ExportFormat::kChromeTrace
+                                                       : trace::ExportFormat::kSpanJson;
+
+  profile::RunTrace run;
+  try {
+    profile::Session session(sim::system_by_name(opts.system), framework::FrameworkKind::kTFlow);
+    const framework::Graph graph = model->build(opts.batch, /*decompose_bn=*/true);
+    run = session.profile(graph, popts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace_export: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf("trace_export: %s @ batch %lld on %s (%s, %zu shard%s)\n", opts.model.c_str(),
+              static_cast<long long>(opts.batch), opts.system.c_str(),
+              popts.level_string().c_str(), run.trace_shards, run.trace_shards == 1 ? "" : "s");
+  std::printf("trace_export: streamed %llu raw spans (%s) to %s; assembled timeline: %zu spans\n",
+              static_cast<unsigned long long>(run.streamed_spans),
+              trace::export_format_name(popts.stream_export_format), opts.out.c_str(),
+              run.timeline.size());
+  return 0;
+}
