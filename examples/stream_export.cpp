@@ -45,7 +45,7 @@ int main() {
       trace::ExportFormat::kSpanJson,
       [&bytes](std::string_view chunk) { bytes += chunk.size(); },  // stand-in for a socket/file
       /*with_metadata=*/true);
-  server.set_drain_subscriber(
+  const trace::SubscriberId sub = server.add_drain_subscriber(
       [&exporter](const trace::SpanBatches& batches) { exporter.write_batches(batches); },
       trace::DrainHandoff::kConsume);
 
@@ -60,7 +60,7 @@ int main() {
     server.publish(std::move(s));
   }
   server.flush();
-  server.set_drain_subscriber(nullptr);
+  server.remove_drain_subscriber(sub);
   exporter.set_meta({server.dropped_annotation_count(), server.shard_count()});
   exporter.finish();
 

@@ -45,6 +45,22 @@ class StringTable {
   /// Number of distinct strings interned so far.
   [[nodiscard]] std::size_t size() const;
 
+  /// Approximate resident bytes of the table: interned character data
+  /// plus a fixed per-entry estimate for the std::string header and the
+  /// index slot. O(shard count) — per-shard byte totals are maintained at
+  /// insert — so it is cheap enough to sample every snapshot. The table
+  /// never evicts, so this only grows: it is the telemetry a long-running
+  /// multi-model service watches to see interned-annotation growth
+  /// (dynamically composed tag values: grid/block dims, shapes).
+  [[nodiscard]] std::size_t approx_bytes() const;
+
+  /// Per-entry overhead charged by approx_bytes() on top of character
+  /// data: the deque's std::string header plus one index entry
+  /// (string_view key + id + bucket link).
+  static constexpr std::size_t kApproxEntryOverhead =
+      sizeof(std::string) + sizeof(std::string_view) + sizeof(std::uint32_t) * 2 +
+      sizeof(void*);
+
  private:
   // The id encodes (slot << kShardBits) | shard; shard choice follows the
   // string hash so unrelated producers rarely contend on one shard lock.
@@ -60,6 +76,8 @@ class StringTable {
     // Views key into `strings`, whose elements have stable addresses.
     std::unordered_map<std::string_view, std::uint32_t> index;
     std::deque<std::string> strings;
+    /// Character bytes interned into this shard (for approx_bytes()).
+    std::size_t bytes = 0;
   };
 
   std::array<Shard, kShardCount> shards_;

@@ -77,6 +77,7 @@ std::uint32_t StringTable::intern(std::string_view s) {
     } else {
       const auto slot = static_cast<std::uint32_t>(shard.strings.size());
       shard.strings.emplace_back(s);
+      shard.bytes += s.size();
       id = (slot << kShardBits) | shard_idx;
       canonical = std::string_view(shard.strings.back());
       shard.index.emplace(canonical, id);
@@ -100,6 +101,16 @@ std::size_t StringTable::size() const {
   }
   // Subtract the reserved empty string.
   return total - 1;
+}
+
+std::size_t StringTable::approx_bytes() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock lk(shard.mu);
+    total += shard.bytes + shard.strings.size() * kApproxEntryOverhead;
+  }
+  // Exclude the reserved empty string, mirroring size().
+  return total - kApproxEntryOverhead;
 }
 
 }  // namespace xsp::common

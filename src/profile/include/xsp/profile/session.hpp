@@ -18,9 +18,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "xsp/analysis/online.hpp"
 #include "xsp/common/clock.hpp"
 #include "xsp/cupti/cupti.hpp"
 #include "xsp/framework/executor.hpp"
@@ -70,6 +72,20 @@ struct ProfileOptions {
   /// Document shape for stream_export_path (span JSON carries a metadata
   /// footer with the run's dropped-annotation/shard telemetry).
   trace::ExportFormat stream_export_format = trace::ExportFormat::kChromeTrace;
+  /// Maintain live online aggregates (analysis::OnlineAnalyzer) from the
+  /// run's span stream: an observe-mode drain subscriber on every shard
+  /// feeds per-layer-type/per-kernel aggregates, latency percentiles,
+  /// sliding-window rates, and per-shard load counters — readable at any
+  /// moment via Session::live_snapshot(), including mid-run from another
+  /// thread (the xsp_top dashboard). The analyzer persists across
+  /// profile() calls on one session, so aggregates accumulate over a
+  /// service's lifetime; composes with stream_export_path (both are
+  /// observers), and a span-JSON streamed export gains an "online"
+  /// metadata footer section with the final aggregates.
+  bool live_stats = false;
+  /// Sliding window (simulated time) for the live span/s and GPU-busy
+  /// stats; 0 keeps the analyzer default.
+  Ns live_stats_window = 0;
 
   [[nodiscard]] std::string level_string() const;  // "M", "M/L", "M/L/G"
 
@@ -107,10 +123,17 @@ struct RunTrace {
   /// timeline.size(): launch/execution pairs stream unmerged and are only
   /// joined at assembly.
   std::uint64_t streamed_spans = 0;
+  /// Global StringTable growth telemetry sampled at the end of the run:
+  /// distinct interned strings and their approximate resident bytes. The
+  /// table never evicts, so across runs these only grow — the signal a
+  /// long-running multi-model service watches for interned-annotation
+  /// growth (see ROADMAP).
+  std::uint64_t interned_strings = 0;
+  std::uint64_t interned_bytes = 0;
 
   /// Export metadata for to_span_json(timeline, meta).
   [[nodiscard]] trace::TraceMeta trace_meta() const noexcept {
-    return {dropped_annotations, trace_shards};
+    return {dropped_annotations, trace_shards, interned_strings, interned_bytes};
   }
 };
 
@@ -133,6 +156,17 @@ class Session {
   /// model prediction, output post-processing, with the levels requested.
   RunTrace profile(const framework::Graph& graph, const ProfileOptions& options);
 
+  /// Point-in-time copy of the live online aggregates. Thread-safe and
+  /// callable *during* a profile() run from another thread — the analyzer
+  /// observes batches as the shards drain them, so the snapshot tracks
+  /// publication, not run completion. Returns a default (all-zero)
+  /// snapshot until a run with ProfileOptions::live_stats has started.
+  [[nodiscard]] analysis::OnlineSnapshot live_snapshot() const;
+
+  /// Forget accumulated live aggregates (the analyzer persists across
+  /// runs; a service rolling its stats window calls this between epochs).
+  void reset_live_stats();
+
   [[nodiscard]] sim::GpuDevice& device() noexcept { return device_; }
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] framework::Executor& executor() noexcept { return executor_; }
@@ -146,6 +180,13 @@ class Session {
   sim::GpuDevice device_;
   framework::Executor executor_;
   std::unique_ptr<trace::ShardedTraceServer> server_;
+  /// Live-stats analyzer (ProfileOptions::live_stats). Created on the
+  /// first live run and kept for the session's lifetime (reconfigured in
+  /// place on shard/window changes, never silently replaced — lifetime
+  /// aggregates survive); shared_ptr behind a mutex so live_snapshot()
+  /// from a dashboard thread races safely with that first creation.
+  mutable std::mutex online_mu_;
+  std::shared_ptr<analysis::OnlineAnalyzer> online_;
   std::unique_ptr<trace::Tracer> model_tracer_;
   std::unique_ptr<trace::Tracer> layer_tracer_;
   std::unique_ptr<trace::Tracer> library_tracer_;

@@ -36,6 +36,24 @@ std::string ProfileOptions::level_string() const {
 Session::Session(const sim::GpuSpec& system, framework::FrameworkKind framework)
     : device_(system, clock_), executor_(framework, device_) {}
 
+analysis::OnlineSnapshot Session::live_snapshot() const {
+  std::shared_ptr<analysis::OnlineAnalyzer> online;
+  {
+    std::lock_guard lk(online_mu_);
+    online = online_;
+  }
+  return online != nullptr ? online->snapshot() : analysis::OnlineSnapshot{};
+}
+
+void Session::reset_live_stats() {
+  std::shared_ptr<analysis::OnlineAnalyzer> online;
+  {
+    std::lock_guard lk(online_mu_);
+    online = online_;
+  }
+  if (online != nullptr) online->reset();
+}
+
 trace::SpanId Session::start_span(trace::StrId name, trace::SpanId parent) {
   if (!model_tracer_) return trace::kNoSpan;
   return model_tracer_->start_span(name, clock_.now(), parent);
@@ -74,17 +92,49 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   std::unique_ptr<trace::StreamingExporter> stream_exporter;
   struct SubscriberGuard {
     trace::ShardedTraceServer* server = nullptr;
+    trace::SubscriberId stream_id = 0;
+    trace::SubscriberId live_id = 0;
     const std::string* partial_file = nullptr;
     ~SubscriberGuard() {
       // Detach before the exporter (captured below) dies — also on the
       // exception path, so a reused fleet never calls a dead exporter.
-      if (server != nullptr) server->set_drain_subscriber(nullptr);
+      if (server != nullptr && stream_id != 0) server->remove_drain_subscriber(stream_id);
+      // The live analyzer outlives the run, but a detached-by-run-end
+      // subscriber keeps a reused fleet from feeding a stale shard map.
+      if (server != nullptr && live_id != 0) server->remove_drain_subscriber(live_id);
       // A failed run must not leave a valid-looking export: the exporter's
       // destructor would still footer the partial document, so unlink the
       // file (the remaining writes go to the orphaned handle, harmlessly).
       if (partial_file != nullptr) std::remove(partial_file->c_str());
     }
   } subscriber_guard;
+  subscriber_guard.server = server_.get();
+  // Live online aggregation: the analyzer subscribes shard-aware (feeding
+  // the hot-shard load counters) in observe mode, so it composes with the
+  // streaming exporter below and with normal in-memory assembly — all of
+  // them fan out on the same drain. The analyzer itself persists across
+  // runs; only the subscription is per-run.
+  std::shared_ptr<analysis::OnlineAnalyzer> online;
+  if (options.live_stats) {
+    {
+      std::lock_guard lk(online_mu_);
+      if (online_ == nullptr) {
+        analysis::OnlineAnalyzerOptions oopts;
+        oopts.shard_count = server_->shard_count();
+        if (options.live_stats_window > 0) oopts.window = options.live_stats_window;
+        online_ = std::make_shared<analysis::OnlineAnalyzer>(oopts);
+      }
+      online = online_;
+    }
+    // The analyzer is a service-lifetime accumulator: a resharded fleet
+    // grows its per-shard counters and a new window reconfigures the
+    // (transient) ring in place — neither discards accumulated
+    // aggregates. reset_live_stats() is the only reset path.
+    online->ensure_shard_count(server_->shard_count());
+    if (options.live_stats_window > 0) online->set_window(options.live_stats_window);
+    subscriber_guard.live_id =
+        server_->add_drain_subscriber(online->shard_subscriber(), trace::DrainHandoff::kObserve);
+  }
   if (!options.stream_export_path.empty()) {
     stream_file.open(options.stream_export_path, std::ios::binary | std::ios::trunc);
     if (!stream_file) {
@@ -94,12 +144,11 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
     stream_exporter = std::make_unique<trace::StreamingExporter>(
         options.stream_export_format, stream_file,
         /*with_metadata=*/options.stream_export_format == trace::ExportFormat::kSpanJson);
-    server_->set_drain_subscriber(
+    subscriber_guard.stream_id = server_->add_drain_subscriber(
         [exporter = stream_exporter.get()](const trace::SpanBatches& batches) {
           exporter->write_batches(batches);
         },
         trace::DrainHandoff::kObserve);
-    subscriber_guard.server = server_.get();
     subscriber_guard.partial_file = &options.stream_export_path;
   }
 
@@ -238,14 +287,25 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   // the next run on this session (the fleet outlives the run above).
   result.dropped_annotations = server_->dropped_annotation_count();
   result.trace_shards = server_->shard_count();
+  {
+    const auto& table = common::StringTable::global();
+    result.interned_strings = table.size();
+    result.interned_bytes = table.approx_bytes();
+  }
   if (stream_exporter != nullptr) {
     // dropped_annotation_count() flushed every shard, so the subscriber
     // has observed every span of the run; detach, then finalize the file
     // with the run's telemetry in the footer.
-    server_->set_drain_subscriber(nullptr);
-    subscriber_guard.server = nullptr;
+    server_->remove_drain_subscriber(subscriber_guard.stream_id);
+    subscriber_guard.stream_id = 0;
     subscriber_guard.partial_file = nullptr;
     stream_exporter->set_meta(result.trace_meta());
+    if (online != nullptr) {
+      // Final online aggregates ride in the span-JSON metadata footer (a
+      // no-op for the Chrome format, which has no metadata section).
+      stream_exporter->set_footer_section("online",
+                                          analysis::online_summary_json(online->snapshot()));
+    }
     stream_exporter->finish();
     result.streamed_spans = stream_exporter->spans_written();
     stream_file.close();

@@ -31,6 +31,8 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "xsp/trace/span.hpp"
 #include "xsp/trace/timeline.hpp"
@@ -46,6 +48,12 @@ struct TraceMeta {
   std::uint64_t dropped_annotations = 0;
   /// Number of trace-server shards the spans were collected across.
   std::size_t shard_count = 1;
+  /// Global StringTable growth telemetry sampled at export time: distinct
+  /// interned strings and their approximate resident bytes. The table
+  /// never evicts, so a long-running service watches these to see
+  /// interned-annotation growth. 0/0 when not sampled.
+  std::uint64_t interned_strings = 0;
+  std::uint64_t interned_bytes = 0;
 };
 
 /// Output document shape of a StreamingExporter.
@@ -114,6 +122,17 @@ class StreamingExporter {
   /// annotation count is only final after the last drain.
   void set_meta(const TraceMeta& meta);
 
+  /// Attach an extra section to the span-JSON metadata footer:
+  /// `"key":<json_value>` is spliced verbatim after the built-in fields.
+  /// `json_value` must be a complete, valid JSON value — the caller owns
+  /// its well-formedness (exports are pinned by a real JSON parser in
+  /// tests). This is how subsystems layered above trace (the online
+  /// analysis aggregates) ship their final numbers in the document
+  /// without the exporter knowing their types. Setting the same key again
+  /// replaces the section; ignored for kChromeTrace. May be called any
+  /// time before finish().
+  void set_footer_section(std::string key, std::string json_value);
+
   /// Write the document footer and flush. Idempotent. Writes arriving
   /// after finish() are dropped (asserted in debug builds) — detach drain
   /// subscribers before finishing so no spans are lost. Chrome footer
@@ -140,6 +159,9 @@ class StreamingExporter {
   bool finished_ = false;
   std::uint64_t spans_written_ = 0;
   TraceMeta meta_{};
+  /// Extra footer sections (key, pre-serialized JSON value), emitted in
+  /// set order after the built-in metadata fields.
+  std::vector<std::pair<std::string, std::string>> footer_sections_;
 };
 
 /// Chrome trace-event JSON ("traceEvents" array of complete "X" events).

@@ -25,7 +25,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "xsp/common/time.hpp"
@@ -109,15 +112,33 @@ class ShardedTraceServer final : public SpanSink {
   /// Distribute recycled batch buffers round-robin across shard freelists.
   void recycle(SpanBatches batches);
 
-  /// Attach/detach one drain subscriber on every shard — the per-shard
-  /// exporter shape: in kAsync mode each shard's collector thread drains
-  /// its own producers and pushes formatted output into the (thread-safe)
-  /// subscriber, N writers funneling into one sink. The subscriber must
-  /// tolerate concurrent calls (per-shard drains are serialized, cross-
-  /// shard drains are not); StreamingExporter is. kConsume keeps every
-  /// shard's memory bounded for arbitrarily long traces.
-  void set_drain_subscriber(DrainSubscriber subscriber,
-                            DrainHandoff handoff = DrainHandoff::kConsume);
+  /// A drain subscriber that is also told which shard drained the batches
+  /// — the shape shard-aware consumers (online analyzers tracking hot
+  /// shards) subscribe with.
+  using ShardDrainSubscriber = std::function<void(std::size_t shard, const SpanBatches&)>;
+
+  /// Attach one drain subscriber on every shard — the per-shard exporter
+  /// shape: in kAsync mode each shard's collector thread drains its own
+  /// producers and pushes into the (thread-safe) subscriber, N writers
+  /// funneling into one sink. The subscriber must tolerate concurrent
+  /// calls (per-shard drains are serialized, cross-shard drains are not);
+  /// StreamingExporter and analysis::OnlineAnalyzer are. Fan-out and
+  /// consumer exclusivity follow TraceServer::add_drain_subscriber:
+  /// observers unlimited, at most one consumer fleet-wide (a second
+  /// kConsume attach throws std::logic_error and leaves no shard
+  /// partially subscribed). kConsume keeps every shard's memory bounded
+  /// for arbitrarily long traces.
+  SubscriberId add_drain_subscriber(DrainSubscriber subscriber,
+                                    DrainHandoff handoff = DrainHandoff::kObserve);
+
+  /// Shard-aware overload: the subscriber additionally receives the index
+  /// of the shard whose drain pass is delivering.
+  SubscriberId add_drain_subscriber(ShardDrainSubscriber subscriber,
+                                    DrainHandoff handoff = DrainHandoff::kObserve);
+
+  /// Detach one subscriber from every shard. Unknown ids are a no-op;
+  /// synchronizes with in-flight drains on all shards.
+  void remove_drain_subscriber(SubscriberId id);
 
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
   [[nodiscard]] ShardPolicy policy() const noexcept { return policy_; }
@@ -125,6 +146,17 @@ class ShardedTraceServer final : public SpanSink {
 
   /// Direct shard access (tests, per-shard telemetry).
   [[nodiscard]] TraceServer& shard(std::size_t i) noexcept { return *shards_[i]; }
+
+  /// Cumulative spans shard `i` has drained over its lifetime (flushes
+  /// that shard first). Unlike span_count() — spans currently *held* —
+  /// this is monotonic load telemetry: it keeps advancing while a
+  /// kConsume subscriber keeps the shards empty, which is what a serving
+  /// layer compares across shards to spot a hot one.
+  [[nodiscard]] std::uint64_t span_count(std::size_t shard);
+
+  /// All shards' cumulative drained-span loads, indexed by shard
+  /// (flushes every shard first). shard_loads()[i] == span_count(i).
+  [[nodiscard]] std::vector<std::uint64_t> shard_loads();
 
   /// The shard index the given span would be routed to under the current
   /// policy, from the current thread. Exposed so routing is testable.
@@ -134,10 +166,26 @@ class ShardedTraceServer final : public SpanSink {
   [[nodiscard]] std::size_t shard_for_current_thread() const noexcept;
 
  private:
+  /// Attach `make_fn(shard_index)` on every shard, unwinding the shards
+  /// already subscribed if a later attach throws (consumer exclusivity).
+  SubscriberId add_subscriber_impl(
+      const std::function<DrainSubscriber(std::size_t)>& make_fn, DrainHandoff handoff);
+
   PublishMode mode_;
   ShardPolicy policy_;
   Ns time_window_;
   std::vector<std::unique_ptr<TraceServer>> shards_;
+
+  /// Fleet-level subscriber registry: one fleet id maps to the per-shard
+  /// ids the attach produced (guarded by sub_mu_).
+  struct FleetSubscriber {
+    SubscriberId id = 0;
+    std::vector<SubscriberId> shard_ids;  ///< indexed by shard
+  };
+  std::mutex sub_mu_;
+  std::vector<FleetSubscriber> subscribers_;
+  SubscriberId next_subscriber_id_ = 1;
+
   alignas(64) std::atomic<std::uint64_t> next_corr_{1};
 };
 

@@ -27,6 +27,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -63,10 +64,14 @@ enum class DrainHandoff : std::uint8_t {
 /// in kSync). Invoked with the drain serialized — calls never overlap for
 /// one server — and with no slot spinlock held, so publishers keep
 /// publishing while the subscriber writes. Should not throw: a throwing
-/// subscriber is detached on the spot and the drained batches (and all
-/// later ones) accumulate in the server as if none were attached — spans
-/// are preserved for take_batches(), never re-delivered.
+/// subscriber is detached on the spot; if it was the consumer, the drained
+/// batches (and all later ones) accumulate in the server as if none were
+/// attached — spans are preserved for take_batches(), never re-delivered.
 using DrainSubscriber = std::function<void(const SpanBatches&)>;
+
+/// Handle for one attached drain subscriber (remove_drain_subscriber).
+/// 0 is never a valid id.
+using SubscriberId = std::uint64_t;
 
 /// Which id blocks this server hands out: global block k of this server is
 /// block `index + k * stride` of the process-wide sequence. A standalone
@@ -119,6 +124,13 @@ class TraceServer final : public SpanSink {
   /// Number of spans aggregated so far (flushes first).
   [[nodiscard]] std::size_t span_count();
 
+  /// Cumulative spans drained from the producer slots over this server's
+  /// lifetime (flushes first). Monotonic, and — unlike span_count() — not
+  /// reset by take_batches() and still advancing while a kConsume
+  /// subscriber keeps the server empty: this is the load signal per-shard
+  /// telemetry aggregates.
+  [[nodiscard]] std::uint64_t drained_span_count();
+
   /// Total annotations dropped (tag/metric capacity overflow) across all
   /// spans aggregated so far, summed at aggregation time so operators see
   /// fidelity loss without scanning spans (flushes first). Reset by
@@ -145,16 +157,33 @@ class TraceServer final : public SpanSink {
   /// take across shard freelists one batch at a time).
   void recycle_one(SpanBatch batch);
 
-  /// Attach (or, with an empty function, detach) a drain subscriber: the
-  /// streaming-export hook. The subscriber observes batches as they drain
-  /// instead of a consumer waiting for take_batches(); with kConsume the
-  /// buffers are recycled to the freelist right after the callback, so the
-  /// publish → seal → drain → write → recycle cycle runs in bounded memory
-  /// for arbitrarily long traces. Attaching/detaching synchronizes with
-  /// in-flight drains; spans already aggregated before attach are NOT
-  /// replayed to the subscriber (attach before publishing starts).
-  void set_drain_subscriber(DrainSubscriber subscriber,
-                            DrainHandoff handoff = DrainHandoff::kConsume);
+  /// Attach a drain subscriber: the streaming hook. Subscribers observe
+  /// batches as they drain instead of a consumer waiting for
+  /// take_batches(); any number of kObserve subscribers may be attached
+  /// at once (fan-out: a streaming exporter teeing to disk AND an online
+  /// analyzer aggregating live), but at most ONE kConsume subscriber —
+  /// consuming hands the batch buffers to the freelist right after all
+  /// callbacks ran, so two consumers would each believe they own the
+  /// stream. Attaching a second consumer throws std::logic_error.
+  ///
+  /// Delivery order per drain pass: observers in attach order, the
+  /// consumer last. With a consumer attached the publish → seal → drain →
+  /// deliver → recycle cycle runs in bounded memory for arbitrarily long
+  /// traces and take_batches() returns nothing. Attaching/detaching
+  /// synchronizes with in-flight drains; spans already aggregated before
+  /// attach are NOT replayed (attach before publishing starts).
+  ///
+  /// Returns the id to pass to remove_drain_subscriber().
+  SubscriberId add_drain_subscriber(DrainSubscriber subscriber,
+                                    DrainHandoff handoff = DrainHandoff::kObserve);
+
+  /// Detach one subscriber. Unknown/already-removed ids are a no-op.
+  /// Synchronizes with in-flight drains: after this returns no drain pass
+  /// will call the removed subscriber (safe to destroy it).
+  void remove_drain_subscriber(SubscriberId id);
+
+  /// Number of currently attached drain subscribers (tests/telemetry).
+  [[nodiscard]] std::size_t drain_subscriber_count();
 
   [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
 
@@ -225,9 +254,16 @@ class TraceServer final : public SpanSink {
   alignas(64) std::mutex drain_mu_;
   /// Drain staging, reused across passes (guarded by drain_mu_).
   SpanBatches drain_staging_;
-  /// Streaming-export hook (guarded by drain_mu_; called mid-drain).
-  DrainSubscriber subscriber_;
-  DrainHandoff handoff_ = DrainHandoff::kConsume;
+  /// Streaming hooks (guarded by drain_mu_; called mid-drain). Observers
+  /// fan out in attach order; at most one entry has kConsume (enforced by
+  /// add_drain_subscriber) and is delivered to last.
+  struct Subscriber {
+    SubscriberId id = 0;
+    DrainSubscriber fn;
+    DrainHandoff handoff = DrainHandoff::kObserve;
+  };
+  std::vector<Subscriber> subscribers_;
+  SubscriberId next_subscriber_id_ = 1;
 
   alignas(64) std::mutex registry_mu_;
   std::vector<std::unique_ptr<ProducerSlot>> slots_;
@@ -235,6 +271,10 @@ class TraceServer final : public SpanSink {
   alignas(64) std::mutex trace_mu_;
   SpanBatches trace_;
   std::uint64_t dropped_total_ = 0;
+  /// Lifetime total of spans drained out of the producer slots — the
+  /// per-shard load counter. Atomic so telemetry reads race-free against
+  /// a collector mid-drain.
+  std::atomic<std::uint64_t> drained_spans_{0};
 
   /// Freelist of cleared batch vectors (and outer batch-list vectors) fed
   /// by recycle(); drawn from by publish()/drain()/take_batches().

@@ -276,6 +276,17 @@ void StreamingExporter::set_meta(const TraceMeta& meta) {
   meta_ = meta;
 }
 
+void StreamingExporter::set_footer_section(std::string key, std::string json_value) {
+  std::lock_guard lk(mu_);
+  for (auto& [k, v] : footer_sections_) {
+    if (k == key) {
+      v = std::move(json_value);
+      return;
+    }
+  }
+  footer_sections_.emplace_back(std::move(key), std::move(json_value));
+}
+
 void StreamingExporter::finish() {
   std::lock_guard lk(mu_);
   if (finished_) return;
@@ -300,8 +311,18 @@ void StreamingExporter::finish() {
       append_uint(buf_, meta_.dropped_annotations);
       buf_ += ",\"shard_count\":";
       append_uint(buf_, meta_.shard_count);
+      buf_ += ",\"interned_strings\":";
+      append_uint(buf_, meta_.interned_strings);
+      buf_ += ",\"interned_bytes\":";
+      append_uint(buf_, meta_.interned_bytes);
       buf_ += ",\"span_count\":";
       append_uint(buf_, spans_written_);
+      for (const auto& [key, value] : footer_sections_) {
+        buf_ += ',';
+        append_escaped(buf_, key);
+        buf_ += ':';
+        buf_ += value;
+      }
       buf_ += "}}";
     }
   }

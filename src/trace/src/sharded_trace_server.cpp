@@ -1,6 +1,7 @@
 #include "xsp/trace/sharded_trace_server.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace xsp::trace {
@@ -115,8 +116,82 @@ std::vector<Span> ShardedTraceServer::take_trace() {
   return flat;
 }
 
-void ShardedTraceServer::set_drain_subscriber(DrainSubscriber subscriber, DrainHandoff handoff) {
-  for (auto& shard : shards_) shard->set_drain_subscriber(subscriber, handoff);
+SubscriberId ShardedTraceServer::add_subscriber_impl(
+    const std::function<DrainSubscriber(std::size_t)>& make_fn, DrainHandoff handoff) {
+  FleetSubscriber entry;
+  entry.shard_ids.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    try {
+      entry.shard_ids.push_back(shards_[i]->add_drain_subscriber(make_fn(i), handoff));
+    } catch (...) {
+      // Consumer exclusivity tripped on shard i (someone subscribed a
+      // consumer directly on it): unwind so no shard is left partially
+      // subscribed, then surface the error.
+      for (std::size_t j = 0; j < entry.shard_ids.size(); ++j) {
+        shards_[j]->remove_drain_subscriber(entry.shard_ids[j]);
+      }
+      throw;
+    }
+  }
+  std::lock_guard lk(sub_mu_);
+  entry.id = next_subscriber_id_++;
+  subscribers_.push_back(std::move(entry));
+  return subscribers_.back().id;
+}
+
+SubscriberId ShardedTraceServer::add_drain_subscriber(DrainSubscriber subscriber,
+                                                      DrainHandoff handoff) {
+  if (!subscriber) throw std::logic_error("ShardedTraceServer: null drain subscriber");
+  // Every shard shares the one callable: the subscriber must already be
+  // thread-safe (cross-shard drains are concurrent), so a shared copy
+  // behind shared state is the intended shape.
+  auto shared = std::make_shared<DrainSubscriber>(std::move(subscriber));
+  return add_subscriber_impl(
+      [&shared](std::size_t) {
+        return [shared](const SpanBatches& batches) { (*shared)(batches); };
+      },
+      handoff);
+}
+
+SubscriberId ShardedTraceServer::add_drain_subscriber(ShardDrainSubscriber subscriber,
+                                                      DrainHandoff handoff) {
+  if (!subscriber) throw std::logic_error("ShardedTraceServer: null drain subscriber");
+  auto shared = std::make_shared<ShardDrainSubscriber>(std::move(subscriber));
+  return add_subscriber_impl(
+      [&shared](std::size_t shard) {
+        return [shared, shard](const SpanBatches& batches) { (*shared)(shard, batches); };
+      },
+      handoff);
+}
+
+void ShardedTraceServer::remove_drain_subscriber(SubscriberId id) {
+  std::vector<SubscriberId> shard_ids;
+  {
+    std::lock_guard lk(sub_mu_);
+    for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+      if (subscribers_[i].id == id) {
+        shard_ids = std::move(subscribers_[i].shard_ids);
+        subscribers_.erase(subscribers_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  // Outside sub_mu_: per-shard removal synchronizes with that shard's
+  // in-flight drain, which may itself be mid-callback.
+  for (std::size_t i = 0; i < shard_ids.size(); ++i) {
+    shards_[i]->remove_drain_subscriber(shard_ids[i]);
+  }
+}
+
+std::uint64_t ShardedTraceServer::span_count(std::size_t shard) {
+  return shards_[shard]->drained_span_count();
+}
+
+std::vector<std::uint64_t> ShardedTraceServer::shard_loads() {
+  std::vector<std::uint64_t> loads;
+  loads.reserve(shards_.size());
+  for (auto& shard : shards_) loads.push_back(shard->drained_span_count());
+  return loads;
 }
 
 void ShardedTraceServer::recycle(SpanBatches batches) {

@@ -1,6 +1,7 @@
 #include "xsp/trace/trace_server.hpp"
 
 #include <chrono>
+#include <stdexcept>
 #include <utility>
 
 namespace xsp::trace {
@@ -181,32 +182,44 @@ void TraceServer::drain(bool steal_active) {
     }
   }
   if (taken.empty() && dropped == 0) return;
-  // Streaming-export hook: the subscriber sees the drained batches here,
-  // after the slot spinlocks are released (publishers are not blocked) and
-  // under drain_mu_ (subscriber calls never overlap). In kConsume mode the
-  // buffers feed the freelist straight back and never touch trace_ — the
-  // bounded-memory path for unbounded traces.
-  if (subscriber_) {
-    if (!taken.empty()) {
+  if (!taken.empty()) {
+    std::size_t drained = 0;
+    for (const auto& batch : taken) drained += batch.size();
+    drained_spans_.fetch_add(drained, std::memory_order_relaxed);
+  }
+  // Streaming hooks: every subscriber sees the drained batches here, after
+  // the slot spinlocks are released (publishers are not blocked) and under
+  // drain_mu_ (subscriber calls never overlap for one server). Observers
+  // fan out in attach order, the consumer runs last; when a consumer is
+  // attached the buffers feed the freelist straight back and never touch
+  // trace_ — the bounded-memory path for unbounded traces.
+  bool consumed = false;
+  if (!taken.empty() && !subscribers_.empty()) {
+    for (std::size_t i = 0; i < subscribers_.size();) {
+      // add_drain_subscriber keeps the one consumer at the back, so plain
+      // attach-order iteration already delivers observers first.
       try {
-        subscriber_(taken);
+        subscribers_[i].fn(taken);
+        if (subscribers_[i].handoff == DrainHandoff::kConsume) consumed = true;
+        ++i;
       } catch (...) {
-        // A throwing subscriber is detached and its spans fall through to
-        // in-server accumulation: re-delivering the still-staged batches
-        // next pass would duplicate them, and an exception escaping the
-        // collector thread would terminate the process.
-        subscriber_ = nullptr;
+        // A throwing subscriber is detached — only it. If the consumer
+        // threw, its spans fall through to in-server accumulation:
+        // re-delivering the still-staged batches next pass would duplicate
+        // them, and an exception escaping the collector thread would
+        // terminate the process.
+        subscribers_.erase(subscribers_.begin() + static_cast<std::ptrdiff_t>(i));
       }
     }
-    if (subscriber_ && handoff_ == DrainHandoff::kConsume) {
-      {
-        std::lock_guard lk(trace_mu_);
-        dropped_total_ += dropped;
-      }
-      for (auto& batch : taken) recycle_one(std::move(batch));
-      taken.clear();
-      return;
+  }
+  if (consumed) {
+    {
+      std::lock_guard lk(trace_mu_);
+      dropped_total_ += dropped;
     }
+    for (auto& batch : taken) recycle_one(std::move(batch));
+    taken.clear();
+    return;
   }
   // Aggregation is batch-handle moves only; spans themselves stay put.
   std::lock_guard lk(trace_mu_);
@@ -215,12 +228,55 @@ void TraceServer::drain(bool steal_active) {
   dropped_total_ += dropped;
 }
 
-void TraceServer::set_drain_subscriber(DrainSubscriber subscriber, DrainHandoff handoff) {
-  // Synchronize with in-flight drains: after this returns, no drain pass
-  // will call a detached subscriber (safe to destroy the exporter).
+SubscriberId TraceServer::add_drain_subscriber(DrainSubscriber subscriber,
+                                               DrainHandoff handoff) {
+  if (!subscriber) throw std::logic_error("TraceServer: null drain subscriber");
+  // Synchronize with in-flight drains: the new subscriber sees every batch
+  // drained after this call, none before it.
   std::lock_guard lk(drain_mu_);
-  subscriber_ = std::move(subscriber);
-  handoff_ = handoff;
+  if (handoff == DrainHandoff::kConsume) {
+    for (const auto& sub : subscribers_) {
+      if (sub.handoff == DrainHandoff::kConsume) {
+        // Two consumers would each believe they own the span stream (the
+        // first one's buffers are recycled under the second one's feet).
+        // The pre-fan-out API silently replaced the first — error loudly
+        // instead.
+        throw std::logic_error(
+            "TraceServer: a kConsume drain subscriber is already attached "
+            "(at most one consumer; use kObserve for additional taps)");
+      }
+    }
+  }
+  const SubscriberId id = next_subscriber_id_++;
+  Subscriber entry{id, std::move(subscriber), handoff};
+  if (handoff == DrainHandoff::kConsume || subscribers_.empty()) {
+    subscribers_.push_back(std::move(entry));
+  } else {
+    // Keep the consumer (if any) at the back: delivery is a plain forward
+    // walk, and observers must see a batch before its buffers are declared
+    // consumable.
+    const bool has_consumer = subscribers_.back().handoff == DrainHandoff::kConsume;
+    subscribers_.insert(has_consumer ? subscribers_.end() - 1 : subscribers_.end(),
+                        std::move(entry));
+  }
+  return id;
+}
+
+void TraceServer::remove_drain_subscriber(SubscriberId id) {
+  // Synchronize with in-flight drains: after this returns, no drain pass
+  // will call the removed subscriber (safe to destroy the exporter).
+  std::lock_guard lk(drain_mu_);
+  for (std::size_t i = 0; i < subscribers_.size(); ++i) {
+    if (subscribers_[i].id == id) {
+      subscribers_.erase(subscribers_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::size_t TraceServer::drain_subscriber_count() {
+  std::lock_guard lk(drain_mu_);
+  return subscribers_.size();
 }
 
 void TraceServer::collector_loop() {
@@ -249,6 +305,11 @@ std::size_t TraceServer::span_count() {
   std::size_t total = 0;
   for (const auto& batch : trace_) total += batch.size();
   return total;
+}
+
+std::uint64_t TraceServer::drained_span_count() {
+  flush();
+  return drained_spans_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t TraceServer::dropped_annotation_count() {

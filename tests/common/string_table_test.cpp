@@ -27,6 +27,36 @@ TEST(StringTable, EqualStringsInternToEqualIds) {
   EXPECT_EQ(a.raw(), b.raw());
 }
 
+TEST(StringTable, GrowthTelemetryTracksSizeAndBytes) {
+  // A private table so the global's contents cannot perturb the counts.
+  StringTable table;
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.approx_bytes(), 0u);
+
+  table.intern("conv2d/Conv2D");
+  const std::size_t after_one = table.approx_bytes();
+  // One entry: its character data plus the documented per-entry overhead.
+  EXPECT_EQ(after_one, std::string("conv2d/Conv2D").size() + StringTable::kApproxEntryOverhead);
+  EXPECT_EQ(table.size(), 1u);
+
+  // Re-interning the same string grows nothing (the whole point of the
+  // telemetry: distinct-string growth, not intern-call volume).
+  table.intern("conv2d/Conv2D");
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_EQ(table.approx_bytes(), after_one);
+
+  // Dynamically composed values (the ROADMAP growth concern) do grow it,
+  // monotonically.
+  std::size_t previous = after_one;
+  for (int i = 0; i < 100; ++i) {
+    table.intern("grid=[" + std::to_string(i) + ",1,1]");
+    const std::size_t now = table.approx_bytes();
+    EXPECT_GT(now, previous);
+    previous = now;
+  }
+  EXPECT_EQ(table.size(), 101u);
+}
+
 TEST(StringTable, ResolutionRoundTrips) {
   const StrId id("volta_scudnn_128x64_relu_interior_nn_v1");
   EXPECT_EQ(id.str(), "volta_scudnn_128x64_relu_interior_nn_v1");

@@ -235,11 +235,96 @@ TEST(Session, StreamExportSpanJsonCarriesRunTelemetryFooter) {
   EXPECT_TRUE(trace::testjson::valid_json(streamed, &error)) << error;
   EXPECT_EQ(streamed.find("{\"spans\":[{"), 0u);
   EXPECT_NE(streamed.find("\"metadata\":{\"dropped_annotations\":0,\"shard_count\":2,"
-                          "\"span_count\":" + std::to_string(run.timeline.size()) + "}}"),
+                          "\"interned_strings\":"),
             std::string::npos);
+  EXPECT_NE(streamed.find("\"span_count\":" + std::to_string(run.timeline.size()) + "}}"),
+            std::string::npos);
+  // The run sampled real StringTable growth telemetry into the footer.
+  EXPECT_GT(run.interned_strings, 0u);
+  EXPECT_GT(run.interned_bytes, run.interned_strings);
   // The session still assembled its in-memory timeline (observe mode tees).
   EXPECT_GT(run.timeline.size(), 3u);
   std::remove(opts.stream_export_path.c_str());
+}
+
+TEST(Session, LiveStatsSnapshotTracksTheRunAndAccumulatesAcrossRuns) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  // Before any live run: a default snapshot, not a crash.
+  EXPECT_EQ(s.live_snapshot().spans, 0u);
+
+  auto opts = ProfileOptions::model_layer();
+  opts.live_stats = true;
+  const auto run = s.profile(small_graph(), opts);
+  const auto snap = s.live_snapshot();
+  // M/L publishes no async pairs: observed raw spans == assembled nodes.
+  EXPECT_EQ(snap.spans, run.timeline.size());
+  EXPECT_EQ(snap.layer_spans, small_graph().layers.size());
+  EXPECT_FALSE(snap.layer_types.empty());
+  EXPECT_GT(snap.layer_p50, 0);
+
+  // The analyzer is a service-lifetime accumulator: a second run adds on.
+  const auto run2 = s.profile(small_graph(), opts);
+  EXPECT_EQ(s.live_snapshot().spans, run.timeline.size() + run2.timeline.size());
+
+  // reset_live_stats() starts a fresh epoch.
+  s.reset_live_stats();
+  EXPECT_EQ(s.live_snapshot().spans, 0u);
+}
+
+TEST(Session, LiveStatsSurviveShardAndWindowReconfiguration) {
+  // The analyzer is a lifetime accumulator: changing trace_shards or the
+  // stats window between runs reconfigures it in place — it must never
+  // silently drop accumulated aggregates (reset_live_stats() is the only
+  // reset path).
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::model_layer();
+  opts.live_stats = true;
+  opts.trace_shards = 1;
+  const auto run1 = s.profile(small_graph(), opts);
+
+  opts.trace_shards = 4;
+  opts.live_stats_window = 5 * kNsPerMs;
+  const auto run2 = s.profile(small_graph(), opts);
+
+  const auto snap = s.live_snapshot();
+  EXPECT_EQ(snap.spans, run1.timeline.size() + run2.timeline.size());
+  EXPECT_EQ(snap.window, 5 * kNsPerMs);
+  EXPECT_EQ(snap.shard_spans.size(), 4u);
+  std::uint64_t load_total = 0;
+  for (const auto load : snap.shard_spans) load_total += load;
+  EXPECT_EQ(load_total, snap.spans);
+}
+
+TEST(Session, LiveStatsComposesWithStreamExportAndFootersOnlineAggregates) {
+  // The fan-out regression shape: live stats AND streaming export attach
+  // to the same drains (two observers) in one run — impossible with the
+  // old single-subscriber slot.
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::model_layer();
+  opts.live_stats = true;
+  opts.trace_shards = 2;
+  opts.stream_export_path = ::testing::TempDir() + "xsp_stream_online.json";
+  opts.stream_export_format = trace::ExportFormat::kSpanJson;
+  const auto run = s.profile(small_graph(), opts);
+
+  EXPECT_EQ(run.streamed_spans, run.timeline.size());
+  EXPECT_EQ(s.live_snapshot().spans, run.timeline.size());
+
+  const std::string streamed = read_file(opts.stream_export_path);
+  std::string error;
+  EXPECT_TRUE(trace::testjson::valid_json(streamed, &error)) << error;
+  // The metadata footer carries the final online aggregates.
+  EXPECT_NE(streamed.find("\"online\":{\"spans\":" + std::to_string(run.timeline.size())),
+            std::string::npos);
+  EXPECT_NE(streamed.find("\"layer_types\":["), std::string::npos);
+  std::remove(opts.stream_export_path.c_str());
+}
+
+TEST(Session, LiveStatsOffLeavesNoAnalyzerAttached) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto run = s.profile(small_graph(), ProfileOptions::model_layer());
+  EXPECT_GT(run.timeline.size(), 0u);
+  EXPECT_EQ(s.live_snapshot().spans, 0u);
 }
 
 TEST(Session, StreamExportToUnwritablePathThrowsAndSessionStaysUsable) {

@@ -84,7 +84,7 @@ TEST(StreamingExport, ConsumeModeStreamsEverySpanAndLeavesServerEmpty) {
   std::string out;
   StreamingExporter exporter(ExportFormat::kChromeTrace,
                              [&out](std::string_view chunk) { out.append(chunk); });
-  server.set_drain_subscriber(
+  const SubscriberId sub = server.add_drain_subscriber(
       [&exporter](const SpanBatches& batches) { exporter.write_batches(batches); },
       DrainHandoff::kConsume);
 
@@ -93,7 +93,7 @@ TEST(StreamingExport, ConsumeModeStreamsEverySpanAndLeavesServerEmpty) {
     server.publish(make_span(server.next_span_id(), static_cast<TimePoint>(i)));
   }
   server.flush();
-  server.set_drain_subscriber(nullptr);
+  server.remove_drain_subscriber(sub);
   exporter.finish();
 
   EXPECT_EQ(exporter.spans_written(), total);
@@ -107,7 +107,7 @@ TEST(StreamingExport, ConsumeModeStreamsEverySpanAndLeavesServerEmpty) {
 TEST(StreamingExport, ConsumeModeRecyclesBatchBuffersToTheFreelist) {
   TraceServer server(PublishMode::kSync);
   std::vector<const Span*> seen;
-  server.set_drain_subscriber(
+  const SubscriberId sub = server.add_drain_subscriber(
       [&seen](const SpanBatches& batches) {
         for (const auto& b : batches) seen.push_back(b.data());
       },
@@ -130,7 +130,7 @@ TEST(StreamingExport, ConsumeModeRecyclesBatchBuffersToTheFreelist) {
   bool reused = false;
   for (const Span* p : seen) reused = reused || p == first;
   EXPECT_TRUE(reused);
-  server.set_drain_subscriber(nullptr);
+  server.remove_drain_subscriber(sub);
 }
 
 TEST(StreamingExport, ObserveModeTeesWithoutConsuming) {
@@ -138,7 +138,7 @@ TEST(StreamingExport, ObserveModeTeesWithoutConsuming) {
   std::string out;
   StreamingExporter exporter(ExportFormat::kSpanJson,
                              [&out](std::string_view chunk) { out.append(chunk); });
-  server.set_drain_subscriber(
+  const SubscriberId sub = server.add_drain_subscriber(
       [&exporter](const SpanBatches& batches) { exporter.write_batches(batches); },
       DrainHandoff::kObserve);
 
@@ -147,7 +147,7 @@ TEST(StreamingExport, ObserveModeTeesWithoutConsuming) {
     server.publish(make_span(server.next_span_id(), static_cast<TimePoint>(i)));
   }
   SpanBatches batches = server.take_batches();
-  server.set_drain_subscriber(nullptr);
+  server.remove_drain_subscriber(sub);
   exporter.finish();
 
   // The subscriber saw every span AND the consumer still got the trace.
@@ -167,7 +167,7 @@ TEST(StreamingExport, ShardedConcurrentPublishersFunnelIntoOneValidDocument) {
   StreamingExporter exporter(
       ExportFormat::kSpanJson, [&out](std::string_view chunk) { out.append(chunk); },
       /*with_metadata=*/true);
-  server.set_drain_subscriber(
+  const SubscriberId sub = server.add_drain_subscriber(
       [&exporter](const SpanBatches& batches) { exporter.write_batches(batches); },
       DrainHandoff::kConsume);
 
@@ -181,7 +181,7 @@ TEST(StreamingExport, ShardedConcurrentPublishersFunnelIntoOneValidDocument) {
   }
   for (auto& t : threads) t.join();
   server.flush();
-  server.set_drain_subscriber(nullptr);
+  server.remove_drain_subscriber(sub);
   exporter.set_meta({server.dropped_annotation_count(), server.shard_count()});
   exporter.finish();
 
@@ -197,7 +197,7 @@ TEST(StreamingExport, ShardedConcurrentPublishersFunnelIntoOneValidDocument) {
 TEST(StreamingExport, ThrowingSubscriberIsDetachedWithoutLosingSpans) {
   TraceServer server(PublishMode::kSync);
   int calls = 0;
-  server.set_drain_subscriber(
+  server.add_drain_subscriber(
       [&calls](const SpanBatches&) {
         ++calls;
         throw std::runtime_error("sink failed");

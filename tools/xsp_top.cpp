@@ -1,0 +1,236 @@
+// xsp_top — a top(1)-style live dashboard over a running profiling
+// session, rendered from OnlineAnalyzer snapshots.
+//
+// A worker thread profiles a model repeatedly with
+// ProfileOptions::live_stats enabled; the main thread periodically takes
+// Session::live_snapshot() — thread-safe, mid-run — and renders a text
+// dashboard: total/windowed span rates, GPU occupancy, latency
+// percentiles, the hottest kernels and layer types, per-shard loads with
+// an imbalance factor, and StringTable growth. A final dashboard is
+// always printed after the last run, so even `--runs 1 --interval-ms 0`
+// produces a complete picture (what the CI smoke asserts on).
+//
+//   xsp_top --runs 5 --interval-ms 100
+//   xsp_top --model MLPerf_MobileNet_v1 --batch 8 --shards 4 --level mlg
+//
+// Options:
+//   --model NAME      model-zoo model (default MLPerf_ResNet50_v1.5)
+//   --system NAME     simulated system (default Tesla_V100)
+//   --batch N         batch size (default 1)
+//   --level m|ml|mlg  profiling levels (default mlg)
+//   --shards N        trace-server shards (default 2; 0 = per-core default)
+//   --runs N          profiled evaluations to drive (default 5)
+//   --interval-ms N   dashboard refresh period, wall-clock ms (default 200;
+//                     0 = final dashboard only)
+//   --window-ms N     sliding-stats window, simulated ms (default 100)
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "xsp/analysis/online.hpp"
+#include "xsp/models/registry.hpp"
+#include "xsp/profile/session.hpp"
+#include "xsp/report/table.hpp"
+#include "xsp/sim/gpu_spec.hpp"
+
+namespace {
+
+using namespace xsp;
+
+struct Options {
+  std::string model = "MLPerf_ResNet50_v1.5";
+  std::string system = "Tesla_V100";
+  std::int64_t batch = 1;
+  std::string level = "mlg";
+  std::size_t shards = 2;
+  std::int64_t runs = 5;
+  std::int64_t interval_ms = 200;
+  std::int64_t window_ms = 100;
+};
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: xsp_top [--model NAME] [--system NAME] [--batch N] [--level m|ml|mlg]\n"
+               "               [--shards N] [--runs N] [--interval-ms N] [--window-ms N]\n");
+}
+
+bool parse_int(const char* s, std::int64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    std::int64_t n = 0;
+    if (arg == "--model" && (v = next()) != nullptr) {
+      opts.model = v;
+    } else if (arg == "--system" && (v = next()) != nullptr) {
+      opts.system = v;
+    } else if (arg == "--batch" && (v = next()) != nullptr && parse_int(v, n) && n > 0) {
+      opts.batch = n;
+    } else if (arg == "--level" && (v = next()) != nullptr) {
+      opts.level = v;
+    } else if (arg == "--shards" && (v = next()) != nullptr && parse_int(v, n) && n >= 0) {
+      opts.shards = static_cast<std::size_t>(n);
+    } else if (arg == "--runs" && (v = next()) != nullptr && parse_int(v, n) && n > 0) {
+      opts.runs = n;
+    } else if (arg == "--interval-ms" && (v = next()) != nullptr && parse_int(v, n) && n >= 0) {
+      opts.interval_ms = n;
+    } else if (arg == "--window-ms" && (v = next()) != nullptr && parse_int(v, n) && n > 0) {
+      opts.window_ms = n;
+    } else if (v != nullptr) {
+      std::fprintf(stderr, "xsp_top: bad value '%s' for %s\n", v, arg.c_str());
+      return false;
+    } else {
+      std::fprintf(stderr, "xsp_top: bad argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (opts.level != "m" && opts.level != "ml" && opts.level != "mlg") {
+    std::fprintf(stderr, "xsp_top: --level must be m, ml, or mlg\n");
+    return false;
+  }
+  return true;
+}
+
+std::string format_ns(Ns v) {
+  char buf[48];
+  if (v >= kNsPerMs) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", to_ms(v));
+  } else if (v >= kNsPerUs) {
+    std::snprintf(buf, sizeof buf, "%.3f us", to_us(v));
+  } else {
+    std::snprintf(buf, sizeof buf, "%" PRId64 " ns", v);
+  }
+  return buf;
+}
+
+std::string format_double(double v, const char* fmt = "%.2f") {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
+                      std::int64_t runs_done, bool final) {
+  std::printf("--- xsp_top | %s @ batch %lld on %s | runs %lld/%lld%s ---\n", opts.model.c_str(),
+              static_cast<long long>(opts.batch), opts.system.c_str(),
+              static_cast<long long>(runs_done), static_cast<long long>(opts.runs),
+              final ? " | final" : "");
+  std::printf(
+      "spans %" PRIu64 " (layer %" PRIu64 ", kernel %" PRIu64 ", memcpy %" PRIu64
+      ") | window %.0fms: %.0f span/s, gpu busy %.1f%% | cumulative gpu %.1f%%\n",
+      snap.spans, snap.layer_spans, snap.kernel_spans, snap.memcpy_spans, to_ms(snap.window),
+      snap.window_spans_per_sec, snap.window_gpu_busy_pct, snap.gpu_pct);
+  std::printf("latency p50/p95/p99: layer %s / %s / %s | kernel %s / %s / %s\n",
+              format_ns(snap.layer_p50).c_str(), format_ns(snap.layer_p95).c_str(),
+              format_ns(snap.layer_p99).c_str(), format_ns(snap.kernel_p50).c_str(),
+              format_ns(snap.kernel_p95).c_str(), format_ns(snap.kernel_p99).c_str());
+
+  std::printf("shard loads:");
+  for (std::size_t i = 0; i < snap.shard_spans.size(); ++i) {
+    std::printf(" [%zu] %" PRIu64, i, snap.shard_spans[i]);
+  }
+  std::printf(" | imbalance %.2fx | interned %" PRIu64 " strings ~%" PRIu64 " B\n",
+              analysis::shard_imbalance(snap.shard_spans), snap.interned_strings,
+              snap.interned_bytes);
+
+  const auto top_rows = [](const char* what, const std::vector<analysis::OnlineAggregate>& rows,
+                           std::size_t k) {
+    report::TextTable table({what, "count", "total", "mean", "min", "max", "MB"});
+    for (std::size_t i = 0; i < rows.size() && i < k; ++i) {
+      const auto& r = rows[i];
+      table.add_row({r.key.str(), std::to_string(r.count), format_ns(r.total_ns),
+                     format_ns(static_cast<Ns>(r.mean_ns())), format_ns(r.min_ns),
+                     format_ns(r.max_ns), format_double(r.bytes / 1e6)});
+    }
+    if (table.rows() > 0) std::printf("%s", table.str().c_str());
+  };
+  top_rows("top kernels", snap.kernels, 5);
+  top_rows("top layer types", snap.layer_types, 5);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) {
+    print_usage();
+    return 2;
+  }
+
+  const models::ModelInfo* model = models::find_tensorflow_model(opts.model);
+  if (model == nullptr) {
+    std::fprintf(stderr, "xsp_top: unknown model '%s'\n", opts.model.c_str());
+    return 1;
+  }
+
+  profile::ProfileOptions popts;
+  popts.layer_level = opts.level != "m";
+  popts.gpu_level = opts.level == "mlg";
+  popts.trace_shards = opts.shards;
+  popts.live_stats = true;
+  popts.live_stats_window = opts.window_ms * kNsPerMs;
+
+  try {
+    profile::Session session(sim::system_by_name(opts.system), framework::FrameworkKind::kTFlow);
+    const framework::Graph graph = model->build(opts.batch, /*decompose_bn=*/true);
+
+    std::atomic<std::int64_t> runs_done{0};
+    std::atomic<bool> failed{false};
+    std::string failure;
+    // The worker owns the session for the duration; the main thread only
+    // reads live_snapshot(), which is the documented cross-thread surface.
+    std::thread worker([&] {
+      try {
+        for (std::int64_t i = 0; i < opts.runs; ++i) {
+          (void)session.profile(graph, popts);
+          runs_done.fetch_add(1, std::memory_order_release);
+        }
+      } catch (const std::exception& e) {
+        failure = e.what();
+        failed.store(true, std::memory_order_release);
+      }
+    });
+
+    if (opts.interval_ms > 0) {
+      while (runs_done.load(std::memory_order_acquire) < opts.runs &&
+             !failed.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+        render_dashboard(opts, session.live_snapshot(),
+                         runs_done.load(std::memory_order_acquire), /*final=*/false);
+      }
+    }
+    worker.join();
+    if (failed.load(std::memory_order_acquire)) {
+      std::fprintf(stderr, "xsp_top: %s\n", failure.c_str());
+      return 1;
+    }
+    render_dashboard(opts, session.live_snapshot(), runs_done.load(std::memory_order_acquire),
+                     /*final=*/true);
+    std::printf("xsp_top: done (%lld runs, %" PRIu64 " spans observed)\n",
+                static_cast<long long>(opts.runs), session.live_snapshot().spans);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "xsp_top: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
