@@ -1,0 +1,88 @@
+// Ablation: drain-sweep cost vs. accumulated dead producer slots.
+//
+// Pre-reclamation, a (thread, server) producer slot lived until the
+// server died: a long-lived server fed by short-lived worker threads
+// accreted one ~50KB slot per thread, and EVERY drain pass — collector
+// tick, flush, take — swept all of them (a spinlock acquire + batch scan
+// per slot) forever. This ablation measures exactly that: churn N
+// threads through one server, then time steady-state flush() with slot
+// reclamation on (churned slots retired by the first sweep; the sweep
+// cost stays O(live slots)) vs. off (the pre-reclamation behaviour: the
+// sweep walks all N dead slots every time).
+//
+//   dead:0/reclaim:{0,1}      — baseline, no churn (identical by design)
+//   dead:{1000,10000}/reclaim:0 — sweep cost grows with cumulative churn
+//   dead:{1000,10000}/reclaim:1 — sweep cost independent of churn
+//
+// Record with --benchmark_format=json into
+// bench/results/BENCH_abl_slot_reclamation.json (see bench/README.md).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "xsp/trace/trace_server.hpp"
+
+namespace {
+
+using xsp::trace::PublishMode;
+using xsp::trace::Span;
+using xsp::trace::TraceServer;
+
+/// Churn `total` short-lived producer threads through `server`, each
+/// publishing a few spans (a partial batch — the worst retirement shape:
+/// the final sweep must steal it).
+void churn_threads(TraceServer& server, std::size_t total) {
+  constexpr std::size_t kWave = 32;
+  std::size_t launched = 0;
+  while (launched < total) {
+    const std::size_t n = std::min(kWave, total - launched);
+    std::vector<std::thread> wave;
+    wave.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      wave.emplace_back([&server] {
+        for (int k = 0; k < 4; ++k) {
+          Span s;
+          s.id = server.next_span_id();
+          s.begin = k;
+          s.end = k + 1;
+          server.publish(std::move(s));
+        }
+      });
+    }
+    for (auto& t : wave) t.join();
+    launched += n;
+  }
+}
+
+void BM_DrainSweep(benchmark::State& state) {
+  const auto dead_threads = static_cast<std::size_t>(state.range(0));
+  const bool reclaim = state.range(1) != 0;
+
+  TraceServer server(PublishMode::kSync);
+  server.set_slot_reclamation(reclaim);
+  churn_threads(server, dead_threads);
+  // Move the churned spans (and, with reclamation, the churned slots) out
+  // of the measurement: what remains is the steady-state sweep an idle
+  // long-lived server pays per drain.
+  (void)server.take_trace();
+
+  for (auto _ : state) {
+    server.flush();
+  }
+
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["live_slots"] = static_cast<double>(server.live_slot_count());
+  state.counters["retired_slots"] = static_cast<double>(server.retired_slot_count());
+  state.counters["slot_bytes"] = static_cast<double>(server.approx_slot_bytes());
+}
+
+}  // namespace
+
+BENCHMARK(BM_DrainSweep)
+    ->ArgNames({"dead", "reclaim"})
+    ->ArgsProduct({{0, 1000, 10000}, {0, 1}})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -130,11 +130,31 @@ struct RunTrace {
   /// growth (see ROADMAP).
   std::uint64_t interned_strings = 0;
   std::uint64_t interned_bytes = 0;
+  /// Producer-slot health of the collection fleet sampled at the end of
+  /// the run: slots currently registered (live producer threads), slots
+  /// retired by thread-exit reclamation over the fleet's lifetime, and
+  /// approximate bytes resident in slots. In a long-running service fed
+  /// by short-lived worker threads, live_slots staying O(live threads)
+  /// while retired_slots tracks cumulative churn is the signal that slot
+  /// reclamation is working (see ROADMAP "Producer-slot reclamation").
+  std::uint64_t live_slots = 0;
+  std::uint64_t retired_slots = 0;
+  std::uint64_t slot_bytes = 0;
 
   /// Export metadata for to_span_json(timeline, meta).
   [[nodiscard]] trace::TraceMeta trace_meta() const noexcept {
-    return {dropped_annotations, trace_shards, interned_strings, interned_bytes};
+    return {dropped_annotations, trace_shards,  interned_strings, interned_bytes,
+            live_slots,          retired_slots, slot_bytes};
   }
+};
+
+/// Point-in-time producer-slot health of a session's collection fleet
+/// (Session::slot_telemetry(); the xsp_top slot-health line).
+struct SlotTelemetry {
+  std::uint64_t live_slots = 0;
+  std::uint64_t retired_slots = 0;
+  std::uint64_t pooled_slots = 0;
+  std::uint64_t slot_bytes = 0;
 };
 
 /// One evaluation environment: a system, a framework, and the tracing
@@ -167,6 +187,11 @@ class Session {
   /// runs; a service rolling its stats window calls this between epochs).
   void reset_live_stats();
 
+  /// Producer-slot health of the collection fleet right now. Thread-safe
+  /// and callable mid-run from another thread (the xsp_top dashboard
+  /// pairs it with live_snapshot()); all zeros before the first run.
+  [[nodiscard]] SlotTelemetry slot_telemetry() const;
+
   [[nodiscard]] sim::GpuDevice& device() noexcept { return device_; }
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] framework::Executor& executor() noexcept { return executor_; }
@@ -179,6 +204,11 @@ class Session {
   SimClock clock_;
   sim::GpuDevice device_;
   framework::Executor executor_;
+  /// Collection fleet. server_mu_ guards the *pointer* (profile() may
+  /// replace a reconfigured fleet) so slot_telemetry() can read from a
+  /// dashboard thread; calls INTO a live fleet are themselves
+  /// thread-safe and need no session-level lock.
+  mutable std::mutex server_mu_;
   std::unique_ptr<trace::ShardedTraceServer> server_;
   /// Live-stats analyzer (ProfileOptions::live_stats). Created on the
   /// first live run and kept for the session's lifetime (reconfigured in

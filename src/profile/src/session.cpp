@@ -54,6 +54,20 @@ void Session::reset_live_stats() {
   if (online != nullptr) online->reset();
 }
 
+SlotTelemetry Session::slot_telemetry() const {
+  // Hold server_mu_ across the reads so profile() cannot replace (and
+  // destroy) the fleet mid-query; the per-shard counters themselves are
+  // internally synchronized.
+  std::lock_guard lk(server_mu_);
+  if (server_ == nullptr) return {};
+  SlotTelemetry t;
+  t.live_slots = server_->live_slot_count();
+  t.retired_slots = server_->retired_slot_count();
+  t.pooled_slots = server_->pooled_slot_count();
+  t.slot_bytes = server_->approx_slot_bytes();
+  return t;
+}
+
 trace::SpanId Session::start_span(trace::StrId name, trace::SpanId parent) {
   if (!model_tracer_) return trace::kNoSpan;
   return model_tracer_->start_span(name, clock_.now(), parent);
@@ -73,8 +87,12 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   if (server_ == nullptr ||
       server_->shard_count() != trace::ShardedTraceServer::resolve_shard_count(options.trace_shards) ||
       server_->mode() != options.publish_mode || server_->policy() != options.shard_policy) {
-    server_ = std::make_unique<trace::ShardedTraceServer>(
+    auto fresh = std::make_unique<trace::ShardedTraceServer>(
         options.trace_shards, options.publish_mode, options.shard_policy);
+    // Only the pointer swap is guarded: slot_telemetry() on a dashboard
+    // thread must never catch the fleet mid-replacement.
+    std::lock_guard lk(server_mu_);
+    server_ = std::move(fresh);
   } else {
     // A prior run that threw mid-publication may have left spans queued;
     // a reused fleet must start the run empty (and with drop counters
@@ -292,6 +310,12 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
     result.interned_strings = table.size();
     result.interned_bytes = table.approx_bytes();
   }
+  // Slot health after the final flush above: worker threads that died
+  // during the run have been reclaimed by now, so live_slots reports live
+  // producers, not cumulative churn.
+  result.live_slots = server_->live_slot_count();
+  result.retired_slots = server_->retired_slot_count();
+  result.slot_bytes = server_->approx_slot_bytes();
   if (stream_exporter != nullptr) {
     // dropped_annotation_count() flushed every shard, so the subscriber
     // has observed every span of the run; detach, then finalize the file

@@ -54,6 +54,15 @@ struct TraceMeta {
   /// interned-annotation growth. 0/0 when not sampled.
   std::uint64_t interned_strings = 0;
   std::uint64_t interned_bytes = 0;
+  /// Producer-slot health sampled at export time (see
+  /// TraceServer::live_slot_count() et al.): slots currently registered,
+  /// slots retired by thread-exit reclamation over the collection fleet's
+  /// lifetime, and approximate bytes resident in slots. A live_slots
+  /// figure that tracks thread churn instead of live threads means
+  /// reclamation is off or broken. All 0 when not sampled.
+  std::uint64_t live_slots = 0;
+  std::uint64_t retired_slots = 0;
+  std::uint64_t slot_bytes = 0;
 };
 
 /// Output document shape of a StreamingExporter.

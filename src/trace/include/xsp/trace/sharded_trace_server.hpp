@@ -158,6 +158,18 @@ class ShardedTraceServer final : public SpanSink {
   /// (flushes every shard first). shard_loads()[i] == span_count(i).
   [[nodiscard]] std::vector<std::uint64_t> shard_loads();
 
+  /// Fleet-wide producer-slot health: sums of the per-shard counters.
+  /// Sharding multiplies slot count (a producer thread owns one slot per
+  /// shard it touched), which is exactly why a long-lived sharded fleet
+  /// needs thread-exit reclamation (see TraceServer).
+  [[nodiscard]] std::size_t live_slot_count();
+  [[nodiscard]] std::uint64_t retired_slot_count();
+  [[nodiscard]] std::size_t pooled_slot_count();
+  [[nodiscard]] std::uint64_t approx_slot_bytes();
+
+  /// Toggle thread-exit slot reclamation on every shard (on by default).
+  void set_slot_reclamation(bool enabled) noexcept;
+
   /// The shard index the given span would be routed to under the current
   /// policy, from the current thread. Exposed so routing is testable.
   [[nodiscard]] std::size_t shard_for(const Span& span) const noexcept;

@@ -8,6 +8,13 @@
 // behind one selector) without caring which, and keeps the hot publish
 // call as one virtual dispatch into a `final` implementation the compiler
 // can devirtualize at concrete call sites.
+//
+// Deliberately NOT part of this surface: producer-slot lifecycle. A
+// publishing thread needs no attach/detach hook — sink implementations
+// key per-thread state on process-unique thread and server uids, register
+// it lazily on first publish, and reclaim it through a TLS exit hook that
+// is weak against the sink dying first (see TraceServer "Producer-slot
+// lifecycle"). Producers stay fire-and-forget.
 #pragma once
 
 #include <cstdint>

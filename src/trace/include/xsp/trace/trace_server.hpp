@@ -22,6 +22,17 @@
 // A server can also run as one shard of a ShardedTraceServer: the IdStripe
 // constructor parameter stripes the id-block sequence so N shards hand out
 // disjoint span ids with no cross-shard coordination.
+//
+// Producer-slot lifecycle: a (thread, server) slot is registered on the
+// thread's first publish and, since PR 5, reclaimed after the thread
+// exits — a TLS destructor object weakly marks the thread's slots
+// reclaimable on every still-live server it touched (keyed by the
+// process-unique server uid, so a dead server is never dereferenced), and
+// the next drain pass sweeps the marked slots one final time (no span is
+// ever lost), retires them, and parks them on a bounded freelist that new
+// producer threads draw from before growing the registry. A long-lived
+// server fed by ever-fresh worker threads therefore holds O(live threads
+// + kSlotFreelistCapacity) slots instead of O(all threads ever).
 #pragma once
 
 #include <atomic>
@@ -38,6 +49,10 @@
 #include "xsp/trace/span_sink.hpp"
 
 namespace xsp::trace {
+
+namespace detail {
+class SlotRegistry;  // trace_server.cpp: uid-keyed weak map of live servers
+}
 
 enum class PublishMode : std::uint8_t {
   kSync,   ///< no collector thread; callers drain batches on flush()
@@ -96,6 +111,14 @@ class TraceServer final : public SpanSink {
   /// Batch vectors kept for reuse after recycle(); bounds idle memory at
   /// kFreelistCapacity * kBatchCapacity * sizeof(Span).
   static constexpr std::size_t kFreelistCapacity = 16;
+
+  /// Retired producer slots parked for reuse: a new producer thread draws
+  /// a parked slot before growing the registry, so steady-state thread
+  /// churn recirculates a handful of slots instead of allocating ~50KB
+  /// per short-lived thread. Retired slots beyond the cap are destroyed
+  /// outright — the freelist bounds idle slot memory, it is not a cache
+  /// of record.
+  static constexpr std::size_t kSlotFreelistCapacity = 8;
 
   explicit TraceServer(PublishMode mode = PublishMode::kAsync, IdStripe stripe = {});
   ~TraceServer() override;
@@ -185,6 +208,32 @@ class TraceServer final : public SpanSink {
   /// Number of currently attached drain subscribers (tests/telemetry).
   [[nodiscard]] std::size_t drain_subscriber_count();
 
+  /// Producer slots currently registered: live publishing threads plus
+  /// exited threads whose slots the next drain pass will retire. The slot
+  /// health number a long-lived server watches — it must track live
+  /// producers, not cumulative thread history.
+  [[nodiscard]] std::size_t live_slot_count();
+
+  /// Cumulative slots retired by drain sweeps over this server's
+  /// lifetime (monotonic; one retirement per exited producer thread).
+  [[nodiscard]] std::uint64_t retired_slot_count();
+
+  /// Retired slots currently parked for reuse (<= kSlotFreelistCapacity).
+  [[nodiscard]] std::size_t pooled_slot_count();
+
+  /// Approximate bytes resident in producer slots, live and parked:
+  /// struct plus active/sealed batch capacities. The ~50KB-per-slot
+  /// figure operators size serving fleets with.
+  [[nodiscard]] std::uint64_t approx_slot_bytes();
+
+  /// Enable/disable thread-exit slot reclamation (on by default). Off,
+  /// slots accrete until the server dies — the pre-reclamation behaviour,
+  /// kept as the ablation switch for bench_abl_slot_reclamation and as an
+  /// operational escape hatch. Spans are never lost either way.
+  void set_slot_reclamation(bool enabled) noexcept {
+    reclaim_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
   [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
 
   [[nodiscard]] IdStripe id_stripe() const noexcept { return stripe_; }
@@ -210,6 +259,12 @@ class TraceServer final : public SpanSink {
     /// Stable key of the owning thread: re-registration after a TLS cache
     /// eviction finds this slot again instead of growing slots_.
     std::uint64_t owner = 0;
+    /// Set (under the slot spinlock) by the owning thread's exit hook;
+    /// the next drain pass sweeps the slot one final time and retires it.
+    /// Cleared if the exited thread publishes again from a later TLS
+    /// destructor — the slot is resurrected rather than torn from under
+    /// an in-flight publish.
+    bool reclaimable = false;
 
     void acquire() noexcept {
       int spins = 0;
@@ -224,8 +279,22 @@ class TraceServer final : public SpanSink {
 
   /// The calling thread's slot for this server (registered on first use,
   /// cached thread-locally keyed by a process-unique server uid so slot
-  /// pointers never dangle across server lifetimes).
+  /// pointers never dangle across server lifetimes). First use also
+  /// registers the thread's exit hook (a TLS destructor object) so the
+  /// slot is reclaimed when the thread dies.
   ProducerSlot& local_slot();
+
+  /// Find-or-register the slot for thread `thread_key` (drawing a parked
+  /// retired slot before allocating). `resurrect` is the
+  /// publish-after-exit-hook path: un-mark a still-registered slot so a
+  /// concurrent drain cannot retire it out from under the caller.
+  ProducerSlot& register_slot(std::uint64_t thread_key, bool resurrect);
+
+  /// Called (via detail::SlotRegistry, which pins this server alive for
+  /// the duration) when a producer thread exits: mark its slot
+  /// reclaimable and nudge the collector so retirement is prompt.
+  void note_thread_exit(std::uint64_t thread_key);
+  friend class detail::SlotRegistry;
 
   void collector_loop();
   /// Move sealed (and, when `steal_active`, partial) batches of every slot
@@ -267,6 +336,13 @@ class TraceServer final : public SpanSink {
 
   alignas(64) std::mutex registry_mu_;
   std::vector<std::unique_ptr<ProducerSlot>> slots_;
+  /// Retired slots parked for reuse (guarded by registry_mu_; bounded by
+  /// kSlotFreelistCapacity).
+  std::vector<std::unique_ptr<ProducerSlot>> free_slots_;
+  /// Lifetime count of slot retirements (guarded by registry_mu_).
+  std::uint64_t retired_slots_ = 0;
+  /// Thread-exit reclamation switch (see set_slot_reclamation()).
+  std::atomic<bool> reclaim_enabled_{true};
 
   alignas(64) std::mutex trace_mu_;
   SpanBatches trace_;

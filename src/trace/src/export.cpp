@@ -315,6 +315,12 @@ void StreamingExporter::finish() {
       append_uint(buf_, meta_.interned_strings);
       buf_ += ",\"interned_bytes\":";
       append_uint(buf_, meta_.interned_bytes);
+      buf_ += ",\"live_slots\":";
+      append_uint(buf_, meta_.live_slots);
+      buf_ += ",\"retired_slots\":";
+      append_uint(buf_, meta_.retired_slots);
+      buf_ += ",\"slot_bytes\":";
+      append_uint(buf_, meta_.slot_bytes);
       buf_ += ",\"span_count\":";
       append_uint(buf_, spans_written_);
       for (const auto& [key, value] : footer_sections_) {

@@ -194,6 +194,34 @@ std::vector<std::uint64_t> ShardedTraceServer::shard_loads() {
   return loads;
 }
 
+std::size_t ShardedTraceServer::live_slot_count() {
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->live_slot_count();
+  return total;
+}
+
+std::uint64_t ShardedTraceServer::retired_slot_count() {
+  std::uint64_t total = 0;
+  for (auto& shard : shards_) total += shard->retired_slot_count();
+  return total;
+}
+
+std::size_t ShardedTraceServer::pooled_slot_count() {
+  std::size_t total = 0;
+  for (auto& shard : shards_) total += shard->pooled_slot_count();
+  return total;
+}
+
+std::uint64_t ShardedTraceServer::approx_slot_bytes() {
+  std::uint64_t total = 0;
+  for (auto& shard : shards_) total += shard->approx_slot_bytes();
+  return total;
+}
+
+void ShardedTraceServer::set_slot_reclamation(bool enabled) noexcept {
+  for (auto& shard : shards_) shard->set_slot_reclamation(enabled);
+}
+
 void ShardedTraceServer::recycle(SpanBatches batches) {
   const std::size_t n = shards_.size();
   if (n == 1) {

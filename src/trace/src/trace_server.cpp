@@ -1,7 +1,9 @@
 #include "xsp/trace/trace_server.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 
 namespace xsp::trace {
@@ -12,6 +14,74 @@ std::uint64_t next_server_uid() {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
+
+}  // namespace
+
+namespace detail {
+
+/// Process-wide map of live servers keyed by their process-unique uid —
+/// the weak link between a thread-exit hook and the servers the thread
+/// published to. Keying on the uid (never reused) rather than the server
+/// address (readily reused by the allocator) is what makes the hook safe
+/// to run after any subset of its servers has died: a dead server simply
+/// is not in the map, and a new server at the old address has a new uid.
+///
+/// The singleton is leaked on purpose: the main thread's TLS destructors
+/// can run while static destruction is already under way (and a
+/// static-storage TraceServer can die before or after them, in either
+/// order), so the registry must stay valid to the very end of the
+/// process.
+class SlotRegistry {
+ public:
+  static SlotRegistry& instance() {
+    static SlotRegistry* leaked = new SlotRegistry;
+    return *leaked;
+  }
+
+  void add(std::uint64_t uid, TraceServer* server) {
+    std::lock_guard lk(mu_);
+    servers_.emplace(uid, server);
+  }
+
+  void remove(std::uint64_t uid) {
+    std::lock_guard lk(mu_);
+    servers_.erase(uid);
+  }
+
+  /// Drop uids whose server is gone. Bounds a long-lived thread's
+  /// touched-uid list to the servers still alive: without pruning, a
+  /// thread outliving many short-lived servers would accrete dead uids
+  /// forever and walk them all at exit while holding mu_.
+  void prune_dead(std::vector<std::uint64_t>& uids) {
+    std::lock_guard lk(mu_);
+    uids.erase(std::remove_if(uids.begin(), uids.end(),
+                              [this](std::uint64_t uid) {
+                                return servers_.find(uid) == servers_.end();
+                              }),
+               uids.end());
+  }
+
+  /// Thread-exit hook body: mark `thread_key`'s slot reclaimable on every
+  /// still-live server among `uids`. Holding mu_ pins each server —
+  /// ~TraceServer blocks in remove() until the marking is done, so the
+  /// mapped pointers cannot dangle mid-call.
+  void thread_exited(std::uint64_t thread_key, const std::vector<std::uint64_t>& uids) {
+    std::lock_guard lk(mu_);
+    for (const std::uint64_t uid : uids) {
+      if (auto it = servers_.find(uid); it != servers_.end()) {
+        it->second->note_thread_exit(thread_key);
+      }
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::uint64_t, TraceServer*> servers_;
+};
+
+}  // namespace detail
+
+namespace {
 
 struct IdBlock {
   const void* server;
@@ -44,9 +114,16 @@ TraceServer::TraceServer(PublishMode mode, IdStripe stripe)
   if (mode_ == PublishMode::kAsync) {
     collector_ = std::thread([this] { collector_loop(); });
   }
+  // Discoverable by thread-exit hooks only once fully constructed.
+  detail::SlotRegistry::instance().add(uid_, this);
 }
 
 TraceServer::~TraceServer() {
+  // First, disappear from the exit-hook registry: remove() synchronizes
+  // with any in-flight thread_exited() walk (which holds the registry
+  // lock while calling into servers), so after this line no exit hook can
+  // reach a server that is tearing down.
+  detail::SlotRegistry::instance().remove(uid_);
   // The no-drop guarantee is that flush()/take_trace() return every span
   // published before them, at any point up to destruction — queued spans
   // are never lost while the server is alive. Destruction itself only
@@ -75,6 +152,11 @@ struct CacheEntry {
 // guard check on access.
 thread_local CacheEntry tls_last_slot{nullptr, 0, nullptr};
 
+// True once this thread's exit hook (~ThreadRecord) has run. POD, so it
+// stays readable from TLS destructors sequenced after the record's own —
+// the guard that keeps a late publish from touching the destroyed record.
+thread_local bool tls_thread_exited = false;
+
 /// Process-unique key for the calling thread (thread ids can be reused by
 /// the OS; this never is).
 std::uint64_t this_thread_key() {
@@ -83,14 +165,48 @@ std::uint64_t this_thread_key() {
   return key;
 }
 
+/// Per-thread slot-cache + reclamation record. Constructed on the
+/// thread's first local_slot() registration (lazy TLS init), which is
+/// also what arms the exit hook: the destructor tells every still-live
+/// server the thread touched to reclaim its slot.
+struct ThreadRecord {
+  std::vector<CacheEntry> cache;
+  /// Uids of the servers this thread registered a slot with. Uids, not
+  /// pointers: the hook must be weak against servers dying first.
+  std::vector<std::uint64_t> touched;
+
+  ~ThreadRecord() {
+    // Invalidate the caches BEFORE marking: the instant a slot is marked
+    // reclaimable, a concurrent drain may retire (and even free) it, so
+    // no cached pointer to it may survive this point. A publish from a
+    // TLS destructor sequenced after this one takes the degraded
+    // registry-lookup path via tls_thread_exited.
+    tls_last_slot = {nullptr, 0, nullptr};
+    cache.clear();
+    tls_thread_exited = true;
+    detail::SlotRegistry::instance().thread_exited(this_thread_key(), touched);
+  }
+};
+
+thread_local ThreadRecord tls_record;
+
 }  // namespace
 
 TraceServer::ProducerSlot& TraceServer::local_slot() {
   if (tls_last_slot.server == this && tls_last_slot.uid == uid_) {
     return *static_cast<ProducerSlot*>(tls_last_slot.slot);
   }
-  thread_local std::vector<CacheEntry> cache;
-  for (const auto& e : cache) {
+  const std::uint64_t me = this_thread_key();
+  if (tls_thread_exited) {
+    // Publishing after this thread's exit hook already ran (a TLS
+    // destructor sequenced later than the record's). No future hook will
+    // mark whatever we use now, so resurrect-or-register uncached: the
+    // slot simply lives until the server dies — the pre-reclamation
+    // lifetime. Nothing is lost, the slot is merely not reclaimed.
+    return register_slot(me, /*resurrect=*/true);
+  }
+  ThreadRecord& rec = tls_record;  // first use arms the exit hook
+  for (const auto& e : rec.cache) {
     if (e.server == this && e.uid == uid_) {
       tls_last_slot = e;
       return *static_cast<ProducerSlot*>(e.slot);
@@ -101,28 +217,76 @@ TraceServer::ProducerSlot& TraceServer::local_slot() {
   // stale entries (a dead server whose address was reused) miss, and the
   // cache is bounded so long-lived threads touching many short-lived
   // servers re-look-up instead of growing forever.
-  if (cache.size() >= 64) cache.clear();
-  const std::uint64_t me = this_thread_key();
-  ProducerSlot* slot = nullptr;
+  if (rec.cache.size() >= 64) rec.cache.clear();
+  ProducerSlot& slot = register_slot(me, /*resurrect=*/false);
+  if (std::find(rec.touched.begin(), rec.touched.end(), uid_) == rec.touched.end()) {
+    // Like the cache bound above, but for the exit hook's work list:
+    // shed uids of dead servers so a long-lived thread touching many
+    // short-lived servers carries (and at exit walks) only live ones.
+    if (rec.touched.size() >= 64) detail::SlotRegistry::instance().prune_dead(rec.touched);
+    rec.touched.push_back(uid_);
+  }
+  rec.cache.push_back({this, uid_, &slot});
+  tls_last_slot = rec.cache.back();
+  return slot;
+}
+
+TraceServer::ProducerSlot& TraceServer::register_slot(std::uint64_t thread_key, bool resurrect) {
+  std::lock_guard lk(registry_mu_);
+  for (const auto& existing : slots_) {
+    if (existing->owner == thread_key) {
+      if (resurrect) {
+        // Un-mark under the slot spinlock: a drain pass either retired
+        // the slot before we got here (not found, fall through below) or
+        // will see reclaimable == false and leave it alone while the
+        // caller publishes into it.
+        existing->acquire();
+        existing->reclaimable = false;
+        existing->release();
+      }
+      return *existing;
+    }
+  }
+  std::unique_ptr<ProducerSlot> owned;
+  if (!free_slots_.empty()) {
+    owned = std::move(free_slots_.back());
+    free_slots_.pop_back();
+  } else {
+    owned = std::make_unique<ProducerSlot>();
+  }
+  owned->owner = thread_key;
+  owned->reclaimable = false;
+  // A parked slot retired with an empty active batch kept its capacity;
+  // otherwise draw a recycled buffer (or allocate, on the cold path).
+  if (owned->active.capacity() < kBatchCapacity) owned->active = take_free_batch_or_new();
+  ProducerSlot* slot = owned.get();
+  slots_.push_back(std::move(owned));
+  return *slot;
+}
+
+void TraceServer::note_thread_exit(std::uint64_t thread_key) {
+  if (!reclaim_enabled_.load(std::memory_order_relaxed)) return;
+  bool marked = false;
   {
     std::lock_guard lk(registry_mu_);
-    for (const auto& existing : slots_) {
-      if (existing->owner == me) {
-        slot = existing.get();
+    for (auto& slot : slots_) {
+      if (slot->owner == thread_key) {
+        slot->acquire();
+        slot->reclaimable = true;
+        slot->release();
+        marked = true;
         break;
       }
     }
-    if (slot == nullptr) {
-      auto owned = std::make_unique<ProducerSlot>();
-      owned->active.reserve(kBatchCapacity);
-      owned->owner = me;
-      slot = owned.get();
-      slots_.push_back(std::move(owned));
-    }
   }
-  cache.push_back({this, uid_, slot});
-  tls_last_slot = cache.back();
-  return *slot;
+  // Retirement happens only inside a drain sweep; nudge the collector so
+  // a churn-heavy but otherwise idle server sheds the ~50KB promptly
+  // instead of waiting out the periodic timeout. (kSync retires on the
+  // next flush/take, exactly like batch draining.)
+  if (marked && mode_ == PublishMode::kAsync) {
+    pending_batches_.fetch_add(1, std::memory_order_release);
+    wake_cv_.notify_one();
+  }
 }
 
 SpanBatch TraceServer::take_free_batch_or_new() {
@@ -166,19 +330,50 @@ void TraceServer::drain(bool steal_active) {
   std::lock_guard drain_lk(drain_mu_);
   SpanBatches& taken = drain_staging_;
   std::uint64_t dropped = 0;
+  const bool reclaim = reclaim_enabled_.load(std::memory_order_relaxed);
   {
     std::lock_guard lk(registry_mu_);
-    for (auto& slot : slots_) {
-      slot->acquire();
-      for (auto& batch : slot->sealed) taken.push_back(std::move(batch));
-      slot->sealed.clear();
-      if (steal_active && !slot->active.empty()) {
-        taken.push_back(std::move(slot->active));
-        slot->active = take_free_batch_or_new();
+    for (std::size_t i = 0; i < slots_.size();) {
+      ProducerSlot& slot = *slots_[i];
+      slot.acquire();
+      // A reclaimable slot gets a final sweep — sealed AND partial
+      // batches — then retires, so an exiting thread's spans are taken
+      // exactly once and never stranded in a parked slot.
+      const bool retire = reclaim && slot.reclaimable;
+      for (auto& batch : slot.sealed) taken.push_back(std::move(batch));
+      slot.sealed.clear();
+      if ((steal_active || retire) && !slot.active.empty()) {
+        taken.push_back(std::move(slot.active));
+        // A retiring slot's replacement is never published into; leave it
+        // empty rather than drawing down the batch freelist.
+        slot.active = retire ? SpanBatch{} : take_free_batch_or_new();
       }
-      dropped += slot->dropped;
-      slot->dropped = 0;
-      slot->release();
+      dropped += slot.dropped;
+      slot.dropped = 0;
+      slot.release();
+      if (!retire) {
+        ++i;
+        continue;
+      }
+      // Unlink (order is irrelevant; swap-remove), scrub ownership, and
+      // park for the next producer thread — or free, once the parking lot
+      // is full. Safe outside the spinlock: the slot is unreachable the
+      // moment it leaves slots_ (its owner thread is exiting and its
+      // caches were invalidated before the reclaim mark was set).
+      std::unique_ptr<ProducerSlot> retired = std::move(slots_[i]);
+      slots_[i] = std::move(slots_.back());
+      slots_.pop_back();
+      retired->owner = 0;
+      retired->reclaimable = false;
+      ++retired_slots_;
+      if (free_slots_.size() < kSlotFreelistCapacity) {
+        free_slots_.push_back(std::move(retired));
+      } else {
+        // The slot dies, but its warmed batch buffer is still good: feed
+        // the batch freelist instead of re-allocating the same ~47KB for
+        // the next fresh registration. (No-op for a stolen-empty active.)
+        recycle_one(std::move(retired->active));
+      }
     }
   }
   if (taken.empty() && dropped == 0) return;
@@ -277,6 +472,40 @@ void TraceServer::remove_drain_subscriber(SubscriberId id) {
 std::size_t TraceServer::drain_subscriber_count() {
   std::lock_guard lk(drain_mu_);
   return subscribers_.size();
+}
+
+std::size_t TraceServer::live_slot_count() {
+  std::lock_guard lk(registry_mu_);
+  return slots_.size();
+}
+
+std::uint64_t TraceServer::retired_slot_count() {
+  std::lock_guard lk(registry_mu_);
+  return retired_slots_;
+}
+
+std::size_t TraceServer::pooled_slot_count() {
+  std::lock_guard lk(registry_mu_);
+  return free_slots_.size();
+}
+
+std::uint64_t TraceServer::approx_slot_bytes() {
+  const auto slot_bytes = [](ProducerSlot& slot) {
+    std::uint64_t bytes = sizeof(ProducerSlot);
+    // Capacities mutate under the slot spinlock (publish/seal); take it
+    // so the estimate is coherent. Telemetry-rate call, not a hot path.
+    slot.acquire();
+    bytes += slot.active.capacity() * sizeof(Span);
+    bytes += slot.sealed.capacity() * sizeof(SpanBatch);
+    for (const auto& batch : slot.sealed) bytes += batch.capacity() * sizeof(Span);
+    slot.release();
+    return bytes;
+  };
+  std::lock_guard lk(registry_mu_);
+  std::uint64_t total = 0;
+  for (auto& slot : slots_) total += slot_bytes(*slot);
+  for (auto& slot : free_slots_) total += slot_bytes(*slot);
+  return total;
 }
 
 void TraceServer::collector_loop() {

@@ -242,9 +242,38 @@ TEST(Session, StreamExportSpanJsonCarriesRunTelemetryFooter) {
   // The run sampled real StringTable growth telemetry into the footer.
   EXPECT_GT(run.interned_strings, 0u);
   EXPECT_GT(run.interned_bytes, run.interned_strings);
+  // ... and producer-slot health, next to it: the session's one publisher
+  // thread owns the one live slot, and its ~50KB shows up in slot_bytes.
+  EXPECT_NE(streamed.find("\"live_slots\":" + std::to_string(run.live_slots)),
+            std::string::npos);
+  EXPECT_EQ(run.live_slots, 1u);
+  EXPECT_GT(run.slot_bytes, 0u);
   // The session still assembled its in-memory timeline (observe mode tees).
   EXPECT_GT(run.timeline.size(), 3u);
   std::remove(opts.stream_export_path.c_str());
+}
+
+TEST(Session, WorkerThreadSlotsAreReclaimedAcrossRuns) {
+  // The long-lived-service shape at the session layer: run N happens on a
+  // worker thread that then dies; the reused fleet must shed that
+  // thread's slots by the time run N+1 has flushed, so a service driving
+  // runs from ever-fresh threads holds O(live threads) slots.
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto opts = ProfileOptions::model_layer();
+  std::thread worker([&s, &opts] { (void)s.profile(small_graph(), opts); });
+  worker.join();
+  // Same options -> the fleet is reused; this run's initial drain retires
+  // the dead worker's slot, and its own publishing registers main's.
+  const auto run = s.profile(small_graph(), opts);
+  EXPECT_EQ(run.live_slots, 1u);
+  EXPECT_EQ(run.retired_slots, 1u);
+  const SlotTelemetry t = s.slot_telemetry();
+  EXPECT_EQ(t.live_slots, 1u);
+  EXPECT_EQ(t.retired_slots, 1u);
+  // 0 when main's registration drew the parked slot (same shard as the
+  // worker), 1 when the two threads hashed to different shards.
+  EXPECT_LE(t.pooled_slots, 1u);
+  EXPECT_GT(t.slot_bytes, 0u);
 }
 
 TEST(Session, LiveStatsSnapshotTracksTheRunAndAccumulatesAcrossRuns) {

@@ -87,12 +87,16 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
   meta.shard_count = 4;
   meta.interned_strings = 123;
   meta.interned_bytes = 4567;
+  meta.live_slots = 3;
+  meta.retired_slots = 9999;
+  meta.slot_bytes = 151 * 1024;
   const auto json = to_span_json(sample_timeline(), meta);
   // Metadata lives in the footer — the streaming layout, where telemetry
   // totals are only final after the last span has been written.
   EXPECT_EQ(json.find("{\"spans\":[{"), 0u);
   EXPECT_NE(json.find("\"metadata\":{\"dropped_annotations\":7,\"shard_count\":4,"
                       "\"interned_strings\":123,\"interned_bytes\":4567,"
+                      "\"live_slots\":3,\"retired_slots\":9999,\"slot_bytes\":154624,"
                       "\"span_count\":2}}"),
             std::string::npos);
   EXPECT_NE(json.find("\"id\":1"), std::string::npos);

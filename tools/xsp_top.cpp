@@ -6,7 +6,9 @@
 // Session::live_snapshot() — thread-safe, mid-run — and renders a text
 // dashboard: total/windowed span rates, GPU occupancy, latency
 // percentiles, the hottest kernels and layer types, per-shard loads with
-// an imbalance factor, and StringTable growth. A final dashboard is
+// an imbalance factor, StringTable growth, and producer-slot health
+// (live/retired/pooled slots + resident bytes — the thread-exit
+// reclamation signal). A final dashboard is
 // always printed after the last run, so even `--runs 1 --interval-ms 0`
 // produces a complete picture (what the CI smoke asserts on).
 //
@@ -128,7 +130,7 @@ std::string format_double(double v, const char* fmt = "%.2f") {
 }
 
 void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
-                      std::int64_t runs_done, bool final) {
+                      const profile::SlotTelemetry& slots, std::int64_t runs_done, bool final) {
   std::printf("--- xsp_top | %s @ batch %lld on %s | runs %lld/%lld%s ---\n", opts.model.c_str(),
               static_cast<long long>(opts.batch), opts.system.c_str(),
               static_cast<long long>(runs_done), static_cast<long long>(opts.runs),
@@ -150,6 +152,9 @@ void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
   std::printf(" | imbalance %.2fx | interned %" PRIu64 " strings ~%" PRIu64 " B\n",
               analysis::shard_imbalance(snap.shard_spans), snap.interned_strings,
               snap.interned_bytes);
+  std::printf("slots: live %" PRIu64 ", retired %" PRIu64 ", pooled %" PRIu64 ", ~%" PRIu64
+              " B\n",
+              slots.live_slots, slots.retired_slots, slots.pooled_slots, slots.slot_bytes);
 
   const auto top_rows = [](const char* what, const std::vector<analysis::OnlineAggregate>& rows,
                            std::size_t k) {
@@ -215,7 +220,7 @@ int main(int argc, char** argv) {
       while (runs_done.load(std::memory_order_acquire) < opts.runs &&
              !failed.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
-        render_dashboard(opts, session.live_snapshot(),
+        render_dashboard(opts, session.live_snapshot(), session.slot_telemetry(),
                          runs_done.load(std::memory_order_acquire), /*final=*/false);
       }
     }
@@ -224,7 +229,8 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "xsp_top: %s\n", failure.c_str());
       return 1;
     }
-    render_dashboard(opts, session.live_snapshot(), runs_done.load(std::memory_order_acquire),
+    render_dashboard(opts, session.live_snapshot(), session.slot_telemetry(),
+                     runs_done.load(std::memory_order_acquire),
                      /*final=*/true);
     std::printf("xsp_top: done (%lld runs, %" PRIu64 " spans observed)\n",
                 static_cast<long long>(opts.runs), session.live_snapshot().spans);
