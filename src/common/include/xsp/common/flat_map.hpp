@@ -90,6 +90,26 @@ class FlatMap {
 
   void clear() noexcept { count_ = 0; }
 
+  /// True when the inline entry count is within capacity. A FlatMap
+  /// memcpy'd from an untrusted byte stream (trace::BinaryReader) must
+  /// pass this check before iteration — begin()/end() trust count_.
+  [[nodiscard]] bool valid() const noexcept { return count_ <= N; }
+
+  /// Rewrite every key in place: key_i = fn(key_i). The wire decoder's
+  /// re-interning hook (writer-process StrIds -> this process's table);
+  /// requires valid().
+  template <typename Fn>
+  void remap_keys(Fn&& fn) {
+    for (std::uint32_t i = 0; i < count_; ++i) keys_[i] = fn(keys_[i]);
+  }
+
+  /// Rewrite every value in place: value_i = fn(value_i). Used by the
+  /// wire decoder when V is itself an interned id (TagMap values).
+  template <typename Fn>
+  void remap_values(Fn&& fn) {
+    for (std::uint32_t i = 0; i < count_; ++i) values_[i] = fn(values_[i]);
+  }
+
  private:
   StrId keys_[N] = {};
   V values_[N] = {};

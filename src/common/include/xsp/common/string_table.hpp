@@ -27,6 +27,13 @@ namespace xsp::common {
 
 class StringTable {
  public:
+  // Id layout: (slot << kShardBits) | shard. Shard choice follows the
+  // string hash so unrelated producers rarely contend on one shard lock.
+  // Public because wire serialization walks the table in id order per
+  // shard (see Cursor / for_each_since below).
+  static constexpr std::uint32_t kShardBits = 4;
+  static constexpr std::uint32_t kShardCount = 1u << kShardBits;
+
   /// The process-wide table all StrIds resolve against.
   static StringTable& global();
 
@@ -61,12 +68,39 @@ class StringTable {
       sizeof(std::string) + sizeof(std::string_view) + sizeof(std::uint32_t) * 2 +
       sizeof(void*);
 
- private:
-  // The id encodes (slot << kShardBits) | shard; shard choice follows the
-  // string hash so unrelated producers rarely contend on one shard lock.
-  static constexpr std::uint32_t kShardBits = 4;
-  static constexpr std::uint32_t kShardCount = 1u << kShardBits;
+  /// Position in the table's per-shard intern sequences: everything a
+  /// serializer needs to remember to later ask "which strings are new
+  /// since I last looked?". Default-constructed, a cursor points at the
+  /// beginning of time — the first snapshot delivers the whole table.
+  struct Cursor {
+    std::array<std::uint32_t, kShardCount> next{};
+  };
 
+  /// Visit every (id, string) interned after `cursor` was last advanced,
+  /// then advance it past them — the string-table delta a binary wire
+  /// writer flushes before the spans that reference the new ids. Ids are
+  /// stable and strings append-only, so successive calls with one cursor
+  /// partition the table exactly once; the reserved empty string (id 0)
+  /// is never delivered. Thread-safe against concurrent intern(): a
+  /// string interned while the snapshot runs lands in this delta or the
+  /// next one, never in both and never lost. The callback runs under the
+  /// shard's shared lock — keep it cheap and do not intern from it.
+  /// `fn` is called as fn(std::uint32_t id, std::string_view s).
+  template <typename Fn>
+  void for_each_since(Cursor& cursor, Fn&& fn) const {
+    for (std::uint32_t shard_idx = 0; shard_idx < kShardCount; ++shard_idx) {
+      const Shard& shard = shards_[shard_idx];
+      std::shared_lock lk(shard.mu);
+      const auto end = static_cast<std::uint32_t>(shard.strings.size());
+      for (std::uint32_t slot = cursor.next[shard_idx]; slot < end; ++slot) {
+        const std::uint32_t id = (slot << kShardBits) | shard_idx;
+        if (id != 0) fn(id, std::string_view(shard.strings[slot]));
+      }
+      cursor.next[shard_idx] = end;
+    }
+  }
+
+ private:
   /// Process-unique table generation: guards per-thread intern caches
   /// against a destroyed table whose address was reused.
   std::uint64_t uid_;
@@ -95,6 +129,16 @@ class StrId {
 
   [[nodiscard]] std::uint32_t raw() const noexcept { return id_; }
   [[nodiscard]] bool empty() const noexcept { return id_ == 0; }
+
+  /// Rebuild a StrId from a raw table id without interning — the binary
+  /// wire decoder's path after it re-interned a string delta. The caller
+  /// owns validity: resolving an id the table never handed out throws
+  /// std::out_of_range (never UB).
+  [[nodiscard]] static StrId from_raw(std::uint32_t id) noexcept {
+    StrId s;
+    s.id_ = id;
+    return s;
+  }
 
   [[nodiscard]] const std::string& str() const { return StringTable::global().str(id_); }
   [[nodiscard]] std::string_view view() const { return str(); }

@@ -71,6 +71,11 @@ struct ProfileOptions {
   std::string stream_export_path;
   /// Document shape for stream_export_path (span JSON carries a metadata
   /// footer with the run's dropped-annotation/shard telemetry).
+  /// ExportFormat::kBinary selects the XSP binary wire format (wire.hpp):
+  /// a trace::BinaryWriter drain subscriber memcpys sealed batches to the
+  /// file instead of formatting JSON — the low-overhead shape for
+  /// production streaming; decode with trace::BinaryReader or
+  /// `trace_export --decode`.
   trace::ExportFormat stream_export_format = trace::ExportFormat::kChromeTrace;
   /// Maintain live online aggregates (analysis::OnlineAnalyzer) from the
   /// run's span stream: an observe-mode drain subscriber on every shard
@@ -123,6 +128,12 @@ struct RunTrace {
   /// timeline.size(): launch/execution pairs stream unmerged and are only
   /// joined at assembly.
   std::uint64_t streamed_spans = 0;
+  /// Bytes written to stream_export_path (0 when streaming was off) — the
+  /// export-cost figure that makes format overheads comparable: the same
+  /// run streamed as span JSON vs binary differs by an order of magnitude
+  /// here. Also surfaced in the span-JSON footer as "export_bytes" and in
+  /// the binary footer frame.
+  std::uint64_t streamed_bytes = 0;
   /// Global StringTable growth telemetry sampled at the end of the run:
   /// distinct interned strings and their approximate resident bytes. The
   /// table never evicts, so across runs these only grow — the signal a

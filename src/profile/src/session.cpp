@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "xsp/profile/span_keys.hpp"
+#include "xsp/trace/wire.hpp"
 
 namespace xsp::profile {
 
@@ -108,6 +109,7 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   // only wants the file attaches its own subscriber with kConsume.
   std::ofstream stream_file;
   std::unique_ptr<trace::StreamingExporter> stream_exporter;
+  std::unique_ptr<trace::BinaryWriter> binary_writer;
   struct SubscriberGuard {
     trace::ShardedTraceServer* server = nullptr;
     trace::SubscriberId stream_id = 0;
@@ -159,14 +161,25 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       throw std::runtime_error("Session: cannot open stream_export_path: " +
                                options.stream_export_path);
     }
-    stream_exporter = std::make_unique<trace::StreamingExporter>(
-        options.stream_export_format, stream_file,
-        /*with_metadata=*/options.stream_export_format == trace::ExportFormat::kSpanJson);
-    subscriber_guard.stream_id = server_->add_drain_subscriber(
-        [exporter = stream_exporter.get()](const trace::SpanBatches& batches) {
-          exporter->write_batches(batches);
-        },
-        trace::DrainHandoff::kObserve);
+    if (options.stream_export_format == trace::ExportFormat::kBinary) {
+      // Binary wire: sealed batches memcpy to the file; string bytes ship
+      // once, as interning deltas. Same subscriber seam, different bytes.
+      binary_writer = std::make_unique<trace::BinaryWriter>(stream_file);
+      subscriber_guard.stream_id = server_->add_drain_subscriber(
+          [writer = binary_writer.get()](const trace::SpanBatches& batches) {
+            writer->write_batches(batches);
+          },
+          trace::DrainHandoff::kObserve);
+    } else {
+      stream_exporter = std::make_unique<trace::StreamingExporter>(
+          options.stream_export_format, stream_file,
+          /*with_metadata=*/options.stream_export_format == trace::ExportFormat::kSpanJson);
+      subscriber_guard.stream_id = server_->add_drain_subscriber(
+          [exporter = stream_exporter.get()](const trace::SpanBatches& batches) {
+            exporter->write_batches(batches);
+          },
+          trace::DrainHandoff::kObserve);
+    }
     subscriber_guard.partial_file = &options.stream_export_path;
   }
 
@@ -316,22 +329,30 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   result.live_slots = server_->live_slot_count();
   result.retired_slots = server_->retired_slot_count();
   result.slot_bytes = server_->approx_slot_bytes();
-  if (stream_exporter != nullptr) {
+  if (stream_exporter != nullptr || binary_writer != nullptr) {
     // dropped_annotation_count() flushed every shard, so the subscriber
     // has observed every span of the run; detach, then finalize the file
     // with the run's telemetry in the footer.
     server_->remove_drain_subscriber(subscriber_guard.stream_id);
     subscriber_guard.stream_id = 0;
     subscriber_guard.partial_file = nullptr;
-    stream_exporter->set_meta(result.trace_meta());
-    if (online != nullptr) {
-      // Final online aggregates ride in the span-JSON metadata footer (a
-      // no-op for the Chrome format, which has no metadata section).
-      stream_exporter->set_footer_section("online",
-                                          analysis::online_summary_json(online->snapshot()));
+    if (stream_exporter != nullptr) {
+      stream_exporter->set_meta(result.trace_meta());
+      if (online != nullptr) {
+        // Final online aggregates ride in the span-JSON metadata footer (a
+        // no-op for the Chrome format, which has no metadata section).
+        stream_exporter->set_footer_section("online",
+                                            analysis::online_summary_json(online->snapshot()));
+      }
+      stream_exporter->finish();
+      result.streamed_spans = stream_exporter->spans_written();
+      result.streamed_bytes = stream_exporter->bytes_written();
+    } else {
+      binary_writer->set_meta(result.trace_meta());
+      binary_writer->finish();
+      result.streamed_spans = binary_writer->spans_written();
+      result.streamed_bytes = binary_writer->bytes_written();
     }
-    stream_exporter->finish();
-    result.streamed_spans = stream_exporter->spans_written();
     stream_file.close();
     if (!stream_file) {
       throw std::runtime_error("Session: short write to stream_export_path: " +

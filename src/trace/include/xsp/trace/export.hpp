@@ -13,6 +13,9 @@
 // long-running service can export an unbounded trace with bounded memory.
 // The classic to_chrome_trace()/to_span_json() helpers are thin wrappers
 // that drive the same core over an assembled timeline into a string.
+// Batch framing and the byte sink live in wire.hpp (FrameSink): the same
+// seam the binary wire writer drives, so "which bytes" (JSON text vs
+// binary frames) is the only difference between export backends.
 //
 // Number formatting is exact by construction:
 //   * Chrome "ts"/"dur" are fixed-point microseconds computed from the
@@ -36,36 +39,15 @@
 
 #include "xsp/trace/span.hpp"
 #include "xsp/trace/timeline.hpp"
+#include "xsp/trace/wire.hpp"
 
 namespace xsp::trace {
 
-/// Collection-level telemetry to embed alongside the spans — the numbers
-/// an operator needs without scanning the trace. Populated from
-/// TraceServer::dropped_annotation_count() / ShardedTraceServer.
-struct TraceMeta {
-  /// Server-level aggregate of per-span annotation drops (tag/metric
-  /// capacity overflow) for the run that produced the timeline.
-  std::uint64_t dropped_annotations = 0;
-  /// Number of trace-server shards the spans were collected across.
-  std::size_t shard_count = 1;
-  /// Global StringTable growth telemetry sampled at export time: distinct
-  /// interned strings and their approximate resident bytes. The table
-  /// never evicts, so a long-running service watches these to see
-  /// interned-annotation growth. 0/0 when not sampled.
-  std::uint64_t interned_strings = 0;
-  std::uint64_t interned_bytes = 0;
-  /// Producer-slot health sampled at export time (see
-  /// TraceServer::live_slot_count() et al.): slots currently registered,
-  /// slots retired by thread-exit reclamation over the collection fleet's
-  /// lifetime, and approximate bytes resident in slots. A live_slots
-  /// figure that tracks thread churn instead of live threads means
-  /// reclamation is off or broken. All 0 when not sampled.
-  std::uint64_t live_slots = 0;
-  std::uint64_t retired_slots = 0;
-  std::uint64_t slot_bytes = 0;
-};
+// TraceMeta lives in wire.hpp (the format-agnostic serialization core);
+// every backend — this JSON exporter's metadata footer, the binary
+// writer's Footer frame — ships the same telemetry struct.
 
-/// Output document shape of a StreamingExporter.
+/// Output document shape of a streamed export.
 enum class ExportFormat : std::uint8_t {
   /// Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":[...]}
   /// with one complete "X" event per span and per-level track names.
@@ -75,6 +57,11 @@ enum class ExportFormat : std::uint8_t {
   /// (metadata in the footer, so counts/drops can be filled in after the
   /// last span has streamed).
   kSpanJson,
+  /// XSP binary wire format v1 (wire.hpp): length-prefixed memcpy'd span
+  /// batches + string-table deltas. Not a StreamingExporter format —
+  /// handled by BinaryWriter; the StreamingExporter constructor rejects
+  /// it with std::invalid_argument.
+  kBinary,
 };
 
 const char* export_format_name(ExportFormat f);
@@ -94,14 +81,16 @@ const char* export_format_name(ExportFormat f);
 /// (viewers and re-analysis order by timestamp, not array position).
 class StreamingExporter {
  public:
-  using WriteFn = std::function<void(std::string_view)>;
+  using WriteFn = FrameSink::WriteFn;
 
-  /// Internal buffer size at which buffered output is pushed to the sink.
-  /// The buffer may transiently exceed this by one formatted event.
-  static constexpr std::size_t kFlushThreshold = 64 * 1024;
+  /// Internal buffer size at which buffered output is pushed to the sink
+  /// (the FrameSink threshold). The buffer may transiently exceed this by
+  /// one formatted event.
+  static constexpr std::size_t kFlushThreshold = FrameSink::kFlushThreshold;
 
   /// Stream to a sink callback. `with_metadata` selects the span-JSON
-  /// wrapped form (ignored for kChromeTrace).
+  /// wrapped form (ignored for kChromeTrace). Throws std::invalid_argument
+  /// for ExportFormat::kBinary — that format is BinaryWriter's (wire.hpp).
   StreamingExporter(ExportFormat format, WriteFn sink, bool with_metadata = false);
 
   /// Stream to an ostream (file, socket, stringstream). The stream must
@@ -152,18 +141,20 @@ class StreamingExporter {
   /// Spans written so far (also the "span_count" the footer reports).
   [[nodiscard]] std::uint64_t spans_written() const;
 
+  /// Bytes accepted by the sink so far, including buffered bytes — the
+  /// "export_bytes" cost figure the span-JSON footer reports.
+  [[nodiscard]] std::uint64_t bytes_written() const { return sink_.bytes_written(); }
+
  private:
   void append_event(std::string& out, const Span& span, SpanId parent) const;
   /// Splice pre-formatted events (each ','-prefixed) into the output.
   void append_chunk_locked(std::string_view chunk, std::uint64_t span_count);
-  void flush_locked();
 
   ExportFormat format_;
   bool with_metadata_;
-  WriteFn sink_;
+  FrameSink sink_;
 
   mutable std::mutex mu_;
-  std::string buf_;
   bool wrote_event_ = false;
   bool finished_ = false;
   std::uint64_t spans_written_ = 0;

@@ -1,0 +1,319 @@
+// XSP binary span-batch wire format (v1) and the format-agnostic
+// serialization core shared by every exporter backend.
+//
+// The JSON path (StreamingExporter) tops out around 2.8M spans/s because
+// every span is re-formatted as text. Spans are trivially copyable 184-byte
+// PODs whose strings are interned 32-bit StrIds, so the binary format moves
+// whole sealed batches with memcpy and ships string bytes exactly once, as
+// deltas of the process-wide StringTable — an order of magnitude more
+// throughput through the same drain-subscriber seam, and the on-disk /
+// on-socket format a cross-process collector daemon will speak (ROADMAP:
+// cross-process trace ingestion).
+//
+// Layered as:
+//   FrameSink      — bounded-buffer byte sink (ostream or callback), the
+//                    seam both StreamingExporter and BinaryWriter drive.
+//   wire::*        — the format itself: versioned stream header, then
+//                    length-prefixed frames (StringDelta, SpanBatch,
+//                    Footer), all little-into-host-endian POD structs.
+//   BinaryWriter   — drain-subscriber-compatible encoder: per flush, a
+//                    StringDelta frame carrying only interns new since the
+//                    last flush (StringTable::for_each_since cursor), then
+//                    one SpanBatch frame per sealed batch (payload is the
+//                    batch memcpy'd whole). finish() appends a Footer frame
+//                    with the collection telemetry (TraceMeta).
+//   BinaryReader   — validating decoder: checks magic/version/endianness/
+//                    span-size, bounds every length prefix, re-interns the
+//                    deltas into this process's StringTable and rewrites
+//                    each span's StrIds, and yields SpanBatches ready for
+//                    Timeline::assemble or OnlineAnalyzer replay. Hostile
+//                    input (truncation, oversized prefixes, unknown ids,
+//                    out-of-bounds annotation counts) throws WireError —
+//                    never UB.
+//
+// Format spec (layout, delta semantics, versioning/compat rules):
+// src/trace/README.md, "XSP binary wire format v1".
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <iosfwd>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+
+#include "xsp/common/string_table.hpp"
+#include "xsp/trace/span.hpp"
+
+namespace xsp::trace {
+
+/// Collection-level telemetry to embed alongside the spans — the numbers
+/// an operator needs without scanning the trace. Populated from
+/// TraceServer::dropped_annotation_count() / ShardedTraceServer. Defined
+/// here, in the format-agnostic serialization core, because every backend
+/// ships it: the JSON exporter as its metadata footer, the binary writer
+/// as its Footer frame.
+struct TraceMeta {
+  /// Server-level aggregate of per-span annotation drops (tag/metric
+  /// capacity overflow) for the run that produced the timeline.
+  std::uint64_t dropped_annotations = 0;
+  /// Number of trace-server shards the spans were collected across.
+  std::size_t shard_count = 1;
+  /// Global StringTable growth telemetry sampled at export time: distinct
+  /// interned strings and their approximate resident bytes. The table
+  /// never evicts, so a long-running service watches these to see
+  /// interned-annotation growth. 0/0 when not sampled.
+  std::uint64_t interned_strings = 0;
+  std::uint64_t interned_bytes = 0;
+  /// Producer-slot health sampled at export time (see
+  /// TraceServer::live_slot_count() et al.): slots currently registered,
+  /// slots retired by thread-exit reclamation over the collection fleet's
+  /// lifetime, and approximate bytes resident in slots. A live_slots
+  /// figure that tracks thread churn instead of live threads means
+  /// reclamation is off or broken. All 0 when not sampled.
+  std::uint64_t live_slots = 0;
+  std::uint64_t retired_slots = 0;
+  std::uint64_t slot_bytes = 0;
+};
+
+/// Bounded-buffer byte sink: the serialization core's output seam. Bytes
+/// append into a fixed-threshold internal buffer and are pushed to the
+/// underlying ostream/callback whenever the threshold is reached — the
+/// sink's footprint is independent of how many bytes stream through it.
+/// Writes at or above the threshold bypass the buffer entirely (after a
+/// flush, to preserve order), so a whole-batch memcpy payload is handed to
+/// the sink zero-copy. Thread-safe; bytes of concurrent write() calls
+/// never interleave.
+class FrameSink {
+ public:
+  using WriteFn = std::function<void(std::string_view)>;
+
+  /// Buffered bytes at which the buffer is pushed to the sink. The buffer
+  /// may transiently exceed this by one sub-threshold write.
+  static constexpr std::size_t kFlushThreshold = 64 * 1024;
+
+  explicit FrameSink(WriteFn fn);
+  /// The stream must outlive the sink.
+  explicit FrameSink(std::ostream& os);
+
+  FrameSink(const FrameSink&) = delete;
+  FrameSink& operator=(const FrameSink&) = delete;
+
+  /// Append bytes (buffered; auto-flush at the threshold).
+  void write(std::string_view bytes);
+
+  /// Push any buffered bytes to the underlying sink.
+  void flush();
+
+  /// Bytes accepted so far, including bytes still buffered — the
+  /// export-cost telemetry exporters surface in their footers.
+  [[nodiscard]] std::uint64_t bytes_written() const;
+
+ private:
+  WriteFn fn_;
+  mutable std::mutex mu_;
+  std::string buf_;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Malformed or truncated binary wire input. Every decoder failure path
+/// raises this with a position/context message; no input can reach UB.
+struct WireError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+namespace wire {
+
+/// Stream header magic: "XSPB".
+inline constexpr char kMagic[4] = {'X', 'S', 'P', 'B'};
+/// Format version this build writes and the only one it reads.
+inline constexpr std::uint16_t kVersion = 1;
+/// Endianness marker as written by the producer; a consumer reading the
+/// byte-swapped value rejects the stream (frames are host-endian memcpy).
+inline constexpr std::uint16_t kEndianMark = 0xFEFF;
+/// Upper bound a reader accepts for one frame payload — any larger length
+/// prefix is hostile or corrupt, not data.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 26;  // 64 MiB
+/// Spans per SpanBatch frame; the writer splits larger batches so frames
+/// stay bounded and a reader can validate count * sizeof(Span) exactly.
+inline constexpr std::size_t kMaxSpansPerFrame = 4096;
+
+enum class FrameType : std::uint8_t {
+  /// Payload: repeated { u32 string_id, u32 byte_len, byte_len bytes } —
+  /// the producer-table interns new since the previous delta.
+  kStringDelta = 1,
+  /// Payload: u32 span_count, then span_count * sizeof(Span) raw span
+  /// bytes (one memcpy of a sealed publication batch).
+  kSpanBatch = 2,
+  /// Payload: one Footer struct. Terminates the stream.
+  kFooter = 3,
+};
+
+/// Fixed 16-byte stream header. span_size pins the producer's span layout
+/// so a consumer built against a different Span rejects the stream instead
+/// of misinterpreting it (the forward-compat rule: v1 consumers never
+/// guess).
+struct Header {
+  char magic[4];
+  std::uint16_t version;
+  std::uint16_t endianness;
+  std::uint32_t span_size;
+  std::uint32_t header_size;
+};
+static_assert(sizeof(Header) == 16);
+static_assert(std::is_trivially_copyable_v<Header>);
+
+/// 8-byte frame prefix: every frame is self-delimiting, so a consumer can
+/// skip-validate a stream without decoding payloads.
+struct FrameHeader {
+  std::uint8_t type;
+  std::uint8_t reserved[3];
+  std::uint32_t payload_size;
+};
+static_assert(sizeof(FrameHeader) == 8);
+static_assert(std::is_trivially_copyable_v<FrameHeader>);
+
+/// Trailing telemetry frame: the TraceMeta the JSON footer carries, plus
+/// the stream's own span/byte accounting. export_bytes counts every byte
+/// written before this frame (header, deltas, span batches).
+struct Footer {
+  std::uint64_t span_count;
+  std::uint64_t export_bytes;
+  std::uint64_t dropped_annotations;
+  std::uint64_t shard_count;
+  std::uint64_t interned_strings;
+  std::uint64_t interned_bytes;
+  std::uint64_t live_slots;
+  std::uint64_t retired_slots;
+  std::uint64_t slot_bytes;
+};
+static_assert(std::is_trivially_copyable_v<Footer>);
+
+}  // namespace wire
+
+/// Binary wire encoder. Drop-in for the StreamingExporter drain-subscriber
+/// shape: attach write_batches under kObserve or kConsume, call set_meta
+/// when telemetry is final, finish() to append the footer frame.
+///
+/// Thread safety: write_batch/write_batches/set_meta/finish may be called
+/// from any thread (N shard collectors funnel into one writer); one
+/// internal mutex serializes frame emission, so frames never interleave.
+///
+/// Memory: allocation count is independent of span count (pinned by
+/// BinaryWire.WriterAllocationIsIndependentOfSpanCount) — span payloads
+/// hand the batch memory straight to the sink, the string-delta scratch is
+/// reused across flushes, and the FrameSink buffer is bounded.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(FrameSink::WriteFn sink);
+  explicit BinaryWriter(std::ostream& os);
+
+  /// Finishes the stream if finish() was not called explicitly.
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Emit the pending string delta, then the batch as SpanBatch frames.
+  void write_batch(const SpanBatch& batch);
+
+  /// Write every batch of a batch list — the drain-subscriber shape.
+  void write_batches(const SpanBatches& batches);
+
+  /// Set/update the telemetry the footer frame will carry. May be called
+  /// any time before finish().
+  void set_meta(const TraceMeta& meta);
+
+  /// Append the footer frame and flush. Idempotent; batches written after
+  /// finish() are dropped (asserted in debug builds), mirroring
+  /// StreamingExporter.
+  void finish();
+
+  /// Spans written so far (the footer's span_count).
+  [[nodiscard]] std::uint64_t spans_written() const;
+
+  /// Bytes accepted by the sink so far (including buffered bytes).
+  [[nodiscard]] std::uint64_t bytes_written() const;
+
+ private:
+  void append_string_delta_locked();
+  void append_span_frames_locked(const SpanBatch& batch);
+
+  FrameSink sink_;
+  mutable std::mutex mu_;
+  common::StringTable::Cursor cursor_;
+  /// Frame-assembly scratch, reused across flushes; capacity is bounded
+  /// by the largest single delta, not by stream length.
+  std::string scratch_;
+  bool finished_ = false;
+  std::uint64_t spans_written_ = 0;
+  TraceMeta meta_{};
+};
+
+/// Binary wire decoder. Validates the stream header on construction and
+/// yields re-interned span batches frame by frame; spans come out carrying
+/// StrIds of *this* process's global StringTable, so a decoded batch feeds
+/// Timeline::assemble, OnlineAnalyzer replay, or a StreamingExporter
+/// re-export directly. Single-threaded (one reader per stream).
+class BinaryReader {
+ public:
+  /// Reads and validates the stream header. The stream must outlive the
+  /// reader. Throws WireError on any mismatch.
+  explicit BinaryReader(std::istream& in);
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  /// Decode up to the next SpanBatch frame into `out` (overwritten, so a
+  /// caller-recycled buffer is reused). Returns false at end of stream —
+  /// after the footer frame, or at a clean pre-footer EOF (a producer
+  /// that died mid-export; see saw_footer()). Throws WireError on any
+  /// malformed frame.
+  bool next_batch(SpanBatch& out);
+
+  /// Decode the rest of the stream into batches (convenience for replay).
+  [[nodiscard]] SpanBatches read_all();
+
+  /// True once the footer frame has been read. A stream without a footer
+  /// is truncated-but-parseable: every complete frame before the cut
+  /// decoded normally, only the final telemetry is missing.
+  [[nodiscard]] bool saw_footer() const noexcept { return saw_footer_; }
+
+  /// The footer frame's telemetry; zeros until saw_footer().
+  [[nodiscard]] const wire::Footer& footer() const noexcept { return footer_; }
+
+  /// Footer telemetry in TraceMeta shape (zeros until saw_footer()) —
+  /// hand to a StreamingExporter when re-exporting as JSON.
+  [[nodiscard]] TraceMeta meta() const noexcept;
+
+  /// Spans decoded so far.
+  [[nodiscard]] std::uint64_t spans_read() const noexcept { return spans_read_; }
+
+  /// Distinct producer string ids re-interned so far.
+  [[nodiscard]] std::uint64_t strings_reinterned() const noexcept {
+    return static_cast<std::uint64_t>(remap_.size()) - 1;  // minus the implicit id 0
+  }
+
+ private:
+  void read_exact(void* dst, std::size_t n, const char* what);
+  void decode_string_delta(std::size_t payload_size);
+  /// Producer id -> this process's StrId; throws WireError for an id no
+  /// delta delivered.
+  [[nodiscard]] common::StrId map_id(std::uint32_t producer_id) const;
+  void reintern_span(Span& span) const;
+
+  std::istream& in_;
+  std::unordered_map<std::uint32_t, std::uint32_t> remap_;
+  std::string payload_;  ///< delta-payload scratch, reused across frames
+  bool done_ = false;
+  bool saw_footer_ = false;
+  wire::Footer footer_{};
+  std::uint64_t spans_read_ = 0;
+};
+
+}  // namespace xsp::trace

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstdio>
 #include <ostream>
+#include <stdexcept>
 #include <utility>
 
 namespace xsp::trace {
@@ -138,6 +139,7 @@ const char* export_format_name(ExportFormat f) {
   switch (f) {
     case ExportFormat::kChromeTrace: return "chrome_trace";
     case ExportFormat::kSpanJson: return "span_json";
+    case ExportFormat::kBinary: return "binary";
   }
   return "?";
 }
@@ -146,16 +148,14 @@ StreamingExporter::StreamingExporter(ExportFormat format, WriteFn sink, bool wit
     : format_(format),
       with_metadata_(format == ExportFormat::kSpanJson && with_metadata),
       sink_(std::move(sink)) {
-  // Warm start at the flush threshold. Chunks are spliced whole (up to a
-  // full formatted batch, which can exceed this headroom), so capacity
-  // may grow past the reservation once — it then sticks (clear() keeps
-  // capacity), which is what makes steady-state streaming allocation-free
-  // while the effective bound stays threshold + one batch's text.
-  buf_.reserve(kFlushThreshold + 4096);
+  if (format_ == ExportFormat::kBinary) {
+    throw std::invalid_argument(
+        "StreamingExporter: ExportFormat::kBinary is BinaryWriter's format (wire.hpp)");
+  }
   if (format_ == ExportFormat::kChromeTrace) {
-    buf_ += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    sink_.write("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
   } else {
-    buf_ += with_metadata_ ? "{\"spans\":[" : "[";
+    sink_.write(with_metadata_ ? "{\"spans\":[" : "[");
   }
 }
 
@@ -233,15 +233,8 @@ void StreamingExporter::append_chunk_locked(std::string_view chunk, std::uint64_
   // the separator here, under the lock, where "first" is well-defined.
   if (!wrote_event_) chunk.remove_prefix(1);
   wrote_event_ = true;
-  buf_.append(chunk);
+  sink_.write(chunk);
   spans_written_ += span_count;
-  if (buf_.size() >= kFlushThreshold) flush_locked();
-}
-
-void StreamingExporter::flush_locked() {
-  if (buf_.empty()) return;
-  sink_(buf_);
-  buf_.clear();
 }
 
 void StreamingExporter::write_span(const Span& span, SpanId parent) {
@@ -303,37 +296,47 @@ void StreamingExporter::finish() {
       scratch += "}}";
     }
     append_chunk_locked(scratch, 0);
-    buf_ += "]}";
+    sink_.write("]}");
   } else {
-    buf_ += ']';
+    // export_bytes reports the cost of everything before the footer
+    // (prologue + spans), so it is read before the footer text is built.
+    const std::uint64_t export_bytes = sink_.bytes_written();
+    std::string& out = tls_scratch();
+    out.clear();
+    out += ']';
     if (with_metadata_) {
-      buf_ += ",\"metadata\":{\"dropped_annotations\":";
-      append_uint(buf_, meta_.dropped_annotations);
-      buf_ += ",\"shard_count\":";
-      append_uint(buf_, meta_.shard_count);
-      buf_ += ",\"interned_strings\":";
-      append_uint(buf_, meta_.interned_strings);
-      buf_ += ",\"interned_bytes\":";
-      append_uint(buf_, meta_.interned_bytes);
-      buf_ += ",\"live_slots\":";
-      append_uint(buf_, meta_.live_slots);
-      buf_ += ",\"retired_slots\":";
-      append_uint(buf_, meta_.retired_slots);
-      buf_ += ",\"slot_bytes\":";
-      append_uint(buf_, meta_.slot_bytes);
-      buf_ += ",\"span_count\":";
-      append_uint(buf_, spans_written_);
+      out += ",\"metadata\":{\"dropped_annotations\":";
+      append_uint(out, meta_.dropped_annotations);
+      out += ",\"shard_count\":";
+      append_uint(out, meta_.shard_count);
+      out += ",\"interned_strings\":";
+      append_uint(out, meta_.interned_strings);
+      out += ",\"interned_bytes\":";
+      append_uint(out, meta_.interned_bytes);
+      out += ",\"live_slots\":";
+      append_uint(out, meta_.live_slots);
+      out += ",\"retired_slots\":";
+      append_uint(out, meta_.retired_slots);
+      out += ",\"slot_bytes\":";
+      append_uint(out, meta_.slot_bytes);
+      out += ",\"span_count\":";
+      append_uint(out, spans_written_);
+      out += ",\"export_format\":";
+      append_escaped(out, export_format_name(format_));
+      out += ",\"export_bytes\":";
+      append_uint(out, export_bytes);
       for (const auto& [key, value] : footer_sections_) {
-        buf_ += ',';
-        append_escaped(buf_, key);
-        buf_ += ':';
-        buf_ += value;
+        out += ',';
+        append_escaped(out, key);
+        out += ':';
+        out += value;
       }
-      buf_ += "}}";
+      out += "}}";
     }
+    sink_.write(out);
   }
   finished_ = true;
-  flush_locked();
+  sink_.flush();
 }
 
 std::uint64_t StreamingExporter::spans_written() const {

@@ -12,6 +12,8 @@
 
 #include "../trace/json_check.hpp"
 #include "xsp/models/builder.hpp"
+#include "xsp/trace/export.hpp"
+#include "xsp/trace/wire.hpp"
 
 namespace xsp::profile {
 namespace {
@@ -237,7 +239,8 @@ TEST(Session, StreamExportSpanJsonCarriesRunTelemetryFooter) {
   EXPECT_NE(streamed.find("\"metadata\":{\"dropped_annotations\":0,\"shard_count\":2,"
                           "\"interned_strings\":"),
             std::string::npos);
-  EXPECT_NE(streamed.find("\"span_count\":" + std::to_string(run.timeline.size()) + "}}"),
+  EXPECT_NE(streamed.find("\"span_count\":" + std::to_string(run.timeline.size()) +
+                          ",\"export_format\":\"span_json\",\"export_bytes\":"),
             std::string::npos);
   // The run sampled real StringTable growth telemetry into the footer.
   EXPECT_GT(run.interned_strings, 0u);
@@ -250,6 +253,38 @@ TEST(Session, StreamExportSpanJsonCarriesRunTelemetryFooter) {
   EXPECT_GT(run.slot_bytes, 0u);
   // The session still assembled its in-memory timeline (observe mode tees).
   EXPECT_GT(run.timeline.size(), 3u);
+  std::remove(opts.stream_export_path.c_str());
+}
+
+TEST(Session, StreamExportBinaryRoundTripsThroughBinaryReader) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::model_layer();
+  opts.trace_shards = 2;
+  opts.stream_export_path = ::testing::TempDir() + "xsp_stream.xspb";
+  opts.stream_export_format = trace::ExportFormat::kBinary;
+  const auto run = s.profile(small_graph(), opts);
+
+  const std::string bytes = read_file(opts.stream_export_path);
+  ASSERT_FALSE(bytes.empty());
+  // streamed_bytes telemetry is the file size; spans match the JSON path.
+  EXPECT_EQ(run.streamed_bytes, bytes.size());
+  EXPECT_EQ(run.streamed_spans, run.timeline.size());
+
+  std::istringstream in(bytes);
+  trace::BinaryReader reader(in);
+  const trace::SpanBatches decoded = reader.read_all();
+  EXPECT_TRUE(reader.saw_footer());
+  EXPECT_EQ(reader.spans_read(), run.streamed_spans);
+  // The footer frame carries the same run telemetry the JSON footer does.
+  EXPECT_EQ(reader.footer().span_count, run.streamed_spans);
+  EXPECT_EQ(reader.footer().shard_count, 2u);
+  EXPECT_EQ(reader.footer().live_slots, run.live_slots);
+  EXPECT_EQ(reader.footer().interned_strings, run.interned_strings);
+
+  // Decoded spans assemble into the same timeline the live run produced.
+  const trace::Timeline replay = trace::Timeline::assemble(trace::flatten_batches(decoded));
+  EXPECT_EQ(replay.size(), run.timeline.size());
+  EXPECT_EQ(trace::to_span_json(replay), trace::to_span_json(run.timeline));
   std::remove(opts.stream_export_path.c_str());
 }
 

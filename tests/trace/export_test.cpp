@@ -97,7 +97,8 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
   EXPECT_NE(json.find("\"metadata\":{\"dropped_annotations\":7,\"shard_count\":4,"
                       "\"interned_strings\":123,\"interned_bytes\":4567,"
                       "\"live_slots\":3,\"retired_slots\":9999,\"slot_bytes\":154624,"
-                      "\"span_count\":2}}"),
+                      "\"span_count\":2,\"export_format\":\"span_json\","
+                      "\"export_bytes\":"),
             std::string::npos);
   EXPECT_NE(json.find("\"id\":1"), std::string::npos);
   EXPECT_TRUE(valid_json(json));

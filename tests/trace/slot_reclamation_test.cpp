@@ -352,15 +352,17 @@ TEST(SlotLifecycle, DeadServersSlotIsNotInheritedAcrossServerAddressReuse) {
     EXPECT_EQ(server->take_trace().size(), 2u);
     EXPECT_EQ(server->live_slot_count(), 1u);  // a fresh slot, every time
   }
-  // Same-size alloc/free cycles reuse the block on every plain allocator
-  // this runs under; ASan deliberately quarantines freed blocks (which is
-  // exactly how it would catch a true inheritance as use-after-free), so
-  // only require the collision outside sanitized builds.
-#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
-  EXPECT_TRUE(address_reused);
-#else
-  (void)address_reused;
-#endif
+  // Same-size alloc/free cycles usually reuse the block, which is what
+  // makes the cache key collide on the address — but no standard obliges
+  // the allocator to (and ASan deliberately quarantines freed blocks,
+  // which is exactly how it would catch a true inheritance as
+  // use-after-free). When no reuse happened the aliasing scenario was
+  // simply not exercised: the in-loop assertions above still guard the
+  // accounting, so report a skip rather than an environment failure.
+  if (!address_reused) {
+    GTEST_SKIP() << "allocator never reused the first server's block; "
+                    "TLS-cache aliasing not exercised in this environment";
+  }
 }
 
 /// Static-destruction-order smoke for the main thread: this server dies

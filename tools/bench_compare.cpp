@@ -2,14 +2,20 @@
 //
 // Usage: bench_compare <baseline.json> <current.json>
 //                      [--threshold 0.30] [--ignore <substring>]...
+//        bench_compare --pair <baseline.json> <current.json>
+//                      [--pair <baseline2.json> <current2.json>]...
+//                      [--threshold 0.30] [--ignore <substring>]...
 //
 // Compares `items_per_second` of matching benchmark cases between a
 // recorded baseline (bench/results/BENCH_*.json) and a fresh run, and
 // exits non-zero if any case regressed by more than the threshold
 // (default 30% — see bench/README.md for how thresholds were chosen).
-// --ignore excludes cases whose name contains the substring from gating
-// (they are still printed): CI uses it for the contended cases, whose
-// documented cross-machine variance exceeds any useful threshold.
+// --pair may repeat, gating several baseline/current file pairs in one
+// invocation with one combined verdict — how CI gates every benchmark
+// suite in a single step. --ignore excludes cases whose name contains
+// the substring from gating (they are still printed): CI uses it for the
+// contended cases, whose documented cross-machine variance exceeds any
+// useful threshold.
 //
 // Parsing is deliberately specialized to google-benchmark's output: each
 // object in the "benchmarks" array lists "name" before its metrics, so a
@@ -102,55 +108,35 @@ std::map<std::string, double> prefer_medians(const std::map<std::string, double>
   return medians.empty() ? rates : medians;
 }
 
-}  // namespace
+struct PairResult {
+  int compared = 0;
+  int failed = 0;
+};
 
-int main(int argc, char** argv) {
-  double threshold = 0.30;
-  const char* baseline_path = nullptr;
-  const char* current_path = nullptr;
-  std::vector<std::string> ignore;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
-      threshold = std::strtod(argv[++i], nullptr);
-    } else if (std::strcmp(argv[i], "--ignore") == 0 && i + 1 < argc) {
-      ignore.emplace_back(argv[++i]);
-    } else if (baseline_path == nullptr) {
-      baseline_path = argv[i];
-    } else if (current_path == nullptr) {
-      current_path = argv[i];
-    }
-  }
-  if (baseline_path == nullptr || current_path == nullptr) {
-    std::fprintf(stderr,
-                 "usage: bench_compare <baseline.json> <current.json> [--threshold 0.30] "
-                 "[--ignore <substring>]...\n");
-    return 2;
-  }
-  const auto ignored = [&ignore](const std::string& name) {
-    for (const auto& needle : ignore) {
-      if (name.find(needle) != std::string::npos) return true;
-    }
-    return false;
-  };
-
+/// Gate one baseline/current file pair, printing the per-case table.
+/// Returns std::nullopt on a hard error (unreadable/unparseable file or
+/// no common cases) — the caller exits 2.
+template <typename IgnoredFn>
+std::optional<PairResult> compare_pair(const char* baseline_path, const char* current_path,
+                                       double threshold, const IgnoredFn& ignored) {
   const auto baseline_text = read_file(baseline_path);
   const auto current_text = read_file(current_path);
   if (!baseline_text || !current_text) {
     std::fprintf(stderr, "bench_compare: cannot read %s\n",
                  !baseline_text ? baseline_path : current_path);
-    return 2;
+    return std::nullopt;
   }
 
   const auto baseline = prefer_medians(parse_rates(*baseline_text));
   const auto current = prefer_medians(parse_rates(*current_text));
   if (baseline.empty()) {
     std::fprintf(stderr, "bench_compare: no items_per_second entries in %s\n", baseline_path);
-    return 2;
+    return std::nullopt;
   }
 
+  std::printf("%s vs %s\n", baseline_path, current_path);
   std::printf("%-44s %14s %14s %8s\n", "case", "baseline/s", "current/s", "ratio");
-  int compared = 0;
-  int failed = 0;
+  PairResult result;
   for (const auto& [name, base_rate] : baseline) {
     const auto it = current.find(name);
     if (it == current.end() || base_rate <= 0) {
@@ -163,9 +149,9 @@ int main(int argc, char** argv) {
                   it->second, ratio);
       continue;
     }
-    ++compared;
+    ++result.compared;
     const bool regressed = ratio < 1.0 - threshold;
-    failed += regressed ? 1 : 0;
+    result.failed += regressed ? 1 : 0;
     std::printf("%-44s %14.3g %14.3g %7.2fx%s\n", name.c_str(), base_rate, it->second, ratio,
                 regressed ? "  << REGRESSION" : "");
   }
@@ -175,17 +161,75 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (compared == 0) {
-    std::fprintf(stderr, "bench_compare: no common cases between the two files\n");
+  if (result.compared == 0) {
+    std::fprintf(stderr, "bench_compare: no common cases between %s and %s\n", baseline_path,
+                 current_path);
+    return std::nullopt;
+  }
+  if (result.failed > 0) {
+    std::fprintf(stderr, "bench_compare: %d case(s) regressed more than %.0f%% vs %s\n",
+                 result.failed, threshold * 100, baseline_path);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.30;
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  std::vector<std::pair<const char*, const char*>> pairs;
+  std::vector<std::string> ignore;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threshold") == 0 && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--ignore") == 0 && i + 1 < argc) {
+      ignore.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--pair") == 0 && i + 2 < argc) {
+      const char* base = argv[++i];
+      const char* cur = argv[++i];
+      pairs.emplace_back(base, cur);
+    } else if (baseline_path == nullptr) {
+      baseline_path = argv[i];
+    } else if (current_path == nullptr) {
+      current_path = argv[i];
+    }
+  }
+  // Legacy positional form is exactly one --pair.
+  if (baseline_path != nullptr && current_path != nullptr) {
+    pairs.emplace_back(baseline_path, current_path);
+  }
+  if (pairs.empty()) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> [--threshold 0.30] "
+                 "[--ignore <substring>]...\n"
+                 "       bench_compare --pair <baseline.json> <current.json> "
+                 "[--pair <b2.json> <c2.json>]... [options]\n");
     return 2;
   }
+  const auto ignored = [&ignore](const std::string& name) {
+    for (const auto& needle : ignore) {
+      if (name.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  };
+
+  int compared = 0;
+  int failed = 0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    if (i > 0) std::printf("\n");
+    const auto result = compare_pair(pairs[i].first, pairs[i].second, threshold, ignored);
+    if (!result) return 2;
+    compared += result->compared;
+    failed += result->failed;
+  }
   if (failed > 0) {
-    std::fprintf(stderr,
-                 "bench_compare: %d case(s) regressed more than %.0f%% vs %s\n", failed,
-                 threshold * 100, baseline_path);
+    std::fprintf(stderr, "bench_compare: %d case(s) regressed more than %.0f%% overall\n",
+                 failed, threshold * 100);
     return 1;
   }
-  std::printf("bench_compare: %d case(s) within %.0f%% of baseline\n", compared,
-              threshold * 100);
+  std::printf("bench_compare: %d case(s) across %zu pair(s) within %.0f%% of baseline\n",
+              compared, pairs.size(), threshold * 100);
   return 0;
 }

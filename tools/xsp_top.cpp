@@ -25,6 +25,11 @@
 //   --interval-ms N   dashboard refresh period, wall-clock ms (default 200;
 //                     0 = final dashboard only)
 //   --window-ms N     sliding-stats window, simulated ms (default 100)
+//   --stream FILE     also stream each run's spans to FILE as they drain
+//                     (the dashboard gains an "export:" cost line fed by
+//                     RunTrace::streamed_spans/streamed_bytes)
+//   --stream-format chrome|spans|binary  document shape for --stream
+//                     (default binary — the low-overhead wire format)
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -57,12 +62,15 @@ struct Options {
   std::int64_t runs = 5;
   std::int64_t interval_ms = 200;
   std::int64_t window_ms = 100;
+  std::string stream;
+  std::string stream_format = "binary";
 };
 
 void print_usage() {
   std::fprintf(stderr,
                "usage: xsp_top [--model NAME] [--system NAME] [--batch N] [--level m|ml|mlg]\n"
-               "               [--shards N] [--runs N] [--interval-ms N] [--window-ms N]\n");
+               "               [--shards N] [--runs N] [--interval-ms N] [--window-ms N]\n"
+               "               [--stream FILE] [--stream-format chrome|spans|binary]\n");
 }
 
 bool parse_int(const char* s, std::int64_t& out) {
@@ -96,6 +104,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.interval_ms = n;
     } else if (arg == "--window-ms" && (v = next()) != nullptr && parse_int(v, n) && n > 0) {
       opts.window_ms = n;
+    } else if (arg == "--stream" && (v = next()) != nullptr) {
+      opts.stream = v;
+    } else if (arg == "--stream-format" && (v = next()) != nullptr) {
+      opts.stream_format = v;
     } else if (v != nullptr) {
       std::fprintf(stderr, "xsp_top: bad value '%s' for %s\n", v, arg.c_str());
       return false;
@@ -106,6 +118,11 @@ bool parse_args(int argc, char** argv, Options& opts) {
   }
   if (opts.level != "m" && opts.level != "ml" && opts.level != "mlg") {
     std::fprintf(stderr, "xsp_top: --level must be m, ml, or mlg\n");
+    return false;
+  }
+  if (opts.stream_format != "chrome" && opts.stream_format != "spans" &&
+      opts.stream_format != "binary") {
+    std::fprintf(stderr, "xsp_top: --stream-format must be chrome, spans, or binary\n");
     return false;
   }
   return true;
@@ -129,8 +146,17 @@ std::string format_double(double v, const char* fmt = "%.2f") {
   return buf;
 }
 
+/// Cumulative streaming-export cost across the worker's finished runs
+/// (RunTrace::streamed_spans/streamed_bytes), published by the worker and
+/// read by the dashboard thread.
+struct ExportTelemetry {
+  std::atomic<std::uint64_t> spans{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
 void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
-                      const profile::SlotTelemetry& slots, std::int64_t runs_done, bool final) {
+                      const profile::SlotTelemetry& slots, const ExportTelemetry& exported,
+                      std::int64_t runs_done, bool final) {
   std::printf("--- xsp_top | %s @ batch %lld on %s | runs %lld/%lld%s ---\n", opts.model.c_str(),
               static_cast<long long>(opts.batch), opts.system.c_str(),
               static_cast<long long>(runs_done), static_cast<long long>(opts.runs),
@@ -155,6 +181,14 @@ void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
   std::printf("slots: live %" PRIu64 ", retired %" PRIu64 ", pooled %" PRIu64 ", ~%" PRIu64
               " B\n",
               slots.live_slots, slots.retired_slots, slots.pooled_slots, slots.slot_bytes);
+  if (!opts.stream.empty()) {
+    const std::uint64_t spans = exported.spans.load(std::memory_order_acquire);
+    const std::uint64_t bytes = exported.bytes.load(std::memory_order_acquire);
+    std::printf("export: %" PRIu64 " spans, %" PRIu64 " B (%s, %.1f B/span) -> %s\n", spans,
+                bytes, opts.stream_format.c_str(),
+                spans > 0 ? static_cast<double>(bytes) / static_cast<double>(spans) : 0.0,
+                opts.stream.c_str());
+  }
 
   const auto top_rows = [](const char* what, const std::vector<analysis::OnlineAggregate>& rows,
                            std::size_t k) {
@@ -194,6 +228,12 @@ int main(int argc, char** argv) {
   popts.trace_shards = opts.shards;
   popts.live_stats = true;
   popts.live_stats_window = opts.window_ms * kNsPerMs;
+  if (!opts.stream.empty()) {
+    popts.stream_export_path = opts.stream;
+    popts.stream_export_format = opts.stream_format == "chrome" ? trace::ExportFormat::kChromeTrace
+                                 : opts.stream_format == "spans" ? trace::ExportFormat::kSpanJson
+                                                                  : trace::ExportFormat::kBinary;
+  }
 
   try {
     profile::Session session(sim::system_by_name(opts.system), framework::FrameworkKind::kTFlow);
@@ -202,12 +242,15 @@ int main(int argc, char** argv) {
     std::atomic<std::int64_t> runs_done{0};
     std::atomic<bool> failed{false};
     std::string failure;
+    ExportTelemetry exported;
     // The worker owns the session for the duration; the main thread only
     // reads live_snapshot(), which is the documented cross-thread surface.
     std::thread worker([&] {
       try {
         for (std::int64_t i = 0; i < opts.runs; ++i) {
-          (void)session.profile(graph, popts);
+          const profile::RunTrace run = session.profile(graph, popts);
+          exported.spans.fetch_add(run.streamed_spans, std::memory_order_release);
+          exported.bytes.fetch_add(run.streamed_bytes, std::memory_order_release);
           runs_done.fetch_add(1, std::memory_order_release);
         }
       } catch (const std::exception& e) {
@@ -220,7 +263,7 @@ int main(int argc, char** argv) {
       while (runs_done.load(std::memory_order_acquire) < opts.runs &&
              !failed.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
-        render_dashboard(opts, session.live_snapshot(), session.slot_telemetry(),
+        render_dashboard(opts, session.live_snapshot(), session.slot_telemetry(), exported,
                          runs_done.load(std::memory_order_acquire), /*final=*/false);
       }
     }
@@ -229,7 +272,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "xsp_top: %s\n", failure.c_str());
       return 1;
     }
-    render_dashboard(opts, session.live_snapshot(), session.slot_telemetry(),
+    render_dashboard(opts, session.live_snapshot(), session.slot_telemetry(), exported,
                      runs_done.load(std::memory_order_acquire),
                      /*final=*/true);
     std::printf("xsp_top: done (%lld runs, %" PRIu64 " spans observed)\n",
