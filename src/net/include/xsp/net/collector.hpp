@@ -1,0 +1,124 @@
+// CollectorService: the ingest engine behind xsp_collectd — many producer
+// connections fanned into one SpanSink (in practice a ShardedTraceServer),
+// the multi-client intermediary shape of LDN's SOPI design (PAPERS.md).
+//
+// One poll(2) loop owns everything: the listener plus every connection's
+// nonblocking reads. Per connection the service keeps an RxBuffer
+// (partial-frame reassembly), a trace::WireDecoder (stream validation +
+// per-stream StrId re-interning, so two producers' interned ids can never
+// collide after ingest), and lazy span-id/correlation-id remap tables
+// that translate each producer's sink-local ids into the server's
+// fleet-wide id space. Children publish before parents in the wire
+// stream, so the remap allocates on first sight of an id — a forward
+// parent reference simply mints the server id early.
+//
+// Per-connection memory is bounded (the I2PA always-on discipline): the
+// RxBuffer never holds more than one maximum frame (hard cap
+// max_frame_payload, default wire::kMaxFramePayload) plus a read chunk,
+// and decode scratch is reused. Hostile input — bad magic, oversized
+// length prefixes, unknown string ids, absurd annotation counts — throws
+// WireError inside the per-connection decode, which closes that
+// connection and increments connections_errored; the daemon itself never
+// dies from a client's bytes.
+//
+// Lifecycle: run() blocks until stop() (SIGTERM handlers just call
+// stop(); it is an atomic store). Stopping enters a graceful drain: the
+// listener closes, existing connections keep draining until EOF/footer or
+// drain_timeout_ms, then the loop returns — the daemon half of the drain
+// protocol in src/trace/README.md (a producer's shutdown_write is "stream
+// complete"; our close after consuming everything is the ack).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "xsp/net/endpoint.hpp"
+#include "xsp/net/socket.hpp"
+#include "xsp/trace/span_sink.hpp"
+#include "xsp/trace/wire.hpp"
+
+namespace xsp::net {
+
+struct CollectorOptions {
+  /// Hard per-connection bound on one frame's payload (and with it the
+  /// reassembly buffer). Streams exceeding it are treated as hostile.
+  std::size_t max_frame_payload = trace::wire::kMaxFramePayload;
+  /// Bytes per read(2) into the reassembly buffer.
+  std::size_t read_chunk = 64 * 1024;
+  /// Poll granularity — the latency bound on noticing stop().
+  int poll_timeout_ms = 50;
+  /// How long a graceful drain waits for connected producers to finish.
+  int drain_timeout_ms = 5000;
+};
+
+/// Monotonic ingest counters, snapshot via CollectorService::stats().
+struct CollectorStats {
+  std::uint64_t connections_accepted = 0;
+  /// Clean closes: footer seen, or EOF at a frame boundary.
+  std::uint64_t connections_closed = 0;
+  /// Protocol violations (WireError) and mid-frame disconnects.
+  std::uint64_t connections_errored = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t spans_ingested = 0;
+  std::uint64_t strings_reinterned = 0;
+  std::uint64_t footers_seen = 0;
+  /// Summed from producer footers: spans the *producers* dropped before
+  /// the bytes ever reached us, and their reconnect counts — the fleet's
+  /// completeness story in two numbers.
+  std::uint64_t producer_dropped_spans = 0;
+  std::uint64_t producer_reconnects = 0;
+};
+
+class CollectorService {
+ public:
+  /// Binds and listens immediately (so endpoint() reports the resolved
+  /// ephemeral port before run() is entered); throws NetError on bind
+  /// failure. `sink` must outlive the service.
+  CollectorService(const Endpoint& endpoint, trace::SpanSink& sink,
+                   CollectorOptions options = {});
+  ~CollectorService();
+
+  CollectorService(const CollectorService&) = delete;
+  CollectorService& operator=(const CollectorService&) = delete;
+
+  /// Accept/ingest until stop(), then drain gracefully. Call from one
+  /// thread (the daemon's main thread, or a test's service thread).
+  void run();
+
+  /// Request shutdown + drain. Thread-safe; callable from a signal
+  /// handler (plain atomic store).
+  void stop() noexcept { stop_.store(true, std::memory_order_relaxed); }
+
+  /// The endpoint actually bound (TCP port resolved if 0 was requested).
+  [[nodiscard]] const Endpoint& endpoint() const;
+
+  [[nodiscard]] CollectorStats stats() const;
+  [[nodiscard]] std::size_t open_connections() const;
+
+ private:
+  struct Connection;
+
+  void accept_pending();
+  /// Read + parse one connection; returns false when it should be closed.
+  bool service_connection(Connection& conn);
+  /// Parse all complete frames in the rx buffer. Throws WireError.
+  void parse_frames(Connection& conn);
+  void ingest_batch(Connection& conn);
+  void close_connection(std::size_t index);
+
+  trace::SpanSink& sink_;
+  CollectorOptions opts_;
+  std::unique_ptr<Listener> listener_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex stats_mu_;
+  CollectorStats stats_;
+  std::atomic<std::size_t> open_conns_{0};
+};
+
+}  // namespace xsp::net

@@ -1,0 +1,40 @@
+// Endpoint: the two transport addresses the collector speaks.
+//
+// Trace producers and xsp_collectd rendezvous over either a Unix-domain
+// socket ("unix:/run/xsp.sock") — the default for same-host fleets, no
+// port allocation, filesystem permissions for access control — or TCP
+// ("tcp://host:port") when producers live on other machines. The URI
+// grammar is deliberately tiny: two schemes, no query strings, no IPv6
+// bracket syntax until something needs it. Parsing happens once at
+// startup on both sides, so errors throw (NetError) rather than return.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace xsp::net {
+
+struct Endpoint {
+  enum class Kind : std::uint8_t { kUnix, kTcp };
+
+  Kind kind = Kind::kUnix;
+  std::string path;  // kUnix: filesystem path of the socket
+  std::string host;  // kTcp: hostname or numeric address
+  std::uint16_t port = 0;
+
+  /// Parse "unix:/path/to.sock" or "tcp://host:port". Throws NetError on
+  /// malformed input (unknown scheme, empty path, bad port, UDS path too
+  /// long for sockaddr_un).
+  static Endpoint parse(std::string_view uri);
+
+  /// Canonical URI form (inverse of parse()).
+  [[nodiscard]] std::string uri() const;
+
+  friend bool operator==(const Endpoint& a, const Endpoint& b) {
+    return a.kind == b.kind && a.path == b.path && a.host == b.host &&
+           a.port == b.port;
+  }
+};
+
+}  // namespace xsp::net

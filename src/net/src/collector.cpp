@@ -1,0 +1,256 @@
+#include "xsp/net/collector.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+namespace xsp::net {
+
+namespace {
+
+using trace::Span;
+using trace::SpanId;
+using trace::WireError;
+namespace wire = trace::wire;
+
+}  // namespace
+
+/// Per-connection ingest state. Everything here is touched only by the
+/// run() thread.
+struct CollectorService::Connection {
+  Socket sock;
+  RxBuffer rx;
+  trace::WireDecoder decoder;
+  /// Producer-local span id -> server-wide id, allocated lazily so a
+  /// child's forward reference to a not-yet-published parent mints the
+  /// parent's server id early and the later parent span reuses it.
+  std::unordered_map<SpanId, SpanId> span_remap;
+  std::unordered_map<std::uint64_t, std::uint64_t> corr_remap;
+  trace::SpanBatch scratch;
+  bool got_header = false;
+  bool done = false;     ///< footer seen; only EOF is acceptable after
+  bool errored = false;  ///< hostile input or mid-frame disconnect
+
+  explicit Connection(Socket s) : sock(std::move(s)) {}
+};
+
+CollectorService::CollectorService(const Endpoint& endpoint,
+                                   trace::SpanSink& sink,
+                                   CollectorOptions options)
+    : sink_(sink),
+      opts_(options),
+      listener_(std::make_unique<Listener>(endpoint)) {}
+
+CollectorService::~CollectorService() = default;
+
+const Endpoint& CollectorService::endpoint() const {
+  return listener_->endpoint();
+}
+
+CollectorStats CollectorService::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return stats_;
+}
+
+std::size_t CollectorService::open_connections() const {
+  return open_conns_.load(std::memory_order_relaxed);
+}
+
+void CollectorService::run() {
+  Poller poller;
+  poller.watch(listener_->fd(), Poller::kReadable);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    for (const Poller::Event& ev : poller.wait(opts_.poll_timeout_ms)) {
+      if (ev.fd == listener_->fd()) {
+        if (ev.readable) {
+          const std::size_t before = conns_.size();
+          accept_pending();
+          for (std::size_t i = before; i < conns_.size(); ++i)
+            poller.watch(conns_[i]->sock.fd(), Poller::kReadable);
+        }
+        continue;
+      }
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i]->sock.fd() != ev.fd) continue;
+        // Read before honoring hangup: POLLHUP with queued bytes still
+        // has frames to ingest; service_connection reads through EOF.
+        if (!service_connection(*conns_[i])) {
+          poller.forget(ev.fd);
+          close_connection(i);
+        }
+        break;
+      }
+    }
+  }
+
+  // Graceful drain: no new connections; finish reading the open ones.
+  listener_.reset();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(opts_.drain_timeout_ms);
+  while (!conns_.empty() && std::chrono::steady_clock::now() < deadline) {
+    Poller drain_poller;
+    for (const auto& conn : conns_)
+      drain_poller.watch(conn->sock.fd(), Poller::kReadable);
+    for (const Poller::Event& ev : drain_poller.wait(opts_.poll_timeout_ms)) {
+      for (std::size_t i = 0; i < conns_.size(); ++i) {
+        if (conns_[i]->sock.fd() != ev.fd) continue;
+        if (!service_connection(*conns_[i])) close_connection(i);
+        break;
+      }
+    }
+  }
+  // Deadline passed with producers still streaming: cut them off. Their
+  // RemoteSinks observe the close and account the loss on their side.
+  while (!conns_.empty()) {
+    conns_.back()->errored = true;
+    close_connection(conns_.size() - 1);
+  }
+}
+
+void CollectorService::accept_pending() {
+  for (;;) {
+    Socket conn = listener_->accept();
+    if (!conn.valid()) return;
+    conns_.push_back(std::make_unique<Connection>(std::move(conn)));
+    open_conns_.store(conns_.size(), std::memory_order_relaxed);
+    std::lock_guard lk(stats_mu_);
+    ++stats_.connections_accepted;
+  }
+}
+
+bool CollectorService::service_connection(Connection& conn) {
+  char chunk[64 * 1024];
+  const std::size_t chunk_cap =
+      opts_.read_chunk < sizeof chunk ? opts_.read_chunk : sizeof chunk;
+  for (;;) {
+    std::size_t n = 0;
+    const IoResult r = conn.sock.read_some(chunk, chunk_cap, n);
+    if (r == IoResult::kOk) {
+      conn.rx.append(std::string_view(chunk, n));
+      {
+        std::lock_guard lk(stats_mu_);
+        stats_.bytes_received += n;
+      }
+      try {
+        parse_frames(conn);
+      } catch (const WireError&) {
+        // Hostile or corrupt stream: drop this client, keep the daemon.
+        // Spans decoded before the bad frame were already published.
+        conn.errored = true;
+        return false;
+      }
+      continue;
+    }
+    if (r == IoResult::kWouldBlock) return true;
+    // EOF or reset: the stream is over. EOF at a frame boundary (or
+    // after the footer) is a clean close; bytes stranded mid-frame mean
+    // the producer died or was cut mid-send — a truncated stream,
+    // counted as errored, though everything already decoded was kept.
+    if (r != IoResult::kClosed || conn.rx.size() != 0) conn.errored = true;
+    return false;
+  }
+}
+
+void CollectorService::parse_frames(Connection& conn) {
+  for (;;) {
+    const std::string_view data = conn.rx.data();
+    if (!conn.got_header) {
+      if (data.size() < sizeof(wire::Header)) return;
+      wire::Header header{};
+      std::memcpy(&header, data.data(), sizeof header);
+      trace::WireDecoder::validate_header(header);
+      conn.rx.consume(sizeof header);
+      conn.got_header = true;
+      continue;
+    }
+    if (data.size() < sizeof(wire::FrameHeader)) return;
+    if (conn.done) {
+      // Frames after the footer: corruption or a confused client. EOF is
+      // the only valid continuation.
+      throw WireError("xsp collector: data after footer frame");
+    }
+    wire::FrameHeader fh{};
+    std::memcpy(&fh, data.data(), sizeof fh);
+    const auto payload_size = static_cast<std::size_t>(fh.payload_size);
+    if (payload_size > opts_.max_frame_payload ||
+        payload_size > wire::kMaxFramePayload) {
+      throw WireError("xsp collector: frame payload length " +
+                      std::to_string(payload_size) + " exceeds the bound");
+    }
+    if (data.size() - sizeof fh < payload_size) return;  // reassembling
+    const std::string_view payload = data.substr(sizeof fh, payload_size);
+
+    switch (static_cast<wire::FrameType>(fh.type)) {
+      case wire::FrameType::kStringDelta: {
+        const std::uint64_t before = conn.decoder.strings_reinterned();
+        conn.decoder.decode_string_delta(payload);
+        std::lock_guard lk(stats_mu_);
+        stats_.strings_reinterned += conn.decoder.strings_reinterned() - before;
+        break;
+      }
+      case wire::FrameType::kSpanBatch: {
+        conn.decoder.decode_span_batch(payload, conn.scratch);
+        ingest_batch(conn);
+        break;
+      }
+      case wire::FrameType::kFooter: {
+        if (payload_size != sizeof(wire::Footer))
+          throw WireError("xsp collector: footer payload length mismatch");
+        wire::Footer footer{};
+        std::memcpy(&footer, payload.data(), sizeof footer);
+        conn.decoder.set_footer(footer);
+        conn.done = true;
+        std::lock_guard lk(stats_mu_);
+        ++stats_.footers_seen;
+        stats_.producer_dropped_spans += footer.remote_dropped_spans;
+        stats_.producer_reconnects += footer.remote_reconnects;
+        break;
+      }
+      default:
+        throw WireError("xsp collector: unknown frame type " +
+                        std::to_string(fh.type));
+    }
+    conn.rx.consume(sizeof fh + payload_size);
+  }
+}
+
+void CollectorService::ingest_batch(Connection& conn) {
+  // Strings were re-interned by the decoder; now lift the producer's
+  // sink-local span/correlation ids into the server's fleet-wide space.
+  const auto map_span_id = [&conn, this](SpanId producer_id) -> SpanId {
+    if (producer_id == trace::kNoSpan) return trace::kNoSpan;
+    const auto [it, inserted] = conn.span_remap.emplace(producer_id, 0);
+    if (inserted) it->second = sink_.next_span_id();
+    return it->second;
+  };
+  for (Span& span : conn.scratch) {
+    span.id = map_span_id(span.id);
+    span.parent = map_span_id(span.parent);
+    if (span.correlation_id != 0) {
+      const auto [it, inserted] = conn.corr_remap.emplace(span.correlation_id, 0);
+      if (inserted) it->second = sink_.next_correlation_id();
+      span.correlation_id = it->second;
+    }
+    sink_.publish(span);
+  }
+  std::lock_guard lk(stats_mu_);
+  stats_.spans_ingested += conn.scratch.size();
+}
+
+void CollectorService::close_connection(std::size_t index) {
+  {
+    std::lock_guard lk(stats_mu_);
+    if (conns_[index]->errored) {
+      ++stats_.connections_errored;
+    } else {
+      ++stats_.connections_closed;
+    }
+  }
+  // Destroying the socket closes our end — the drain-protocol ack a
+  // cleanly-finished producer is waiting for.
+  conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
+  open_conns_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+}  // namespace xsp::net

@@ -1,0 +1,69 @@
+#include "xsp/net/endpoint.hpp"
+
+#include <sys/un.h>
+
+#include <charconv>
+
+#include "xsp/net/socket.hpp"
+
+namespace xsp::net {
+
+namespace {
+
+constexpr std::string_view kUnixScheme = "unix:";
+constexpr std::string_view kTcpScheme = "tcp://";
+
+// sockaddr_un::sun_path is a fixed array (typically 108 bytes including
+// the NUL); reject at parse time so bind never truncates silently.
+constexpr std::size_t kMaxUnixPath = sizeof(sockaddr_un{}.sun_path) - 1;
+
+}  // namespace
+
+Endpoint Endpoint::parse(std::string_view uri) {
+  Endpoint ep;
+  if (uri.substr(0, kUnixScheme.size()) == kUnixScheme) {
+    ep.kind = Kind::kUnix;
+    std::string_view path = uri.substr(kUnixScheme.size());
+    // Tolerate the three-slash URI form ("unix:///run/x.sock").
+    if (path.substr(0, 2) == "//") path.remove_prefix(2);
+    if (path.empty())
+      throw NetError("endpoint: empty unix socket path in '" +
+                     std::string(uri) + "'");
+    if (path.size() > kMaxUnixPath)
+      throw NetError("endpoint: unix socket path exceeds " +
+                     std::to_string(kMaxUnixPath) + " bytes: '" +
+                     std::string(path) + "'");
+    ep.path = std::string(path);
+    return ep;
+  }
+  if (uri.substr(0, kTcpScheme.size()) == kTcpScheme) {
+    ep.kind = Kind::kTcp;
+    const std::string_view rest = uri.substr(kTcpScheme.size());
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 == rest.size())
+      throw NetError("endpoint: expected tcp://host:port, got '" +
+                     std::string(uri) + "'");
+    ep.host = std::string(rest.substr(0, colon));
+    const std::string_view port_sv = rest.substr(colon + 1);
+    unsigned port = 0;
+    const auto [ptr, ec] =
+        std::from_chars(port_sv.data(), port_sv.data() + port_sv.size(), port);
+    if (ec != std::errc{} || ptr != port_sv.data() + port_sv.size() ||
+        port > 65535)
+      throw NetError("endpoint: bad port '" + std::string(port_sv) + "' in '" +
+                     std::string(uri) + "'");
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  throw NetError(
+      "endpoint: unknown scheme in '" + std::string(uri) +
+      "' (expected unix:/path or tcp://host:port)");
+}
+
+std::string Endpoint::uri() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp://" + host + ":" + std::to_string(port);
+}
+
+}  // namespace xsp::net

@@ -28,6 +28,7 @@
 #include "xsp/framework/executor.hpp"
 #include "xsp/sim/device.hpp"
 #include "xsp/trace/export.hpp"
+#include "xsp/trace/remote_sink.hpp"
 #include "xsp/trace/sharded_trace_server.hpp"
 #include "xsp/trace/timeline.hpp"
 #include "xsp/trace/trace_server.hpp"
@@ -77,6 +78,17 @@ struct ProfileOptions {
   /// production streaming; decode with trace::BinaryReader or
   /// `trace_export --decode`.
   trace::ExportFormat stream_export_format = trace::ExportFormat::kChromeTrace;
+  /// When non-empty, the run's spans are additionally forwarded to a
+  /// collector daemon (xsp_collectd) at this endpoint URI — "unix:/path"
+  /// or "tcp://host:port" — through a trace::RemoteSink attached as an
+  /// observe-mode drain subscriber: raw publication spans ship over the
+  /// binary wire as the shards drain, while the in-memory timeline is
+  /// unaffected. The sink (and its connection) persists across profile()
+  /// calls on one session — one wire stream per session, footer sent when
+  /// the session dies or the endpoint changes. Unreachable daemons never
+  /// fail the run: delivery is best-effort with bounded buffering, and
+  /// losses surface in RunTrace::remote_dropped_spans, not as errors.
+  std::string remote_endpoint;
   /// Maintain live online aggregates (analysis::OnlineAnalyzer) from the
   /// run's span stream: an observe-mode drain subscriber on every shard
   /// feeds per-layer-type/per-kernel aggregates, latency percentiles,
@@ -151,11 +163,20 @@ struct RunTrace {
   std::uint64_t live_slots = 0;
   std::uint64_t retired_slots = 0;
   std::uint64_t slot_bytes = 0;
+  /// Remote-forwarding telemetry (ProfileOptions::remote_endpoint), all 0
+  /// when no remote sink is attached: spans handed to the RemoteSink over
+  /// the session's lifetime, spans it dropped under backpressure or
+  /// disconnect (accounted, never silent), and reconnects performed.
+  /// Cumulative per session, like the sink's single wire stream.
+  std::uint64_t remote_spans = 0;
+  std::uint64_t remote_dropped_spans = 0;
+  std::uint64_t remote_reconnects = 0;
 
   /// Export metadata for to_span_json(timeline, meta).
   [[nodiscard]] trace::TraceMeta trace_meta() const noexcept {
-    return {dropped_annotations, trace_shards,  interned_strings, interned_bytes,
-            live_slots,          retired_slots, slot_bytes};
+    return {dropped_annotations, trace_shards,  interned_strings,
+            interned_bytes,      live_slots,    retired_slots,
+            slot_bytes,          remote_dropped_spans, remote_reconnects};
   }
 };
 
@@ -228,6 +249,13 @@ class Session {
   /// from a dashboard thread races safely with that first creation.
   mutable std::mutex online_mu_;
   std::shared_ptr<analysis::OnlineAnalyzer> online_;
+  /// Remote forwarding (ProfileOptions::remote_endpoint): one RemoteSink
+  /// — one wire stream, one collector connection — for the session's
+  /// lifetime. Destroyed (closing the stream: outbox drained, footer
+  /// sent) with the session, or replaced when a run names a different
+  /// endpoint.
+  std::unique_ptr<trace::RemoteSink> remote_;
+  std::string remote_uri_;
   std::unique_ptr<trace::Tracer> model_tracer_;
   std::unique_ptr<trace::Tracer> layer_tracer_;
   std::unique_ptr<trace::Tracer> library_tracer_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "xsp/net/endpoint.hpp"
 #include "xsp/profile/span_keys.hpp"
 #include "xsp/trace/wire.hpp"
 
@@ -114,6 +115,7 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
     trace::ShardedTraceServer* server = nullptr;
     trace::SubscriberId stream_id = 0;
     trace::SubscriberId live_id = 0;
+    trace::SubscriberId remote_id = 0;
     const std::string* partial_file = nullptr;
     ~SubscriberGuard() {
       // Detach before the exporter (captured below) dies — also on the
@@ -122,6 +124,9 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       // The live analyzer outlives the run, but a detached-by-run-end
       // subscriber keeps a reused fleet from feeding a stale shard map.
       if (server != nullptr && live_id != 0) server->remove_drain_subscriber(live_id);
+      // The remote sink outlives the run too (one wire stream per
+      // session); only the per-run subscription detaches.
+      if (server != nullptr && remote_id != 0) server->remove_drain_subscriber(remote_id);
       // A failed run must not leave a valid-looking export: the exporter's
       // destructor would still footer the partial document, so unlink the
       // file (the remaining writes go to the orphaned handle, harmlessly).
@@ -181,6 +186,25 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
           trace::DrainHandoff::kObserve);
     }
     subscriber_guard.partial_file = &options.stream_export_path;
+  }
+  // Remote forwarding: the same drain seam, but the bytes leave the
+  // process — a RemoteSink ships raw publication spans to a collector
+  // daemon over the binary wire. Observe mode, composing with the local
+  // timeline, the file exporters, and the live analyzer above. The sink
+  // persists across runs (one stream, its footer sent when the session
+  // dies); a run naming a different endpoint closes the old stream first.
+  if (!options.remote_endpoint.empty()) {
+    if (remote_ == nullptr || remote_uri_ != options.remote_endpoint) {
+      remote_.reset();  // close (footer + drain ack) before reconnecting
+      remote_ = std::make_unique<trace::RemoteSink>(
+          net::Endpoint::parse(options.remote_endpoint));
+      remote_uri_ = options.remote_endpoint;
+    }
+    subscriber_guard.remote_id = server_->add_drain_subscriber(
+        [sink = remote_.get()](const trace::SpanBatches& batches) {
+          sink->write_batches(batches);
+        },
+        trace::DrainHandoff::kObserve);
   }
 
   model_tracer_ = std::make_unique<trace::Tracer>(*server_, "model_timer", trace::kModelLevel);
@@ -329,6 +353,22 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   result.live_slots = server_->live_slot_count();
   result.retired_slots = server_->retired_slot_count();
   result.slot_bytes = server_->approx_slot_bytes();
+  if (subscriber_guard.remote_id != 0) {
+    // dropped_annotation_count() above flushed every shard, so the remote
+    // sink has been handed every span of the run. Detach the per-run
+    // subscription, seal the partial batch toward the wire, and sample
+    // the sink's session-cumulative accounting. Delivery stays async —
+    // the sender thread keeps draining; only the handoff is complete.
+    server_->remove_drain_subscriber(subscriber_guard.remote_id);
+    subscriber_guard.remote_id = 0;
+    remote_->flush();
+    result.remote_spans = remote_->spans_published();
+    result.remote_dropped_spans = remote_->spans_dropped();
+    result.remote_reconnects = remote_->reconnects();
+    // The stream footer (written when the session dies) carries the final
+    // run's telemetry.
+    remote_->set_meta(result.trace_meta());
+  }
   if (stream_exporter != nullptr || binary_writer != nullptr) {
     // dropped_annotation_count() flushed every shard, so the subscriber
     // has observed every span of the run; detach, then finalize the file

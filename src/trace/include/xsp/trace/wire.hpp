@@ -79,6 +79,14 @@ struct TraceMeta {
   std::uint64_t live_slots = 0;
   std::uint64_t retired_slots = 0;
   std::uint64_t slot_bytes = 0;
+  /// Remote-transport telemetry (trace::RemoteSink): spans dropped by the
+  /// producer because the bounded send buffer was full or a connection
+  /// died with frames still queued, and the number of reconnects the sink
+  /// performed. Non-zero remote_dropped_spans means the collector's copy
+  /// of the trace is incomplete — by accounted backpressure, never
+  /// silently. Both 0 when no remote sink was involved.
+  std::uint64_t remote_dropped_spans = 0;
+  std::uint64_t remote_reconnects = 0;
 };
 
 /// Bounded-buffer byte sink: the serialization core's output seam. Bytes
@@ -89,35 +97,72 @@ struct TraceMeta {
 /// flush, to preserve order), so a whole-batch memcpy payload is handed to
 /// the sink zero-copy. Thread-safe; bytes of concurrent write() calls
 /// never interleave.
+///
+/// Fallible sinks (sockets): construct with a TryWriteFn, which reports
+/// how many bytes it accepted. A short count keeps the unaccepted suffix
+/// buffered — in order, ahead of later writes — and retries it on the
+/// next write()/flush(), so a saturated socket never tears a frame; a
+/// kWriteError return latches failure (failed()), after which all bytes
+/// are discarded and write()/flush() return false. Infallible WriteFn
+/// sinks behave exactly as before (never short, never failed).
 class FrameSink {
  public:
   using WriteFn = std::function<void(std::string_view)>;
+  /// Fallible sink callback: returns bytes accepted (0..size — a short
+  /// count is backpressure, the rest stays buffered for retry) or
+  /// kWriteError for a hard, unrecoverable failure.
+  using TryWriteFn = std::function<std::size_t(std::string_view)>;
+  static constexpr std::size_t kWriteError = static_cast<std::size_t>(-1);
+  /// Constructor tag selecting the TryWriteFn overload (a callable
+  /// returning size_t is also invocable-as-void, so the overload must be
+  /// explicit, not deduced).
+  struct Fallible {};
 
   /// Buffered bytes at which the buffer is pushed to the sink. The buffer
   /// may transiently exceed this by one sub-threshold write.
   static constexpr std::size_t kFlushThreshold = 64 * 1024;
 
   explicit FrameSink(WriteFn fn);
+  FrameSink(TryWriteFn fn, Fallible);
   /// The stream must outlive the sink.
   explicit FrameSink(std::ostream& os);
 
   FrameSink(const FrameSink&) = delete;
   FrameSink& operator=(const FrameSink&) = delete;
 
-  /// Append bytes (buffered; auto-flush at the threshold).
-  void write(std::string_view bytes);
+  /// Append bytes (buffered; auto-flush at the threshold). Returns false
+  /// once the sink has failed — from this call or a previous one — at
+  /// which point the bytes were discarded, not sent.
+  bool write(std::string_view bytes);
 
-  /// Push any buffered bytes to the underlying sink.
-  void flush();
+  /// Push buffered bytes to the underlying sink. Returns true when the
+  /// buffer fully drained; false when the sink is saturated (bytes remain
+  /// pending, see pending_bytes()) or has failed.
+  bool flush();
 
   /// Bytes accepted so far, including bytes still buffered — the
   /// export-cost telemetry exporters surface in their footers.
   [[nodiscard]] std::uint64_t bytes_written() const;
 
+  /// True after the sink reported kWriteError; latched. Buffered bytes
+  /// were discarded and later writes are dropped — the caller (e.g. a
+  /// socket-backed exporter) decides whether to reconnect with a fresh
+  /// sink or give up.
+  [[nodiscard]] bool failed() const;
+
+  /// Bytes a saturated sink has not accepted yet (0 for infallible
+  /// sinks outside a write call). The number a bounded-send-buffer
+  /// policy compares against its cap.
+  [[nodiscard]] std::size_t pending_bytes() const;
+
  private:
-  WriteFn fn_;
+  /// Drain buf_ into fn_; returns true when buf_ emptied. Caller holds mu_.
+  bool drain_locked();
+
+  TryWriteFn fn_;
   mutable std::mutex mu_;
   std::string buf_;
+  bool failed_ = false;
   std::uint64_t bytes_ = 0;
 };
 
@@ -191,8 +236,15 @@ struct Footer {
   std::uint64_t live_slots;
   std::uint64_t retired_slots;
   std::uint64_t slot_bytes;
+  std::uint64_t remote_dropped_spans;
+  std::uint64_t remote_reconnects;
 };
 static_assert(std::is_trivially_copyable_v<Footer>);
+
+/// Validate a SpanBatch frame's span count against its payload size;
+/// returns the count. Shared by every decode driver so the bounds logic
+/// cannot drift between them. Throws WireError.
+std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count);
 
 }  // namespace wire
 
@@ -211,6 +263,11 @@ static_assert(std::is_trivially_copyable_v<Footer>);
 class BinaryWriter {
  public:
   explicit BinaryWriter(FrameSink::WriteFn sink);
+  /// Fallible (socket-backed) sink: short writes stay pending in the
+  /// FrameSink, kWriteError latches failure — observable via
+  /// sink_failed()/sink_pending_bytes() so the owner can apply its
+  /// backpressure/reconnect policy (see trace::RemoteSink).
+  BinaryWriter(FrameSink::TryWriteFn sink, FrameSink::Fallible);
   explicit BinaryWriter(std::ostream& os);
 
   /// Finishes the stream if finish() was not called explicitly.
@@ -240,6 +297,18 @@ class BinaryWriter {
   /// Bytes accepted by the sink so far (including buffered bytes).
   [[nodiscard]] std::uint64_t bytes_written() const;
 
+  /// Retry pushing bytes a saturated fallible sink has not accepted yet.
+  /// Returns true when nothing remains pending (see FrameSink::flush).
+  bool flush();
+
+  /// True once the sink latched a hard write failure; the stream is dead
+  /// and the owner should reconnect with a fresh writer.
+  [[nodiscard]] bool sink_failed() const;
+
+  /// Bytes buffered for a saturated sink (FrameSink::pending_bytes) — the
+  /// figure a bounded-send-buffer policy compares against its cap.
+  [[nodiscard]] std::size_t sink_pending_bytes() const;
+
  private:
   void append_string_delta_locked();
   void append_span_frames_locked(const SpanBatch& batch);
@@ -255,11 +324,78 @@ class BinaryWriter {
   TraceMeta meta_{};
 };
 
+/// The format-semantic half of binary-wire decoding, independent of where
+/// the bytes come from: holds one stream's producer-id -> local-StrId
+/// remap and footer state, and validates/re-interns payloads handed to it
+/// as memory. BinaryReader drives it from an istream; the collector
+/// daemon (net::CollectorService) drives one per connection from
+/// reassembled socket frames — per-stream remap is exactly what keeps two
+/// producers' ids from ever colliding after ingest. Hostile payloads
+/// throw WireError; nothing reaches UB. Single-threaded per instance.
+class WireDecoder {
+ public:
+  WireDecoder();
+
+  WireDecoder(const WireDecoder&) = delete;
+  WireDecoder& operator=(const WireDecoder&) = delete;
+
+  /// Validate a stream header (magic/version/endianness/span size).
+  /// Throws WireError on any mismatch.
+  static void validate_header(const wire::Header& header);
+
+  /// Parse a StringDelta payload: re-intern every entry into this
+  /// process's global StringTable and extend the remap. A repeated id is
+  /// tolerated if its bytes agree (idempotent replay); a redefinition
+  /// with different contents throws.
+  void decode_string_delta(std::string_view payload);
+
+  /// Decode a whole SpanBatch payload (u32 count + count raw spans) into
+  /// `out` (overwritten): validates the count against the payload size,
+  /// memcpys the spans, and remaps every StrId field.
+  void decode_span_batch(std::string_view payload, SpanBatch& out);
+
+  /// Validate + remap every span of a batch in place (the zero-copy path
+  /// for drivers that already read the raw spans into the output buffer).
+  void remap_batch(SpanBatch& batch);
+
+  /// Record the stream's footer frame.
+  void set_footer(const wire::Footer& footer) noexcept {
+    footer_ = footer;
+    saw_footer_ = true;
+  }
+
+  [[nodiscard]] bool saw_footer() const noexcept { return saw_footer_; }
+  [[nodiscard]] const wire::Footer& footer() const noexcept { return footer_; }
+
+  /// Footer telemetry in TraceMeta shape (zeros until saw_footer()).
+  [[nodiscard]] TraceMeta meta() const noexcept;
+
+  /// Spans decoded (validated + remapped) so far.
+  [[nodiscard]] std::uint64_t spans_decoded() const noexcept { return spans_decoded_; }
+
+  /// Distinct producer string ids re-interned so far.
+  [[nodiscard]] std::uint64_t strings_reinterned() const noexcept {
+    return static_cast<std::uint64_t>(remap_.size()) - 1;  // minus the implicit id 0
+  }
+
+ private:
+  /// Producer id -> this process's StrId; throws WireError for an id no
+  /// delta delivered.
+  [[nodiscard]] common::StrId map_id(std::uint32_t producer_id) const;
+  void remap_span(Span& span) const;
+
+  std::unordered_map<std::uint32_t, std::uint32_t> remap_;
+  bool saw_footer_ = false;
+  wire::Footer footer_{};
+  std::uint64_t spans_decoded_ = 0;
+};
+
 /// Binary wire decoder. Validates the stream header on construction and
 /// yields re-interned span batches frame by frame; spans come out carrying
 /// StrIds of *this* process's global StringTable, so a decoded batch feeds
 /// Timeline::assemble, OnlineAnalyzer replay, or a StreamingExporter
-/// re-export directly. Single-threaded (one reader per stream).
+/// re-export directly. The istream driver over the WireDecoder core.
+/// Single-threaded (one reader per stream).
 class BinaryReader {
  public:
   /// Reads and validates the stream header. The stream must outlive the
@@ -282,38 +418,30 @@ class BinaryReader {
   /// True once the footer frame has been read. A stream without a footer
   /// is truncated-but-parseable: every complete frame before the cut
   /// decoded normally, only the final telemetry is missing.
-  [[nodiscard]] bool saw_footer() const noexcept { return saw_footer_; }
+  [[nodiscard]] bool saw_footer() const noexcept { return decoder_.saw_footer(); }
 
   /// The footer frame's telemetry; zeros until saw_footer().
-  [[nodiscard]] const wire::Footer& footer() const noexcept { return footer_; }
+  [[nodiscard]] const wire::Footer& footer() const noexcept { return decoder_.footer(); }
 
   /// Footer telemetry in TraceMeta shape (zeros until saw_footer()) —
   /// hand to a StreamingExporter when re-exporting as JSON.
-  [[nodiscard]] TraceMeta meta() const noexcept;
+  [[nodiscard]] TraceMeta meta() const noexcept { return decoder_.meta(); }
 
   /// Spans decoded so far.
-  [[nodiscard]] std::uint64_t spans_read() const noexcept { return spans_read_; }
+  [[nodiscard]] std::uint64_t spans_read() const noexcept { return decoder_.spans_decoded(); }
 
   /// Distinct producer string ids re-interned so far.
   [[nodiscard]] std::uint64_t strings_reinterned() const noexcept {
-    return static_cast<std::uint64_t>(remap_.size()) - 1;  // minus the implicit id 0
+    return decoder_.strings_reinterned();
   }
 
  private:
   void read_exact(void* dst, std::size_t n, const char* what);
-  void decode_string_delta(std::size_t payload_size);
-  /// Producer id -> this process's StrId; throws WireError for an id no
-  /// delta delivered.
-  [[nodiscard]] common::StrId map_id(std::uint32_t producer_id) const;
-  void reintern_span(Span& span) const;
 
   std::istream& in_;
-  std::unordered_map<std::uint32_t, std::uint32_t> remap_;
+  WireDecoder decoder_;
   std::string payload_;  ///< delta-payload scratch, reused across frames
   bool done_ = false;
-  bool saw_footer_ = false;
-  wire::Footer footer_{};
-  std::uint64_t spans_read_ = 0;
 };
 
 }  // namespace xsp::trace

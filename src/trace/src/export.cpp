@@ -319,6 +319,10 @@ void StreamingExporter::finish() {
       append_uint(out, meta_.retired_slots);
       out += ",\"slot_bytes\":";
       append_uint(out, meta_.slot_bytes);
+      out += ",\"remote_dropped_spans\":";
+      append_uint(out, meta_.remote_dropped_spans);
+      out += ",\"remote_reconnects\":";
+      append_uint(out, meta_.remote_reconnects);
       out += ",\"span_count\":";
       append_uint(out, spans_written_);
       out += ",\"export_format\":";

@@ -9,7 +9,7 @@ namespace xsp::trace {
 
 // --- FrameSink --------------------------------------------------------------
 
-FrameSink::FrameSink(WriteFn fn) : fn_(std::move(fn)) {
+FrameSink::FrameSink(TryWriteFn fn, Fallible) : fn_(std::move(fn)) {
   // Warm start at the flush threshold. Sub-threshold writes splice whole
   // (a formatted JSON batch can exceed this headroom), so capacity may
   // grow past the reservation once — it then sticks (clear() keeps
@@ -18,43 +18,87 @@ FrameSink::FrameSink(WriteFn fn) : fn_(std::move(fn)) {
   buf_.reserve(kFlushThreshold + 4096);
 }
 
-FrameSink::FrameSink(std::ostream& os)
-    : FrameSink([out = &os](std::string_view chunk) {
-        out->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
-      }) {}
+FrameSink::FrameSink(WriteFn fn)
+    : FrameSink(TryWriteFn([f = std::move(fn)](std::string_view chunk) {
+                  f(chunk);
+                  return chunk.size();  // infallible: always accepts whole
+                }),
+                Fallible{}) {}
 
-void FrameSink::write(std::string_view bytes) {
-  if (bytes.empty()) return;
+FrameSink::FrameSink(std::ostream& os)
+    : FrameSink(WriteFn([out = &os](std::string_view chunk) {
+        out->write(chunk.data(), static_cast<std::streamsize>(chunk.size()));
+      })) {}
+
+bool FrameSink::drain_locked() {
+  while (!buf_.empty()) {
+    const std::size_t n = fn_(buf_);
+    if (n == kWriteError) {
+      // Hard failure: latch, discard — a half-written frame stream is
+      // unrecoverable anyway; the owner reconnects with a fresh sink.
+      failed_ = true;
+      buf_.clear();
+      return false;
+    }
+    if (n == 0) return false;  // saturated: keep the bytes, retry later
+    if (n >= buf_.size()) {
+      buf_.clear();
+    } else {
+      buf_.erase(0, n);  // retained suffix stays ahead of later writes
+    }
+  }
+  return true;
+}
+
+bool FrameSink::write(std::string_view bytes) {
+  if (bytes.empty()) return !failed();
   std::lock_guard lk(mu_);
+  if (failed_) return false;
   bytes_ += bytes.size();
   if (bytes.size() >= kFlushThreshold) {
     // Threshold-sized payloads (whole-batch span memcpys) skip the buffer:
     // flush what came before so order holds, then hand the caller's bytes
     // to the sink directly — zero copies on the bulk path.
-    if (!buf_.empty()) {
-      fn_(buf_);
-      buf_.clear();
+    if (drain_locked()) {
+      while (!bytes.empty()) {
+        const std::size_t n = fn_(bytes);
+        if (n == kWriteError) {
+          failed_ = true;
+          buf_.clear();
+          return false;
+        }
+        if (n == 0) break;  // saturated mid-payload: buffer the rest
+        bytes.remove_prefix(n < bytes.size() ? n : bytes.size());
+      }
     }
-    fn_(bytes);
-    return;
+    if (failed_) return false;
+    buf_.append(bytes);  // whatever the sink has not accepted yet
+    return true;
   }
   buf_.append(bytes);
-  if (buf_.size() >= kFlushThreshold) {
-    fn_(buf_);
-    buf_.clear();
-  }
+  if (buf_.size() >= kFlushThreshold) drain_locked();
+  return !failed_;
 }
 
-void FrameSink::flush() {
+bool FrameSink::flush() {
   std::lock_guard lk(mu_);
-  if (buf_.empty()) return;
-  fn_(buf_);
-  buf_.clear();
+  if (failed_) return false;
+  return drain_locked();
 }
 
 std::uint64_t FrameSink::bytes_written() const {
   std::lock_guard lk(mu_);
   return bytes_;
+}
+
+bool FrameSink::failed() const {
+  std::lock_guard lk(mu_);
+  return failed_;
+}
+
+std::size_t FrameSink::pending_bytes() const {
+  std::lock_guard lk(mu_);
+  return buf_.size();
 }
 
 // --- BinaryWriter -----------------------------------------------------------
@@ -81,6 +125,12 @@ wire::Header make_header() {
 }  // namespace
 
 BinaryWriter::BinaryWriter(FrameSink::WriteFn sink) : sink_(std::move(sink)) {
+  const wire::Header header = make_header();
+  sink_.write({reinterpret_cast<const char*>(&header), sizeof header});
+}
+
+BinaryWriter::BinaryWriter(FrameSink::TryWriteFn sink, FrameSink::Fallible)
+    : sink_(std::move(sink), FrameSink::Fallible{}) {
   const wire::Header header = make_header();
   sink_.write({reinterpret_cast<const char*>(&header), sizeof header});
 }
@@ -191,6 +241,8 @@ void BinaryWriter::finish() {
   footer.live_slots = meta_.live_slots;
   footer.retired_slots = meta_.retired_slots;
   footer.slot_bytes = meta_.slot_bytes;
+  footer.remote_dropped_spans = meta_.remote_dropped_spans;
+  footer.remote_reconnects = meta_.remote_reconnects;
   wire::FrameHeader fh{};
   fh.type = static_cast<std::uint8_t>(wire::FrameType::kFooter);
   fh.payload_size = static_cast<std::uint32_t>(sizeof footer);
@@ -209,12 +261,36 @@ std::uint64_t BinaryWriter::spans_written() const {
 
 std::uint64_t BinaryWriter::bytes_written() const { return sink_.bytes_written(); }
 
-// --- BinaryReader -----------------------------------------------------------
+bool BinaryWriter::flush() { return sink_.flush(); }
 
-BinaryReader::BinaryReader(std::istream& in) : in_(in) {
+bool BinaryWriter::sink_failed() const { return sink_.failed(); }
+
+std::size_t BinaryWriter::sink_pending_bytes() const {
+  return sink_.pending_bytes();
+}
+
+// --- WireDecoder ------------------------------------------------------------
+
+namespace wire {
+
+std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count) {
+  if (count > kMaxSpansPerFrame) {
+    throw WireError("xsp wire: span-batch count " + std::to_string(count) +
+                    " exceeds the per-frame bound");
+  }
+  if (payload_size != sizeof count + static_cast<std::size_t>(count) * sizeof(Span)) {
+    throw WireError("xsp wire: span-batch payload length does not match its span count");
+  }
+  return count;
+}
+
+}  // namespace wire
+
+WireDecoder::WireDecoder() {
   remap_.emplace(0u, 0u);  // the reserved empty string maps to itself
-  wire::Header header{};
-  read_exact(&header, sizeof header, "stream header");
+}
+
+void WireDecoder::validate_header(const wire::Header& header) {
   if (std::memcmp(header.magic, wire::kMagic, sizeof wire::kMagic) != 0) {
     throw WireError("xsp wire: bad magic (not an XSP binary trace)");
   }
@@ -235,15 +311,7 @@ BinaryReader::BinaryReader(std::istream& in) : in_(in) {
   }
 }
 
-void BinaryReader::read_exact(void* dst, std::size_t n, const char* what) {
-  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(in_.gcount()) != n) {
-    throw WireError(std::string("xsp wire: truncated ") + what + " (wanted " +
-                    std::to_string(n) + " bytes, got " + std::to_string(in_.gcount()) + ")");
-  }
-}
-
-common::StrId BinaryReader::map_id(std::uint32_t producer_id) const {
+common::StrId WireDecoder::map_id(std::uint32_t producer_id) const {
   const auto it = remap_.find(producer_id);
   if (it == remap_.end()) {
     throw WireError("xsp wire: span references string id " + std::to_string(producer_id) +
@@ -252,9 +320,8 @@ common::StrId BinaryReader::map_id(std::uint32_t producer_id) const {
   return common::StrId::from_raw(it->second);
 }
 
-void BinaryReader::decode_string_delta(std::size_t payload_size) {
-  payload_.resize(payload_size);
-  read_exact(payload_.data(), payload_size, "string-delta payload");
+void WireDecoder::decode_string_delta(std::string_view payload) {
+  const std::size_t payload_size = payload.size();
   std::size_t off = 0;
   while (off < payload_size) {
     if (payload_size - off < 2 * sizeof(std::uint32_t)) {
@@ -262,15 +329,15 @@ void BinaryReader::decode_string_delta(std::size_t payload_size) {
     }
     std::uint32_t id = 0;
     std::uint32_t len = 0;
-    std::memcpy(&id, payload_.data() + off, sizeof id);
-    std::memcpy(&len, payload_.data() + off + sizeof id, sizeof len);
+    std::memcpy(&id, payload.data() + off, sizeof id);
+    std::memcpy(&len, payload.data() + off + sizeof id, sizeof len);
     off += 2 * sizeof(std::uint32_t);
     if (len > payload_size - off) {
       throw WireError("xsp wire: string-delta entry length " + std::to_string(len) +
                       " exceeds remaining payload");
     }
     if (id == 0) throw WireError("xsp wire: string delta redefines reserved id 0");
-    const std::string_view s(payload_.data() + off, len);
+    const std::string_view s(payload.data() + off, len);
     off += len;
     // Re-intern into this process's table. A repeated id is tolerated
     // (idempotent) as long as the bytes agree — a writer never emits one,
@@ -284,7 +351,27 @@ void BinaryReader::decode_string_delta(std::size_t payload_size) {
   }
 }
 
-void BinaryReader::reintern_span(Span& span) const {
+void WireDecoder::decode_span_batch(std::string_view payload, SpanBatch& out) {
+  std::uint32_t count = 0;
+  if (payload.size() < sizeof count) {
+    throw WireError("xsp wire: span-batch frame too small for its span count");
+  }
+  std::memcpy(&count, payload.data(), sizeof count);
+  wire::checked_span_count(payload.size(), count);
+  out.resize(count);
+  if (count > 0) {
+    std::memcpy(out.data(), payload.data() + sizeof count,
+                static_cast<std::size_t>(count) * sizeof(Span));
+  }
+  remap_batch(out);
+}
+
+void WireDecoder::remap_batch(SpanBatch& batch) {
+  for (Span& span : batch) remap_span(span);
+  spans_decoded_ += batch.size();
+}
+
+void WireDecoder::remap_span(Span& span) const {
   // A memcpy'd FlatMap's inline count is untrusted until checked —
   // iteration beyond capacity would read past the inline arrays.
   if (!span.tags.valid() || !span.metrics.valid()) {
@@ -300,6 +387,36 @@ void BinaryReader::reintern_span(Span& span) const {
   span.tags.remap_keys(remap);
   span.tags.remap_values(remap);
   span.metrics.remap_keys(remap);
+}
+
+TraceMeta WireDecoder::meta() const noexcept {
+  TraceMeta m;
+  m.dropped_annotations = footer_.dropped_annotations;
+  m.shard_count = static_cast<std::size_t>(footer_.shard_count);
+  m.interned_strings = footer_.interned_strings;
+  m.interned_bytes = footer_.interned_bytes;
+  m.live_slots = footer_.live_slots;
+  m.retired_slots = footer_.retired_slots;
+  m.slot_bytes = footer_.slot_bytes;
+  m.remote_dropped_spans = footer_.remote_dropped_spans;
+  m.remote_reconnects = footer_.remote_reconnects;
+  return m;
+}
+
+// --- BinaryReader -----------------------------------------------------------
+
+BinaryReader::BinaryReader(std::istream& in) : in_(in) {
+  wire::Header header{};
+  read_exact(&header, sizeof header, "stream header");
+  WireDecoder::validate_header(header);
+}
+
+void BinaryReader::read_exact(void* dst, std::size_t n, const char* what) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in_.gcount()) != n) {
+    throw WireError(std::string("xsp wire: truncated ") + what + " (wanted " +
+                    std::to_string(n) + " bytes, got " + std::to_string(in_.gcount()) + ")");
+  }
 }
 
 bool BinaryReader::next_batch(SpanBatch& out) {
@@ -322,7 +439,9 @@ bool BinaryReader::next_batch(SpanBatch& out) {
     }
     switch (static_cast<wire::FrameType>(fh.type)) {
       case wire::FrameType::kStringDelta: {
-        decode_string_delta(payload_size);
+        payload_.resize(payload_size);
+        read_exact(payload_.data(), payload_size, "string-delta payload");
+        decoder_.decode_string_delta(payload_);
         break;
       }
       case wire::FrameType::kSpanBatch: {
@@ -331,19 +450,12 @@ bool BinaryReader::next_batch(SpanBatch& out) {
           throw WireError("xsp wire: span-batch frame too small for its span count");
         }
         read_exact(&count, sizeof count, "span-batch count");
-        if (count > wire::kMaxSpansPerFrame) {
-          throw WireError("xsp wire: span-batch count " + std::to_string(count) +
-                          " exceeds the per-frame bound");
-        }
-        if (payload_size != sizeof count + static_cast<std::size_t>(count) * sizeof(Span)) {
-          throw WireError("xsp wire: span-batch payload length does not match its span count");
-        }
+        wire::checked_span_count(payload_size, count);
         // Decode straight into the caller's buffer: one read into span
         // memory, then in-place StrId rewrites — no intermediate copy.
         out.resize(count);
         read_exact(out.data(), count * sizeof(Span), "span-batch payload");
-        for (Span& span : out) reintern_span(span);
-        spans_read_ += count;
+        decoder_.remap_batch(out);
         if (count > 0) return true;
         break;  // an empty batch frame is legal; keep scanning
       }
@@ -351,8 +463,9 @@ bool BinaryReader::next_batch(SpanBatch& out) {
         if (payload_size != sizeof(wire::Footer)) {
           throw WireError("xsp wire: footer payload length mismatch");
         }
-        read_exact(&footer_, sizeof footer_, "footer payload");
-        saw_footer_ = true;
+        wire::Footer footer{};
+        read_exact(&footer, sizeof footer, "footer payload");
+        decoder_.set_footer(footer);
         done_ = true;
         // The footer terminates the stream; trailing bytes are corruption
         // (e.g. two concatenated exports), not data.
@@ -376,18 +489,6 @@ SpanBatches BinaryReader::read_all() {
     batch = SpanBatch();
   }
   return batches;
-}
-
-TraceMeta BinaryReader::meta() const noexcept {
-  TraceMeta m;
-  m.dropped_annotations = footer_.dropped_annotations;
-  m.shard_count = static_cast<std::size_t>(footer_.shard_count);
-  m.interned_strings = footer_.interned_strings;
-  m.interned_bytes = footer_.interned_bytes;
-  m.live_slots = footer_.live_slots;
-  m.retired_slots = footer_.retired_slots;
-  m.slot_bytes = footer_.slot_bytes;
-  return m;
 }
 
 }  // namespace xsp::trace

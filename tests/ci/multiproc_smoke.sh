@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Multi-process collection smoke: one xsp_collectd daemon on a UDS, a
+# fleet of example_remote_producer processes streaming real profiled
+# traces into it, then exact accounting — the daemon's spans_ingested
+# must equal the fleet's published-minus-dropped sum, every footer must
+# arrive, and the daemon's merged binary export must decode back to
+# valid JSON via trace_export. Run by CI's multiproc job and usable
+# locally:
+#
+#   tests/ci/multiproc_smoke.sh [BUILD_DIR] [PRODUCERS] [RUNS]
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+PRODUCERS="${2:-4}"
+RUNS="${3:-2}"
+
+SOCK="/tmp/xsp_multiproc_$$.sock"
+OUT_DIR="$(mktemp -d /tmp/xsp_multiproc_out.XXXXXX)"
+DPID=""
+
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  rm -f "$SOCK"
+  rm -rf "$OUT_DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "multiproc_smoke: FAIL: $*" >&2
+  echo "--- collectd output ---" >&2
+  cat "$OUT_DIR/collectd.out" >&2 || true
+  exit 1
+}
+
+# field <name> <file>: extract the integer after "name=" (greppable
+# stats lines are the daemon/producer machine interface).
+field() {
+  grep -o "$1=[0-9][0-9]*" "$2" | head -n1 | cut -d= -f2
+}
+
+"$BUILD_DIR/tools/xsp_collectd" \
+  --listen "unix:$SOCK" --out "$OUT_DIR/fleet.xspb" --online --shards 2 \
+  > "$OUT_DIR/collectd.out" &
+DPID=$!
+
+# Readiness: the daemon binds before printing "listening", so the socket
+# file appearing means "connect now".
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$DPID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "daemon never bound $SOCK"
+
+# The fleet: PRODUCERS concurrent processes, each profiling RUNS runs and
+# streaming every publication span to the daemon.
+pids=()
+for p in $(seq 1 "$PRODUCERS"); do
+  "$BUILD_DIR/examples/example_remote_producer" \
+    --endpoint "unix:$SOCK" --runs "$RUNS" --batch 1 \
+    > "$OUT_DIR/producer_$p.out" &
+  pids+=("$!")
+done
+for pid in "${pids[@]}"; do
+  wait "$pid" || fail "a producer exited non-zero"
+done
+
+# Fleet-side accounting: what must have reached the daemon.
+expected=0
+for p in $(seq 1 "$PRODUCERS"); do
+  published="$(field published "$OUT_DIR/producer_$p.out")"
+  dropped="$(field dropped "$OUT_DIR/producer_$p.out")"
+  [ -n "$published" ] || fail "producer $p printed no accounting"
+  expected=$((expected + published - dropped))
+done
+
+# Graceful drain: SIGTERM, then the daemon must exit 0 on its own.
+kill -TERM "$DPID"
+wait "$DPID" || fail "daemon exited non-zero on SIGTERM"
+DPID=""
+
+ingested="$(field spans_ingested "$OUT_DIR/collectd.out")"
+footers="$(field footers_seen "$OUT_DIR/collectd.out")"
+errored="$(field errored "$OUT_DIR/collectd.out")"
+[ "$ingested" -eq "$expected" ] || fail "ingested $ingested != fleet published-dropped $expected"
+[ "$footers" -eq "$PRODUCERS" ] || fail "footers_seen $footers != $PRODUCERS"
+[ "$errored" -eq 0 ] || fail "daemon counted $errored errored connections"
+
+# The merged export must be a decodable wire stream whose span count
+# matches, and the decode must be real JSON.
+"$BUILD_DIR/tools/trace_export" \
+  --decode "$OUT_DIR/fleet.xspb" --out "$OUT_DIR/fleet.json" --format spans \
+  > "$OUT_DIR/decode.out"
+python3 -m json.tool "$OUT_DIR/fleet.json" > /dev/null \
+  || fail "decoded fleet trace is not valid JSON"
+decoded="$(grep -o 'decoded [0-9]*' "$OUT_DIR/decode.out" | cut -d' ' -f2)"
+[ "$decoded" -eq "$ingested" ] || fail "decode saw $decoded spans, daemon ingested $ingested"
+
+echo "multiproc_smoke: OK — $PRODUCERS producers, $ingested spans ingested," \
+     "$footers footers, decode matches"

@@ -1,0 +1,572 @@
+// CollectorService + RemoteSink end to end: the cross-process ingestion
+// path exercised in-process over real sockets. Covers the acceptance
+// criteria of the collector tentpole — a 4-producer fleet assembling the
+// same per-producer timelines remote as in-process, colliding fabricated
+// StrIds never cross-contaminating after remap — plus the connection
+// lifecycle: truncated frames, hostile bytes, reconnect with a fresh
+// StringDelta epoch, and a daemon killed mid-stream leaving producers
+// alive with every loss accounted.
+#include "xsp/net/collector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "net_test_util.hpp"
+#include "xsp/net/endpoint.hpp"
+#include "xsp/net/socket.hpp"
+#include "xsp/trace/remote_sink.hpp"
+#include "xsp/trace/sharded_trace_server.hpp"
+#include "xsp/trace/span_sink.hpp"
+#include "xsp/trace/wire.hpp"
+
+namespace xsp::net {
+namespace {
+
+using testutil::accept_within;
+using testutil::read_to_eof;
+using testutil::read_until_contains;
+using testutil::send_all;
+using testutil::uds_endpoint;
+using trace::kNoSpan;
+using trace::Span;
+using trace::SpanId;
+using trace::StrId;
+using xsp::TimePoint;
+
+template <typename Pred>
+bool wait_until(Pred pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+/// A collector daemon in miniature: sharded server sink + service running
+/// on its own thread, stopped and joined on destruction.
+struct RunningCollector {
+  trace::ShardedTraceServer server;
+  CollectorService service;
+  std::thread thread;
+
+  explicit RunningCollector(const Endpoint& ep, CollectorOptions copts = {})
+      : server(2, trace::PublishMode::kSync),
+        service(ep, server, copts),
+        thread([this] { service.run(); }) {}
+  ~RunningCollector() { stop(); }
+
+  void stop() {
+    service.stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+// --- raw wire builders (crafted producer streams) ---------------------------
+
+template <typename T>
+void put_pod(std::string& out, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.append(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::string header_bytes() {
+  trace::wire::Header h{};
+  std::memcpy(h.magic, trace::wire::kMagic, sizeof h.magic);
+  h.version = trace::wire::kVersion;
+  h.endianness = trace::wire::kEndianMark;
+  h.span_size = static_cast<std::uint32_t>(sizeof(Span));
+  h.header_size = static_cast<std::uint32_t>(sizeof(trace::wire::Header));
+  std::string out;
+  put_pod(out, h);
+  return out;
+}
+
+std::string frame(trace::wire::FrameType type, std::string_view payload,
+                  std::int64_t lie_about_size = -1) {
+  trace::wire::FrameHeader fh{};
+  fh.type = static_cast<std::uint8_t>(type);
+  fh.payload_size = lie_about_size >= 0 ? static_cast<std::uint32_t>(lie_about_size)
+                                        : static_cast<std::uint32_t>(payload.size());
+  std::string out;
+  put_pod(out, fh);
+  out.append(payload);
+  return out;
+}
+
+std::string delta_entry(std::uint32_t id, std::string_view s) {
+  std::string out;
+  put_pod(out, id);
+  put_pod(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+  return out;
+}
+
+std::string span_batch_payload(const std::vector<Span>& spans) {
+  std::string out;
+  put_pod(out, static_cast<std::uint32_t>(spans.size()));
+  out.append(reinterpret_cast<const char*>(spans.data()), spans.size() * sizeof(Span));
+  return out;
+}
+
+std::string footer_frame(const trace::wire::Footer& f) {
+  std::string payload;
+  put_pod(payload, f);
+  return frame(trace::wire::FrameType::kFooter, payload);
+}
+
+// --- fleet-member publication (identical remote and in-process) -------------
+
+/// Publish one producer's spans into any SpanSink: a parent chain with
+/// producer-specific names, levels, and correlation ids — the shape whose
+/// per-producer timeline must survive collection unchanged.
+void publish_fleet_member(trace::SpanSink& sink, int producer, std::size_t count) {
+  const StrId tracer("producer_" + std::to_string(producer));
+  SpanId prev = kNoSpan;
+  for (std::size_t i = 0; i < count; ++i) {
+    Span s;
+    s.id = sink.next_span_id();
+    s.parent = prev;
+    s.level = trace::kKernelLevel;
+    s.name = StrId("fleet_op_" + std::to_string(producer) + "_" +
+                   std::to_string(i % 5));
+    s.tracer = tracer;
+    s.begin = static_cast<TimePoint>(i * 10);
+    s.end = s.begin + 7;
+    if (i % 3 == 0) s.correlation_id = sink.next_correlation_id();
+    sink.publish(s);
+    prev = s.id;
+  }
+}
+
+/// Per-producer digest: span count plus the sorted (name, begin, end)
+/// multiset — id-free, so it compares across remapped id spaces.
+using TimelineDigest = std::vector<std::tuple<std::uint32_t, std::int64_t, std::int64_t>>;
+
+std::map<std::uint32_t, TimelineDigest> digest_by_tracer(const std::vector<Span>& spans) {
+  std::map<std::uint32_t, TimelineDigest> out;
+  for (const Span& s : spans) {
+    out[s.tracer.raw()].emplace_back(s.name.raw(), s.begin, s.end);
+  }
+  for (auto& [tracer, digest] : out) std::sort(digest.begin(), digest.end());
+  return out;
+}
+
+// --- end-to-end round trips -------------------------------------------------
+
+TEST(CollectorE2E, UdsRoundTripDeliversEverySpanExactlyOnce) {
+  const Endpoint ep = uds_endpoint("col_rt");
+  RunningCollector collector(ep);
+
+  trace::RemoteSinkOptions opts;
+  opts.batch_spans = 64;
+  {
+    trace::RemoteSink sink(ep, opts);
+    publish_fleet_member(sink, 0, 1000);
+    sink.close();  // footer + half-close + wait for the daemon's ack
+    EXPECT_EQ(sink.spans_published(), 1000u);
+    EXPECT_EQ(sink.spans_sent(), 1000u);
+    EXPECT_EQ(sink.spans_dropped(), 0u);
+    EXPECT_EQ(sink.reconnects(), 0u);
+  }
+  collector.stop();
+
+  collector.server.flush();
+  EXPECT_EQ(collector.server.span_count(), 1000u);
+  const CollectorStats stats = collector.service.stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.connections_closed, 1u);
+  EXPECT_EQ(stats.connections_errored, 0u);
+  EXPECT_EQ(stats.spans_ingested, 1000u);
+  EXPECT_EQ(stats.footers_seen, 1u);
+  EXPECT_GT(stats.bytes_received, 1000u * sizeof(Span));
+
+  // Names arrived through the re-intern remap, not raw id reuse.
+  const std::vector<Span> spans = collector.server.take_trace();
+  ASSERT_EQ(spans.size(), 1000u);
+  for (const Span& s : spans) EXPECT_EQ(s.tracer, "producer_0");
+}
+
+TEST(CollectorE2E, TcpEphemeralPortRoundTrips) {
+  RunningCollector collector(Endpoint::parse("tcp://127.0.0.1:0"));
+  const Endpoint bound = collector.service.endpoint();
+  ASSERT_NE(bound.port, 0);
+
+  trace::RemoteSink sink(bound);
+  publish_fleet_member(sink, 0, 100);
+  sink.close();
+  collector.stop();
+  collector.server.flush();
+  EXPECT_EQ(collector.server.span_count(), 100u);
+}
+
+TEST(CollectorE2E, FourProducerFleetMatchesInProcessPublication) {
+  // The acceptance criterion: N>=4 external producers through the
+  // collector assemble into the same per-producer timelines as publishing
+  // into a sharded server in-process — exact span counts, names equal.
+  constexpr int kProducers = 4;
+  constexpr std::size_t kSpansEach = 400;
+
+  trace::ShardedTraceServer reference(2, trace::PublishMode::kSync);
+  for (int p = 0; p < kProducers; ++p) publish_fleet_member(reference, p, kSpansEach);
+  reference.flush();
+
+  const Endpoint ep = uds_endpoint("col_fleet");
+  RunningCollector collector(ep);
+  {
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&ep, p, kSpansEach] {
+        trace::RemoteSinkOptions opts;
+        opts.batch_spans = 32;
+        trace::RemoteSink sink(ep, opts);
+        publish_fleet_member(sink, p, kSpansEach);
+        sink.close();
+        EXPECT_EQ(sink.spans_sent(), kSpansEach);
+        EXPECT_EQ(sink.spans_dropped(), 0u);
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+  collector.stop();
+  collector.server.flush();
+
+  const CollectorStats stats = collector.service.stats();
+  EXPECT_EQ(stats.connections_accepted, static_cast<std::uint64_t>(kProducers));
+  EXPECT_EQ(stats.footers_seen, static_cast<std::uint64_t>(kProducers));
+  EXPECT_EQ(stats.spans_ingested, kProducers * kSpansEach);
+
+  const std::vector<Span> collected = collector.server.take_trace();
+  const std::vector<Span> expected = reference.take_trace();
+  ASSERT_EQ(collected.size(), expected.size());
+  EXPECT_EQ(digest_by_tracer(collected), digest_by_tracer(expected));
+
+  // Remapped ids stay producer-coherent: every parent reference resolves
+  // within its own producer's id set — never into another producer's.
+  std::map<std::uint32_t, std::vector<const Span*>> groups;
+  for (const Span& s : collected) groups[s.tracer.raw()].push_back(&s);
+  ASSERT_EQ(groups.size(), static_cast<std::size_t>(kProducers));
+  for (const auto& [tracer, spans] : groups) {
+    std::vector<SpanId> ids;
+    for (const Span* s : spans) ids.push_back(s->id);
+    std::sort(ids.begin(), ids.end());
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end())
+        << "duplicate remapped span id within a producer";
+    for (const Span* s : spans) {
+      if (s->parent == kNoSpan) continue;
+      EXPECT_TRUE(std::binary_search(ids.begin(), ids.end(), s->parent))
+          << "parent remapped outside its producer's id set";
+    }
+  }
+}
+
+// --- crafted-stream isolation and hostility ---------------------------------
+
+TEST(CollectorE2E, CollidingFabricatedStrIdsNeverCrossContaminate) {
+  // Two producers whose streams fabricate the *same* string id with
+  // different contents, interleaved on the wire. Per-connection remap
+  // must keep them apart; shared-table reuse would swap names.
+  constexpr std::uint32_t kNameId = 0x00CC0001;
+  constexpr std::uint32_t kTracerId = 0x00CC0002;
+  const auto stream_parts = [&](std::string_view name, std::string_view tracer,
+                                std::uint64_t footer_drops, std::uint64_t footer_reconnects) {
+    std::string delta = delta_entry(kNameId, name);
+    delta += delta_entry(kTracerId, tracer);
+    Span s;
+    s.id = 77;  // identical producer-local span id on both streams
+    s.name = StrId::from_raw(kNameId);
+    s.tracer = StrId::from_raw(kTracerId);
+    s.begin = 5;
+    s.end = 9;
+    trace::wire::Footer f{};
+    f.span_count = 1;
+    f.remote_dropped_spans = footer_drops;
+    f.remote_reconnects = footer_reconnects;
+    return std::make_pair(
+        header_bytes() + frame(trace::wire::FrameType::kStringDelta, delta),
+        frame(trace::wire::FrameType::kSpanBatch, span_batch_payload({s})) +
+            footer_frame(f));
+  };
+  const auto [a_head, a_tail] = stream_parts("collide_alpha", "collider_tracer_a", 3, 1);
+  const auto [b_head, b_tail] = stream_parts("collide_beta", "collider_tracer_b", 4, 2);
+
+  const Endpoint ep = uds_endpoint("col_collide");
+  RunningCollector collector(ep);
+  Socket a = try_connect(ep, 1000);
+  Socket b = try_connect(ep, 1000);
+  ASSERT_TRUE(a.valid());
+  ASSERT_TRUE(b.valid());
+  // Interleave the two streams so both remaps are live simultaneously.
+  ASSERT_TRUE(send_all(a, a_head));
+  ASSERT_TRUE(send_all(b, b_head));
+  ASSERT_TRUE(send_all(a, a_tail));
+  ASSERT_TRUE(send_all(b, b_tail));
+  a.shutdown_write();
+  b.shutdown_write();
+  (void)read_to_eof(a);  // daemon ack
+  (void)read_to_eof(b);
+  collector.stop();
+
+  collector.server.flush();
+  const std::vector<Span> spans = collector.server.take_trace();
+  ASSERT_EQ(spans.size(), 2u);
+  const Span* alpha = nullptr;
+  const Span* beta = nullptr;
+  for (const Span& s : spans) {
+    if (s.name == "collide_alpha") alpha = &s;
+    if (s.name == "collide_beta") beta = &s;
+  }
+  ASSERT_NE(alpha, nullptr);
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(alpha->tracer, "collider_tracer_a");
+  EXPECT_EQ(beta->tracer, "collider_tracer_b");
+  EXPECT_NE(alpha->id, beta->id) << "colliding producer span ids must remap apart";
+
+  const CollectorStats stats = collector.service.stats();
+  EXPECT_EQ(stats.footers_seen, 2u);
+  EXPECT_EQ(stats.producer_dropped_spans, 7u);  // 3 + 4, summed from footers
+  EXPECT_EQ(stats.producer_reconnects, 3u);     // 1 + 2
+  EXPECT_EQ(stats.connections_closed, 2u);
+  EXPECT_EQ(stats.connections_errored, 0u);
+}
+
+TEST(CollectorE2E, TruncatedFrameErrorsConnectionAndDaemonServesOn) {
+  const Endpoint ep = uds_endpoint("col_trunc");
+  RunningCollector collector(ep);
+  {
+    Socket cut = try_connect(ep, 1000);
+    ASSERT_TRUE(cut.valid());
+    // Frame header promises 100 payload bytes; deliver 10 and vanish.
+    std::string bytes = header_bytes();
+    bytes += frame(trace::wire::FrameType::kSpanBatch, std::string(10, '\x01'),
+                   /*lie_about_size=*/100);
+    ASSERT_TRUE(send_all(cut, bytes));
+  }
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.service.stats().connections_errored == 1; }))
+      << "mid-frame disconnect must count as errored";
+
+  // The daemon took the hit on that connection only; a well-behaved
+  // producer connecting next streams normally.
+  trace::RemoteSink sink(ep);
+  publish_fleet_member(sink, 1, 10);
+  sink.close();
+  collector.stop();
+  collector.server.flush();
+  EXPECT_EQ(collector.server.span_count(), 10u);
+  const CollectorStats stats = collector.service.stats();
+  EXPECT_EQ(stats.connections_accepted, 2u);
+  EXPECT_EQ(stats.connections_closed, 1u);
+  EXPECT_EQ(stats.spans_ingested, 10u);
+}
+
+TEST(CollectorE2E, HostileBytesAreContainedPerConnection) {
+  const Endpoint ep = uds_endpoint("col_hostile");
+  RunningCollector collector(ep);
+  {
+    Socket junk = try_connect(ep, 1000);
+    ASSERT_TRUE(junk.valid());
+    ASSERT_TRUE(send_all(junk, "JUNKJUNKJUNKJUNK"));  // 16 bytes of non-header
+    junk.shutdown_write();
+    (void)read_to_eof(junk);  // daemon closes on the WireError
+  }
+  {
+    Socket oversized = try_connect(ep, 1000);
+    ASSERT_TRUE(oversized.valid());
+    std::string bytes = header_bytes();
+    bytes += frame(trace::wire::FrameType::kSpanBatch, "",
+                   static_cast<std::int64_t>(trace::wire::kMaxFramePayload) + 1);
+    ASSERT_TRUE(send_all(oversized, bytes));
+    oversized.shutdown_write();
+    (void)read_to_eof(oversized);
+  }
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.service.stats().connections_errored == 2; }));
+
+  trace::RemoteSink sink(ep);
+  publish_fleet_member(sink, 2, 5);
+  sink.close();
+  collector.stop();
+  collector.server.flush();
+  EXPECT_EQ(collector.server.span_count(), 5u);
+  EXPECT_EQ(collector.service.stats().spans_ingested, 5u);
+}
+
+TEST(CollectorE2E, ConfiguredFrameBoundIsEnforced) {
+  const Endpoint ep = uds_endpoint("col_bound");
+  CollectorOptions copts;
+  copts.max_frame_payload = 1024;  // tighter than the format's 64 MiB cap
+  RunningCollector collector(ep, copts);
+  Socket s = try_connect(ep, 1000);
+  ASSERT_TRUE(s.valid());
+  std::string bytes = header_bytes();
+  bytes += frame(trace::wire::FrameType::kStringDelta, "", /*lie_about_size=*/4096);
+  ASSERT_TRUE(send_all(s, bytes));
+  EXPECT_TRUE(wait_until(
+      [&] { return collector.service.stats().connections_errored == 1; }));
+  collector.stop();
+  EXPECT_EQ(collector.service.stats().spans_ingested, 0u);
+}
+
+// --- connection lifecycle ---------------------------------------------------
+
+TEST(CollectorE2E, GracefulDrainConsumesStreamInFlightAtStop) {
+  const Endpoint ep = uds_endpoint("col_drain");
+  CollectorOptions copts;
+  copts.drain_timeout_ms = 3000;
+  RunningCollector collector(ep, copts);
+
+  Socket producer = try_connect(ep, 1000);
+  ASSERT_TRUE(producer.valid());
+  Span s;
+  s.id = 1;
+  s.name = StrId("drain_op");
+  s.tracer = StrId("drain_tracer");
+  s.begin = 0;
+  s.end = 1;
+  std::string bytes = header_bytes();
+  bytes += frame(trace::wire::FrameType::kStringDelta,
+                 delta_entry(s.name.raw(), "drain_op") +
+                     delta_entry(s.tracer.raw(), "drain_tracer"));
+  bytes += frame(trace::wire::FrameType::kSpanBatch, span_batch_payload({s}));
+  ASSERT_TRUE(send_all(producer, bytes));
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.service.stats().spans_ingested == 1; }));
+
+  // Stop with the connection still open: the drain phase must keep
+  // consuming it until our half-close, then ack — not cut it off.
+  collector.service.stop();
+  trace::wire::Footer f{};
+  f.span_count = 1;
+  ASSERT_TRUE(send_all(producer, footer_frame(f)));
+  producer.shutdown_write();
+  (void)read_to_eof(producer);
+  collector.stop();
+
+  const CollectorStats stats = collector.service.stats();
+  EXPECT_EQ(stats.footers_seen, 1u);
+  EXPECT_EQ(stats.connections_closed, 1u);
+  EXPECT_EQ(stats.connections_errored, 0u);
+}
+
+TEST(RemoteSinkLifecycle, ReconnectOpensFreshStreamAndStringDeltaEpoch) {
+  const Endpoint ep = uds_endpoint("col_epoch");
+  Listener listener(ep);  // this test plays the daemon, byte-level
+
+  trace::RemoteSinkOptions opts;
+  opts.batch_spans = 1;  // every publish seals and sends promptly
+  opts.backoff_initial_ms = 10;
+  opts.backoff_max_ms = 100;
+  opts.drain_timeout_ms = 300;
+  trace::RemoteSink sink(ep, opts);
+
+  Span first;
+  first.id = sink.next_span_id();
+  first.name = StrId("epoch_marker_string");
+  first.tracer = StrId("epoch_tracer");
+  first.begin = 0;
+  first.end = 1;
+  sink.publish(first);
+
+  Socket conn_a = accept_within(listener);
+  ASSERT_TRUE(conn_a.valid());
+  std::string a_bytes;
+  ASSERT_TRUE(read_until_contains(conn_a, a_bytes, "epoch_marker_string"));
+  ASSERT_GE(a_bytes.size(), sizeof(trace::wire::Header));
+  EXPECT_EQ(a_bytes.compare(0, 4, "XSPB"), 0);
+  conn_a.close();  // daemon dies mid-stream
+
+  // Keep publishing until the sink notices and re-establishes.
+  std::thread prodder([&] {
+    while (sink.reconnects() == 0) {
+      Span filler;
+      filler.id = sink.next_span_id();
+      filler.name = StrId("epoch_filler");
+      filler.tracer = StrId("epoch_tracer");
+      filler.begin = 2;
+      filler.end = 3;
+      sink.publish(filler);
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+  Socket conn_b = accept_within(listener, 10000);
+  prodder.join();
+  ASSERT_TRUE(conn_b.valid());
+  EXPECT_EQ(sink.reconnects(), 1u);
+
+  // The new connection is a complete stream on its own: fresh header,
+  // and the delta epoch restarts from cursor zero — a string already
+  // shipped on connection A ships again.
+  std::string b_bytes;
+  ASSERT_TRUE(read_until_contains(conn_b, b_bytes, "epoch_marker_string"))
+      << "reconnect must replay the string table from scratch";
+  ASSERT_GE(b_bytes.size(), sizeof(trace::wire::Header));
+  EXPECT_EQ(b_bytes.compare(0, 4, "XSPB"), 0);
+
+  // Ack the close handshake so close() returns via the protocol, not the
+  // timeout: consume to EOF (the footer) then close our end.
+  std::thread acker([&] {
+    (void)read_to_eof(conn_b);
+    conn_b.close();
+  });
+  sink.close();
+  acker.join();
+}
+
+TEST(RemoteSinkLifecycle, DaemonDeathLeavesProducerAliveWithAccountedDrops) {
+  const Endpoint ep = uds_endpoint("col_death");
+  CollectorOptions copts;
+  copts.drain_timeout_ms = 100;
+  auto collector = std::make_unique<RunningCollector>(ep, copts);
+
+  trace::RemoteSinkOptions opts;
+  opts.batch_spans = 16;
+  opts.max_outbox_spans = 128;  // small: drops surface quickly once dead
+  opts.connect_timeout_ms = 100;
+  opts.backoff_initial_ms = 10;
+  opts.backoff_max_ms = 50;
+  opts.drain_timeout_ms = 200;
+  trace::RemoteSink sink(ep, opts);
+
+  publish_fleet_member(sink, 0, 100);
+  sink.flush();
+  ASSERT_TRUE(wait_until(
+      [&] { return collector->service.stats().spans_ingested > 0; }))
+      << "producer must be mid-stream before the daemon dies";
+
+  collector.reset();  // daemon killed: connection cut, endpoint gone
+
+  // The producer thread keeps publishing; the sink must absorb the death
+  // without blocking or throwing, and account every span it sheds.
+  std::size_t extra = 0;
+  while (sink.spans_dropped() == 0 && extra < 100000) {
+    Span s;
+    s.id = sink.next_span_id();
+    s.name = StrId("death_op");
+    s.tracer = StrId("death_tracer");
+    s.begin = 0;
+    s.end = 1;
+    sink.publish(s);
+    ++extra;
+  }
+  EXPECT_GT(sink.spans_dropped(), 0u)
+      << "a dead daemon must surface as accounted drops, not silence";
+
+  sink.close();  // must not wedge against the unreachable endpoint
+  EXPECT_EQ(sink.spans_published(), 100u + extra);
+  EXPECT_EQ(sink.spans_sent() + sink.spans_dropped(), sink.spans_published())
+      << "every span ends up either sent or accounted dropped";
+}
+
+}  // namespace
+}  // namespace xsp::net

@@ -1,0 +1,97 @@
+// Endpoint URI parsing and the RxBuffer reassembly primitive — the two
+// pure (fd-free) pieces of the net layer.
+#include "xsp/net/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "xsp/net/socket.hpp"
+
+namespace xsp::net {
+namespace {
+
+TEST(Endpoint, ParsesUnixPath) {
+  const Endpoint ep = Endpoint::parse("unix:/tmp/xsp.sock");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/tmp/xsp.sock");
+  EXPECT_EQ(ep.uri(), "unix:/tmp/xsp.sock");
+}
+
+TEST(Endpoint, ToleratesTripleSlashUnixForm) {
+  // "unix:///path" is the common URI spelling; both resolve to /path.
+  const Endpoint ep = Endpoint::parse("unix:///run/xsp/collect.sock");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kUnix);
+  EXPECT_EQ(ep.path, "/run/xsp/collect.sock");
+}
+
+TEST(Endpoint, ParsesTcpHostPort) {
+  const Endpoint ep = Endpoint::parse("tcp://127.0.0.1:7450");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 7450);
+  EXPECT_EQ(ep.uri(), "tcp://127.0.0.1:7450");
+}
+
+TEST(Endpoint, ParsesTcpPortZeroForEphemeralBind) {
+  const Endpoint ep = Endpoint::parse("tcp://localhost:0");
+  EXPECT_EQ(ep.kind, Endpoint::Kind::kTcp);
+  EXPECT_EQ(ep.port, 0);
+}
+
+TEST(Endpoint, RejectsMalformedUris) {
+  EXPECT_THROW(Endpoint::parse(""), NetError);
+  EXPECT_THROW(Endpoint::parse("/tmp/no-scheme.sock"), NetError);
+  EXPECT_THROW(Endpoint::parse("udp://127.0.0.1:1"), NetError);
+  EXPECT_THROW(Endpoint::parse("unix:"), NetError);
+  EXPECT_THROW(Endpoint::parse("tcp://hostonly"), NetError);
+  EXPECT_THROW(Endpoint::parse("tcp://h:notaport"), NetError);
+  EXPECT_THROW(Endpoint::parse("tcp://h:70000"), NetError);
+}
+
+TEST(Endpoint, RejectsUnixPathBeyondSunPathLimit) {
+  // sockaddr_un::sun_path is ~108 bytes; a longer path must fail at
+  // parse time, not as a silent truncation at bind.
+  const std::string long_path = "unix:/" + std::string(200, 'x');
+  EXPECT_THROW(Endpoint::parse(long_path), NetError);
+}
+
+TEST(RxBuffer, AppendsAndConsumesAcrossChunkBoundaries) {
+  RxBuffer rx;
+  rx.append("abc");
+  rx.append("defgh");
+  EXPECT_EQ(rx.size(), 8u);
+  EXPECT_EQ(rx.data(), "abcdefgh");
+  rx.consume(3);
+  EXPECT_EQ(rx.data(), "defgh");
+  rx.consume(5);
+  EXPECT_EQ(rx.size(), 0u);
+}
+
+TEST(RxBuffer, TrickleConsumptionStaysCoherent) {
+  // One-byte-per-tick consumption (the pattern that would go quadratic
+  // with eager memmove) must keep data() exact throughout.
+  RxBuffer rx;
+  std::string all;
+  for (int i = 0; i < 10000; ++i) all += static_cast<char>('a' + i % 26);
+  rx.append(all);
+  std::string seen;
+  while (rx.size() > 0) {
+    seen += rx.data()[0];
+    rx.consume(1);
+  }
+  EXPECT_EQ(seen, all);
+}
+
+TEST(RxBuffer, ClearResetsEverything) {
+  RxBuffer rx;
+  rx.append("leftover frame bytes");
+  rx.consume(4);
+  rx.clear();
+  EXPECT_EQ(rx.size(), 0u);
+  rx.append("fresh");
+  EXPECT_EQ(rx.data(), "fresh");
+}
+
+}  // namespace
+}  // namespace xsp::net

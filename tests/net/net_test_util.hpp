@@ -1,0 +1,105 @@
+// Shared helpers for the net test suite: unique per-process UDS paths
+// (parallel ctest runs must not collide) and blocking send/recv loops
+// composed from the nonblocking Socket primitives.
+#pragma once
+
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <string_view>
+
+#include "xsp/net/endpoint.hpp"
+#include "xsp/net/socket.hpp"
+
+namespace xsp::net::testutil {
+
+/// unix:/tmp/xsp_t<pid>_<name>.sock — unique per test process.
+inline Endpoint uds_endpoint(const std::string& name) {
+  return Endpoint::parse("unix:/tmp/xsp_t" + std::to_string(::getpid()) + "_" +
+                         name + ".sock");
+}
+
+/// Blocking write of the whole buffer (poll + retry over write_some).
+inline bool send_all(Socket& sock, std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    std::size_t n = 0;
+    switch (sock.write_some(bytes.data() + off, bytes.size() - off, n)) {
+      case IoResult::kOk:
+        off += n;
+        break;
+      case IoResult::kWouldBlock:
+        sock.wait_writable(200);
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Read until EOF/error or the deadline; returns everything received.
+inline std::string read_to_eof(Socket& sock, int timeout_ms = 5000) {
+  std::string out;
+  char buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::size_t n = 0;
+    switch (sock.read_some(buf, sizeof buf, n)) {
+      case IoResult::kOk:
+        out.append(buf, n);
+        break;
+      case IoResult::kWouldBlock:
+        sock.wait_readable(50);
+        break;
+      case IoResult::kClosed:
+      case IoResult::kError:
+        return out;
+    }
+  }
+  return out;
+}
+
+/// Read until `out` contains `needle` (or EOF/deadline). Returns true on
+/// a hit; bytes read so far accumulate into `out` either way.
+inline bool read_until_contains(Socket& sock, std::string& out,
+                                std::string_view needle,
+                                int timeout_ms = 5000) {
+  char buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (out.find(needle) == std::string::npos) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::size_t n = 0;
+    switch (sock.read_some(buf, sizeof buf, n)) {
+      case IoResult::kOk:
+        out.append(buf, n);
+        break;
+      case IoResult::kWouldBlock:
+        sock.wait_readable(50);
+        break;
+      case IoResult::kClosed:
+      case IoResult::kError:
+        return out.find(needle) != std::string::npos;
+    }
+  }
+  return true;
+}
+
+/// Accept with a bounded wait (the listener fd is nonblocking).
+inline Socket accept_within(Listener& listener, int timeout_ms = 5000) {
+  Poller poller;
+  poller.watch(listener.fd(), Poller::kReadable);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    Socket s = listener.accept();
+    if (s.valid()) return s;
+    if (std::chrono::steady_clock::now() >= deadline) return Socket();
+    poller.wait(50);
+  }
+}
+
+}  // namespace xsp::net::testutil

@@ -90,6 +90,8 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
   meta.live_slots = 3;
   meta.retired_slots = 9999;
   meta.slot_bytes = 151 * 1024;
+  meta.remote_dropped_spans = 42;
+  meta.remote_reconnects = 2;
   const auto json = to_span_json(sample_timeline(), meta);
   // Metadata lives in the footer — the streaming layout, where telemetry
   // totals are only final after the last span has been written.
@@ -97,6 +99,7 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
   EXPECT_NE(json.find("\"metadata\":{\"dropped_annotations\":7,\"shard_count\":4,"
                       "\"interned_strings\":123,\"interned_bytes\":4567,"
                       "\"live_slots\":3,\"retired_slots\":9999,\"slot_bytes\":154624,"
+                      "\"remote_dropped_spans\":42,\"remote_reconnects\":2,"
                       "\"span_count\":2,\"export_format\":\"span_json\","
                       "\"export_bytes\":"),
             std::string::npos);

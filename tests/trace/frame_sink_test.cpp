@@ -1,0 +1,152 @@
+// FrameSink fallible-sink semantics: short writes (backpressure) keep the
+// unaccepted suffix buffered in order, kWriteError latches failure and
+// discards, and the BinaryWriter passthroughs (flush/sink_failed/
+// sink_pending_bytes) expose exactly that state — the contract
+// trace::RemoteSink's bounded-send-buffer and reconnect policy is built
+// on. The original FrameSink assumed every write was accepted whole;
+// these tests pin the surfaced-short-write fix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "xsp/trace/wire.hpp"
+
+namespace xsp::trace {
+namespace {
+
+/// A sink with a per-call acceptance budget: accepts at most `cap` bytes
+/// each call and appends them to `out`. cap == 0 models a saturated
+/// socket, kWriteError a dead one.
+struct ThrottledSink {
+  std::string out;
+  std::size_t cap = 0;
+  std::size_t calls = 0;
+  bool fail = false;
+
+  FrameSink::TryWriteFn fn() {
+    return [this](std::string_view bytes) -> std::size_t {
+      ++calls;
+      if (fail) return FrameSink::kWriteError;
+      const std::size_t n = std::min(cap, bytes.size());
+      out.append(bytes.substr(0, n));
+      return n;
+    };
+  }
+};
+
+TEST(FrameSinkFallible, ShortWritesKeepSuffixPendingAndRetryInOrder) {
+  ThrottledSink sink;
+  sink.cap = 5;
+  FrameSink fs(sink.fn(), FrameSink::Fallible{});
+  EXPECT_TRUE(fs.write("hello world, this frame must arrive whole"));
+
+  // Sub-threshold writes buffer; nothing reached the sink yet.
+  EXPECT_EQ(sink.out, "");
+  // flush drains in cap-sized steps until the sink stops making progress;
+  // a cap-K sink never returns 0 here, so one flush fully drains.
+  EXPECT_TRUE(fs.flush());
+  EXPECT_EQ(sink.out, "hello world, this frame must arrive whole");
+  EXPECT_EQ(fs.pending_bytes(), 0u);
+  EXPECT_FALSE(fs.failed());
+}
+
+TEST(FrameSinkFallible, SaturatedSinkReportsPendingBytesUntilItDrains) {
+  ThrottledSink sink;
+  sink.cap = 0;  // accepts nothing: a socket whose buffer is full
+  FrameSink fs(sink.fn(), FrameSink::Fallible{});
+  EXPECT_TRUE(fs.write("abcdef"));
+  EXPECT_FALSE(fs.flush());
+  EXPECT_EQ(fs.pending_bytes(), 6u);
+  EXPECT_FALSE(fs.failed());
+
+  // Later writes queue behind the pending bytes, never ahead of them.
+  EXPECT_TRUE(fs.write("ghi"));
+  sink.cap = 4;
+  EXPECT_TRUE(fs.flush());
+  EXPECT_EQ(sink.out, "abcdefghi");
+  EXPECT_EQ(fs.pending_bytes(), 0u);
+}
+
+TEST(FrameSinkFallible, WriteErrorLatchesDiscardsAndDropsLaterWrites) {
+  ThrottledSink sink;
+  sink.fail = true;
+  FrameSink fs(sink.fn(), FrameSink::Fallible{});
+  EXPECT_TRUE(fs.write("doomed"));  // buffered; failure surfaces at drain
+  EXPECT_FALSE(fs.flush());
+  EXPECT_TRUE(fs.failed());
+  EXPECT_EQ(fs.pending_bytes(), 0u) << "failed sink must not retain bytes";
+
+  // Latched: recovery of the fn does not resurrect the sink.
+  sink.fail = false;
+  sink.cap = 1024;
+  EXPECT_FALSE(fs.write("after failure"));
+  EXPECT_FALSE(fs.flush());
+  EXPECT_EQ(sink.out, "");
+}
+
+TEST(FrameSinkFallible, BulkPathShortWriteBuffersRemainderInOrder) {
+  // A threshold-sized payload takes the zero-copy bypass; a short accept
+  // mid-payload must buffer the suffix so later writes stay behind it.
+  ThrottledSink sink;
+  sink.cap = FrameSink::kFlushThreshold / 2;
+  FrameSink fs(sink.fn(), FrameSink::Fallible{});
+  const std::string big(FrameSink::kFlushThreshold, 'A');
+  EXPECT_TRUE(fs.write("prefix-"));
+  EXPECT_TRUE(fs.write(big));
+
+  sink.cap = 0;  // saturate before the tail goes out
+  EXPECT_TRUE(fs.write("-suffix"));
+  sink.cap = 1 << 20;
+  EXPECT_TRUE(fs.flush());
+  EXPECT_EQ(sink.out, "prefix-" + big + "-suffix");
+}
+
+TEST(FrameSinkFallible, InfallibleSinksNeverShortNeverFail) {
+  std::string out;
+  FrameSink fs(FrameSink::WriteFn([&out](std::string_view b) { out.append(b); }));
+  EXPECT_TRUE(fs.write("plain"));
+  EXPECT_TRUE(fs.flush());
+  EXPECT_EQ(out, "plain");
+  EXPECT_FALSE(fs.failed());
+  EXPECT_EQ(fs.pending_bytes(), 0u);
+  EXPECT_EQ(fs.bytes_written(), 5u);
+}
+
+TEST(FrameSinkFallible, BinaryWriterSurfacesSinkStateForBackpressurePolicy) {
+  ThrottledSink sink;
+  sink.cap = 1 << 20;
+  BinaryWriter writer(sink.fn(), FrameSink::Fallible{});
+  // The 16-byte header buffers below the flush threshold; flush pushes it
+  // out through the fallible path.
+  EXPECT_TRUE(writer.flush());
+  EXPECT_GE(sink.out.size(), sizeof(wire::Header));
+  EXPECT_FALSE(writer.sink_failed());
+
+  Span s;
+  s.id = 1;
+  s.name = "frame_sink_writer_op";
+  s.tracer = "frame_sink_test";
+  s.begin = 0;
+  s.end = 1;
+
+  sink.cap = 0;  // saturate: encoded frames stay pending, not lost
+  writer.write_batch({s});
+  EXPECT_FALSE(writer.flush());
+  EXPECT_GT(writer.sink_pending_bytes(), 0u);
+  EXPECT_FALSE(writer.sink_failed());
+
+  sink.cap = 1 << 20;  // socket drains: flush retries and empties
+  EXPECT_TRUE(writer.flush());
+  EXPECT_EQ(writer.sink_pending_bytes(), 0u);
+
+  sink.fail = true;  // connection dies: failure latches through
+  writer.write_batch({s});
+  writer.flush();
+  EXPECT_TRUE(writer.sink_failed());
+}
+
+}  // namespace
+}  // namespace xsp::trace
