@@ -1,0 +1,110 @@
+// Ablation: sampling & admission cost through the publish path.
+//
+// The sampling layer's performance contract has two sides:
+//   1. rate 1.0 must be free — an attached pass-through sampler (and the
+//      no-sampler baseline) must publish at the same throughput as a
+//      build with no sampling layer at all (BENCH_abl_span_publication
+//      gates that separately);
+//   2. aggressive rates must be a *speedup* — a rejected span costs one
+//      hash + one counter bump instead of slot/batch work, so rate 0.01
+//      publication should be measurably faster per offered span.
+//
+// Benchmarks:
+//   BM_SamplerDecision/<pct>  admit() alone, no server: the raw cost of
+//                             the splitmix64 draw at rates 1.0/0.1/0.01
+//   BM_PublishUnsampled       publish with no sampler attached (baseline)
+//   BM_PublishSampled/<pct>   publish through a TraceServer with a
+//                             sampler at rate pct/100; items = offered
+//                             spans, so lower ns/op at lower rates is the
+//                             shed-before-work win
+//
+// Spans carry a correlation id cycling over many requests, so the hash
+// path exercised is the head-sampling (whole-request) decision, the shape
+// a real session publishes.
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "xsp/trace/sampler.hpp"
+#include "xsp/trace/trace_server.hpp"
+
+namespace {
+
+using xsp::trace::PublishMode;
+using xsp::trace::Sampler;
+using xsp::trace::SamplerOptions;
+using xsp::trace::Span;
+using xsp::trace::TraceServer;
+
+/// Spans between take_batches() drains — matches
+/// bench_abl_span_publication so per-span costs are comparable.
+constexpr std::size_t kDrainEvery = 1 << 16;
+
+Span make_span(TraceServer& server, int i) {
+  Span s;
+  s.id = server.next_span_id();
+  s.name = "volta_scudnn_128x64_relu_interior_nn_v1";
+  s.begin = i * 100;
+  s.end = i * 100 + 90;
+  // ~8 spans per request: the correlation id is what the head-sampling
+  // hash keys on, so kept/shed decisions are per request, not per span.
+  s.correlation_id = static_cast<std::uint64_t>(i >> 3) + 1;
+  return s;
+}
+
+Sampler make_sampler(int rate_pct) {
+  SamplerOptions opts;
+  opts.rate = static_cast<double>(rate_pct) / 100.0;
+  return Sampler(opts);
+}
+
+void BM_SamplerDecision(benchmark::State& state) {
+  const Sampler sampler = make_sampler(static_cast<int>(state.range(0)));
+  Span s;
+  s.name = "volta_scudnn_128x64_relu_interior_nn_v1";
+  s.begin = 0;
+  s.end = 90;
+  std::uint64_t corr = 1;
+  std::uint64_t admitted = 0;
+  for (auto _ : state) {
+    s.correlation_id = corr++;
+    admitted += sampler.admit(s) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(admitted);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerDecision)->Arg(100)->Arg(10)->Arg(1);
+
+void publish_loop(benchmark::State& state, TraceServer& server) {
+  std::size_t since_drain = 0;
+  int i = 0;
+  for (auto _ : state) {
+    server.publish(make_span(server, i++));
+    if (++since_drain == kDrainEvery) {
+      since_drain = 0;
+      benchmark::DoNotOptimize(server.take_batches());
+    }
+  }
+  benchmark::DoNotOptimize(server.take_batches());
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_PublishUnsampled(benchmark::State& state) {
+  TraceServer server(PublishMode::kAsync);
+  publish_loop(state, server);
+}
+BENCHMARK(BM_PublishUnsampled);
+
+void BM_PublishSampled(benchmark::State& state) {
+  TraceServer server(PublishMode::kAsync);
+  server.set_sampler(std::make_shared<const Sampler>(
+      make_sampler(static_cast<int>(state.range(0)))));
+  publish_loop(state, server);
+}
+BENCHMARK(BM_PublishSampled)->Arg(100)->Arg(10)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

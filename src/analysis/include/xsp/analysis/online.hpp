@@ -31,12 +31,14 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "xsp/common/string_table.hpp"
 #include "xsp/common/time.hpp"
+#include "xsp/trace/sampler.hpp"
 #include "xsp/trace/span.hpp"
 #include "xsp/trace/trace_server.hpp"  // DrainSubscriber
 
@@ -96,6 +98,17 @@ struct OnlineAggregate {
   /// alloc_bytes total for layer rows; DRAM read+write bytes total for
   /// kernel rows.
   double bytes = 0;
+  /// Horvitz-Thompson rescaled estimates of the *pre-sampling* count and
+  /// total: each observed span contributes 1/effective_rate (weight 1
+  /// with no sampler attached, so est == exact on unsampled streams).
+  /// Unbiased for the unsampled totals; see src/analysis/README.md for
+  /// the variance bounds the equivalence tests pin.
+  double est_count = 0;
+  double est_total_ns = 0;
+  /// SpaceSaving overestimation bound, non-zero only for rows that took
+  /// over an evicted slot in a bounded kernel table: the row's true count
+  /// is within [count - count_error, count]. 0 = exact.
+  std::uint64_t count_error = 0;
 
   [[nodiscard]] double mean_ns() const noexcept {
     return count > 0 ? static_cast<double>(total_ns) / static_cast<double>(count) : 0;
@@ -145,6 +158,23 @@ struct OnlineSnapshot {
   /// Global StringTable size/bytes sampled at snapshot time.
   std::uint64_t interned_strings = 0;
   std::uint64_t interned_bytes = 0;
+
+  // -- sampling ----------------------------------------------------------
+  /// Horvitz-Thompson estimate of the pre-sampling span count (== spans
+  /// when no sampler is attached).
+  double est_spans = 0;
+  /// Attached sampler's configured base rate (1.0 when none).
+  double sampling_rate = 1.0;
+  /// Publish-layer admission accounting injected via
+  /// set_sampling_accounting() — the fleet's kept/shed counters, so a
+  /// dashboard can show actual shed volume, which the analyzer cannot see
+  /// from the admitted stream alone. Both 0 until injected.
+  std::uint64_t sampled_kept = 0;
+  std::uint64_t sampled_dropped = 0;
+  /// Bounded-kernel-table telemetry: the configured row cap (0 = exact,
+  /// unbounded) and lifetime SpaceSaving takeovers so far.
+  std::size_t kernel_row_limit = 0;
+  std::uint64_t kernel_evictions = 0;
 };
 
 /// max(shard_spans) / mean(shard_spans): 1.0 = perfectly balanced, and a
@@ -167,7 +197,40 @@ struct OnlineAnalyzerOptions {
   /// allocates (amortized, on new-key insert only); steady state — no new
   /// keys — never allocates.
   std::size_t expected_keys = 64;
+  /// Bound on distinct kernel rows. 0 keeps the exact unbounded table;
+  /// > 0 turns the kernel table into a SpaceSaving top-k sketch: when a
+  /// new kernel name arrives with the table full, the minimum-count row
+  /// is evicted and the newcomer inherits its count as `count_error`
+  /// (the classic overestimation bound). True heavy hitters — kernels
+  /// whose count exceeds observed/max_kernel_rows — are guaranteed
+  /// present; time/byte stats of a takeover row restart from zero.
+  std::size_t max_kernel_rows = 0;
 };
+
+/// A threshold alert on snapshot-derived metrics, evaluated by
+/// poll_alerts(). Edge-triggered: the callback fires when `value(snap)`
+/// crosses the threshold in the armed direction and re-arms only after
+/// the metric recovers — a serving layer polling every second gets one
+/// callback per excursion, not one per poll.
+struct AlertRule {
+  std::string name;
+  /// Metric extractor, e.g. [](const OnlineSnapshot& s) { return
+  /// double(s.kernel_p99); } or a drop-rate derived from the sampling
+  /// accounting fields.
+  std::function<double(const OnlineSnapshot&)> value;
+  double threshold = 0;
+  /// true: fire when the metric rises above the threshold; false: when it
+  /// falls below.
+  bool fire_above = true;
+};
+
+/// Handle for one registered alert (remove_alert). 0 is never valid.
+using AlertId = std::uint64_t;
+
+/// Fired from poll_alerts() with the rule, the offending value, and the
+/// snapshot it was computed from.
+using AlertCallback =
+    std::function<void(const AlertRule&, double, const OnlineSnapshot&)>;
 
 /// Thread-safe streaming aggregator over draining span batches.
 ///
@@ -230,6 +293,35 @@ class OnlineAnalyzer {
 
   [[nodiscard]] const OnlineAnalyzerOptions& options() const noexcept { return options_; }
 
+  // --- sampling-aware estimation -----------------------------------------
+  /// Attach (or clear, with nullptr) the sampler whose admission decisions
+  /// shaped the observed stream. Each subsequent span is weighted by
+  /// 1/Sampler::effective_rate(span) into the est_count/est_total_ns
+  /// aggregate fields and est_spans — the Horvitz-Thompson estimator of
+  /// the pre-sampling totals. Exact fields (count, total_ns, min/max) stay
+  /// what was actually observed.
+  void set_sampler(std::shared_ptr<const trace::Sampler> sampler);
+
+  /// Inject the publish-layer admission counters (TraceServer::
+  /// sampled_kept/dropped_count deltas) so snapshots can report the true
+  /// shed volume; the analyzer never sees rejected spans itself.
+  void set_sampling_accounting(std::uint64_t kept, std::uint64_t dropped);
+
+  // --- alerting ----------------------------------------------------------
+  /// Register an edge-triggered threshold alert; returns a handle for
+  /// remove_alert(). The callback runs inside poll_alerts() on the polling
+  /// thread, outside the analyzer's locks — it may call snapshot() or
+  /// add/remove alerts, but blocking in it delays only the poller.
+  AlertId add_alert(AlertRule rule, AlertCallback callback);
+  void remove_alert(AlertId id);
+
+  /// Take one snapshot and evaluate every registered rule against it,
+  /// firing callbacks for rules newly crossing their threshold (and
+  /// re-arming ones that recovered). Returns the number fired. The
+  /// intended shape is a dashboard/serving loop calling this at its
+  /// refresh cadence.
+  std::size_t poll_alerts();
+
  private:
   /// Open-addressing StrId -> row-index map plus its dense row storage:
   /// lookups probe a power-of-two slot array (no allocation), inserts
@@ -241,6 +333,13 @@ class OnlineAnalyzer {
 
     void reserve(std::size_t expected_keys);
     OnlineAggregate& at(StrId key);
+    /// SpaceSaving variant: like at(), but a *new* key arriving with
+    /// `max_rows` rows already present takes over the minimum-count row
+    /// instead of appending — the evicted key's count is inherited and
+    /// recorded as the newcomer's count_error, time/byte stats reset, and
+    /// the slot array is rebuilt for the key swap. `evictions` counts the
+    /// takeovers.
+    OnlineAggregate& at_capped(StrId key, std::size_t max_rows, std::uint64_t& evictions);
     void clear() noexcept;
 
    private:
@@ -286,6 +385,14 @@ class OnlineAnalyzer {
   LatencyHistogram kernel_hist_;
   std::array<WindowBucket, kWindowBuckets> window_{};
   std::vector<std::uint64_t> shard_spans_;
+  /// Sampling state (still guarded by mu_): the attached policy, the HT
+  /// running total, injected publish-layer accounting, and the bounded
+  /// kernel table's takeover count.
+  std::shared_ptr<const trace::Sampler> sampler_;
+  double est_spans_ = 0;
+  std::uint64_t sampled_kept_ = 0;
+  std::uint64_t sampled_dropped_ = 0;
+  std::uint64_t kernel_evictions_ = 0;
 
   /// Interned annotation keys this analyzer reads from spans. These
   /// mirror profile::span_keys() by string value (equal strings intern to
@@ -300,6 +407,19 @@ class OnlineAnalyzer {
     StrId dram_write_bytes{"dram_write_bytes"};
   };
   Keys keys_;
+
+  /// Alert registry, under its own lock so registration/polling never
+  /// contends with the observe hot path. `fired` is the edge-trigger
+  /// latch: set on crossing, cleared on recovery.
+  struct Alert {
+    AlertId id = 0;
+    AlertRule rule;
+    AlertCallback callback;
+    bool fired = false;
+  };
+  std::mutex alert_mu_;
+  std::vector<Alert> alerts_;
+  AlertId next_alert_id_ = 1;
 };
 
 }  // namespace xsp::analysis

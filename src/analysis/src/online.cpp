@@ -98,6 +98,54 @@ OnlineAggregate& OnlineAnalyzer::KeyedTable::at(StrId key) {
   return rows.back();
 }
 
+OnlineAggregate& OnlineAnalyzer::KeyedTable::at_capped(StrId key, std::size_t max_rows,
+                                                       std::uint64_t& evictions) {
+  if (slots.empty()) reserve(16);
+  std::size_t mask = slots.size() - 1;
+  std::size_t i = key_hash(key) & mask;
+  while (slots[i] != 0) {
+    OnlineAggregate& row = rows[slots[i] - 1];
+    if (row.key == key) return row;
+    i = (i + 1) & mask;
+  }
+  if (max_rows == 0 || rows.size() < max_rows) {
+    // Under the cap: identical to at()'s append path.
+    if ((rows.size() + 1) * 4 >= slots.size() * 3) {
+      rehash(slots.size() * 2);
+      mask = slots.size() - 1;
+      i = key_hash(key) & mask;
+      while (slots[i] != 0) i = (i + 1) & mask;
+    }
+    OnlineAggregate row;
+    row.key = key;
+    rows.push_back(row);
+    slots[i] = static_cast<std::uint32_t>(rows.size());
+    return rows.back();
+  }
+  // SpaceSaving takeover: the newcomer seizes the minimum-count row,
+  // inheriting its count (and HT estimate) as the standard overestimate —
+  // recorded in count_error so readers know the bound. A true heavy
+  // hitter's count always exceeds every minimum it could seize, so it can
+  // never be evicted once established. The linear victim scan is O(cap)
+  // but runs only on *new-key-while-full*, which a heavy-hitter-skewed
+  // stream makes rare; the slot rebuild for the key swap is O(cap) too.
+  ++evictions;
+  std::size_t victim = 0;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    if (rows[r].count < rows[victim].count) victim = r;
+  }
+  OnlineAggregate& row = rows[victim];
+  const std::uint64_t inherited_count = row.count;
+  const double inherited_est = row.est_count;
+  row = OnlineAggregate{};
+  row.key = key;
+  row.count = inherited_count;
+  row.est_count = inherited_est;
+  row.count_error = inherited_count;
+  rehash(slots.size());
+  return row;
+}
+
 void OnlineAnalyzer::KeyedTable::clear() noexcept {
   std::fill(slots.begin(), slots.end(), 0);
   rows.clear();
@@ -167,6 +215,8 @@ void OnlineAnalyzer::observe_shard(std::size_t shard, const trace::SpanBatches& 
   // does not reload members through `this` after every aggregate write
   // (aliasing it cannot disprove); they are written back once per call.
   const Keys keys = keys_;
+  const trace::Sampler* sampler = sampler_.get();
+  const std::size_t kernel_cap = options_.max_kernel_rows;
   Ns first_begin = first_begin_;
   Ns last_end = last_end_;
   Ns layer_total = 0;
@@ -175,6 +225,7 @@ void OnlineAnalyzer::observe_shard(std::size_t shard, const trace::SpanBatches& 
   std::uint64_t kernel_spans = 0;
   std::uint64_t memcpy_spans = 0;
   std::uint64_t observed = 0;
+  double est = 0;
   // Window run-length accumulator: consecutive spans almost always land
   // in the same (coarse) window bucket, so fold them locally and touch
   // the ring once per run.
@@ -191,6 +242,16 @@ void OnlineAnalyzer::observe_shard(std::size_t shard, const trace::SpanBatches& 
       const Ns dur = raw > 0 ? raw : 0;
       if (s.begin < first_begin) first_begin = s.begin;
       if (s.end > last_end) last_end = s.end;
+      // Horvitz-Thompson weight: an admitted span stands in for
+      // 1/effective_rate pre-sampling spans. 1.0 without a sampler, so
+      // est fields stay exactly equal to the exact fields on unsampled
+      // streams (pinned by the sampled-vs-oracle suite).
+      double w = 1.0;
+      if (sampler != nullptr) {
+        const double r = sampler->effective_rate(s);
+        if (r > 0 && r < 1.0) w = 1.0 / r;
+      }
+      est += w;
       Ns gpu_busy = 0;
       if (s.level == trace::kLayerLevel && s.kind == SpanKind::kRegular) {
         ++layer_spans;
@@ -204,6 +265,8 @@ void OnlineAnalyzer::observe_shard(std::size_t shard, const trace::SpanBatches& 
         if (dur < agg.min_ns) agg.min_ns = dur;
         if (dur > agg.max_ns) agg.max_ns = dur;
         agg.bytes += s.metric_or(keys.alloc_bytes, 0.0);
+        agg.est_count += w;
+        agg.est_total_ns += w * static_cast<double>(dur);
       } else if (s.level == trace::kKernelLevel && s.kind == SpanKind::kExecution) {
         if (s.tag_or(keys.kind) == keys.kind_memcpy) {
           ++memcpy_spans;
@@ -212,7 +275,9 @@ void OnlineAnalyzer::observe_shard(std::size_t shard, const trace::SpanBatches& 
           kernel_total += dur;
           kernel_hist_.record(dur);
           gpu_busy = dur;
-          OnlineAggregate& agg = kernels_.at(s.name);
+          OnlineAggregate& agg = kernel_cap > 0
+                                     ? kernels_.at_capped(s.name, kernel_cap, kernel_evictions_)
+                                     : kernels_.at(s.name);
           ++agg.count;
           agg.total_ns += dur;
           if (dur < agg.min_ns) agg.min_ns = dur;
@@ -225,6 +290,8 @@ void OnlineAnalyzer::observe_shard(std::size_t shard, const trace::SpanBatches& 
             }
           }
           agg.bytes += dram;
+          agg.est_count += w;
+          agg.est_total_ns += w * static_cast<double>(dur);
         }
       }
       const std::uint64_t b =
@@ -248,7 +315,19 @@ void OnlineAnalyzer::observe_shard(std::size_t shard, const trace::SpanBatches& 
   kernel_spans_ += kernel_spans;
   memcpy_spans_ += memcpy_spans;
   spans_ += observed;
+  est_spans_ += est;
   shard_spans_[shard < shard_spans_.size() ? shard : shard_spans_.size() - 1] += observed;
+}
+
+void OnlineAnalyzer::set_sampler(std::shared_ptr<const trace::Sampler> sampler) {
+  std::lock_guard lk(mu_);
+  sampler_ = std::move(sampler);
+}
+
+void OnlineAnalyzer::set_sampling_accounting(std::uint64_t kept, std::uint64_t dropped) {
+  std::lock_guard lk(mu_);
+  sampled_kept_ = kept;
+  sampled_dropped_ = dropped;
 }
 
 namespace {
@@ -304,6 +383,12 @@ OnlineSnapshot OnlineAnalyzer::snapshot() const {
     snap.window_gpu_busy_pct =
         100.0 * static_cast<double>(window_gpu) / static_cast<double>(options_.window);
     snap.shard_spans = shard_spans_;
+    snap.est_spans = est_spans_;
+    snap.sampling_rate = sampler_ != nullptr ? sampler_->options().rate : 1.0;
+    snap.sampled_kept = sampled_kept_;
+    snap.sampled_dropped = sampled_dropped_;
+    snap.kernel_row_limit = options_.max_kernel_rows;
+    snap.kernel_evictions = kernel_evictions_;
   }
   snap.gpu_pct = snap.layer_total_ns > 0
                      ? 100.0 * static_cast<double>(snap.kernel_total_ns) /
@@ -329,6 +414,61 @@ void OnlineAnalyzer::reset() {
   kernel_hist_.clear();
   window_.fill(WindowBucket{});
   std::fill(shard_spans_.begin(), shard_spans_.end(), 0);
+  // Sampling state: the accumulators reset; the attached policy survives
+  // (reset() forgets history, not configuration).
+  est_spans_ = 0;
+  sampled_kept_ = 0;
+  sampled_dropped_ = 0;
+  kernel_evictions_ = 0;
+}
+
+// ------------------------------------------------------------------------
+// Alerts
+
+AlertId OnlineAnalyzer::add_alert(AlertRule rule, AlertCallback callback) {
+  std::lock_guard lk(alert_mu_);
+  const AlertId id = next_alert_id_++;
+  alerts_.push_back(Alert{id, std::move(rule), std::move(callback), false});
+  return id;
+}
+
+void OnlineAnalyzer::remove_alert(AlertId id) {
+  std::lock_guard lk(alert_mu_);
+  alerts_.erase(std::remove_if(alerts_.begin(), alerts_.end(),
+                               [id](const Alert& a) { return a.id == id; }),
+                alerts_.end());
+}
+
+std::size_t OnlineAnalyzer::poll_alerts() {
+  // One snapshot per poll: every rule sees the same consistent state, and
+  // rule extractors never run under the analyzer's aggregate lock. The
+  // fired-latch update holds only alert_mu_; callbacks run after it drops
+  // so they may freely call snapshot(), add_alert(), or remove_alert().
+  const OnlineSnapshot snap = snapshot();
+  struct Firing {
+    AlertRule rule;
+    AlertCallback callback;
+    double value;
+  };
+  std::vector<Firing> firings;
+  {
+    std::lock_guard lk(alert_mu_);
+    for (Alert& a : alerts_) {
+      if (!a.rule.value) continue;
+      const double v = a.rule.value(snap);
+      const bool crossed = a.rule.fire_above ? v > a.rule.threshold : v < a.rule.threshold;
+      if (crossed && !a.fired) {
+        a.fired = true;
+        firings.push_back(Firing{a.rule, a.callback, v});
+      } else if (!crossed && a.fired) {
+        a.fired = false;  // recovered: re-arm for the next excursion
+      }
+    }
+  }
+  for (const Firing& f : firings) {
+    if (f.callback) f.callback(f.rule, f.value, snap);
+  }
+  return firings.size();
 }
 
 // ------------------------------------------------------------------------
@@ -426,6 +566,10 @@ void append_rows(std::string& out, const std::vector<OnlineAggregate>& rows,
     append_int(out, row.max_ns);
     out += ",\"bytes\":";
     append_double(out, row.bytes);
+    out += ",\"est_count\":";
+    append_double(out, row.est_count);
+    out += ",\"count_error\":";
+    append_uint(out, row.count_error);
     out += '}';
   }
   out += ']';
@@ -477,6 +621,16 @@ std::string online_summary_json(const OnlineSnapshot& snap, std::size_t max_rows
   }
   out += "],\"shard_imbalance\":";
   append_double(out, shard_imbalance(snap.shard_spans));
+  out += ",\"est_spans\":";
+  append_double(out, snap.est_spans);
+  out += ",\"sampling_rate\":";
+  append_double(out, snap.sampling_rate);
+  out += ",\"sampled_kept\":";
+  append_uint(out, snap.sampled_kept);
+  out += ",\"sampled_dropped\":";
+  append_uint(out, snap.sampled_dropped);
+  out += ",\"kernel_evictions\":";
+  append_uint(out, snap.kernel_evictions);
   out += ",\"layer_types\":";
   append_rows(out, snap.layer_types, max_rows);
   out += ",\"kernels\":";

@@ -28,6 +28,10 @@ struct CollectorService::Connection {
   std::unordered_map<SpanId, SpanId> span_remap;
   std::unordered_map<std::uint64_t, std::uint64_t> corr_remap;
   trace::SpanBatch scratch;
+  /// Stream format version from the validated header; sizes the footer
+  /// frame (wire::footer_size) so v1 producers keep working against a v2
+  /// daemon.
+  std::uint16_t version = wire::kVersion;
   bool got_header = false;
   bool done = false;     ///< footer seen; only EOF is acceptable after
   bool errored = false;  ///< hostile input or mid-frame disconnect
@@ -159,7 +163,7 @@ void CollectorService::parse_frames(Connection& conn) {
       if (data.size() < sizeof(wire::Header)) return;
       wire::Header header{};
       std::memcpy(&header, data.data(), sizeof header);
-      trace::WireDecoder::validate_header(header);
+      conn.version = trace::WireDecoder::validate_header(header);
       conn.rx.consume(sizeof header);
       conn.got_header = true;
       continue;
@@ -195,10 +199,12 @@ void CollectorService::parse_frames(Connection& conn) {
         break;
       }
       case wire::FrameType::kFooter: {
-        if (payload_size != sizeof(wire::Footer))
+        // v1 producers send the 11-field footer prefix; the v2-only
+        // fields decode as zero (see BinaryReader's matching rule).
+        if (payload_size != wire::footer_size(conn.version))
           throw WireError("xsp collector: footer payload length mismatch");
         wire::Footer footer{};
-        std::memcpy(&footer, payload.data(), sizeof footer);
+        std::memcpy(&footer, payload.data(), payload_size);
         conn.decoder.set_footer(footer);
         conn.done = true;
         std::lock_guard lk(stats_mu_);

@@ -103,6 +103,28 @@ struct ProfileOptions {
   /// Sliding window (simulated time) for the live span/s and GPU-busy
   /// stats; 0 keeps the analyzer default.
   Ns live_stats_window = 0;
+  /// Head-sampling rate in (0, 1]: the fraction of spans admitted into
+  /// the collection fleet (a trace::Sampler set on every shard). The
+  /// decision is a deterministic hash of the correlation id, so a kept
+  /// request keeps *all* of its spans across tracers and shards; 1.0
+  /// (default) disables sampling entirely — the publish path is the
+  /// pass-through fast path, within noise of an unsampled build.
+  /// Sheds surface in RunTrace::sampled_dropped and, when live_stats is
+  /// on, the analyzer rescales its rate/count estimates by the effective
+  /// rate (Horvitz-Thompson), so dashboards stay calibrated.
+  double sampling_rate = 1.0;
+  /// Tail-keep escape hatch: spans at least this long are admitted
+  /// regardless of the hash draw (0 disables). Latency outliers survive
+  /// aggressive rates; such spans carry effective rate 1.0 so the
+  /// rescaled estimates stay unbiased.
+  Ns sampling_tail_keep_ns = 0;
+  /// Seed for the sampling hash — distinct seeds sample distinct subsets
+  /// at the same rate (multi-run variance estimation).
+  std::uint64_t sampling_seed = 0;
+  /// Bound the live analyzer's per-kernel table to this many rows via
+  /// SpaceSaving top-k (0 = exact, unbounded). Applies when the analyzer
+  /// is created — the first live_stats run on this session.
+  std::size_t top_k_kernels = 0;
 
   [[nodiscard]] std::string level_string() const;  // "M", "M/L", "M/L/G"
 
@@ -171,12 +193,20 @@ struct RunTrace {
   std::uint64_t remote_spans = 0;
   std::uint64_t remote_dropped_spans = 0;
   std::uint64_t remote_reconnects = 0;
+  /// Sampling admission accounting for *this run* (ProfileOptions::
+  /// sampling_rate): spans the fleet's sampler admitted / rejected.
+  /// Both 0 when no sampler was attached; with one, every publication
+  /// lands in exactly one bucket — published == sampled_kept +
+  /// sampled_dropped, the invariant the admission tests pin.
+  std::uint64_t sampled_kept = 0;
+  std::uint64_t sampled_dropped = 0;
 
   /// Export metadata for to_span_json(timeline, meta).
   [[nodiscard]] trace::TraceMeta trace_meta() const noexcept {
     return {dropped_annotations, trace_shards,  interned_strings,
             interned_bytes,      live_slots,    retired_slots,
-            slot_bytes,          remote_dropped_spans, remote_reconnects};
+            slot_bytes,          remote_dropped_spans, remote_reconnects,
+            sampled_kept,        sampled_dropped};
   }
 };
 
@@ -219,6 +249,12 @@ class Session {
   /// runs; a service rolling its stats window calls this between epochs).
   void reset_live_stats();
 
+  /// The live analyzer itself — nullptr until the first live_stats run
+  /// has started. The surface for the analyzer APIs beyond snapshots:
+  /// alert registration (add_alert/poll_alerts) from a serving layer or
+  /// dashboard thread.
+  [[nodiscard]] std::shared_ptr<analysis::OnlineAnalyzer> live_analyzer() const;
+
   /// Producer-slot health of the collection fleet right now. Thread-safe
   /// and callable mid-run from another thread (the xsp_top dashboard
   /// pairs it with live_snapshot()); all zeros before the first run.
@@ -256,6 +292,15 @@ class Session {
   /// endpoint.
   std::unique_ptr<trace::RemoteSink> remote_;
   std::string remote_uri_;
+  /// Admission policy built from ProfileOptions::sampling_* (nullptr when
+  /// rate is 1.0 and no tail-keep): shared by the fleet, the remote sink,
+  /// and the live analyzer so one decision governs admission, shedding,
+  /// and rescaling. Rebuilt only when the options change.
+  std::shared_ptr<const trace::Sampler> sampler_;
+  /// Session-lifetime admission totals (the analyzer accumulates across
+  /// runs, so it gets these, not per-run deltas).
+  std::uint64_t sampled_kept_total_ = 0;
+  std::uint64_t sampled_dropped_total_ = 0;
   std::unique_ptr<trace::Tracer> model_tracer_;
   std::unique_ptr<trace::Tracer> layer_tracer_;
   std::unique_ptr<trace::Tracer> library_tracer_;

@@ -7,6 +7,7 @@
 
 #include "xsp/net/endpoint.hpp"
 #include "xsp/profile/span_keys.hpp"
+#include "xsp/trace/sampler.hpp"
 #include "xsp/trace/wire.hpp"
 
 namespace xsp::profile {
@@ -45,6 +46,11 @@ analysis::OnlineSnapshot Session::live_snapshot() const {
     online = online_;
   }
   return online != nullptr ? online->snapshot() : analysis::OnlineSnapshot{};
+}
+
+std::shared_ptr<analysis::OnlineAnalyzer> Session::live_analyzer() const {
+  std::lock_guard lk(online_mu_);
+  return online_;
 }
 
 void Session::reset_live_stats() {
@@ -104,6 +110,30 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
     // DeterministicAcrossIdenticalRuns), not per profile() call.
     server_->recycle(server_->take_batches());
   }
+  // Sampling admission: build (or drop) the policy before any tracer
+  // publishes. One Sampler instance is shared by the fleet (admission),
+  // the remote sink (pressure shedding), and the live analyzer
+  // (rescaling) so all three agree on every span's fate.
+  const bool want_sampler =
+      options.sampling_rate < 1.0 || options.sampling_tail_keep_ns > 0;
+  if (want_sampler) {
+    if (sampler_ == nullptr || sampler_->options().rate != options.sampling_rate ||
+        sampler_->options().tail_keep_ns != options.sampling_tail_keep_ns ||
+        sampler_->options().seed != options.sampling_seed) {
+      trace::SamplerOptions sopts;
+      sopts.rate = options.sampling_rate;
+      sopts.tail_keep_ns = options.sampling_tail_keep_ns;
+      sopts.seed = options.sampling_seed;
+      sampler_ = std::make_shared<const trace::Sampler>(sopts);
+    }
+  } else {
+    sampler_ = nullptr;
+  }
+  server_->set_sampler(sampler_);
+  // Per-run admission deltas come from before/after captures of the
+  // fleet's lifetime-monotonic counters (a reused fleet keeps counting).
+  const std::uint64_t sampled_kept_before = server_->sampled_kept_count();
+  const std::uint64_t sampled_dropped_before = server_->sampled_dropped_count();
   // Streaming export: observe batches as the shards drain them, writing
   // raw publication spans to the file during the run. kObserve (tee)
   // because this run also assembles an in-memory timeline; a service that
@@ -147,10 +177,15 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
         analysis::OnlineAnalyzerOptions oopts;
         oopts.shard_count = server_->shard_count();
         if (options.live_stats_window > 0) oopts.window = options.live_stats_window;
+        oopts.max_kernel_rows = options.top_k_kernels;
         online_ = std::make_shared<analysis::OnlineAnalyzer>(oopts);
       }
       online = online_;
     }
+    // The analyzer only ever sees admitted spans; handing it the same
+    // policy lets it weight each one by 1/effective_rate so its
+    // est_* fields estimate the unsampled stream.
+    online->set_sampler(sampler_);
     // The analyzer is a service-lifetime accumulator: a resharded fleet
     // grows its per-shard counters and a new window reconfigures the
     // (transient) ring in place — neither discards accumulated
@@ -200,6 +235,10 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
           net::Endpoint::parse(options.remote_endpoint));
       remote_uri_ = options.remote_endpoint;
     }
+    // The forwarded batches were already admitted by the fleet's sampler;
+    // the sink uses the policy only to shed low-value spans first when
+    // its outbox backs up (instead of dropping whole batches blind).
+    remote_->set_sampler(sampler_);
     subscriber_guard.remote_id = server_->add_drain_subscriber(
         [sink = remote_.get()](const trace::SpanBatches& batches) {
           sink->write_batches(batches);
@@ -342,6 +381,17 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
   // the next run on this session (the fleet outlives the run above).
   result.dropped_annotations = server_->dropped_annotation_count();
   result.trace_shards = server_->shard_count();
+  // dropped_annotation_count() flushed every shard, so the admission
+  // counters are settled for the run.
+  result.sampled_kept = server_->sampled_kept_count() - sampled_kept_before;
+  result.sampled_dropped = server_->sampled_dropped_count() - sampled_dropped_before;
+  sampled_kept_total_ += result.sampled_kept;
+  sampled_dropped_total_ += result.sampled_dropped;
+  if (online != nullptr) {
+    // Session-lifetime totals, matching the analyzer's cross-run
+    // accumulation (injected before the streamed footer renders below).
+    online->set_sampling_accounting(sampled_kept_total_, sampled_dropped_total_);
+  }
   {
     const auto& table = common::StringTable::global();
     result.interned_strings = table.size();

@@ -12,7 +12,12 @@
 // Backpressure is bounded and *accounted*, never blocking and never
 // silent (the always-on-client memory discipline the I2PA evaluation
 // stresses — see PAPERS.md):
-//   - outbox at max_outbox_spans  -> newly sealed batches drop whole,
+//   - outbox at max_outbox_spans  -> with a sampler attached, the batch is
+//     first shed *selectively*: the sampler's value ordering keeps tail
+//     outliers and the deterministic high-priority hash slice
+//     (Sampler::keep_under_pressure) and drops the rest, counted in both
+//     spans_shed() and spans_dropped(); survivors that still do not fit —
+//     and whole batches when no sampler is attached — drop blind,
 //     spans_dropped() += batch size;
 //   - wire bytes pending past max_wire_pending_bytes (socket saturated
 //     slower than we encode) -> the next batch drops instead of encoding;
@@ -39,6 +44,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -48,6 +54,8 @@
 #include "xsp/trace/wire.hpp"
 
 namespace xsp::trace {
+
+class Sampler;  // sampler.hpp
 
 struct RemoteSinkOptions {
   /// Spans per sealed batch (the wire-frame granularity).
@@ -108,11 +116,30 @@ class RemoteSink final : public SpanSink {
   /// Idempotent; publishes after close() are dropped with accounting.
   void close();
 
+  /// Attach (or clear) the admission policy. Two roles:
+  ///  - publish() consults admit() exactly like TraceServer does, so
+  ///    `published == admitted + sampled_dropped` holds for direct
+  ///    producers (write_batches spans were already admitted upstream and
+  ///    are never re-sampled);
+  ///  - under backpressure the outbox sheds low-value spans through
+  ///    keep_under_pressure() instead of dropping whole batches blind.
+  void set_sampler(std::shared_ptr<const Sampler> sampler);
+
   // --- telemetry -----------------------------------------------------------
   [[nodiscard]] std::uint64_t spans_published() const noexcept;
   /// Spans accepted by the socket layer (left the FrameSink fully).
   [[nodiscard]] std::uint64_t spans_sent() const noexcept;
+  /// Spans that were admitted but never delivered (congestion, dead
+  /// connections, close against an unreachable daemon). Invariant at
+  /// close(): published == sent + dropped + sampled_dropped.
   [[nodiscard]] std::uint64_t spans_dropped() const noexcept;
+  /// Of spans_dropped(): how many were shed *selectively* by the
+  /// sampler's value ordering under backpressure (vs. blind whole-batch
+  /// congestion drops). 0 without a sampler.
+  [[nodiscard]] std::uint64_t spans_shed() const noexcept;
+  /// Spans publish() admitted / rejected via the sampler (0 without one).
+  [[nodiscard]] std::uint64_t spans_sampled_kept() const noexcept;
+  [[nodiscard]] std::uint64_t spans_sampled_dropped() const noexcept;
   [[nodiscard]] std::uint64_t reconnects() const noexcept;
   [[nodiscard]] bool connected() const noexcept;
 
@@ -138,12 +165,17 @@ class RemoteSink final : public SpanSink {
   std::deque<SpanBatch> outbox_;
   std::size_t outbox_spans_ = 0;
   TraceMeta meta_{};
+  /// Admission + shed policy (guarded by mu_; immutable once set).
+  std::shared_ptr<const Sampler> sampler_;
   bool stop_ = false;
   bool closed_ = false;
 
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> sent_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> sampled_kept_{0};
+  std::atomic<std::uint64_t> sampled_dropped_{0};
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<bool> connected_{false};
 

@@ -101,6 +101,17 @@ class ShardedTraceServer final : public SpanSink {
   /// Sum of the per-shard dropped-annotation aggregates (flushes first).
   [[nodiscard]] std::uint64_t dropped_annotation_count();
 
+  /// Install one admission policy on every shard (nullptr clears). One
+  /// shared immutable Sampler serves the whole fleet — the decision is
+  /// deterministic in the span, so shard routing cannot change a verdict.
+  void set_sampler(std::shared_ptr<const Sampler> sampler);
+
+  /// Sum of the per-shard sampler admissions (flushes first; monotonic).
+  [[nodiscard]] std::uint64_t sampled_kept_count();
+
+  /// Sum of the per-shard sampler rejections (flushes first; monotonic).
+  [[nodiscard]] std::uint64_t sampled_dropped_count();
+
   /// The merge step: concatenation of every shard's batch list, cost
   /// O(batches). Span order across shards is arbitrary, exactly as it is
   /// across producer slots of one server; Timeline::assemble orders it.

@@ -50,6 +50,8 @@
 
 namespace xsp::trace {
 
+class Sampler;  // sampler.hpp: head-sampling admission policy
+
 namespace detail {
 class SlotRegistry;  // trace_server.cpp: uid-keyed weak map of live servers
 }
@@ -137,8 +139,29 @@ class TraceServer final : public SpanSink {
   }
 
   /// Publish one completed span. Thread-safe; appends to the calling
-  /// thread's batch without touching any global lock.
+  /// thread's batch without touching any global lock. When a sampler is
+  /// attached, the admission decision happens here — before the span costs
+  /// a batch slot — and the outcome is counted per slot (sampled_kept /
+  /// sampled_dropped) so `published == admitted + sampled_dropped` holds
+  /// exactly.
   void publish(Span span) override;
+
+  /// Attach (or clear, with nullptr) the head-sampling admission policy
+  /// consulted by publish(). The hot path reads one raw pointer: with no
+  /// sampler attached publication cost is unchanged. Samplers set earlier
+  /// stay alive until the server dies, so a publisher racing a
+  /// set_sampler() call may use either policy but never a dangling one.
+  void set_sampler(std::shared_ptr<const Sampler> sampler);
+
+  /// Lifetime count of spans a sampler admitted at publish (flushes
+  /// first). Monotonic, like drained_span_count(); zero when no sampler
+  /// has ever been attached.
+  [[nodiscard]] std::uint64_t sampled_kept_count();
+
+  /// Lifetime count of spans a sampler rejected at publish (flushes
+  /// first). Monotonic. `spans published == sampled_kept + sampled_dropped`
+  /// whenever a sampler was attached for the whole run.
+  [[nodiscard]] std::uint64_t sampled_dropped_count();
 
   /// Block until every span published before this call has been aggregated
   /// (drains all sealed and partial batches on the caller thread).
@@ -256,6 +279,11 @@ class TraceServer final : public SpanSink {
     /// Annotation drops published through this slot since the last drain;
     /// aggregated into the server-wide counter when batches are taken.
     std::uint64_t dropped = 0;
+    /// Sampler admissions/rejections through this slot since the last
+    /// drain; aggregated into the lifetime sampled_kept_/sampled_dropped_
+    /// counters exactly like `dropped` above.
+    std::uint64_t sampled_kept = 0;
+    std::uint64_t sampled_dropped = 0;
     /// Stable key of the owning thread: re-registration after a TLS cache
     /// eviction finds this slot again instead of growing slots_.
     std::uint64_t owner = 0;
@@ -351,6 +379,18 @@ class TraceServer final : public SpanSink {
   /// per-shard load counter. Atomic so telemetry reads race-free against
   /// a collector mid-drain.
   std::atomic<std::uint64_t> drained_spans_{0};
+  /// Lifetime sampler admission counters, aggregated from the per-slot
+  /// counts at drain (atomic for the same reason as drained_spans_).
+  std::atomic<std::uint64_t> sampled_kept_{0};
+  std::atomic<std::uint64_t> sampled_dropped_{0};
+
+  /// Admission policy. The hot path loads the raw pointer (acquire); the
+  /// shared_ptrs in sampler_refs_ keep every policy ever set alive so the
+  /// raw pointer can never dangle mid-publish (set_sampler is a rare
+  /// configuration action — retaining superseded policies is cheap).
+  std::atomic<const Sampler*> sampler_ptr_{nullptr};
+  std::mutex sampler_mu_;
+  std::vector<std::shared_ptr<const Sampler>> sampler_refs_;
 
   /// Freelist of cleared batch vectors (and outer batch-list vectors) fed
   /// by recycle(); drawn from by publish()/drain()/take_batches().

@@ -87,6 +87,14 @@ struct TraceMeta {
   /// silently. Both 0 when no remote sink was involved.
   std::uint64_t remote_dropped_spans = 0;
   std::uint64_t remote_reconnects = 0;
+  /// Sampling accounting (trace::Sampler): spans the admission policy kept
+  /// and shed at publish. `published == sampled_kept + sampled_dropped`
+  /// whenever a sampler was attached; both 0 when none was (every span
+  /// implicitly admitted). Consumers rescale rate/count aggregates by the
+  /// effective sampling fraction (see analysis::OnlineAnalyzer). Wire v2
+  /// footer fields; a v1 stream decodes with both zero.
+  std::uint64_t sampled_kept = 0;
+  std::uint64_t sampled_dropped = 0;
 };
 
 /// Bounded-buffer byte sink: the serialization core's output seam. Bytes
@@ -176,8 +184,13 @@ namespace wire {
 
 /// Stream header magic: "XSPB".
 inline constexpr char kMagic[4] = {'X', 'S', 'P', 'B'};
-/// Format version this build writes and the only one it reads.
-inline constexpr std::uint16_t kVersion = 1;
+/// Format version this build writes. v2 extends the v1 Footer with the
+/// sampling accounting fields (sampled_kept / sampled_dropped); frames and
+/// header layout are otherwise identical.
+inline constexpr std::uint16_t kVersion = 2;
+/// Oldest version this build still reads: v1 streams decode normally, with
+/// the v2-only footer fields reported as zero.
+inline constexpr std::uint16_t kMinVersion = 1;
 /// Endianness marker as written by the producer; a consumer reading the
 /// byte-swapped value rejects the stream (frames are host-endian memcpy).
 inline constexpr std::uint16_t kEndianMark = 0xFEFF;
@@ -238,8 +251,23 @@ struct Footer {
   std::uint64_t slot_bytes;
   std::uint64_t remote_dropped_spans;
   std::uint64_t remote_reconnects;
+  /// v2 fields — appended so a v1 footer is an exact prefix of a v2 one
+  /// (readers zero-fill when decoding a v1 stream).
+  std::uint64_t sampled_kept;
+  std::uint64_t sampled_dropped;
 };
 static_assert(std::is_trivially_copyable_v<Footer>);
+
+/// Byte size of the 11-field v1 footer payload (a prefix of Footer).
+inline constexpr std::size_t kFooterSizeV1 = 11 * sizeof(std::uint64_t);
+static_assert(sizeof(Footer) == kFooterSizeV1 + 2 * sizeof(std::uint64_t));
+
+/// Footer payload size a stream of the given version carries. Shared by
+/// every decode driver (BinaryReader, the collector daemon) so the
+/// version-to-size rule cannot drift between them.
+[[nodiscard]] inline constexpr std::size_t footer_size(std::uint16_t version) noexcept {
+  return version <= 1 ? kFooterSizeV1 : sizeof(Footer);
+}
 
 /// Validate a SpanBatch frame's span count against its payload size;
 /// returns the count. Shared by every decode driver so the bounds logic
@@ -339,9 +367,11 @@ class WireDecoder {
   WireDecoder(const WireDecoder&) = delete;
   WireDecoder& operator=(const WireDecoder&) = delete;
 
-  /// Validate a stream header (magic/version/endianness/span size).
-  /// Throws WireError on any mismatch.
-  static void validate_header(const wire::Header& header);
+  /// Validate a stream header (magic/version/endianness/span size) and
+  /// return the stream's format version (kMinVersion..kVersion — drivers
+  /// keep it to size the footer frame, wire::footer_size). Throws
+  /// WireError on any mismatch.
+  static std::uint16_t validate_header(const wire::Header& header);
 
   /// Parse a StringDelta payload: re-intern every entry into this
   /// process's global StringTable and extend the remap. A repeated id is
@@ -435,12 +465,16 @@ class BinaryReader {
     return decoder_.strings_reinterned();
   }
 
+  /// The stream's declared format version (from the validated header).
+  [[nodiscard]] std::uint16_t stream_version() const noexcept { return version_; }
+
  private:
   void read_exact(void* dst, std::size_t n, const char* what);
 
   std::istream& in_;
   WireDecoder decoder_;
   std::string payload_;  ///< delta-payload scratch, reused across frames
+  std::uint16_t version_ = wire::kVersion;
   bool done_ = false;
 };
 

@@ -323,6 +323,10 @@ void StreamingExporter::finish() {
       append_uint(out, meta_.remote_dropped_spans);
       out += ",\"remote_reconnects\":";
       append_uint(out, meta_.remote_reconnects);
+      out += ",\"sampled_kept\":";
+      append_uint(out, meta_.sampled_kept);
+      out += ",\"sampled_dropped\":";
+      append_uint(out, meta_.sampled_dropped);
       out += ",\"span_count\":";
       append_uint(out, spans_written_);
       out += ",\"export_format\":";

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "xsp/net/socket.hpp"
+#include "xsp/trace/sampler.hpp"
 
 namespace xsp::trace {
 
@@ -47,6 +48,15 @@ void RemoteSink::publish(Span span) {
   if (closed_) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
+  }
+  // Admission before the span costs outbox space or wire bytes — the same
+  // decision point TraceServer::publish applies in-process.
+  if (sampler_ != nullptr) {
+    if (!sampler_->admit(span)) {
+      sampled_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    sampled_kept_.fetch_add(1, std::memory_order_relaxed);
   }
   pending_.push_back(span);
   if (pending_.size() >= opts_.batch_spans) seal_locked();
@@ -100,10 +110,23 @@ void RemoteSink::seal_locked() {
 
 void RemoteSink::enqueue_locked(SpanBatch&& batch) {
   if (outbox_spans_ + batch.size() > opts_.max_outbox_spans) {
-    // Bounded outbox: the whole batch drops, accounted — partial drops
-    // would still ship a frame and hide how much is missing.
-    dropped_.fetch_add(batch.size(), std::memory_order_relaxed);
-    return;
+    // Bounded outbox. With a sampler attached the drop is selective: its
+    // value ordering keeps tail outliers and the deterministic
+    // high-priority hash slice, and only the low-value remainder is shed
+    // (counted in both shed_ and dropped_ — shed spans are undelivered).
+    // Without one, the whole batch drops — partial blind drops would
+    // still ship a frame and hide how much is missing.
+    if (sampler_ != nullptr) {
+      const std::uint64_t removed =
+          static_cast<std::uint64_t>(sampler_->shed_low_value(batch));
+      shed_.fetch_add(removed, std::memory_order_relaxed);
+      dropped_.fetch_add(removed, std::memory_order_relaxed);
+      if (batch.empty()) return;
+    }
+    if (outbox_spans_ + batch.size() > opts_.max_outbox_spans) {
+      dropped_.fetch_add(batch.size(), std::memory_order_relaxed);
+      return;
+    }
   }
   outbox_spans_ += batch.size();
   outbox_.push_back(std::move(batch));
@@ -258,6 +281,11 @@ void RemoteSink::finish_stream(Conn& conn) {
   }
   meta.remote_dropped_spans = dropped_.load(std::memory_order_relaxed);
   meta.remote_reconnects = reconnects_.load(std::memory_order_relaxed);
+  // Direct-publish admission accounting adds to whatever the owner set:
+  // the two paths are disjoint (set_meta carries the upstream fleet's
+  // counters; these count spans sampled at this sink's own publish()).
+  meta.sampled_kept += sampled_kept_.load(std::memory_order_relaxed);
+  meta.sampled_dropped += sampled_dropped_.load(std::memory_order_relaxed);
   conn.writer->set_meta(meta);
   conn.writer->finish();
 
@@ -306,6 +334,20 @@ std::uint64_t RemoteSink::spans_sent() const noexcept {
 }
 std::uint64_t RemoteSink::spans_dropped() const noexcept {
   return dropped_.load(std::memory_order_relaxed);
+}
+std::uint64_t RemoteSink::spans_shed() const noexcept {
+  return shed_.load(std::memory_order_relaxed);
+}
+std::uint64_t RemoteSink::spans_sampled_kept() const noexcept {
+  return sampled_kept_.load(std::memory_order_relaxed);
+}
+std::uint64_t RemoteSink::spans_sampled_dropped() const noexcept {
+  return sampled_dropped_.load(std::memory_order_relaxed);
+}
+
+void RemoteSink::set_sampler(std::shared_ptr<const Sampler> sampler) {
+  std::lock_guard lk(mu_);
+  sampler_ = std::move(sampler);
 }
 std::uint64_t RemoteSink::reconnects() const noexcept {
   return reconnects_.load(std::memory_order_relaxed);

@@ -97,6 +97,22 @@ std::uint64_t ShardedTraceServer::dropped_annotation_count() {
   return total;
 }
 
+void ShardedTraceServer::set_sampler(std::shared_ptr<const Sampler> sampler) {
+  for (auto& shard : shards_) shard->set_sampler(sampler);
+}
+
+std::uint64_t ShardedTraceServer::sampled_kept_count() {
+  std::uint64_t total = 0;
+  for (auto& shard : shards_) total += shard->sampled_kept_count();
+  return total;
+}
+
+std::uint64_t ShardedTraceServer::sampled_dropped_count() {
+  std::uint64_t total = 0;
+  for (auto& shard : shards_) total += shard->sampled_dropped_count();
+  return total;
+}
+
 SpanBatches ShardedTraceServer::take_batches() {
   SpanBatches merged = shards_[0]->take_batches();
   for (std::size_t i = 1; i < shards_.size(); ++i) {

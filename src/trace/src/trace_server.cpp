@@ -1,5 +1,7 @@
 #include "xsp/trace/trace_server.hpp"
 
+#include "xsp/trace/sampler.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <stdexcept>
@@ -303,9 +305,21 @@ SpanBatch TraceServer::take_free_batch_or_new() {
 }
 
 void TraceServer::publish(Span span) {
+  // Admission: one relaxed-ordered pointer load when no sampler is
+  // attached — the rate-1.0 configuration must stay within noise of the
+  // unsampled publish path (bench_abl_sampling pins this).
+  const Sampler* sampler = sampler_ptr_.load(std::memory_order_acquire);
+  if (sampler != nullptr && !sampler->admit(span)) {
+    ProducerSlot& slot = local_slot();
+    slot.acquire();
+    ++slot.sampled_dropped;
+    slot.release();
+    return;
+  }
   ProducerSlot& slot = local_slot();
   bool sealed = false;
   slot.acquire();
+  if (sampler != nullptr) ++slot.sampled_kept;
   if (span.dropped_annotations != 0) slot.dropped += span.dropped_annotations;
   slot.active.push_back(std::move(span));
   if (slot.active.size() >= kBatchCapacity) {
@@ -330,6 +344,8 @@ void TraceServer::drain(bool steal_active) {
   std::lock_guard drain_lk(drain_mu_);
   SpanBatches& taken = drain_staging_;
   std::uint64_t dropped = 0;
+  std::uint64_t s_kept = 0;
+  std::uint64_t s_dropped = 0;
   const bool reclaim = reclaim_enabled_.load(std::memory_order_relaxed);
   {
     std::lock_guard lk(registry_mu_);
@@ -350,6 +366,10 @@ void TraceServer::drain(bool steal_active) {
       }
       dropped += slot.dropped;
       slot.dropped = 0;
+      s_kept += slot.sampled_kept;
+      slot.sampled_kept = 0;
+      s_dropped += slot.sampled_dropped;
+      slot.sampled_dropped = 0;
       slot.release();
       if (!retire) {
         ++i;
@@ -376,6 +396,12 @@ void TraceServer::drain(bool steal_active) {
       }
     }
   }
+  // Sampler accounting is lifetime-monotonic (like drained_spans_) and
+  // atomic, so it lands before the early-out below: a drain pass that
+  // found nothing but sampled-out spans still records them.
+  if (s_kept != 0) sampled_kept_.fetch_add(s_kept, std::memory_order_relaxed);
+  if (s_dropped != 0)
+    sampled_dropped_.fetch_add(s_dropped, std::memory_order_relaxed);
   if (taken.empty() && dropped == 0) return;
   if (!taken.empty()) {
     std::size_t drained = 0;
@@ -545,6 +571,30 @@ std::uint64_t TraceServer::dropped_annotation_count() {
   flush();
   std::lock_guard lk(trace_mu_);
   return dropped_total_;
+}
+
+void TraceServer::set_sampler(std::shared_ptr<const Sampler> sampler) {
+  std::lock_guard lk(sampler_mu_);
+  const Sampler* raw = sampler.get();
+  // Re-installing the current policy (a session re-applying unchanged
+  // options every run) must not grow the retention list.
+  if (raw == sampler_ptr_.load(std::memory_order_relaxed)) return;
+  // Retain every policy ever installed: a publisher that loaded the old
+  // raw pointer just before this store must still be able to finish its
+  // admit() call. Policies are small and set_sampler is a configuration
+  // action, so the retention list stays tiny.
+  if (sampler != nullptr) sampler_refs_.push_back(std::move(sampler));
+  sampler_ptr_.store(raw, std::memory_order_release);
+}
+
+std::uint64_t TraceServer::sampled_kept_count() {
+  flush();
+  return sampled_kept_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TraceServer::sampled_dropped_count() {
+  flush();
+  return sampled_dropped_.load(std::memory_order_relaxed);
 }
 
 SpanBatches TraceServer::take_batches() {

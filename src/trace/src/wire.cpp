@@ -243,6 +243,8 @@ void BinaryWriter::finish() {
   footer.slot_bytes = meta_.slot_bytes;
   footer.remote_dropped_spans = meta_.remote_dropped_spans;
   footer.remote_reconnects = meta_.remote_reconnects;
+  footer.sampled_kept = meta_.sampled_kept;
+  footer.sampled_dropped = meta_.sampled_dropped;
   wire::FrameHeader fh{};
   fh.type = static_cast<std::uint8_t>(wire::FrameType::kFooter);
   fh.payload_size = static_cast<std::uint32_t>(sizeof footer);
@@ -290,16 +292,17 @@ WireDecoder::WireDecoder() {
   remap_.emplace(0u, 0u);  // the reserved empty string maps to itself
 }
 
-void WireDecoder::validate_header(const wire::Header& header) {
+std::uint16_t WireDecoder::validate_header(const wire::Header& header) {
   if (std::memcmp(header.magic, wire::kMagic, sizeof wire::kMagic) != 0) {
     throw WireError("xsp wire: bad magic (not an XSP binary trace)");
   }
   if (header.endianness != wire::kEndianMark) {
     throw WireError("xsp wire: endianness mismatch between producer and consumer");
   }
-  if (header.version != wire::kVersion) {
+  if (header.version < wire::kMinVersion || header.version > wire::kVersion) {
     throw WireError("xsp wire: unsupported format version " + std::to_string(header.version) +
-                    " (this build reads v" + std::to_string(wire::kVersion) + ")");
+                    " (this build reads v" + std::to_string(wire::kMinVersion) + "..v" +
+                    std::to_string(wire::kVersion) + ")");
   }
   if (header.span_size != sizeof(Span)) {
     throw WireError("xsp wire: span struct size mismatch (stream " +
@@ -309,6 +312,7 @@ void WireDecoder::validate_header(const wire::Header& header) {
   if (header.header_size != sizeof(wire::Header)) {
     throw WireError("xsp wire: bad header size " + std::to_string(header.header_size));
   }
+  return header.version;
 }
 
 common::StrId WireDecoder::map_id(std::uint32_t producer_id) const {
@@ -400,6 +404,8 @@ TraceMeta WireDecoder::meta() const noexcept {
   m.slot_bytes = footer_.slot_bytes;
   m.remote_dropped_spans = footer_.remote_dropped_spans;
   m.remote_reconnects = footer_.remote_reconnects;
+  m.sampled_kept = footer_.sampled_kept;
+  m.sampled_dropped = footer_.sampled_dropped;
   return m;
 }
 
@@ -408,7 +414,7 @@ TraceMeta WireDecoder::meta() const noexcept {
 BinaryReader::BinaryReader(std::istream& in) : in_(in) {
   wire::Header header{};
   read_exact(&header, sizeof header, "stream header");
-  WireDecoder::validate_header(header);
+  version_ = WireDecoder::validate_header(header);
 }
 
 void BinaryReader::read_exact(void* dst, std::size_t n, const char* what) {
@@ -460,11 +466,19 @@ bool BinaryReader::next_batch(SpanBatch& out) {
         break;  // an empty batch frame is legal; keep scanning
       }
       case wire::FrameType::kFooter: {
-        if (payload_size != sizeof(wire::Footer)) {
-          throw WireError("xsp wire: footer payload length mismatch");
+        // The footer size follows the stream's declared version: a v1
+        // stream carries the 11-field prefix (the v2-only fields decode
+        // as zero), a v2 stream the full struct. Anything else —
+        // truncated or oversized — is corruption, not data.
+        const std::size_t expect = wire::footer_size(version_);
+        if (payload_size != expect) {
+          throw WireError("xsp wire: footer payload length mismatch (v" +
+                          std::to_string(version_) + " expects " +
+                          std::to_string(expect) + " bytes, got " +
+                          std::to_string(payload_size) + ")");
         }
         wire::Footer footer{};
-        read_exact(&footer, sizeof footer, "footer payload");
+        read_exact(&footer, expect, "footer payload");
         decoder_.set_footer(footer);
         done_ = true;
         // The footer terminates the stream; trailing bytes are corruption

@@ -24,6 +24,7 @@
 #include "xsp/net/endpoint.hpp"
 #include "xsp/net/socket.hpp"
 #include "xsp/trace/remote_sink.hpp"
+#include "xsp/trace/sampler.hpp"
 #include "xsp/trace/sharded_trace_server.hpp"
 #include "xsp/trace/span_sink.hpp"
 #include "xsp/trace/wire.hpp"
@@ -566,6 +567,84 @@ TEST(RemoteSinkLifecycle, DaemonDeathLeavesProducerAliveWithAccountedDrops) {
   EXPECT_EQ(sink.spans_published(), 100u + extra);
   EXPECT_EQ(sink.spans_sent() + sink.spans_dropped(), sink.spans_published())
       << "every span ends up either sent or accounted dropped";
+}
+
+// --- sampling admission & selective shedding ------------------------------
+
+TEST(RemoteSinkSampling, PublishAdmissionHoldsTheInvariant) {
+  const Endpoint ep = uds_endpoint("col_sample");
+  RunningCollector collector(ep);
+
+  trace::RemoteSinkOptions opts;
+  opts.batch_spans = 32;
+  trace::RemoteSink sink(ep, opts);
+  trace::SamplerOptions sopts;
+  sopts.rate = 0.25;
+  sink.set_sampler(std::make_shared<const trace::Sampler>(sopts));
+
+  constexpr std::size_t kSpans = 4000;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    Span s;
+    s.id = sink.next_span_id();
+    s.name = StrId("sampled_op");
+    s.tracer = StrId("sampled_tracer");
+    s.begin = static_cast<TimePoint>(i * 10);
+    s.end = s.begin + 7;
+    s.correlation_id = sink.next_correlation_id();
+    sink.publish(s);
+  }
+  sink.close();
+
+  EXPECT_EQ(sink.spans_published(), kSpans);
+  EXPECT_GT(sink.spans_sampled_dropped(), 0u);
+  EXPECT_GT(sink.spans_sampled_kept(), 0u);
+  EXPECT_EQ(sink.spans_sampled_kept() + sink.spans_sampled_dropped(), kSpans)
+      << "every publish lands in exactly one admission bucket";
+  // The close() invariant with sampling: sampled-out spans are their own
+  // bucket, disjoint from congestion/disconnect drops.
+  EXPECT_EQ(sink.spans_sent() + sink.spans_dropped() + sink.spans_sampled_dropped(),
+            sink.spans_published());
+  // Only admitted spans reached the daemon.
+  EXPECT_EQ(collector.service.stats().spans_ingested, sink.spans_sent());
+}
+
+TEST(RemoteSinkSampling, BackpressureShedsSelectivelyBeforeBlindDrops) {
+  // No daemon at the endpoint: the outbox fills, and with a sampler
+  // attached the sink must shed low-value spans selectively (counted in
+  // spans_shed) rather than only dropping whole batches blind.
+  const Endpoint ep = uds_endpoint("col_shed_none");
+  trace::RemoteSinkOptions opts;
+  opts.batch_spans = 16;
+  opts.max_outbox_spans = 64;
+  opts.connect_timeout_ms = 50;
+  opts.backoff_initial_ms = 10;
+  opts.backoff_max_ms = 50;
+  opts.drain_timeout_ms = 100;
+  trace::RemoteSink sink(ep, opts);
+  trace::SamplerOptions sopts;
+  sopts.rate = 1.0;  // admit everything; shedding is the pressure path
+  sopts.tail_keep_ns = 1000;
+  sink.set_sampler(std::make_shared<const trace::Sampler>(sopts));
+
+  constexpr std::size_t kSpans = 20000;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    Span s;
+    s.id = sink.next_span_id();
+    s.name = StrId("shed_op");
+    s.tracer = StrId("shed_tracer");
+    s.begin = 0;
+    s.end = i % 100 == 0 ? 2000 : 10;  // a 1% tail the shed must keep
+    s.correlation_id = sink.next_correlation_id();
+    sink.publish(s);
+  }
+  sink.close();
+
+  EXPECT_EQ(sink.spans_published(), kSpans);
+  EXPECT_GT(sink.spans_shed(), 0u) << "pressure must shed selectively with a sampler";
+  EXPECT_LE(sink.spans_shed(), sink.spans_dropped())
+      << "sheds are an of-which breakdown of total drops";
+  EXPECT_EQ(sink.spans_sampled_dropped(), 0u) << "rate 1.0 rejects nothing at admission";
+  EXPECT_EQ(sink.spans_sent() + sink.spans_dropped(), sink.spans_published());
 }
 
 }  // namespace

@@ -391,6 +391,65 @@ TEST(Session, LiveStatsOffLeavesNoAnalyzerAttached) {
   EXPECT_EQ(s.live_snapshot().spans, 0u);
 }
 
+TEST(Session, SamplingOffByDefaultLeavesCountersZero) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  const auto run = s.profile(small_graph(), ProfileOptions::model_layer());
+  // No sampler is installed at rate 1.0 with no tail-keep: the admission
+  // path is the pre-sampling fast path and the accounting stays zero.
+  EXPECT_EQ(run.sampled_kept, 0u);
+  EXPECT_EQ(run.sampled_dropped, 0u);
+  EXPECT_EQ(run.trace_meta().sampled_kept, 0u);
+  EXPECT_EQ(run.trace_meta().sampled_dropped, 0u);
+}
+
+TEST(Session, SamplingAccountsEveryPublicationAndThinsTheTimeline) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+
+  // Run 1: a sampler that admits everything (rate 1.0 + tail-keep forces
+  // installation). Its kept count is the run's exact publication volume.
+  auto keep_all = ProfileOptions::model_layer();
+  keep_all.sampling_tail_keep_ns = 1;  // install a sampler; everything admits
+  const auto full = s.profile(small_graph(), keep_all);
+  EXPECT_GT(full.sampled_kept, 0u);
+  EXPECT_EQ(full.sampled_dropped, 0u);
+  EXPECT_GT(full.timeline.size(), 0u);
+
+  // Run 2: same graph and level at rate 0.3 — publication volume is
+  // deterministic, so kept + dropped must equal run 1's kept exactly.
+  auto sampled = ProfileOptions::model_layer();
+  sampled.sampling_rate = 0.3;
+  const auto thin = s.profile(small_graph(), sampled);
+  EXPECT_EQ(thin.sampled_kept + thin.sampled_dropped, full.sampled_kept);
+  EXPECT_GT(thin.sampled_dropped, 0u);
+  EXPECT_LT(thin.timeline.size(), full.timeline.size());
+  // The per-run accounting flows into the exportable TraceMeta.
+  EXPECT_EQ(thin.trace_meta().sampled_kept, thin.sampled_kept);
+  EXPECT_EQ(thin.trace_meta().sampled_dropped, thin.sampled_dropped);
+}
+
+TEST(Session, SamplingComposesWithLiveStatsAndTopK) {
+  Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
+  auto opts = ProfileOptions::full(false);
+  opts.live_stats = true;
+  opts.sampling_rate = 0.4;
+  opts.top_k_kernels = 4;
+  const auto run = s.profile(small_graph(), opts);
+  EXPECT_GT(run.sampled_dropped, 0u);
+
+  const auto snap = s.live_snapshot();
+  // The analyzer only sees admitted spans; the fleet's shed accounting is
+  // injected so the snapshot reports the true volumes.
+  EXPECT_EQ(snap.sampled_kept, run.sampled_kept);
+  EXPECT_EQ(snap.sampled_dropped, run.sampled_dropped);
+  EXPECT_DOUBLE_EQ(snap.sampling_rate, 0.4);
+  // HT rescaling estimates past the shed: the estimate exceeds what was
+  // observed whenever anything was dropped.
+  EXPECT_GT(snap.est_spans, static_cast<double>(snap.spans));
+  // The bounded kernel table honours its cap.
+  EXPECT_LE(snap.kernels.size(), 4u);
+  EXPECT_EQ(snap.kernel_row_limit, 4u);
+}
+
 TEST(Session, StreamExportToUnwritablePathThrowsAndSessionStaysUsable) {
   Session s(sim::tesla_v100(), framework::FrameworkKind::kTFlow);
   auto opts = ProfileOptions::model_only();

@@ -92,6 +92,8 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
   meta.slot_bytes = 151 * 1024;
   meta.remote_dropped_spans = 42;
   meta.remote_reconnects = 2;
+  meta.sampled_kept = 750;
+  meta.sampled_dropped = 250;
   const auto json = to_span_json(sample_timeline(), meta);
   // Metadata lives in the footer — the streaming layout, where telemetry
   // totals are only final after the last span has been written.
@@ -100,6 +102,7 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
                       "\"interned_strings\":123,\"interned_bytes\":4567,"
                       "\"live_slots\":3,\"retired_slots\":9999,\"slot_bytes\":154624,"
                       "\"remote_dropped_spans\":42,\"remote_reconnects\":2,"
+                      "\"sampled_kept\":750,\"sampled_dropped\":250,"
                       "\"span_count\":2,\"export_format\":\"span_json\","
                       "\"export_bytes\":"),
             std::string::npos);

@@ -454,8 +454,12 @@ TEST(WireHostileInput, RejectsBadMagic) {
 
 TEST(WireHostileInput, RejectsUnsupportedVersion) {
   wire::Header h = valid_header();
-  h.version = 2;
+  h.version = static_cast<std::uint16_t>(wire::kVersion + 1);  // from the future
   std::string bytes;
+  put_pod(bytes, h);
+  expect_wire_error(bytes, "unsupported format version");
+  h.version = 0;  // below kMinVersion
+  bytes.clear();
   put_pod(bytes, h);
   expect_wire_error(bytes, "unsupported format version");
 }
@@ -650,6 +654,85 @@ TEST(WireHostileInput, ToleratesCleanEofBeforeFooter) {
   EXPECT_EQ(decoded[0][0].id, 9u);
   EXPECT_FALSE(reader.saw_footer());
   EXPECT_EQ(reader.footer().span_count, 0u);  // zeros until a footer
+}
+
+// --- version compatibility (v1 streams against a v2 reader) -----------------
+
+std::string v1_header_bytes() {
+  wire::Header h = valid_header();
+  h.version = 1;
+  std::string out;
+  put_pod(out, h);
+  return out;
+}
+
+TEST(WireVersionCompat, V1FooterDecodesAsPrefixWithZeroSampledFields) {
+  // A v1 producer sends the 11-field footer; the v2 reader must accept it
+  // and zero-fill the appended sampling fields.
+  wire::Footer f{};
+  f.span_count = 1;
+  f.dropped_annotations = 7;
+  f.shard_count = 3;
+  f.remote_dropped_spans = 11;
+  f.remote_reconnects = 2;
+  Span s = make_span(5, 0);
+  std::string delta = delta_entry(s.name.raw(), "wire_op");
+  delta += delta_entry(s.tracer.raw(), "wire_test");
+  std::string bytes = v1_header_bytes();
+  bytes += frame(wire::FrameType::kStringDelta, delta);
+  bytes += frame(wire::FrameType::kSpanBatch, span_batch_payload({s}));
+  bytes += frame(wire::FrameType::kFooter,
+                 std::string(reinterpret_cast<const char*>(&f), wire::kFooterSizeV1));
+  std::istringstream in(bytes);
+  BinaryReader reader(in);
+  const SpanBatches decoded = reader.read_all();
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(reader.stream_version(), 1u);
+  ASSERT_TRUE(reader.saw_footer());
+  EXPECT_EQ(reader.footer().span_count, 1u);
+  EXPECT_EQ(reader.footer().dropped_annotations, 7u);
+  EXPECT_EQ(reader.footer().remote_dropped_spans, 11u);
+  EXPECT_EQ(reader.footer().sampled_kept, 0u);
+  EXPECT_EQ(reader.footer().sampled_dropped, 0u);
+  EXPECT_EQ(reader.meta().sampled_kept, 0u);
+  EXPECT_EQ(reader.meta().sampled_dropped, 0u);
+}
+
+TEST(WireVersionCompat, V2FooterRoundTripsSampledCounters) {
+  TraceMeta meta;
+  meta.sampled_kept = 1234;
+  meta.sampled_dropped = 8766;
+  const SpanBatches batches = {{make_span(1, 100)}};
+  const std::string bytes = encode(batches, &meta);
+  std::istringstream in(bytes);
+  BinaryReader reader(in);
+  (void)reader.read_all();
+  EXPECT_EQ(reader.stream_version(), wire::kVersion);
+  ASSERT_TRUE(reader.saw_footer());
+  EXPECT_EQ(reader.footer().sampled_kept, 1234u);
+  EXPECT_EQ(reader.footer().sampled_dropped, 8766u);
+  EXPECT_EQ(reader.meta().sampled_kept, 1234u);
+  EXPECT_EQ(reader.meta().sampled_dropped, 8766u);
+}
+
+TEST(WireVersionCompat, RejectsV1SizedFooterOnV2Stream) {
+  // A v2 header promises the 13-field footer; sending the 88-byte v1
+  // payload is truncation, not compatibility.
+  std::string bytes = header_bytes();
+  bytes += frame(wire::FrameType::kFooter, std::string(wire::kFooterSizeV1, '\0'));
+  expect_wire_error(bytes, "footer payload length mismatch");
+}
+
+TEST(WireVersionCompat, RejectsV2SizedFooterOnV1Stream) {
+  std::string bytes = v1_header_bytes();
+  bytes += frame(wire::FrameType::kFooter, std::string(sizeof(wire::Footer), '\0'));
+  expect_wire_error(bytes, "footer payload length mismatch");
+}
+
+TEST(WireVersionCompat, RejectsOversizedV2Footer) {
+  std::string bytes = header_bytes();
+  bytes += frame(wire::FrameType::kFooter, std::string(sizeof(wire::Footer) + 8, '\0'));
+  expect_wire_error(bytes, "footer payload length mismatch");
 }
 
 TEST(WireHostileInput, HeaderOnlyStreamDecodesEmpty) {

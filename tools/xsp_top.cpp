@@ -30,6 +30,16 @@
 //                     RunTrace::streamed_spans/streamed_bytes)
 //   --stream-format chrome|spans|binary  document shape for --stream
 //                     (default binary — the low-overhead wire format)
+//   --sample R        head-sampling rate in (0, 1]: admit this fraction
+//                     of spans at publish (default 1 = off); the
+//                     "sampling:" line shows kept/dropped and the
+//                     analyzer's rescaled span estimate
+//   --tail-keep-us N  force-admit spans >= N us regardless of the
+//                     sampling draw (latency outliers survive)
+//   --top-k N         bound the live kernel table to N SpaceSaving rows
+//                     (default 0 = exact)
+//   --alert-p99-us N  register an edge-triggered alert that prints when
+//                     the kernel p99 crosses N us (0 = off)
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -64,19 +74,33 @@ struct Options {
   std::int64_t window_ms = 100;
   std::string stream;
   std::string stream_format = "binary";
+  double sample = 1.0;
+  std::int64_t tail_keep_us = 0;
+  std::int64_t top_k = 0;
+  std::int64_t alert_p99_us = 0;
 };
 
 void print_usage() {
   std::fprintf(stderr,
                "usage: xsp_top [--model NAME] [--system NAME] [--batch N] [--level m|ml|mlg]\n"
                "               [--shards N] [--runs N] [--interval-ms N] [--window-ms N]\n"
-               "               [--stream FILE] [--stream-format chrome|spans|binary]\n");
+               "               [--stream FILE] [--stream-format chrome|spans|binary]\n"
+               "               [--sample R] [--tail-keep-us N] [--top-k N] [--alert-p99-us N]\n");
 }
 
 bool parse_int(const char* s, std::int64_t& out) {
   char* end = nullptr;
   errno = 0;
   const long long v = std::strtoll(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
   if (end == s || *end != '\0' || errno == ERANGE) return false;
   out = v;
   return true;
@@ -108,6 +132,15 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.stream = v;
     } else if (arg == "--stream-format" && (v = next()) != nullptr) {
       opts.stream_format = v;
+    } else if (arg == "--sample" && (v = next()) != nullptr && parse_double(v, opts.sample) &&
+               opts.sample > 0 && opts.sample <= 1.0) {
+      // validated inline
+    } else if (arg == "--tail-keep-us" && (v = next()) != nullptr && parse_int(v, n) && n >= 0) {
+      opts.tail_keep_us = n;
+    } else if (arg == "--top-k" && (v = next()) != nullptr && parse_int(v, n) && n >= 0) {
+      opts.top_k = n;
+    } else if (arg == "--alert-p99-us" && (v = next()) != nullptr && parse_int(v, n) && n >= 0) {
+      opts.alert_p99_us = n;
     } else if (v != nullptr) {
       std::fprintf(stderr, "xsp_top: bad value '%s' for %s\n", v, arg.c_str());
       return false;
@@ -181,6 +214,21 @@ void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
   std::printf("slots: live %" PRIu64 ", retired %" PRIu64 ", pooled %" PRIu64 ", ~%" PRIu64
               " B\n",
               slots.live_slots, slots.retired_slots, slots.pooled_slots, slots.slot_bytes);
+  // Always emitted (the CI smoke greps for it): rate 1 with no sheds
+  // renders as "off".
+  if (snap.sampling_rate < 1.0 || snap.sampled_dropped > 0 || snap.kernel_row_limit > 0) {
+    std::printf("sampling: rate %.3f | kept %" PRIu64 ", dropped %" PRIu64
+                " | est spans %.0f (observed %" PRIu64 ")",
+                snap.sampling_rate, snap.sampled_kept, snap.sampled_dropped, snap.est_spans,
+                snap.spans);
+    if (snap.kernel_row_limit > 0) {
+      std::printf(" | top-k %zu kernels, %" PRIu64 " evictions", snap.kernel_row_limit,
+                  snap.kernel_evictions);
+    }
+    std::printf("\n");
+  } else {
+    std::printf("sampling: off (rate 1.000, every span admitted)\n");
+  }
   if (!opts.stream.empty()) {
     const std::uint64_t spans = exported.spans.load(std::memory_order_acquire);
     const std::uint64_t bytes = exported.bytes.load(std::memory_order_acquire);
@@ -228,6 +276,9 @@ int main(int argc, char** argv) {
   popts.trace_shards = opts.shards;
   popts.live_stats = true;
   popts.live_stats_window = opts.window_ms * kNsPerMs;
+  popts.sampling_rate = opts.sample;
+  popts.sampling_tail_keep_ns = opts.tail_keep_us * kNsPerUs;
+  popts.top_k_kernels = static_cast<std::size_t>(opts.top_k);
   if (!opts.stream.empty()) {
     popts.stream_export_path = opts.stream;
     popts.stream_export_format = opts.stream_format == "chrome" ? trace::ExportFormat::kChromeTrace
@@ -259,15 +310,42 @@ int main(int argc, char** argv) {
       }
     });
 
+    // Alerting: once the first live run has created the analyzer,
+    // register an edge-triggered kernel-p99 rule and poll it at the
+    // dashboard cadence — the serving-layer shape the alert API targets.
+    std::shared_ptr<analysis::OnlineAnalyzer> analyzer;
+    const auto ensure_alert = [&] {
+      if (opts.alert_p99_us <= 0 || analyzer != nullptr) return;
+      analyzer = session.live_analyzer();
+      if (analyzer == nullptr) return;
+      analysis::AlertRule rule;
+      rule.name = "kernel_p99";
+      rule.value = [](const analysis::OnlineSnapshot& s) {
+        return static_cast<double>(s.kernel_p99);
+      };
+      rule.threshold = static_cast<double>(opts.alert_p99_us * kNsPerUs);
+      rule.fire_above = true;
+      analyzer->add_alert(std::move(rule), [](const analysis::AlertRule& r, double v,
+                                              const analysis::OnlineSnapshot&) {
+        std::printf("ALERT: %s = %s crossed %s\n", r.name.c_str(),
+                    format_ns(static_cast<Ns>(v)).c_str(),
+                    format_ns(static_cast<Ns>(r.threshold)).c_str());
+      });
+    };
+
     if (opts.interval_ms > 0) {
       while (runs_done.load(std::memory_order_acquire) < opts.runs &&
              !failed.load(std::memory_order_acquire)) {
         std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+        ensure_alert();
+        if (analyzer != nullptr) analyzer->poll_alerts();
         render_dashboard(opts, session.live_snapshot(), session.slot_telemetry(), exported,
                          runs_done.load(std::memory_order_acquire), /*final=*/false);
       }
     }
     worker.join();
+    ensure_alert();
+    if (analyzer != nullptr) analyzer->poll_alerts();
     if (failed.load(std::memory_order_acquire)) {
       std::fprintf(stderr, "xsp_top: %s\n", failure.c_str());
       return 1;
