@@ -1,0 +1,381 @@
+#include "xsp/metrics/registry.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace xsp::metrics {
+
+namespace {
+
+bool valid_metric_name(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("metrics: histogram bounds must be strictly ascending");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+}
+
+void Histogram::observe(std::uint64_t v) noexcept {
+  // Buckets are inclusive upper bounds (`le`): the first bound >= v.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const std::size_t idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<std::uint64_t> latency_buckets_ns() {
+  return {1'000, 10'000, 100'000, 1'000'000, 10'000'000, 100'000'000, 1'000'000'000};
+}
+
+// ---------------------------------------------------------------------------
+// Registry state
+
+namespace detail {
+
+struct Series {
+  std::string label_text;  // rendered `k="v",...`, no braces
+  std::shared_ptr<Counter> counter;
+  std::shared_ptr<Gauge> gauge;
+  std::shared_ptr<Histogram> histogram;
+  Sample sample;  // callback series when set
+  std::uint64_t callback_id = 0;
+};
+
+struct Family {
+  std::string name;
+  std::string help;
+  Kind kind = Kind::kCounter;
+  std::vector<Series> series;
+};
+
+struct State {
+  mutable std::mutex mu;
+  std::vector<Family> families;  // exposition order == registration order
+  std::uint64_t next_callback_id = 1;
+
+  Family& family(std::string_view name, std::string_view help, Kind kind) {
+    if (!valid_metric_name(name)) {
+      throw std::invalid_argument("metrics: invalid metric name: " + std::string(name));
+    }
+    for (Family& f : families) {
+      if (f.name == name) {
+        if (f.kind != kind) {
+          throw std::logic_error("metrics: " + f.name + " already registered as " +
+                                 kind_name(f.kind) + ", requested " + kind_name(kind));
+        }
+        return f;
+      }
+    }
+    Family f;
+    f.name.assign(name);
+    f.help.assign(help);
+    f.kind = kind;
+    families.push_back(std::move(f));
+    return families.back();
+  }
+
+  Series* find_series(Family& f, const std::string& label_text) {
+    for (Series& s : f.series) {
+      if (s.label_text == label_text) return &s;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// CallbackHandle
+
+CallbackHandle::CallbackHandle(CallbackHandle&& other) noexcept
+    : state_(std::move(other.state_)), id_(other.id_) {
+  other.state_.reset();
+  other.id_ = 0;
+}
+
+CallbackHandle& CallbackHandle::operator=(CallbackHandle&& other) noexcept {
+  if (this != &other) {
+    release();
+    state_ = std::move(other.state_);
+    id_ = other.id_;
+    other.state_.reset();
+    other.id_ = 0;
+  }
+  return *this;
+}
+
+void CallbackHandle::release() noexcept {
+  const auto state = state_.lock();
+  state_.reset();
+  if (!state || id_ == 0) return;
+  std::lock_guard<std::mutex> lk(state->mu);
+  for (auto fit = state->families.begin(); fit != state->families.end(); ++fit) {
+    auto& series = fit->series;
+    for (auto sit = series.begin(); sit != series.end(); ++sit) {
+      if (sit->callback_id == id_) {
+        series.erase(sit);
+        if (series.empty()) state->families.erase(fit);
+        id_ = 0;
+        return;
+      }
+    }
+  }
+  id_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+Registry::Registry() : state_(std::make_shared<detail::State>()) {}
+
+std::shared_ptr<Counter> Registry::counter(std::string_view name, std::string_view help,
+                                           const Labels& labels) {
+  const std::string label_text = render_label_text(labels);
+  std::lock_guard<std::mutex> lk(state_->mu);
+  detail::Family& f = state_->family(name, help, Kind::kCounter);
+  if (detail::Series* s = state_->find_series(f, label_text)) {
+    if (!s->counter) {
+      throw std::logic_error("metrics: " + f.name + "{" + label_text +
+                             "} already registered as a callback series");
+    }
+    return s->counter;
+  }
+  detail::Series s;
+  s.label_text = label_text;
+  s.counter = std::make_shared<Counter>();
+  f.series.push_back(std::move(s));
+  return f.series.back().counter;
+}
+
+std::shared_ptr<Gauge> Registry::gauge(std::string_view name, std::string_view help,
+                                       const Labels& labels) {
+  const std::string label_text = render_label_text(labels);
+  std::lock_guard<std::mutex> lk(state_->mu);
+  detail::Family& f = state_->family(name, help, Kind::kGauge);
+  if (detail::Series* s = state_->find_series(f, label_text)) {
+    if (!s->gauge) {
+      throw std::logic_error("metrics: " + f.name + "{" + label_text +
+                             "} already registered as a callback series");
+    }
+    return s->gauge;
+  }
+  detail::Series s;
+  s.label_text = label_text;
+  s.gauge = std::make_shared<Gauge>();
+  f.series.push_back(std::move(s));
+  return f.series.back().gauge;
+}
+
+std::shared_ptr<Histogram> Registry::histogram(std::string_view name, std::string_view help,
+                                               std::vector<std::uint64_t> bounds,
+                                               const Labels& labels) {
+  const std::string label_text = render_label_text(labels);
+  std::lock_guard<std::mutex> lk(state_->mu);
+  detail::Family& f = state_->family(name, help, Kind::kHistogram);
+  if (detail::Series* s = state_->find_series(f, label_text)) {
+    if (s->histogram->bounds() != bounds) {
+      throw std::logic_error("metrics: " + f.name +
+                             " re-registered with different histogram bounds");
+    }
+    return s->histogram;
+  }
+  detail::Series s;
+  s.label_text = label_text;
+  s.histogram = std::make_shared<Histogram>(std::move(bounds));
+  f.series.push_back(std::move(s));
+  return f.series.back().histogram;
+}
+
+CallbackHandle Registry::callback(std::string_view name, std::string_view help, Kind kind,
+                                  const Labels& labels, Sample sample) {
+  if (kind == Kind::kHistogram) {
+    throw std::logic_error("metrics: callback histograms are not supported");
+  }
+  if (!sample) throw std::invalid_argument("metrics: null callback sample");
+  const std::string label_text = render_label_text(labels);
+  std::lock_guard<std::mutex> lk(state_->mu);
+  detail::Family& f = state_->family(name, help, kind);
+  if (state_->find_series(f, label_text) != nullptr) {
+    throw std::logic_error("metrics: " + f.name + "{" + label_text +
+                           "} registered twice");
+  }
+  detail::Series s;
+  s.label_text = label_text;
+  s.sample = std::move(sample);
+  s.callback_id = state_->next_callback_id++;
+  f.series.push_back(std::move(s));
+  return CallbackHandle(state_, f.series.back().callback_id);
+}
+
+void Registry::write_prometheus(std::string& out) const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  for (const detail::Family& f : state_->families) {
+    append_family_header(out, f.name, f.help, f.kind);
+    for (const detail::Series& s : f.series) {
+      if (s.counter) {
+        append_sample_line(out, f.name, s.label_text, s.counter->value());
+      } else if (s.gauge) {
+        const std::int64_t v = s.gauge->value();
+        out.append(f.name);
+        if (!s.label_text.empty()) {
+          out.push_back('{');
+          out.append(s.label_text);
+          out.push_back('}');
+        }
+        out.push_back(' ');
+        out.append(std::to_string(v));
+        out.push_back('\n');
+      } else if (s.histogram) {
+        const Histogram& h = *s.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+          cumulative += h.bucket_count(i);
+          out.append(f.name);
+          out.append("_bucket{");
+          if (!s.label_text.empty()) {
+            out.append(s.label_text);
+            out.push_back(',');
+          }
+          out.append("le=\"");
+          if (i < h.bounds().size()) {
+            out.append(std::to_string(h.bounds()[i]));
+          } else {
+            out.append("+Inf");
+          }
+          out.append("\"} ");
+          out.append(std::to_string(cumulative));
+          out.push_back('\n');
+        }
+        append_sample_line(out, std::string(f.name) + "_sum", s.label_text, h.sum());
+        append_sample_line(out, std::string(f.name) + "_count", s.label_text, h.count());
+      } else if (s.sample) {
+        append_sample_line(out, f.name, s.label_text, s.sample());
+      }
+    }
+  }
+}
+
+std::string Registry::text() const {
+  std::string out;
+  write_prometheus(out);
+  return out;
+}
+
+std::size_t Registry::series_count() const {
+  std::lock_guard<std::mutex> lk(state_->mu);
+  std::size_t n = 0;
+  for (const detail::Family& f : state_->families) n += f.series.size();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Exposition helpers
+
+std::string render_label_text(const Labels& labels) {
+  std::string out;
+  for (const Label& l : labels) {
+    if (!out.empty()) out.push_back(',');
+    out.append(l.key.view());
+    out.append("=\"");
+    append_escaped_label_value(out, l.value.view());
+    out.push_back('"');
+  }
+  return out;
+}
+
+void append_escaped_label_value(std::string& out, std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out.append("\\\\"); break;
+      case '"': out.append("\\\""); break;
+      case '\n': out.append("\\n"); break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+void append_metric_value(std::string& out, double v) {
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (std::nearbyint(v) == v && v <= kExact && v >= -kExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    out.append(buf);
+    return;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out.append(buf);
+}
+
+void append_family_header(std::string& out, std::string_view name, std::string_view help,
+                          Kind kind) {
+  out.append("# HELP ");
+  out.append(name);
+  out.push_back(' ');
+  out.append(help);
+  out.append("\n# TYPE ");
+  out.append(name);
+  out.push_back(' ');
+  out.append(kind_name(kind));
+  out.push_back('\n');
+}
+
+void append_sample_line(std::string& out, std::string_view name,
+                        std::string_view label_text, double value) {
+  out.append(name);
+  if (!label_text.empty()) {
+    out.push_back('{');
+    out.append(label_text);
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  append_metric_value(out, value);
+  out.push_back('\n');
+}
+
+void append_sample_line(std::string& out, std::string_view name,
+                        std::string_view label_text, std::uint64_t value) {
+  out.append(name);
+  if (!label_text.empty()) {
+    out.push_back('{');
+    out.append(label_text);
+    out.push_back('}');
+  }
+  out.push_back(' ');
+  out.append(std::to_string(value));
+  out.push_back('\n');
+}
+
+}  // namespace xsp::metrics

@@ -27,16 +27,32 @@
 // drain_timeout_ms, then the loop returns — the daemon half of the drain
 // protocol in src/trace/README.md (a producer's shutdown_write is "stream
 // complete"; our close after consuming everything is the ack).
+//
+// Self-metrics: when CollectorOptions::metrics_endpoint is set, a second
+// listener on the *same* poll loop serves `GET /metrics` (Prometheus text
+// exposition) and `GET /healthz` — no extra threads, and no locking for
+// the per-connection series because the scrape is built on the run()
+// thread that owns them. The exposition covers the service's own ingest
+// counters (xsp_ingested_spans_total and friends), one series per open
+// producer connection (bytes/frames/spans, labeled by accept id), the
+// producer-health counters carried by wire v3 Heartbeat frames (publish/
+// drop/outbox/reconnects as the *producer* counts them, plus heartbeat
+// age and a staleness flag), and finally whatever registry the embedding
+// daemon wired in (the sink's own xsp_trace_* series).
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "xsp/metrics/registry.hpp"
 #include "xsp/net/endpoint.hpp"
+#include "xsp/net/http.hpp"
 #include "xsp/net/socket.hpp"
 #include "xsp/trace/span_sink.hpp"
 #include "xsp/trace/wire.hpp"
@@ -53,6 +69,19 @@ struct CollectorOptions {
   int poll_timeout_ms = 50;
   /// How long a graceful drain waits for connected producers to finish.
   int drain_timeout_ms = 5000;
+  /// URI of the HTTP self-metrics endpoint ("tcp://127.0.0.1:9464" or
+  /// "unix:/run/xsp-metrics.sock"); empty disables it. Served from the
+  /// run() poll loop — no additional threads.
+  std::string metrics_endpoint;
+  /// Extra series appended to /metrics after the service's own (the
+  /// daemon registers its sink's series here). May be null; must outlive
+  /// the service when set.
+  metrics::Registry* registry = nullptr;
+  /// A producer whose heartbeats stop for longer than this while its
+  /// connection stays open is flagged stale (xsp_producer_stale = 1).
+  /// Applies only to connections that have sent at least one heartbeat —
+  /// v1/v2 producers never do and are never flagged. <= 0 disables.
+  int heartbeat_stale_ms = 5000;
 };
 
 /// Monotonic ingest counters, snapshot via CollectorService::stats().
@@ -66,6 +95,14 @@ struct CollectorStats {
   std::uint64_t spans_ingested = 0;
   std::uint64_t strings_reinterned = 0;
   std::uint64_t footers_seen = 0;
+  /// Wire frames fully parsed across all connections (all types).
+  std::uint64_t frames_parsed = 0;
+  /// Wire v3 Heartbeat frames ingested (producer liveness beacons).
+  std::uint64_t heartbeats_seen = 0;
+  /// HTTP requests answered on the metrics endpoint (any status).
+  std::uint64_t http_requests = 0;
+  /// Of http_requests: non-200 responses plus dropped hostile requests.
+  std::uint64_t http_errors = 0;
   /// Summed from producer footers: spans the *producers* dropped before
   /// the bytes ever reached us, and their reconnect counts — the fleet's
   /// completeness story in two numbers.
@@ -96,11 +133,16 @@ class CollectorService {
   /// The endpoint actually bound (TCP port resolved if 0 was requested).
   [[nodiscard]] const Endpoint& endpoint() const;
 
+  /// The HTTP metrics endpoint actually bound, or nullptr when
+  /// CollectorOptions::metrics_endpoint was empty.
+  [[nodiscard]] const Endpoint* metrics_endpoint() const;
+
   [[nodiscard]] CollectorStats stats() const;
   [[nodiscard]] std::size_t open_connections() const;
 
  private:
   struct Connection;
+  struct HttpConn;
 
   void accept_pending();
   /// Read + parse one connection; returns false when it should be closed.
@@ -110,11 +152,26 @@ class CollectorService {
   void ingest_batch(Connection& conn);
   void close_connection(std::size_t index);
 
+  void accept_http(Poller& poller);
+  /// Progress one HTTP connection; returns false when it should close.
+  bool service_http(Poller& poller, HttpConn& hc, const Poller::Event& ev);
+  /// Route a parsed request to its response bytes. Run() thread only.
+  [[nodiscard]] std::string respond(const HttpRequest& req);
+  /// Append the full Prometheus exposition: service counters, per-
+  /// connection/producer series, then opts_.registry. Run() thread only.
+  void build_metrics_text(std::string& out);
+
   trace::SpanSink& sink_;
   CollectorOptions opts_;
   std::unique_ptr<Listener> listener_;
   std::vector<std::unique_ptr<Connection>> conns_;
   std::atomic<bool> stop_{false};
+
+  /// HTTP responder state (run() thread only past construction).
+  std::unique_ptr<Listener> http_listener_;
+  std::vector<std::unique_ptr<HttpConn>> http_conns_;
+  std::string scrape_buf_;  ///< reused across scrapes
+  std::uint64_t next_conn_id_ = 1;
 
   mutable std::mutex stats_mu_;
   CollectorStats stats_;

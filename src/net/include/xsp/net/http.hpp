@@ -1,0 +1,71 @@
+// Minimal HTTP/1.0 request parsing + response building for the collector's
+// self-metrics endpoint (`GET /metrics`, `GET /healthz`).
+//
+// This is deliberately not a web server: it parses exactly enough of a
+// request head (method + path, headers ignored) to dispatch a scrape, with
+// hard bounds so hostile clients stay connection-local:
+//   * the request head is capped at kMaxHttpRequestBytes — an oversized
+//     request line or header block turns into a parse error, never
+//     unbounded buffering,
+//   * parsing is incremental (feed() accepts whatever the socket produced),
+//     so a slowloris client that dribbles bytes just owns one idle
+//     connection on the poll loop — it never blocks other clients or the
+//     ingest path,
+//   * responses always close the connection (`Connection: close`), keeping
+//     the endpoint stateless per request.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace xsp::net {
+
+/// Upper bound on one request head (request line + headers). More than
+/// this without a blank line is hostile input.
+inline constexpr std::size_t kMaxHttpRequestBytes = 8 * 1024;
+
+struct HttpRequest {
+  std::string method;  // e.g. "GET" — token as sent, not normalized
+  std::string path;    // e.g. "/metrics" — path as sent, query included
+};
+
+/// Incremental request-head parser. Feed socket bytes as they arrive;
+/// state machine: kNeedMore -> kComplete | kError (both terminal).
+class HttpRequestParser {
+ public:
+  enum class Status { kNeedMore, kComplete, kError };
+
+  /// Consume `bytes`. Returns the parser status after this chunk. Bytes
+  /// past the end of the request head are ignored (responses close the
+  /// connection, so there is no pipelining to honor).
+  Status feed(std::string_view bytes);
+
+  [[nodiscard]] Status status() const noexcept { return status_; }
+  /// Valid once status() == kComplete.
+  [[nodiscard]] const HttpRequest& request() const noexcept { return req_; }
+  /// Human-readable reason, valid once status() == kError.
+  [[nodiscard]] const char* error() const noexcept { return error_; }
+
+ private:
+  Status fail(const char* reason) noexcept {
+    status_ = Status::kError;
+    error_ = reason;
+    return status_;
+  }
+
+  std::string buf_;
+  HttpRequest req_;
+  Status status_ = Status::kNeedMore;
+  const char* error_ = "";
+};
+
+/// Build a full HTTP/1.0 response with Content-Length and
+/// `Connection: close`.
+[[nodiscard]] std::string http_response(int status_code, std::string_view content_type,
+                                        std::string_view body);
+
+/// Reason phrase for the handful of status codes the endpoint emits.
+[[nodiscard]] std::string_view http_status_reason(int status_code);
+
+}  // namespace xsp::net

@@ -14,6 +14,14 @@ using trace::SpanId;
 using trace::WireError;
 namespace wire = trace::wire;
 
+using Clock = std::chrono::steady_clock;
+
+/// `conn="<id>"` — the label every per-connection series carries. Digits
+/// need no exposition escaping, so this skips the interned-label path.
+std::string conn_label(std::uint64_t id) {
+  return "conn=\"" + std::to_string(id) + "\"";
+}
+
 }  // namespace
 
 /// Per-connection ingest state. Everything here is touched only by the
@@ -36,20 +44,56 @@ struct CollectorService::Connection {
   bool done = false;     ///< footer seen; only EOF is acceptable after
   bool errored = false;  ///< hostile input or mid-frame disconnect
 
+  // --- self-metrics (per-connection series on /metrics) ---
+  std::uint64_t id = 0;  ///< monotonic accept id, the `conn` label
+  std::uint64_t bytes = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t spans = 0;
+  /// Latest producer heartbeat (wire v3). got_heartbeat gates the
+  /// xsp_producer_* series: v1/v2 producers never send one and expose
+  /// nothing rather than zeros.
+  bool got_heartbeat = false;
+  wire::Heartbeat hb{};
+  Clock::time_point last_hb{};
+
   explicit Connection(Socket s) : sock(std::move(s)) {}
+};
+
+/// One metrics-endpoint client. Request heads are parsed incrementally
+/// (HttpRequestParser bounds the buffering), the response is buffered and
+/// written as the socket accepts it, and the connection always closes
+/// after one exchange — hostile clients cost one poll-loop slot, nothing
+/// more.
+struct CollectorService::HttpConn {
+  Socket sock;
+  HttpRequestParser parser;
+  std::string tx;          ///< response bytes once dispatched
+  std::size_t tx_off = 0;  ///< bytes of tx already written
+  bool responding = false;
+
+  explicit HttpConn(Socket s) : sock(std::move(s)) {}
 };
 
 CollectorService::CollectorService(const Endpoint& endpoint,
                                    trace::SpanSink& sink,
                                    CollectorOptions options)
     : sink_(sink),
-      opts_(options),
-      listener_(std::make_unique<Listener>(endpoint)) {}
+      opts_(std::move(options)),
+      listener_(std::make_unique<Listener>(endpoint)) {
+  if (!opts_.metrics_endpoint.empty()) {
+    http_listener_ =
+        std::make_unique<Listener>(Endpoint::parse(opts_.metrics_endpoint));
+  }
+}
 
 CollectorService::~CollectorService() = default;
 
 const Endpoint& CollectorService::endpoint() const {
   return listener_->endpoint();
+}
+
+const Endpoint* CollectorService::metrics_endpoint() const {
+  return http_listener_ ? &http_listener_->endpoint() : nullptr;
 }
 
 CollectorStats CollectorService::stats() const {
@@ -64,6 +108,7 @@ std::size_t CollectorService::open_connections() const {
 void CollectorService::run() {
   Poller poller;
   poller.watch(listener_->fd(), Poller::kReadable);
+  if (http_listener_) poller.watch(http_listener_->fd(), Poller::kReadable);
   while (!stop_.load(std::memory_order_relaxed)) {
     for (const Poller::Event& ev : poller.wait(opts_.poll_timeout_ms)) {
       if (ev.fd == listener_->fd()) {
@@ -75,6 +120,22 @@ void CollectorService::run() {
         }
         continue;
       }
+      if (http_listener_ && ev.fd == http_listener_->fd()) {
+        if (ev.readable) accept_http(poller);
+        continue;
+      }
+      bool handled = false;
+      for (std::size_t i = 0; i < http_conns_.size(); ++i) {
+        if (http_conns_[i]->sock.fd() != ev.fd) continue;
+        if (!service_http(poller, *http_conns_[i], ev)) {
+          poller.forget(ev.fd);
+          http_conns_.erase(http_conns_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        }
+        handled = true;
+        break;
+      }
+      if (handled) continue;
       for (std::size_t i = 0; i < conns_.size(); ++i) {
         if (conns_[i]->sock.fd() != ev.fd) continue;
         // Read before honoring hangup: POLLHUP with queued bytes still
@@ -88,7 +149,12 @@ void CollectorService::run() {
     }
   }
 
-  // Graceful drain: no new connections; finish reading the open ones.
+  // Graceful drain: no new connections, and the metrics endpoint goes
+  // down first — scrapes must never extend a drain, and a half-written
+  // response to a dying scraper is acceptable where a half-read producer
+  // stream is not.
+  http_conns_.clear();
+  http_listener_.reset();
   listener_.reset();
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(opts_.drain_timeout_ms);
@@ -117,6 +183,7 @@ void CollectorService::accept_pending() {
     Socket conn = listener_->accept();
     if (!conn.valid()) return;
     conns_.push_back(std::make_unique<Connection>(std::move(conn)));
+    conns_.back()->id = next_conn_id_++;
     open_conns_.store(conns_.size(), std::memory_order_relaxed);
     std::lock_guard lk(stats_mu_);
     ++stats_.connections_accepted;
@@ -132,6 +199,7 @@ bool CollectorService::service_connection(Connection& conn) {
     const IoResult r = conn.sock.read_some(chunk, chunk_cap, n);
     if (r == IoResult::kOk) {
       conn.rx.append(std::string_view(chunk, n));
+      conn.bytes += n;
       {
         std::lock_guard lk(stats_mu_);
         stats_.bytes_received += n;
@@ -198,6 +266,17 @@ void CollectorService::parse_frames(Connection& conn) {
         ingest_batch(conn);
         break;
       }
+      case wire::FrameType::kHeartbeat: {
+        // checked_heartbeat enforces the v3 gate: a heartbeat inside a
+        // stream that declared v1/v2 is a protocol violation, same as any
+        // malformed frame.
+        conn.hb = wire::checked_heartbeat(payload, conn.version);
+        conn.got_heartbeat = true;
+        conn.last_hb = Clock::now();
+        std::lock_guard lk(stats_mu_);
+        ++stats_.heartbeats_seen;
+        break;
+      }
       case wire::FrameType::kFooter: {
         // v1 producers send the 11-field footer prefix; the v2-only
         // fields decode as zero (see BinaryReader's matching rule).
@@ -218,6 +297,9 @@ void CollectorService::parse_frames(Connection& conn) {
                         std::to_string(fh.type));
     }
     conn.rx.consume(sizeof fh + payload_size);
+    ++conn.frames;
+    std::lock_guard lk(stats_mu_);
+    ++stats_.frames_parsed;
   }
 }
 
@@ -240,6 +322,7 @@ void CollectorService::ingest_batch(Connection& conn) {
     }
     sink_.publish(span);
   }
+  conn.spans += conn.scratch.size();
   std::lock_guard lk(stats_mu_);
   stats_.spans_ingested += conn.scratch.size();
 }
@@ -257,6 +340,256 @@ void CollectorService::close_connection(std::size_t index) {
   // cleanly-finished producer is waiting for.
   conns_.erase(conns_.begin() + static_cast<std::ptrdiff_t>(index));
   open_conns_.store(conns_.size(), std::memory_order_relaxed);
+}
+
+// --- HTTP metrics endpoint ---------------------------------------------
+
+void CollectorService::accept_http(Poller& poller) {
+  for (;;) {
+    Socket sock = http_listener_->accept();
+    if (!sock.valid()) return;
+    http_conns_.push_back(std::make_unique<HttpConn>(std::move(sock)));
+    poller.watch(http_conns_.back()->sock.fd(), Poller::kReadable);
+  }
+}
+
+bool CollectorService::service_http(Poller& poller, HttpConn& hc,
+                                    const Poller::Event& ev) {
+  if (ev.readable && !hc.responding) {
+    char chunk[4096];
+    for (;;) {
+      std::size_t n = 0;
+      const IoResult r = hc.sock.read_some(chunk, sizeof chunk, n);
+      if (r == IoResult::kWouldBlock) break;
+      if (r != IoResult::kOk) return false;  // EOF/reset before a request
+      const auto st = hc.parser.feed(std::string_view(chunk, n));
+      if (st == HttpRequestParser::Status::kNeedMore) continue;
+      // Terminal either way: build the response and flip to writing.
+      if (st == HttpRequestParser::Status::kError) {
+        hc.tx = http_response(400, "text/plain; charset=utf-8",
+                              std::string(hc.parser.error()) + "\n");
+        std::lock_guard lk(stats_mu_);
+        ++stats_.http_requests;
+        ++stats_.http_errors;
+      } else {
+        hc.tx = respond(hc.parser.request());
+      }
+      hc.responding = true;
+      poller.watch(hc.sock.fd(), Poller::kWritable);
+      break;
+    }
+  }
+  if (hc.responding) {
+    while (hc.tx_off < hc.tx.size()) {
+      std::size_t n = 0;
+      const IoResult r = hc.sock.write_some(hc.tx.data() + hc.tx_off,
+                                            hc.tx.size() - hc.tx_off, n);
+      if (r == IoResult::kOk) {
+        hc.tx_off += n;
+        continue;
+      }
+      if (r == IoResult::kWouldBlock) return true;
+      return false;  // peer went away mid-response
+    }
+    return false;  // response complete: close (Connection: close)
+  }
+  return !ev.hangup;
+}
+
+std::string CollectorService::respond(const HttpRequest& req) {
+  const auto count = [this](bool error) {
+    std::lock_guard lk(stats_mu_);
+    ++stats_.http_requests;
+    if (error) ++stats_.http_errors;
+  };
+  if (req.method != "GET") {
+    count(true);
+    return http_response(405, "text/plain; charset=utf-8",
+                         "method not allowed\n");
+  }
+  // Strip any query string: Prometheus scrapers may append one.
+  std::string_view path = req.path;
+  if (const auto q = path.find('?'); q != std::string_view::npos)
+    path = path.substr(0, q);
+  if (path == "/healthz") {
+    count(false);
+    return http_response(200, "text/plain; charset=utf-8", "ok\n");
+  }
+  if (path == "/metrics") {
+    count(false);
+    scrape_buf_.clear();
+    build_metrics_text(scrape_buf_);
+    return http_response(200, "text/plain; version=0.0.4; charset=utf-8",
+                         scrape_buf_);
+  }
+  count(true);
+  return http_response(404, "text/plain; charset=utf-8", "not found\n");
+}
+
+void CollectorService::build_metrics_text(std::string& out) {
+  using metrics::Kind;
+  using metrics::append_family_header;
+  using metrics::append_sample_line;
+
+  const CollectorStats s = stats();
+
+  const auto family = [&out](std::string_view name, std::string_view help,
+                             Kind kind, std::uint64_t value) {
+    append_family_header(out, name, help, kind);
+    append_sample_line(out, name, {}, value);
+  };
+
+  // The fleet-accounting headline: what actually reached the sink. CI's
+  // multi-process smoke checks this against the producers' own
+  // sent-minus-dropped totals.
+  family("xsp_ingested_spans_total",
+         "Spans ingested into the collector's sink across all connections",
+         Kind::kCounter, s.spans_ingested);
+  family("xsp_collector_connections_accepted_total",
+         "Producer connections accepted", Kind::kCounter,
+         s.connections_accepted);
+  family("xsp_collector_connections_closed_total",
+         "Producer connections closed cleanly", Kind::kCounter,
+         s.connections_closed);
+  family("xsp_collector_connections_errored_total",
+         "Producer connections dropped for protocol violations or truncation",
+         Kind::kCounter, s.connections_errored);
+  family("xsp_collector_bytes_received_total",
+         "Wire bytes received from producers", Kind::kCounter,
+         s.bytes_received);
+  family("xsp_collector_frames_total", "Wire frames parsed (all types)",
+         Kind::kCounter, s.frames_parsed);
+  family("xsp_collector_strings_reinterned_total",
+         "Producer string-table entries re-interned", Kind::kCounter,
+         s.strings_reinterned);
+  family("xsp_collector_footers_total", "Stream footer frames ingested",
+         Kind::kCounter, s.footers_seen);
+  family("xsp_collector_heartbeats_total",
+         "Producer heartbeat frames ingested", Kind::kCounter,
+         s.heartbeats_seen);
+  family("xsp_collector_producer_dropped_spans_total",
+         "Spans producers reported dropping before send (from footers)",
+         Kind::kCounter, s.producer_dropped_spans);
+  family("xsp_collector_producer_reconnects_total",
+         "Reconnects producers reported (from footers)", Kind::kCounter,
+         s.producer_reconnects);
+  family("xsp_collector_http_requests_total",
+         "HTTP requests answered on this endpoint", Kind::kCounter,
+         s.http_requests);
+  family("xsp_collector_http_errors_total",
+         "HTTP requests answered with a non-200 status", Kind::kCounter,
+         s.http_errors);
+  append_family_header(out, "xsp_collector_open_connections",
+                       "Producer connections currently open", Kind::kGauge);
+  append_sample_line(out, "xsp_collector_open_connections", {},
+                     static_cast<std::uint64_t>(conns_.size()));
+
+  // Per-connection ingest series, one sample per open connection. The
+  // label is the monotonic accept id: closed connections disappear from
+  // the scrape (their totals live on in the aggregates above).
+  struct PerConn {
+    std::string_view name;
+    std::string_view help;
+    std::uint64_t Connection::*field;
+  };
+  static constexpr PerConn kPerConn[] = {
+      {"xsp_connection_bytes_total", "Wire bytes received on this connection",
+       &Connection::bytes},
+      {"xsp_connection_frames_total", "Wire frames parsed on this connection",
+       &Connection::frames},
+      {"xsp_connection_spans_total", "Spans ingested from this connection",
+       &Connection::spans},
+  };
+  for (const PerConn& pc : kPerConn) {
+    if (conns_.empty()) break;
+    append_family_header(out, pc.name, pc.help, Kind::kCounter);
+    for (const auto& conn : conns_)
+      append_sample_line(out, pc.name, conn_label(conn->id), (*conn).*pc.field);
+  }
+
+  // Producer-health series from wire v3 heartbeats: the producer's *own*
+  // accounting (published/dropped/outbox) surfaced while the stream is
+  // live, plus how long ago the last beacon arrived. Only connections
+  // that have heartbeated expose these — a v1/v2 producer is silent, not
+  // flatlined at zero.
+  struct PerHb {
+    std::string_view name;
+    std::string_view help;
+    Kind kind;
+    std::uint64_t wire::Heartbeat::*field;
+  };
+  static constexpr PerHb kPerHb[] = {
+      {"xsp_producer_published_spans_total",
+       "Spans the producer published into its RemoteSink", Kind::kCounter,
+       &wire::Heartbeat::spans_published},
+      {"xsp_producer_sent_spans_total",
+       "Spans the producer put on the wire", Kind::kCounter,
+       &wire::Heartbeat::spans_sent},
+      {"xsp_producer_dropped_spans_total",
+       "Spans the producer dropped under backpressure", Kind::kCounter,
+       &wire::Heartbeat::spans_dropped},
+      {"xsp_producer_shed_spans_total",
+       "Spans the producer shed selectively via its sampler", Kind::kCounter,
+       &wire::Heartbeat::spans_shed},
+      {"xsp_producer_sampled_kept_total",
+       "Spans the producer's admission sampler kept", Kind::kCounter,
+       &wire::Heartbeat::sampled_kept},
+      {"xsp_producer_sampled_dropped_total",
+       "Spans the producer's admission sampler rejected", Kind::kCounter,
+       &wire::Heartbeat::sampled_dropped},
+      {"xsp_producer_reconnects_total",
+       "Reconnects the producer's sink performed", Kind::kCounter,
+       &wire::Heartbeat::reconnects},
+      {"xsp_producer_outbox_spans",
+       "Spans queued in the producer's outbox at last heartbeat",
+       Kind::kGauge, &wire::Heartbeat::outbox_spans},
+      {"xsp_producer_heartbeat_sequence",
+       "Sequence number of the producer's last heartbeat", Kind::kGauge,
+       &wire::Heartbeat::sequence},
+  };
+  const bool any_hb = [this] {
+    for (const auto& conn : conns_)
+      if (conn->got_heartbeat) return true;
+    return false;
+  }();
+  if (any_hb) {
+    for (const PerHb& ph : kPerHb) {
+      append_family_header(out, ph.name, ph.help, ph.kind);
+      for (const auto& conn : conns_) {
+        if (!conn->got_heartbeat) continue;
+        append_sample_line(out, ph.name, conn_label(conn->id),
+                           conn->hb.*ph.field);
+      }
+    }
+    const auto now = Clock::now();
+    append_family_header(out, "xsp_producer_heartbeat_age_seconds",
+                         "Seconds since this producer's last heartbeat",
+                         Kind::kGauge);
+    for (const auto& conn : conns_) {
+      if (!conn->got_heartbeat) continue;
+      const double age =
+          std::chrono::duration<double>(now - conn->last_hb).count();
+      append_sample_line(out, "xsp_producer_heartbeat_age_seconds",
+                         conn_label(conn->id), age);
+    }
+    append_family_header(
+        out, "xsp_producer_stale",
+        "1 when the producer's heartbeats stopped past the staleness bound",
+        Kind::kGauge);
+    for (const auto& conn : conns_) {
+      if (!conn->got_heartbeat) continue;
+      const bool stale =
+          opts_.heartbeat_stale_ms > 0 &&
+          now - conn->last_hb >
+              std::chrono::milliseconds(opts_.heartbeat_stale_ms);
+      append_sample_line(out, "xsp_producer_stale", conn_label(conn->id),
+                         static_cast<std::uint64_t>(stale ? 1 : 0));
+    }
+  }
+
+  // Whatever the embedding daemon registered (the sink's xsp_trace_*
+  // series, tool-level counters) renders after the service's own.
+  if (opts_.registry != nullptr) opts_.registry->write_prometheus(out);
 }
 
 }  // namespace xsp::net

@@ -1,0 +1,86 @@
+#include "xsp/net/http.hpp"
+
+namespace xsp::net {
+
+namespace {
+
+bool token_char(char c) {
+  // RFC 7230 tcharish: enough to accept real methods and reject binary noise.
+  return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+         c == '-' || c == '_';
+}
+
+}  // namespace
+
+HttpRequestParser::Status HttpRequestParser::feed(std::string_view bytes) {
+  if (status_ != Status::kNeedMore) return status_;
+  // Cap before buffering: a head that cannot terminate within the budget is
+  // hostile regardless of what eventually arrives.
+  if (buf_.size() + bytes.size() > kMaxHttpRequestBytes) {
+    // Keep whatever fits so the request-line check below still sees it.
+    bytes = bytes.substr(0, kMaxHttpRequestBytes - buf_.size());
+    buf_.append(bytes);
+    return fail("request head exceeds limit");
+  }
+  buf_.append(bytes);
+
+  const std::size_t head_end = buf_.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    // No terminator yet. If the request *line* alone is already oversized
+    // (no CR within the budget), call it now rather than buffering on.
+    if (buf_.size() >= kMaxHttpRequestBytes) return fail("request head exceeds limit");
+    return status_;
+  }
+
+  const std::size_t line_end = buf_.find("\r\n");
+  std::string_view line(buf_.data(), line_end);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0) return fail("malformed request line");
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1) return fail("malformed request line");
+
+  std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+
+  for (char c : method) {
+    if (!token_char(c)) return fail("malformed method token");
+  }
+  if (path.empty() || path[0] != '/') return fail("malformed request path");
+  if (version.substr(0, 5) != "HTTP/") return fail("unsupported protocol");
+
+  req_.method.assign(method);
+  req_.path.assign(path);
+  status_ = Status::kComplete;
+  return status_;
+}
+
+std::string_view http_status_reason(int status_code) {
+  switch (status_code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+std::string http_response(int status_code, std::string_view content_type,
+                          std::string_view body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out.append("HTTP/1.0 ");
+  out.append(std::to_string(status_code));
+  out.push_back(' ');
+  out.append(http_status_reason(status_code));
+  out.append("\r\nContent-Type: ");
+  out.append(content_type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append("\r\nConnection: close\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace xsp::net

@@ -26,6 +26,7 @@
 #include "xsp/common/clock.hpp"
 #include "xsp/cupti/cupti.hpp"
 #include "xsp/framework/executor.hpp"
+#include "xsp/metrics/registry.hpp"
 #include "xsp/sim/device.hpp"
 #include "xsp/trace/export.hpp"
 #include "xsp/trace/remote_sink.hpp"
@@ -260,6 +261,18 @@ class Session {
   /// pairs it with live_snapshot()); all zeros before the first run.
   [[nodiscard]] SlotTelemetry slot_telemetry() const;
 
+  /// Register the session's collection machinery with a self-metrics
+  /// registry: every fleet shard's series (TraceServer::bind_metrics,
+  /// labeled by shard under `labels`) and, when remote forwarding is
+  /// active, the RemoteSink's health series. profile() rebinds
+  /// automatically whenever it reconfigures the fleet or reconnects the
+  /// sink, so the registry tracks the *current* fleet across runs. Pass
+  /// nullptr to stop binding (existing series unregister when their
+  /// components die). The registry must outlive the session or the next
+  /// unbind, whichever comes first. Zero publish-hot-path cost — see
+  /// TraceServer::bind_metrics.
+  void bind_metrics(metrics::Registry* registry, metrics::Labels labels = {});
+
   [[nodiscard]] sim::GpuDevice& device() noexcept { return device_; }
   [[nodiscard]] SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] framework::Executor& executor() noexcept { return executor_; }
@@ -305,6 +318,10 @@ class Session {
   std::unique_ptr<trace::Tracer> layer_tracer_;
   std::unique_ptr<trace::Tracer> library_tracer_;
   std::unique_ptr<trace::Tracer> gpu_tracer_;
+  /// Self-metrics binding (bind_metrics): applied to the live fleet and
+  /// sink, and re-applied by profile() after reconfiguration.
+  metrics::Registry* metrics_registry_ = nullptr;
+  metrics::Labels metrics_labels_;
 };
 
 }  // namespace xsp::profile

@@ -76,6 +76,18 @@ SlotTelemetry Session::slot_telemetry() const {
   return t;
 }
 
+void Session::bind_metrics(metrics::Registry* registry, metrics::Labels labels) {
+  metrics_registry_ = registry;
+  metrics_labels_ = std::move(labels);
+  if (metrics_registry_ == nullptr) return;
+  // Bind whatever exists now; profile() re-applies the binding whenever
+  // it swaps the fleet or the sink (the dying component released its
+  // series first, so names never collide).
+  std::lock_guard lk(server_mu_);
+  if (server_ != nullptr) server_->bind_metrics(*metrics_registry_, metrics_labels_);
+  if (remote_ != nullptr) remote_->bind_metrics(*metrics_registry_, metrics_labels_);
+}
+
 trace::SpanId Session::start_span(trace::StrId name, trace::SpanId parent) {
   if (!model_tracer_) return trace::kNoSpan;
   return model_tracer_->start_span(name, clock_.now(), parent);
@@ -99,8 +111,13 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
         options.trace_shards, options.publish_mode, options.shard_policy);
     // Only the pointer swap is guarded: slot_telemetry() on a dashboard
     // thread must never catch the fleet mid-replacement.
-    std::lock_guard lk(server_mu_);
-    server_ = std::move(fresh);
+    {
+      std::lock_guard lk(server_mu_);
+      server_ = std::move(fresh);
+    }
+    // Rebind after the swap: the old fleet's destructor released its
+    // series, so the new fleet can register the same names.
+    if (metrics_registry_ != nullptr) server_->bind_metrics(*metrics_registry_, metrics_labels_);
   } else {
     // A prior run that threw mid-publication may have left spans queued;
     // a reused fleet must start the run empty (and with drop counters
@@ -234,6 +251,8 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       remote_ = std::make_unique<trace::RemoteSink>(
           net::Endpoint::parse(options.remote_endpoint));
       remote_uri_ = options.remote_endpoint;
+      if (metrics_registry_ != nullptr)
+        remote_->bind_metrics(*metrics_registry_, metrics_labels_);
     }
     // The forwarded batches were already admitted by the fleet's sampler;
     // the sink uses the policy only to shed low-value spans first when

@@ -48,6 +48,7 @@
 #include <mutex>
 #include <thread>
 
+#include "xsp/metrics/registry.hpp"
 #include "xsp/net/endpoint.hpp"
 #include "xsp/trace/span.hpp"
 #include "xsp/trace/span_sink.hpp"
@@ -75,6 +76,12 @@ struct RemoteSinkOptions {
   int io_wait_ms = 20;
   /// How long close() waits for the daemon's end-of-stream ack.
   int drain_timeout_ms = 2000;
+  /// Cadence of wire v3 Heartbeat frames carrying the sink's live
+  /// counters, sent from the sender thread while a connection is up —
+  /// the signal the collector turns into per-producer staleness (a
+  /// producer whose heartbeats stop mid-connection is dead or stalled).
+  /// <= 0 disables heartbeats entirely.
+  int heartbeat_interval_ms = 1000;
 };
 
 class RemoteSink final : public SpanSink {
@@ -142,6 +149,20 @@ class RemoteSink final : public SpanSink {
   [[nodiscard]] std::uint64_t spans_sampled_dropped() const noexcept;
   [[nodiscard]] std::uint64_t reconnects() const noexcept;
   [[nodiscard]] bool connected() const noexcept;
+  /// Spans currently queued in the bounded outbox (instantaneous depth —
+  /// the backpressure signal the heartbeat frame also carries).
+  [[nodiscard]] std::uint64_t outbox_spans() const;
+  /// Heartbeat frames emitted over this sink's lifetime.
+  [[nodiscard]] std::uint64_t heartbeats_sent() const noexcept;
+
+  /// Register this sink's health series with a metrics registry (callback
+  /// reads of the accounting atomics — nothing on the publish path). This
+  /// is what makes a wedged producer visible *while* it is wedged:
+  /// xsp_remote_dropped_spans_total / xsp_remote_reconnects_total /
+  /// xsp_remote_outbox_spans update live, not only in the close() footer.
+  /// Rebinding replaces the previous binding; removal is automatic when
+  /// either side dies first.
+  void bind_metrics(metrics::Registry& registry, metrics::Labels labels = {});
 
  private:
   struct Conn;  // socket + writer, owned by the sender thread
@@ -152,6 +173,8 @@ class RemoteSink final : public SpanSink {
   void sender_loop();
   bool connect_once(Conn& conn);
   void finish_stream(Conn& conn);
+  /// Snapshot the live counters into a heartbeat frame (sender thread).
+  [[nodiscard]] wire::Heartbeat make_heartbeat();
 
   const net::Endpoint endpoint_;
   const RemoteSinkOptions opts_;
@@ -178,8 +201,17 @@ class RemoteSink final : public SpanSink {
   std::atomic<std::uint64_t> sampled_dropped_{0};
   std::atomic<std::uint64_t> reconnects_{0};
   std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> heartbeats_sent_{0};
+  /// Per-stream heartbeat sequence (sender thread only).
+  std::uint64_t hb_seq_ = 0;
 
   std::thread sender_;
+
+  /// Self-metrics binding (bind_metrics). Declared last so the handles
+  /// are destroyed first: release serializes with in-flight scrapes on
+  /// the registry lock, and every member a sample reads outlives it.
+  std::mutex metrics_mu_;
+  std::vector<metrics::CallbackHandle> metrics_cbs_;
 };
 
 }  // namespace xsp::trace

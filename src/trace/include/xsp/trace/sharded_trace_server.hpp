@@ -181,6 +181,12 @@ class ShardedTraceServer final : public SpanSink {
   /// Toggle thread-exit slot reclamation on every shard (on by default).
   void set_slot_reclamation(bool enabled) noexcept;
 
+  /// Bind every shard's health series to `registry`, each under `labels`
+  /// plus a {"shard","<i>"} label — so fleet totals are a PromQL sum over
+  /// the shard dimension and a hot shard is visible as its own series.
+  /// Same zero-hot-path-cost contract as TraceServer::bind_metrics.
+  void bind_metrics(metrics::Registry& registry, const metrics::Labels& labels = {});
+
   /// The shard index the given span would be routed to under the current
   /// policy, from the current thread. Exposed so routing is testable.
   [[nodiscard]] std::size_t shard_for(const Span& span) const noexcept;

@@ -45,6 +45,7 @@
 #include <thread>
 #include <vector>
 
+#include "xsp/metrics/registry.hpp"
 #include "xsp/trace/span.hpp"
 #include "xsp/trace/span_sink.hpp"
 
@@ -257,6 +258,17 @@ class TraceServer final : public SpanSink {
     reclaim_enabled_.store(enabled, std::memory_order_relaxed);
   }
 
+  /// Register this server's health series with a metrics registry under
+  /// `labels` (e.g. {"shard","2"}). The series are callback-backed reads
+  /// of counters the server already maintains, so the publish hot path
+  /// gains ZERO new instructions; values advance at drain cadence (they
+  /// are sampled without forcing a flush). The one new measurement is a
+  /// drain-pass wall-time histogram (xsp_trace_drain_duration_ns),
+  /// observed once per pass — nanoseconds per hundreds of spans.
+  /// Rebinding replaces the previous binding; the binding is removed when
+  /// either the server or the registry dies first (handles are weak).
+  void bind_metrics(metrics::Registry& registry, metrics::Labels labels = {});
+
   [[nodiscard]] PublishMode mode() const noexcept { return mode_; }
 
   [[nodiscard]] IdStripe id_stripe() const noexcept { return stripe_; }
@@ -403,6 +415,19 @@ class TraceServer final : public SpanSink {
   std::atomic<std::size_t> pending_batches_{0};
   std::atomic<bool> stop_{false};
   std::thread collector_;
+
+  /// Self-metrics binding (bind_metrics). drain_hist_ is the raw pointer
+  /// drain passes load with one relaxed read (null when unbound — the
+  /// common case costs a branch); drain_hist_refs_ keeps every histogram
+  /// ever bound alive (same retain-superseded idiom as sampler_refs_, so
+  /// a drain racing a rebind can never observe a dangling pointer). The
+  /// callback handles are cleared first thing in the destructor, which
+  /// synchronizes with any in-flight scrape on the registry lock, so a
+  /// sample can never touch a dying server.
+  std::mutex metrics_mu_;
+  std::vector<std::shared_ptr<metrics::Histogram>> drain_hist_refs_;
+  std::atomic<metrics::Histogram*> drain_hist_{nullptr};
+  std::vector<metrics::CallbackHandle> metrics_cbs_;
 };
 
 }  // namespace xsp::trace

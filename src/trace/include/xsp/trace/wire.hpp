@@ -1,5 +1,5 @@
-// XSP binary span-batch wire format (v1) and the format-agnostic
-// serialization core shared by every exporter backend.
+// XSP binary span-batch wire format (v3; v1/v2 accepted) and the
+// format-agnostic serialization core shared by every exporter backend.
 //
 // The JSON path (StreamingExporter) tops out around 2.8M spans/s because
 // every span is re-formatted as text. Spans are trivially copyable 184-byte
@@ -184,12 +184,14 @@ namespace wire {
 
 /// Stream header magic: "XSPB".
 inline constexpr char kMagic[4] = {'X', 'S', 'P', 'B'};
-/// Format version this build writes. v2 extends the v1 Footer with the
-/// sampling accounting fields (sampled_kept / sampled_dropped); frames and
-/// header layout are otherwise identical.
-inline constexpr std::uint16_t kVersion = 2;
-/// Oldest version this build still reads: v1 streams decode normally, with
-/// the v2-only footer fields reported as zero.
+/// Format version this build writes. v2 extended the v1 Footer with the
+/// sampling accounting fields (sampled_kept / sampled_dropped); v3 adds the
+/// Heartbeat frame type (periodic producer-side counters, the wire-level
+/// producer-health signal a collector turns into per-producer staleness).
+/// Frames and header layout are otherwise identical across versions.
+inline constexpr std::uint16_t kVersion = 3;
+/// Oldest version this build still reads: v1/v2 streams decode normally,
+/// with later-version footer fields reported as zero and no heartbeats.
 inline constexpr std::uint16_t kMinVersion = 1;
 /// Endianness marker as written by the producer; a consumer reading the
 /// byte-swapped value rejects the stream (frames are host-endian memcpy).
@@ -210,6 +212,10 @@ enum class FrameType : std::uint8_t {
   kSpanBatch = 2,
   /// Payload: one Footer struct. Terminates the stream.
   kFooter = 3,
+  /// Payload: one Heartbeat struct (v3+). Periodic producer-health
+  /// counters; legal anywhere between header and footer. A heartbeat
+  /// frame in a v1/v2 stream is a protocol violation (WireError).
+  kHeartbeat = 4,
 };
 
 /// Fixed 16-byte stream header. span_size pins the producer's span layout
@@ -274,6 +280,41 @@ static_assert(sizeof(Footer) == kFooterSizeV1 + 2 * sizeof(std::uint64_t));
 /// cannot drift between them. Throws WireError.
 std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count);
 
+/// v3 heartbeat payload: a producer's live transport/sampling counters,
+/// cumulative since the producer started (monotonic per stream except
+/// outbox_spans, an instantaneous depth). The collector exposes them as
+/// per-producer metrics and derives staleness from heartbeat arrival age
+/// — a producer whose heartbeats stop while its connection stays open is
+/// dead or stalled, which footers alone can never show.
+struct Heartbeat {
+  /// 1-based per-stream heartbeat counter (gaps mean dropped frames).
+  std::uint64_t sequence;
+  /// Spans handed to the producer's RemoteSink (before any shedding).
+  std::uint64_t spans_published;
+  /// Spans encoded onto the socket so far.
+  std::uint64_t spans_sent;
+  /// Spans dropped by bounded-outbox backpressure or a dying connection.
+  std::uint64_t spans_dropped;
+  /// Low-value spans shed selectively under backpressure.
+  std::uint64_t spans_shed;
+  /// Admission-sampling accounting (0/0 when no sampler is attached).
+  std::uint64_t sampled_kept;
+  std::uint64_t sampled_dropped;
+  /// Reconnects the sink performed (each opens a fresh wire epoch).
+  std::uint64_t reconnects;
+  /// Spans currently queued in the producer's outbox (instantaneous).
+  std::uint64_t outbox_spans;
+};
+static_assert(sizeof(Heartbeat) == 9 * sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<Heartbeat>);
+
+/// Validate a Heartbeat frame against the stream version and its payload
+/// size, and decode it. Shared by every decode driver (BinaryReader, the
+/// collector daemon) so the version gate cannot drift between them.
+/// Throws WireError for a heartbeat in a pre-v3 stream or a payload that
+/// is not exactly sizeof(Heartbeat).
+Heartbeat checked_heartbeat(std::string_view payload, std::uint16_t version);
+
 }  // namespace wire
 
 /// Binary wire encoder. Drop-in for the StreamingExporter drain-subscriber
@@ -313,6 +354,11 @@ class BinaryWriter {
   /// Set/update the telemetry the footer frame will carry. May be called
   /// any time before finish().
   void set_meta(const TraceMeta& meta);
+
+  /// Emit a v3 Heartbeat frame carrying the producer's live counters, and
+  /// flush so the frame reaches the peer promptly (a buffered heartbeat
+  /// measures nothing). Dropped after finish(), like batches.
+  void write_heartbeat(const wire::Heartbeat& hb);
 
   /// Append the footer frame and flush. Idempotent; batches written after
   /// finish() are dropped (asserted in debug builds), mirroring
@@ -394,6 +440,18 @@ class WireDecoder {
     saw_footer_ = true;
   }
 
+  /// Record a decoded heartbeat frame (latest wins; drivers call this
+  /// after wire::checked_heartbeat validated the payload).
+  void set_heartbeat(const wire::Heartbeat& hb) noexcept {
+    heartbeat_ = hb;
+    ++heartbeats_seen_;
+  }
+
+  /// Heartbeat frames decoded on this stream so far (0 for v1/v2).
+  [[nodiscard]] std::uint64_t heartbeats_seen() const noexcept { return heartbeats_seen_; }
+  /// The most recent heartbeat (zeros until heartbeats_seen() > 0).
+  [[nodiscard]] const wire::Heartbeat& last_heartbeat() const noexcept { return heartbeat_; }
+
   [[nodiscard]] bool saw_footer() const noexcept { return saw_footer_; }
   [[nodiscard]] const wire::Footer& footer() const noexcept { return footer_; }
 
@@ -417,6 +475,8 @@ class WireDecoder {
   std::unordered_map<std::uint32_t, std::uint32_t> remap_;
   bool saw_footer_ = false;
   wire::Footer footer_{};
+  wire::Heartbeat heartbeat_{};
+  std::uint64_t heartbeats_seen_ = 0;
   std::uint64_t spans_decoded_ = 0;
 };
 
@@ -463,6 +523,16 @@ class BinaryReader {
   /// Distinct producer string ids re-interned so far.
   [[nodiscard]] std::uint64_t strings_reinterned() const noexcept {
     return decoder_.strings_reinterned();
+  }
+
+  /// Heartbeat frames decoded so far (always 0 for v1/v2 streams).
+  [[nodiscard]] std::uint64_t heartbeats_seen() const noexcept {
+    return decoder_.heartbeats_seen();
+  }
+
+  /// The most recent heartbeat (zeros until heartbeats_seen() > 0).
+  [[nodiscard]] const wire::Heartbeat& last_heartbeat() const noexcept {
+    return decoder_.last_heartbeat();
   }
 
   /// The stream's declared format version (from the validated header).

@@ -184,12 +184,30 @@ void RemoteSink::sender_loop() {
   Conn conn;
   int backoff_ms = opts_.backoff_initial_ms;
   bool ever_connected = false;
+  const bool hb_enabled = opts_.heartbeat_interval_ms > 0;
+  const auto hb_interval =
+      std::chrono::milliseconds(hb_enabled ? opts_.heartbeat_interval_ms : 1);
+  auto next_hb = std::chrono::steady_clock::now() + hb_interval;
 
   for (;;) {
     {
       std::unique_lock lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !outbox_.empty(); });
+      const auto pred = [this] { return stop_ || !outbox_.empty(); };
+      bool timed_out = false;
+      if (hb_enabled) {
+        // Deadline wait: wake for data/stop OR the next heartbeat tick.
+        timed_out = !cv_.wait_until(lk, next_hb, pred);
+      } else {
+        cv_.wait(lk, pred);
+      }
       if (outbox_.empty() && stop_) break;
+      if (timed_out && outbox_.empty() && !conn.ok()) {
+        // Pure heartbeat tick while disconnected: nothing to signal on.
+        // Reconnecting belongs to the data path — an idle producer must
+        // not generate connect storms just to heartbeat.
+        next_hb = std::chrono::steady_clock::now() + hb_interval;
+        continue;
+      }
     }
 
     if (!conn.ok()) {
@@ -213,6 +231,24 @@ void RemoteSink::sender_loop() {
       backoff_ms = opts_.backoff_initial_ms;
       if (ever_connected) reconnects_.fetch_add(1, std::memory_order_relaxed);
       ever_connected = true;
+      next_hb = std::chrono::steady_clock::now() + hb_interval;
+    }
+
+    // Heartbeat when due — before the next batch, so a stalled outbox
+    // still reports live counters (that is the point of the frame).
+    if (hb_enabled && conn.ok() && std::chrono::steady_clock::now() >= next_hb) {
+      conn.writer->write_heartbeat(make_heartbeat());
+      next_hb = std::chrono::steady_clock::now() + hb_interval;
+      if (conn.writer->sink_failed()) {
+        // Same dead-connection policy as a failed batch write below.
+        dropped_.fetch_add(conn.spans_in_flight, std::memory_order_relaxed);
+        conn.spans_in_flight = 0;
+        conn.writer.reset();
+        conn.sock.close();
+        connected_.store(false, std::memory_order_relaxed);
+        continue;
+      }
+      heartbeats_sent_.fetch_add(1, std::memory_order_relaxed);
     }
 
     SpanBatch batch;
@@ -343,6 +379,63 @@ std::uint64_t RemoteSink::spans_sampled_kept() const noexcept {
 }
 std::uint64_t RemoteSink::spans_sampled_dropped() const noexcept {
   return sampled_dropped_.load(std::memory_order_relaxed);
+}
+
+wire::Heartbeat RemoteSink::make_heartbeat() {
+  wire::Heartbeat hb{};
+  hb.sequence = ++hb_seq_;
+  hb.spans_published = published_.load(std::memory_order_relaxed);
+  hb.spans_sent = sent_.load(std::memory_order_relaxed);
+  hb.spans_dropped = dropped_.load(std::memory_order_relaxed);
+  hb.spans_shed = shed_.load(std::memory_order_relaxed);
+  hb.sampled_kept = sampled_kept_.load(std::memory_order_relaxed);
+  hb.sampled_dropped = sampled_dropped_.load(std::memory_order_relaxed);
+  hb.reconnects = reconnects_.load(std::memory_order_relaxed);
+  hb.outbox_spans = outbox_spans();
+  return hb;
+}
+
+std::uint64_t RemoteSink::outbox_spans() const {
+  std::lock_guard lk(mu_);
+  return static_cast<std::uint64_t>(outbox_spans_);
+}
+
+std::uint64_t RemoteSink::heartbeats_sent() const noexcept {
+  return heartbeats_sent_.load(std::memory_order_relaxed);
+}
+
+void RemoteSink::bind_metrics(metrics::Registry& registry, metrics::Labels labels) {
+  std::lock_guard lk(metrics_mu_);
+  metrics_cbs_.clear();
+  const auto cb = [&](const char* name, const char* help, metrics::Kind kind,
+                      metrics::Sample sample) {
+    metrics_cbs_.push_back(registry.callback(name, help, kind, labels, std::move(sample)));
+  };
+  const auto load = [](const std::atomic<std::uint64_t>& v) {
+    return static_cast<double>(v.load(std::memory_order_relaxed));
+  };
+  cb("xsp_remote_published_spans_total", "Spans handed to the remote sink",
+     metrics::Kind::kCounter, [this, load] { return load(published_); });
+  cb("xsp_remote_sent_spans_total", "Spans fully accepted by the socket layer",
+     metrics::Kind::kCounter, [this, load] { return load(sent_); });
+  cb("xsp_remote_dropped_spans_total",
+     "Spans dropped by backpressure or dead connections (live, not just at close)",
+     metrics::Kind::kCounter, [this, load] { return load(dropped_); });
+  cb("xsp_remote_shed_spans_total", "Low-value spans shed selectively under backpressure",
+     metrics::Kind::kCounter, [this, load] { return load(shed_); });
+  cb("xsp_remote_sampled_kept_total", "Spans the admission sampler kept at publish",
+     metrics::Kind::kCounter, [this, load] { return load(sampled_kept_); });
+  cb("xsp_remote_sampled_dropped_total", "Spans the admission sampler shed at publish",
+     metrics::Kind::kCounter, [this, load] { return load(sampled_dropped_); });
+  cb("xsp_remote_reconnects_total", "Reconnects performed (each opens a fresh wire epoch)",
+     metrics::Kind::kCounter, [this, load] { return load(reconnects_); });
+  cb("xsp_remote_heartbeats_sent_total", "Wire v3 heartbeat frames emitted",
+     metrics::Kind::kCounter, [this, load] { return load(heartbeats_sent_); });
+  cb("xsp_remote_connected", "1 while the socket connection is up",
+     metrics::Kind::kGauge,
+     [this] { return connected_.load(std::memory_order_relaxed) ? 1.0 : 0.0; });
+  cb("xsp_remote_outbox_spans", "Spans queued in the bounded outbox (instantaneous)",
+     metrics::Kind::kGauge, [this] { return static_cast<double>(outbox_spans()); });
 }
 
 void RemoteSink::set_sampler(std::shared_ptr<const Sampler> sampler) {

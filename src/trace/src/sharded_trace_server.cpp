@@ -238,6 +238,15 @@ void ShardedTraceServer::set_slot_reclamation(bool enabled) noexcept {
   for (auto& shard : shards_) shard->set_slot_reclamation(enabled);
 }
 
+void ShardedTraceServer::bind_metrics(metrics::Registry& registry,
+                                      const metrics::Labels& labels) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    metrics::Labels shard_labels = labels;
+    shard_labels.push_back({"shard", std::to_string(i)});
+    shards_[i]->bind_metrics(registry, std::move(shard_labels));
+  }
+}
+
 void ShardedTraceServer::recycle(SpanBatches batches) {
   const std::size_t n = shards_.size();
   if (n == 1) {

@@ -121,7 +121,18 @@ TraceServer::TraceServer(PublishMode mode, IdStripe stripe)
 }
 
 TraceServer::~TraceServer() {
-  // First, disappear from the exit-hook registry: remove() synchronizes
+  // Unbind self-metrics before anything starts tearing down: releasing the
+  // callback handles serializes with any in-flight scrape on the registry
+  // lock, so no sample callback can observe a half-destroyed server.
+  {
+    std::lock_guard lk(metrics_mu_);
+    drain_hist_.store(nullptr, std::memory_order_release);
+    metrics_cbs_.clear();
+    // drain_hist_refs_ stays populated until member destruction (after
+    // the collector join below): an in-flight drain pass may still hold
+    // the raw pointer it loaded before the store above.
+  }
+  // Next, disappear from the exit-hook registry: remove() synchronizes
   // with any in-flight thread_exited() walk (which holds the registry
   // lock while calling into servers), so after this line no exit hook can
   // reach a server that is tearing down.
@@ -342,6 +353,22 @@ void TraceServer::drain(bool steal_active) {
   // One drain pass at a time: batches must never sit in a concurrent
   // pass's staging while another pass reports the slots empty.
   std::lock_guard drain_lk(drain_mu_);
+  // Drain-latency self-metric: one steady_clock pair per pass (hundreds
+  // of spans), and only when bound — unbound costs a relaxed load.
+  struct DrainTimer {
+    metrics::Histogram* hist;
+    std::chrono::steady_clock::time_point t0;
+    explicit DrainTimer(metrics::Histogram* h)
+        : hist(h),
+          t0(h ? std::chrono::steady_clock::now() : std::chrono::steady_clock::time_point{}) {}
+    ~DrainTimer() {
+      if (hist == nullptr) return;
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+      hist->observe(static_cast<std::uint64_t>(ns));
+    }
+  } drain_timer(drain_hist_.load(std::memory_order_acquire));
   SpanBatches& taken = drain_staging_;
   std::uint64_t dropped = 0;
   std::uint64_t s_kept = 0;
@@ -532,6 +559,54 @@ std::uint64_t TraceServer::approx_slot_bytes() {
   for (auto& slot : slots_) total += slot_bytes(*slot);
   for (auto& slot : free_slots_) total += slot_bytes(*slot);
   return total;
+}
+
+void TraceServer::bind_metrics(metrics::Registry& registry, metrics::Labels labels) {
+  std::lock_guard lk(metrics_mu_);
+  metrics_cbs_.clear();
+  const auto cb = [&](const char* name, const char* help, metrics::Kind kind,
+                      metrics::Sample sample) {
+    metrics_cbs_.push_back(registry.callback(name, help, kind, labels, std::move(sample)));
+  };
+  // Counters the server already maintains: sampled without flushing, so
+  // they advance at drain cadence and the publish path pays nothing.
+  cb("xsp_trace_drained_spans_total",
+     "Spans drained out of producer slots (admitted spans, at drain cadence)",
+     metrics::Kind::kCounter, [this] {
+       return static_cast<double>(drained_spans_.load(std::memory_order_relaxed));
+     });
+  cb("xsp_trace_sampled_kept_total", "Spans the admission sampler kept at publish",
+     metrics::Kind::kCounter, [this] {
+       return static_cast<double>(sampled_kept_.load(std::memory_order_relaxed));
+     });
+  cb("xsp_trace_sampled_dropped_total", "Spans the admission sampler shed at publish",
+     metrics::Kind::kCounter, [this] {
+       return static_cast<double>(sampled_dropped_.load(std::memory_order_relaxed));
+     });
+  cb("xsp_trace_dropped_annotations_total",
+     "Per-span annotation drops (tag/metric capacity overflow), as of the last drain",
+     metrics::Kind::kCounter, [this] {
+       std::lock_guard tl(trace_mu_);
+       return static_cast<double>(dropped_total_);
+     });
+  cb("xsp_trace_live_slots", "Producer slots currently registered",
+     metrics::Kind::kGauge, [this] {
+       std::lock_guard rl(registry_mu_);
+       return static_cast<double>(slots_.size());
+     });
+  cb("xsp_trace_retired_slots_total", "Producer slots retired by thread-exit reclamation",
+     metrics::Kind::kCounter, [this] {
+       std::lock_guard rl(registry_mu_);
+       return static_cast<double>(retired_slots_);
+     });
+  cb("xsp_trace_slot_bytes", "Approximate bytes resident in producer slots",
+     metrics::Kind::kGauge,
+     [this] { return static_cast<double>(approx_slot_bytes()); });
+  // The one new measurement: drain-pass wall time (see drain()).
+  drain_hist_refs_.push_back(registry.histogram(
+      "xsp_trace_drain_duration_ns", "Wall time of one drain pass in nanoseconds",
+      metrics::latency_buckets_ns(), labels));
+  drain_hist_.store(drain_hist_refs_.back().get(), std::memory_order_release);
 }
 
 void TraceServer::collector_loop() {

@@ -228,6 +228,20 @@ void BinaryWriter::set_meta(const TraceMeta& meta) {
   meta_ = meta;
 }
 
+void BinaryWriter::write_heartbeat(const wire::Heartbeat& hb) {
+  std::lock_guard lk(mu_);
+  if (finished_) return;
+  wire::FrameHeader fh{};
+  fh.type = static_cast<std::uint8_t>(wire::FrameType::kHeartbeat);
+  fh.payload_size = static_cast<std::uint32_t>(sizeof hb);
+  scratch_.clear();
+  append_raw(scratch_, &fh, sizeof fh);
+  append_raw(scratch_, &hb, sizeof hb);
+  sink_.write(scratch_);
+  // A heartbeat only signals liveness if it actually leaves the buffer.
+  sink_.flush();
+}
+
 void BinaryWriter::finish() {
   std::lock_guard lk(mu_);
   if (finished_) return;
@@ -284,6 +298,20 @@ std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count) 
     throw WireError("xsp wire: span-batch payload length does not match its span count");
   }
   return count;
+}
+
+Heartbeat checked_heartbeat(std::string_view payload, std::uint16_t version) {
+  if (version < 3) {
+    throw WireError("xsp wire: heartbeat frame in a v" + std::to_string(version) +
+                    " stream (heartbeats require v3)");
+  }
+  if (payload.size() != sizeof(Heartbeat)) {
+    throw WireError("xsp wire: heartbeat payload length " + std::to_string(payload.size()) +
+                    " (expected " + std::to_string(sizeof(Heartbeat)) + ")");
+  }
+  Heartbeat hb{};
+  std::memcpy(&hb, payload.data(), sizeof hb);
+  return hb;
 }
 
 }  // namespace wire
@@ -465,10 +493,16 @@ bool BinaryReader::next_batch(SpanBatch& out) {
         if (count > 0) return true;
         break;  // an empty batch frame is legal; keep scanning
       }
+      case wire::FrameType::kHeartbeat: {
+        payload_.resize(payload_size);
+        read_exact(payload_.data(), payload_size, "heartbeat payload");
+        decoder_.set_heartbeat(wire::checked_heartbeat(payload_, version_));
+        break;  // telemetry, not data; keep scanning for spans
+      }
       case wire::FrameType::kFooter: {
         // The footer size follows the stream's declared version: a v1
         // stream carries the 11-field prefix (the v2-only fields decode
-        // as zero), a v2 stream the full struct. Anything else —
+        // as zero), a v2+ stream the full struct. Anything else —
         // truncated or oversized — is corruption, not data.
         const std::size_t expect = wire::footer_size(version_);
         if (payload_size != expect) {

@@ -4,8 +4,12 @@
 # traces into it, then exact accounting — the daemon's spans_ingested
 # must equal the fleet's published-minus-dropped sum, every footer must
 # arrive, and the daemon's merged binary export must decode back to
-# valid JSON via trace_export. Run by CI's multiproc job and usable
-# locally:
+# valid JSON via trace_export. The daemon also serves /metrics (live
+# Prometheus exposition) on a loopback TCP port: the script scrapes it
+# mid-run, requires the exposition to parse, and asserts the wire-level
+# accounting invariant — xsp_ingested_spans_total equals the same fleet
+# sum — then drives one xsp_top --daemon scrape against it. Run by CI's
+# multiproc job and usable locally:
 #
 #   tests/ci/multiproc_smoke.sh [BUILD_DIR] [PRODUCERS] [RUNS]
 set -euo pipefail
@@ -27,8 +31,10 @@ trap cleanup EXIT
 
 fail() {
   echo "multiproc_smoke: FAIL: $*" >&2
-  echo "--- collectd output ---" >&2
+  echo "--- collectd stdout ---" >&2
   cat "$OUT_DIR/collectd.out" >&2 || true
+  echo "--- collectd stderr ---" >&2
+  cat "$OUT_DIR/collectd.err" >&2 || true
   exit 1
 }
 
@@ -38,9 +44,20 @@ field() {
   grep -o "$1=[0-9][0-9]*" "$2" | head -n1 | cut -d= -f2
 }
 
+# scrape <url> <out-file>: fetch one URL to a file (python3 stdlib; no
+# curl dependency on the runner).
+scrape() {
+  python3 -c '
+import sys, urllib.request
+with urllib.request.urlopen(sys.argv[1], timeout=10) as r:
+    sys.stdout.buffer.write(r.read())
+' "$1" > "$2"
+}
+
 "$BUILD_DIR/tools/xsp_collectd" \
   --listen "unix:$SOCK" --out "$OUT_DIR/fleet.xspb" --online --shards 2 \
-  > "$OUT_DIR/collectd.out" &
+  --metrics tcp://127.0.0.1:0 --stats-json --stats-interval-ms 200 \
+  > "$OUT_DIR/collectd.out" 2> "$OUT_DIR/collectd.err" &
 DPID=$!
 
 # Readiness: the daemon binds before printing "listening", so the socket
@@ -52,6 +69,17 @@ for _ in $(seq 1 100); do
 done
 [ -S "$SOCK" ] || fail "daemon never bound $SOCK"
 
+# The metrics endpoint resolves its ephemeral port before run() starts;
+# the daemon prints it (and flushes) right after "listening".
+for _ in $(seq 1 100); do
+  grep -q 'metrics on tcp://' "$OUT_DIR/collectd.out" && break
+  sleep 0.1
+done
+METRICS_PORT="$(grep -o 'metrics on tcp://127.0.0.1:[0-9]*' "$OUT_DIR/collectd.out" \
+  | grep -o '[0-9]*$' || true)"
+[ -n "$METRICS_PORT" ] || fail "daemon never announced its metrics endpoint"
+METRICS_URL="http://127.0.0.1:$METRICS_PORT/metrics"
+
 # The fleet: PRODUCERS concurrent processes, each profiling RUNS runs and
 # streaming every publication span to the daemon.
 pids=()
@@ -61,6 +89,32 @@ for p in $(seq 1 "$PRODUCERS"); do
     > "$OUT_DIR/producer_$p.out" &
   pids+=("$!")
 done
+
+# Mid-run scrape: with the fleet still streaming, /metrics must answer
+# with exposition that parses — every non-comment line "name[{labels}]
+# value", every comment a HELP/TYPE header.
+scrape "$METRICS_URL" "$OUT_DIR/metrics_midrun.txt" \
+  || fail "mid-run /metrics scrape failed"
+python3 - "$OUT_DIR/metrics_midrun.txt" <<'EOF' || fail "mid-run exposition does not parse"
+import re, sys
+families = 0
+samples = 0
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    if line.startswith("#"):
+        assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ", line), line
+        families += line.startswith("# TYPE")
+        continue
+    m = re.match(r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$', line)
+    assert m, line
+    samples += 1
+assert families > 0 and samples > 0, "empty exposition"
+EOF
+grep -q '^xsp_ingested_spans_total ' "$OUT_DIR/metrics_midrun.txt" \
+  || fail "mid-run scrape lacks xsp_ingested_spans_total"
+
 for pid in "${pids[@]}"; do
   wait "$pid" || fail "a producer exited non-zero"
 done
@@ -74,17 +128,46 @@ for p in $(seq 1 "$PRODUCERS"); do
   expected=$((expected + published - dropped))
 done
 
+# The accounting invariant on the live endpoint: with the fleet drained,
+# the daemon's own exposition must agree with the producers' sum.
+scrape "$METRICS_URL" "$OUT_DIR/metrics_final.txt" \
+  || fail "post-fleet /metrics scrape failed"
+scraped_ingested="$(grep '^xsp_ingested_spans_total ' "$OUT_DIR/metrics_final.txt" \
+  | awk '{print $2}')"
+[ "$scraped_ingested" = "$expected" ] \
+  || fail "/metrics xsp_ingested_spans_total $scraped_ingested != fleet published-dropped $expected"
+
+# One fleet-view scrape through the dashboard's daemon mode.
+"$BUILD_DIR/tools/xsp_top" --daemon "tcp://127.0.0.1:$METRICS_PORT" --runs 1 \
+  > "$OUT_DIR/top_daemon.out" || fail "xsp_top --daemon scrape failed"
+grep -q "ingested $expected spans" "$OUT_DIR/top_daemon.out" \
+  || fail "xsp_top --daemon did not report the ingested span count"
+grep -q 'xsp_top: done' "$OUT_DIR/top_daemon.out" \
+  || fail "xsp_top --daemon did not finish cleanly"
+
 # Graceful drain: SIGTERM, then the daemon must exit 0 on its own.
 kill -TERM "$DPID"
 wait "$DPID" || fail "daemon exited non-zero on SIGTERM"
 DPID=""
 
-ingested="$(field spans_ingested "$OUT_DIR/collectd.out")"
-footers="$(field footers_seen "$OUT_DIR/collectd.out")"
-errored="$(field errored "$OUT_DIR/collectd.out")"
+# Exit accounting rides stderr; --stats-json snapshots ride stdout (one
+# JSON object per line, each of which must parse).
+ingested="$(field spans_ingested "$OUT_DIR/collectd.err")"
+footers="$(field footers_seen "$OUT_DIR/collectd.err")"
+errored="$(field errored "$OUT_DIR/collectd.err")"
 [ "$ingested" -eq "$expected" ] || fail "ingested $ingested != fleet published-dropped $expected"
 [ "$footers" -eq "$PRODUCERS" ] || fail "footers_seen $footers != $PRODUCERS"
 [ "$errored" -eq 0 ] || fail "daemon counted $errored errored connections"
+grep '^{' "$OUT_DIR/collectd.out" > "$OUT_DIR/stats_json.out" \
+  || fail "--stats-json printed no snapshots"
+python3 - "$OUT_DIR/stats_json.out" <<'EOF' || fail "--stats-json line does not parse"
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "no JSON snapshots"
+for l in lines:
+    snap = json.loads(l)
+    assert "spans_ingested" in snap, l
+EOF
 
 # The merged export must be a decodable wire stream whose span count
 # matches, and the decode must be real JSON.
@@ -97,4 +180,4 @@ decoded="$(grep -o 'decoded [0-9]*' "$OUT_DIR/decode.out" | cut -d' ' -f2)"
 [ "$decoded" -eq "$ingested" ] || fail "decode saw $decoded spans, daemon ingested $ingested"
 
 echo "multiproc_smoke: OK — $PRODUCERS producers, $ingested spans ingested," \
-     "$footers footers, decode matches"
+     "$footers footers, /metrics invariant holds, decode matches"

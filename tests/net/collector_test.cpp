@@ -569,6 +569,168 @@ TEST(RemoteSinkLifecycle, DaemonDeathLeavesProducerAliveWithAccountedDrops) {
       << "every span ends up either sent or accounted dropped";
 }
 
+// --- wire v3 heartbeats: producer health at the daemon ----------------------
+
+std::string heartbeat_frame(const trace::wire::Heartbeat& hb) {
+  std::string payload;
+  put_pod(payload, hb);
+  return frame(trace::wire::FrameType::kHeartbeat, payload);
+}
+
+std::string v1_header_bytes() {
+  std::string out = header_bytes();
+  const auto version = std::uint16_t{1};
+  std::memcpy(out.data() + 4, &version, sizeof version);  // Header::version
+  return out;
+}
+
+/// One full scrape against the daemon's metrics endpoint: raw HTTP/1.0
+/// exchange, returns the response body (empty on any failure).
+std::string scrape_metrics(const Endpoint& ep) {
+  Socket s = try_connect(ep, 1000);
+  if (!s.valid()) return {};
+  if (!send_all(s, "GET /metrics HTTP/1.0\r\n\r\n")) return {};
+  const std::string resp = read_to_eof(s);
+  const std::size_t split = resp.find("\r\n\r\n");
+  if (split == std::string::npos) return {};
+  if (resp.compare(0, 15, "HTTP/1.0 200 OK") != 0) return {};
+  return resp.substr(split + 4);
+}
+
+TEST(CollectorHeartbeat, HeartbeatIngestExposesPerProducerSeriesAndStaleness) {
+  const Endpoint ep = uds_endpoint("col_hb");
+  CollectorOptions copts;
+  copts.metrics_endpoint = "tcp://127.0.0.1:0";
+  copts.heartbeat_stale_ms = 150;
+  RunningCollector collector(ep, copts);
+  ASSERT_NE(collector.service.metrics_endpoint(), nullptr);
+  const Endpoint scrape_ep = *collector.service.metrics_endpoint();
+
+  // A v3 producer announces itself with a heartbeat carrying its counters.
+  Socket producer = try_connect(ep, 1000);
+  ASSERT_TRUE(producer.valid());
+  trace::wire::Heartbeat hb{};
+  hb.sequence = 1;
+  hb.spans_published = 500;
+  hb.spans_sent = 450;
+  hb.spans_dropped = 40;
+  hb.spans_shed = 10;
+  hb.sampled_kept = 400;
+  hb.sampled_dropped = 100;
+  hb.reconnects = 2;
+  hb.outbox_spans = 17;
+  ASSERT_TRUE(send_all(producer, header_bytes() + heartbeat_frame(hb)));
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.service.stats().heartbeats_seen == 1; }));
+
+  // Fresh heartbeat: the producer's own counters are on /metrics, labeled
+  // by its connection, and it is not stale.
+  std::string body = scrape_metrics(scrape_ep);
+  ASSERT_FALSE(body.empty());
+  EXPECT_NE(body.find("xsp_producer_published_spans_total{conn=\"1\"} 500"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("xsp_producer_sent_spans_total{conn=\"1\"} 450"), std::string::npos);
+  EXPECT_NE(body.find("xsp_producer_dropped_spans_total{conn=\"1\"} 40"), std::string::npos);
+  EXPECT_NE(body.find("xsp_producer_shed_spans_total{conn=\"1\"} 10"), std::string::npos);
+  EXPECT_NE(body.find("xsp_producer_reconnects_total{conn=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(body.find("xsp_producer_outbox_spans{conn=\"1\"} 17"), std::string::npos);
+  EXPECT_NE(body.find("xsp_producer_heartbeat_sequence{conn=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(body.find("xsp_producer_stale{conn=\"1\"} 0"), std::string::npos);
+
+  // Heartbeats stop but the connection stays open: staleness flips.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  body = scrape_metrics(scrape_ep);
+  EXPECT_NE(body.find("xsp_producer_stale{conn=\"1\"} 1"), std::string::npos)
+      << "a silent producer must be flagged stale\n" << body;
+
+  // A later heartbeat revives it — latest wins, staleness clears.
+  hb.sequence = 2;
+  hb.spans_published = 600;
+  ASSERT_TRUE(send_all(producer, heartbeat_frame(hb)));
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.service.stats().heartbeats_seen == 2; }));
+  body = scrape_metrics(scrape_ep);
+  EXPECT_NE(body.find("xsp_producer_published_spans_total{conn=\"1\"} 600"),
+            std::string::npos);
+  EXPECT_NE(body.find("xsp_producer_stale{conn=\"1\"} 0"), std::string::npos);
+
+  producer.shutdown_write();
+  (void)read_to_eof(producer);
+  collector.stop();
+  EXPECT_EQ(collector.service.stats().connections_errored, 0u);
+}
+
+TEST(CollectorHeartbeat, PreV3ProducersGetConnectionSeriesButNoHealthSeries) {
+  const Endpoint ep = uds_endpoint("col_hb_v1");
+  CollectorOptions copts;
+  copts.metrics_endpoint = "tcp://127.0.0.1:0";
+  RunningCollector collector(ep, copts);
+  const Endpoint scrape_ep = *collector.service.metrics_endpoint();
+
+  // A v1 producer streams a span; it can never send heartbeats, so it
+  // must get per-connection transport series but no xsp_producer_* ones —
+  // absence, not fabricated zeros (silence is not health data).
+  Socket producer = try_connect(ep, 1000);
+  ASSERT_TRUE(producer.valid());
+  Span s;
+  s.id = 1;
+  s.name = StrId("v1_op");
+  s.tracer = StrId("v1_tracer");
+  s.begin = 0;
+  s.end = 1;
+  std::string bytes = v1_header_bytes();
+  bytes += frame(trace::wire::FrameType::kStringDelta,
+                 delta_entry(s.name.raw(), "v1_op") +
+                     delta_entry(s.tracer.raw(), "v1_tracer"));
+  bytes += frame(trace::wire::FrameType::kSpanBatch, span_batch_payload({s}));
+  ASSERT_TRUE(send_all(producer, bytes));
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.service.stats().spans_ingested == 1; }));
+
+  const std::string body = scrape_metrics(scrape_ep);
+  ASSERT_FALSE(body.empty());
+  EXPECT_NE(body.find("xsp_connection_spans_total{conn=\"1\"} 1"), std::string::npos);
+  EXPECT_EQ(body.find("xsp_producer_"), std::string::npos)
+      << "v1/v2 connections must not fabricate producer-health series\n" << body;
+  EXPECT_NE(body.find("xsp_ingested_spans_total 1"), std::string::npos);
+
+  producer.shutdown_write();
+  (void)read_to_eof(producer);
+  collector.stop();
+}
+
+TEST(CollectorHeartbeat, RemoteSinkHeartbeatsFlowEndToEnd) {
+  const Endpoint ep = uds_endpoint("col_hb_e2e");
+  CollectorOptions copts;
+  copts.metrics_endpoint = "tcp://127.0.0.1:0";
+  RunningCollector collector(ep, copts);
+  const Endpoint scrape_ep = *collector.service.metrics_endpoint();
+
+  trace::RemoteSinkOptions opts;
+  opts.heartbeat_interval_ms = 30;
+  trace::RemoteSink sink(ep, opts);
+  publish_fleet_member(sink, 0, 50);
+  sink.flush();
+  ASSERT_TRUE(wait_until(
+      [&] { return collector.service.stats().heartbeats_seen >= 2; }))
+      << "a live RemoteSink must beacon on its configured cadence";
+
+  const std::string body = scrape_metrics(scrape_ep);
+  EXPECT_NE(body.find("xsp_producer_published_spans_total{conn=\"1\"} 50"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("xsp_producer_stale{conn=\"1\"} 0"), std::string::npos);
+
+  sink.close();
+  collector.stop();
+  EXPECT_GE(sink.heartbeats_sent(), 2u);
+  EXPECT_EQ(collector.service.stats().connections_errored, 0u);
+  // After the connection closes its per-producer series are gone from the
+  // scrape state; the aggregate heartbeat counter is what persists.
+  EXPECT_GE(collector.service.stats().heartbeats_seen, 2u);
+}
+
 // --- sampling admission & selective shedding ------------------------------
 
 TEST(RemoteSinkSampling, PublishAdmissionHoldsTheInvariant) {

@@ -1,4 +1,4 @@
-// XSP binary wire format v1: round-trip fidelity against the JSON core,
+// XSP binary wire format: round-trip fidelity against the JSON core,
 // string-delta re-interning (including cross-process id remapping), the
 // drain-subscriber seam, bounded writer memory, and — most of the file —
 // hostile-input decoding: every malformed stream must be a clean
@@ -656,7 +656,7 @@ TEST(WireHostileInput, ToleratesCleanEofBeforeFooter) {
   EXPECT_EQ(reader.footer().span_count, 0u);  // zeros until a footer
 }
 
-// --- version compatibility (v1 streams against a v2 reader) -----------------
+// --- version compatibility (v1/v2 streams against the current reader) -------
 
 std::string v1_header_bytes() {
   wire::Header h = valid_header();
@@ -733,6 +733,139 @@ TEST(WireVersionCompat, RejectsOversizedV2Footer) {
   std::string bytes = header_bytes();
   bytes += frame(wire::FrameType::kFooter, std::string(sizeof(wire::Footer) + 8, '\0'));
   expect_wire_error(bytes, "footer payload length mismatch");
+}
+
+// --- wire v3 heartbeats -----------------------------------------------------
+
+std::string versioned_header_bytes(std::uint16_t version) {
+  wire::Header h = valid_header();
+  h.version = version;
+  std::string out;
+  put_pod(out, h);
+  return out;
+}
+
+wire::Heartbeat sample_heartbeat(std::uint64_t seq) {
+  wire::Heartbeat hb{};
+  hb.sequence = seq;
+  hb.spans_published = 1000 + seq;
+  hb.spans_sent = 900 + seq;
+  hb.spans_dropped = 50 + seq;
+  hb.spans_shed = 25 + seq;
+  hb.sampled_kept = 800 + seq;
+  hb.sampled_dropped = 200 + seq;
+  hb.reconnects = seq;
+  hb.outbox_spans = 7;
+  return hb;
+}
+
+std::string heartbeat_frame(const wire::Heartbeat& hb) {
+  std::string payload;
+  put_pod(payload, hb);
+  return frame(wire::FrameType::kHeartbeat, payload);
+}
+
+TEST(WireHeartbeat, RoundTripsThroughWriterAndReaderLatestWins) {
+  std::string out;
+  BinaryWriter writer([&out](std::string_view chunk) { out.append(chunk); });
+  writer.write_batch({make_span(1, 0)});
+  writer.write_heartbeat(sample_heartbeat(1));
+  writer.write_batch({make_span(2, 10)});
+  writer.write_heartbeat(sample_heartbeat(2));
+  writer.finish();
+
+  std::istringstream in(out);
+  BinaryReader reader(in);
+  const SpanBatches decoded = reader.read_all();
+  EXPECT_EQ(reader.spans_read(), 2u);
+  EXPECT_TRUE(reader.saw_footer());
+  EXPECT_EQ(reader.heartbeats_seen(), 2u);
+  const wire::Heartbeat& hb = reader.last_heartbeat();
+  EXPECT_EQ(hb.sequence, 2u);
+  EXPECT_EQ(hb.spans_published, 1002u);
+  EXPECT_EQ(hb.spans_sent, 902u);
+  EXPECT_EQ(hb.spans_dropped, 52u);
+  EXPECT_EQ(hb.spans_shed, 27u);
+  EXPECT_EQ(hb.sampled_kept, 802u);
+  EXPECT_EQ(hb.sampled_dropped, 202u);
+  EXPECT_EQ(hb.reconnects, 2u);
+  EXPECT_EQ(hb.outbox_spans, 7u);
+  // Heartbeats are telemetry, not data: span decode is unaffected.
+  std::size_t total = 0;
+  for (const SpanBatch& b : decoded) total += b.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(WireHeartbeat, WriterFlushesEachHeartbeatPromptly) {
+  // A buffered heartbeat measures nothing: the frame must be visible at
+  // the sink immediately after write_heartbeat returns.
+  std::string out;
+  BinaryWriter writer([&out](std::string_view chunk) { out.append(chunk); });
+  writer.write_heartbeat(sample_heartbeat(1));
+  // Stream header (written lazily with the first frame) + the heartbeat.
+  EXPECT_EQ(out.size(),
+            sizeof(wire::Header) + sizeof(wire::FrameHeader) + sizeof(wire::Heartbeat));
+  writer.finish();
+  writer.write_heartbeat(sample_heartbeat(2));  // dropped after finish
+  std::istringstream in(out);
+  BinaryReader reader(in);
+  (void)reader.read_all();
+  EXPECT_EQ(reader.heartbeats_seen(), 1u);
+}
+
+TEST(WireHeartbeat, PreV3StreamsDecodeWithZeroHeartbeats) {
+  // The compat half of the matrix: v1 and v2 streams (no heartbeat
+  // frames) decode exactly as before, reporting zero heartbeats.
+  for (const std::uint16_t version : {std::uint16_t{1}, std::uint16_t{2}}) {
+    Span s = make_span(4, 0);
+    std::string delta = delta_entry(s.name.raw(), "wire_op");
+    delta += delta_entry(s.tracer.raw(), "wire_test");
+    std::string bytes = versioned_header_bytes(version);
+    bytes += frame(wire::FrameType::kStringDelta, delta);
+    bytes += frame(wire::FrameType::kSpanBatch, span_batch_payload({s}));
+    std::istringstream in(bytes);
+    BinaryReader reader(in);
+    const SpanBatches decoded = reader.read_all();
+    ASSERT_EQ(decoded.size(), 1u) << "v" << version;
+    EXPECT_EQ(reader.stream_version(), version);
+    EXPECT_EQ(reader.heartbeats_seen(), 0u);
+    EXPECT_EQ(reader.last_heartbeat().sequence, 0u);
+  }
+}
+
+TEST(WireHeartbeat, RejectsHeartbeatFrameInPreV3Stream) {
+  // A heartbeat frame in a stream whose header claims v1/v2 is a protocol
+  // violation, not a silently tolerated extension.
+  for (const std::uint16_t version : {std::uint16_t{1}, std::uint16_t{2}}) {
+    std::string bytes = versioned_header_bytes(version);
+    bytes += heartbeat_frame(sample_heartbeat(1));
+    expect_wire_error(bytes, "heartbeats require v3");
+  }
+}
+
+TEST(WireHeartbeat, RejectsUndersizedHeartbeatPayload) {
+  std::string bytes = header_bytes();
+  bytes += frame(wire::FrameType::kHeartbeat,
+                 std::string(sizeof(wire::Heartbeat) - 8, '\0'));
+  expect_wire_error(bytes, "heartbeat payload length");
+}
+
+TEST(WireHeartbeat, RejectsOversizedHeartbeatPayload) {
+  std::string bytes = header_bytes();
+  bytes += frame(wire::FrameType::kHeartbeat,
+                 std::string(sizeof(wire::Heartbeat) + 8, '\0'));
+  expect_wire_error(bytes, "heartbeat payload length");
+}
+
+TEST(WireHeartbeat, RejectsMidHeartbeatEof) {
+  // The frame header promises a full heartbeat; the stream ends after 10
+  // payload bytes.
+  std::string bytes = header_bytes();
+  std::string payload;
+  put_pod(payload, sample_heartbeat(1));
+  bytes += frame(wire::FrameType::kHeartbeat, payload.substr(0, 10),
+                 /*lie_about_size=*/static_cast<std::int64_t>(sizeof(wire::Heartbeat)));
+  expect_wire_error(bytes, "truncated heartbeat payload");
 }
 
 TEST(WireHostileInput, HeaderOnlyStreamDecodesEmpty) {

@@ -40,6 +40,17 @@
 //                     (default 0 = exact)
 //   --alert-p99-us N  register an edge-triggered alert that prints when
 //                     the kernel p99 crosses N us (0 = off)
+//
+// Daemon mode — the fleet view, no local profiling at all:
+//
+//   xsp_top --daemon tcp://127.0.0.1:9464 --runs 5 --interval-ms 1000
+//
+//   --daemon URI      scrape GET /metrics on a running xsp_collectd's
+//                     metrics endpoint and render the collector's ingest
+//                     counters plus a per-producer health table (spans
+//                     published/sent/dropped, outbox depth, heartbeat age,
+//                     staleness) from the wire v3 heartbeat series.
+//                     --runs scrapes, --interval-ms apart.
 #include <atomic>
 #include <cerrno>
 #include <chrono>
@@ -49,12 +60,15 @@
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "xsp/analysis/online.hpp"
 #include "xsp/models/registry.hpp"
+#include "xsp/net/endpoint.hpp"
+#include "xsp/net/socket.hpp"
 #include "xsp/profile/session.hpp"
 #include "xsp/report/table.hpp"
 #include "xsp/sim/gpu_spec.hpp"
@@ -78,6 +92,7 @@ struct Options {
   std::int64_t tail_keep_us = 0;
   std::int64_t top_k = 0;
   std::int64_t alert_p99_us = 0;
+  std::string daemon;
 };
 
 void print_usage() {
@@ -85,7 +100,8 @@ void print_usage() {
                "usage: xsp_top [--model NAME] [--system NAME] [--batch N] [--level m|ml|mlg]\n"
                "               [--shards N] [--runs N] [--interval-ms N] [--window-ms N]\n"
                "               [--stream FILE] [--stream-format chrome|spans|binary]\n"
-               "               [--sample R] [--tail-keep-us N] [--top-k N] [--alert-p99-us N]\n");
+               "               [--sample R] [--tail-keep-us N] [--top-k N] [--alert-p99-us N]\n"
+               "       xsp_top --daemon URI [--runs N] [--interval-ms N]\n");
 }
 
 bool parse_int(const char* s, std::int64_t& out) {
@@ -141,6 +157,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
       opts.top_k = n;
     } else if (arg == "--alert-p99-us" && (v = next()) != nullptr && parse_int(v, n) && n >= 0) {
       opts.alert_p99_us = n;
+    } else if (arg == "--daemon" && (v = next()) != nullptr) {
+      opts.daemon = v;
     } else if (v != nullptr) {
       std::fprintf(stderr, "xsp_top: bad value '%s' for %s\n", v, arg.c_str());
       return false;
@@ -255,6 +273,170 @@ void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
   std::fflush(stdout);
 }
 
+// --- daemon mode: render the fleet from a /metrics scrape ----------------
+
+/// One HTTP/1.0 GET: connect, send, read to EOF, return the body (empty +
+/// `err` set on any failure — a daemon that vanished between scrapes is a
+/// routine condition for a dashboard, not an exception).
+std::string scrape_metrics(const net::Endpoint& ep, std::string& err) {
+  err.clear();
+  net::Socket sock = net::try_connect(ep, /*timeout_ms=*/1000, &err);
+  if (!sock.valid()) return {};
+  const std::string req = "GET /metrics HTTP/1.0\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    std::size_t n = 0;
+    const net::IoResult r = sock.write_some(req.data() + off, req.size() - off, n);
+    if (r == net::IoResult::kOk) {
+      off += n;
+    } else if (r == net::IoResult::kWouldBlock) {
+      if (!sock.wait_writable(1000)) {
+        err = "timed out sending request";
+        return {};
+      }
+    } else {
+      err = "connection died sending request";
+      return {};
+    }
+  }
+  std::string resp;
+  char chunk[16 * 1024];
+  for (;;) {
+    std::size_t n = 0;
+    const net::IoResult r = sock.read_some(chunk, sizeof chunk, n);
+    if (r == net::IoResult::kOk) {
+      resp.append(chunk, n);
+    } else if (r == net::IoResult::kWouldBlock) {
+      if (!sock.wait_readable(2000)) {
+        err = "timed out reading response";
+        return {};
+      }
+    } else if (r == net::IoResult::kClosed) {
+      break;
+    } else {
+      err = "connection died reading response";
+      return {};
+    }
+  }
+  const auto head_end = resp.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    err = "malformed HTTP response";
+    return {};
+  }
+  // Status line: "HTTP/1.0 200 OK".
+  const auto sp = resp.find(' ');
+  if (sp == std::string::npos || resp.compare(sp + 1, 3, "200") != 0) {
+    err = "non-200 response";
+    return {};
+  }
+  return resp.substr(head_end + 4);
+}
+
+/// Values keyed by metric name, split into unlabeled scalars and the
+/// per-connection series (`conn` label value -> field -> value).
+struct FleetView {
+  std::map<std::string, double> scalars;
+  std::map<std::string, std::map<std::string, double>> per_conn;
+};
+
+FleetView parse_exposition(const std::string& body) {
+  FleetView view;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    auto eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line(body.data() + pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string_view::npos) continue;
+    const double value = std::strtod(std::string(line.substr(sp + 1)).c_str(), nullptr);
+    std::string_view name_part = line.substr(0, sp);
+    const auto brace = name_part.find('{');
+    if (brace == std::string_view::npos) {
+      view.scalars[std::string(name_part)] = value;
+      continue;
+    }
+    const std::string name(name_part.substr(0, brace));
+    const std::string_view labels = name_part.substr(brace);
+    // Only the conn="..." label matters for the fleet table.
+    const auto conn_pos = labels.find("conn=\"");
+    if (conn_pos == std::string_view::npos) continue;
+    const auto vstart = conn_pos + 6;
+    const auto vend = labels.find('"', vstart);
+    if (vend == std::string_view::npos) continue;
+    view.per_conn[std::string(labels.substr(vstart, vend - vstart))][name] = value;
+  }
+  return view;
+}
+
+void render_fleet(const FleetView& view, std::int64_t scrape, std::int64_t total) {
+  const auto scalar = [&view](const char* name) -> double {
+    const auto it = view.scalars.find(name);
+    return it != view.scalars.end() ? it->second : 0.0;
+  };
+  std::printf("--- xsp_top --daemon | scrape %lld/%lld%s ---\n",
+              static_cast<long long>(scrape), static_cast<long long>(total),
+              scrape == total ? " | final" : "");
+  std::printf("ingested %.0f spans | connections: %.0f open, %.0f accepted, %.0f closed, "
+              "%.0f errored\n",
+              scalar("xsp_ingested_spans_total"), scalar("xsp_collector_open_connections"),
+              scalar("xsp_collector_connections_accepted_total"),
+              scalar("xsp_collector_connections_closed_total"),
+              scalar("xsp_collector_connections_errored_total"));
+  std::printf("wire: %.0f B, %.0f frames, %.0f heartbeats | producers reported: %.0f dropped, "
+              "%.0f reconnects\n",
+              scalar("xsp_collector_bytes_received_total"),
+              scalar("xsp_collector_frames_total"), scalar("xsp_collector_heartbeats_total"),
+              scalar("xsp_collector_producer_dropped_spans_total"),
+              scalar("xsp_collector_producer_reconnects_total"));
+  if (!view.per_conn.empty()) {
+    report::TextTable table(
+        {"conn", "published", "sent", "dropped", "outbox", "hb age", "stale"});
+    for (const auto& [conn, fields] : view.per_conn) {
+      const auto field = [&fields = fields](const char* name) -> double {
+        const auto it = fields.find(name);
+        return it != fields.end() ? it->second : 0.0;
+      };
+      // Connections without heartbeat series still show their ingest side.
+      const bool has_hb = fields.count("xsp_producer_heartbeat_age_seconds") > 0;
+      table.add_row({conn, format_double(field("xsp_producer_published_spans_total"), "%.0f"),
+                     format_double(field("xsp_producer_sent_spans_total"), "%.0f"),
+                     format_double(field("xsp_producer_dropped_spans_total"), "%.0f"),
+                     format_double(field("xsp_producer_outbox_spans"), "%.0f"),
+                     has_hb ? format_double(field("xsp_producer_heartbeat_age_seconds"), "%.2fs")
+                            : "-",
+                     !has_hb ? "-" : (field("xsp_producer_stale") > 0 ? "STALE" : "ok")});
+    }
+    std::printf("%s", table.str().c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+int run_daemon_mode(const Options& opts) {
+  const net::Endpoint ep = net::Endpoint::parse(opts.daemon);
+  std::int64_t ok_scrapes = 0;
+  for (std::int64_t i = 1; i <= opts.runs; ++i) {
+    std::string err;
+    const std::string body = scrape_metrics(ep, err);
+    if (!err.empty()) {
+      std::fprintf(stderr, "xsp_top: scrape %lld failed: %s\n",
+                   static_cast<long long>(i), err.c_str());
+    } else {
+      ++ok_scrapes;
+      render_fleet(parse_exposition(body), i, opts.runs);
+    }
+    if (i < opts.runs && opts.interval_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opts.interval_ms));
+    }
+  }
+  std::printf("xsp_top: done (%lld/%lld scrapes)\n", static_cast<long long>(ok_scrapes),
+              static_cast<long long>(opts.runs));
+  std::fflush(stdout);
+  return ok_scrapes > 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -262,6 +444,15 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opts)) {
     print_usage();
     return 2;
+  }
+
+  if (!opts.daemon.empty()) {
+    try {
+      return run_daemon_mode(opts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "xsp_top: %s\n", e.what());
+      return 1;
+    }
   }
 
   const models::ModelInfo* model = models::find_tensorflow_model(opts.model);
