@@ -16,6 +16,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <memory>
 
 #include "xsp/trace/sharded_trace_server.hpp"
@@ -105,6 +106,34 @@ void BM_PublishContended(benchmark::State& state) {
   }
 }
 
+/// The bounded-interning shape: every span carries one *unique*
+/// high-cardinality value (a request id) as an inline tag — value bytes
+/// formatted into the span record, nothing interned, the string table
+/// flat for the whole run. The delta against BM_PublishSync is the
+/// marginal cost of snprintf + InlineTagMap::set on the publish path;
+/// interning these values instead would grow the table by one entry per
+/// iteration forever.
+void BM_PublishSyncInlineTag(benchmark::State& state) {
+  TraceServer server(PublishMode::kSync);
+  const xsp::trace::StrId key{"request_id"};
+  std::size_t since_drain = 0;
+  int i = 0;
+  for (auto _ : state) {
+    Span s = make_span(server, i);
+    char rid[xsp::trace::InlineTagMap::kValueCapacity + 1];
+    std::snprintf(rid, sizeof rid, "req-%d", i);
+    s.inline_tags.set(key, rid);
+    server.publish(std::move(s));
+    ++i;
+    if (++since_drain == kDrainEvery) {
+      since_drain = 0;
+      drain_trace(server);
+    }
+  }
+  drain_trace(server);
+  state.SetItemsProcessed(state.iterations());
+}
+
 /// Single producer draining through take_batches() + recycle(): the
 /// intended steady-state hand-off, where batch buffers circulate through
 /// the server freelist instead of being malloc'd/freed per batch.
@@ -155,6 +184,7 @@ void BM_PublishContendedSharded(benchmark::State& state) {
 
 BENCHMARK(BM_PublishSync);
 BENCHMARK(BM_PublishAsync);
+BENCHMARK(BM_PublishSyncInlineTag);
 BENCHMARK(BM_PublishSyncRecycled);
 BENCHMARK(BM_PublishContended)->Threads(4)->UseRealTime();
 BENCHMARK(BM_PublishContendedSharded)

@@ -155,9 +155,14 @@ struct OnlineSnapshot {
   std::vector<std::uint64_t> shard_spans;
 
   // -- interning telemetry ------------------------------------------------
-  /// Global StringTable size/bytes sampled at snapshot time.
+  /// Global StringTable size/bytes sampled at snapshot time, plus the
+  /// bounded-interning state: the byte budget in force (0 = unbounded)
+  /// and the lifetime count of interns rejected at the budget or slot
+  /// ceiling (the xsp_top "strtab:" line).
   std::uint64_t interned_strings = 0;
   std::uint64_t interned_bytes = 0;
+  std::uint64_t strtab_budget_bytes = 0;
+  std::uint64_t rejected_interns = 0;
 
   // -- sampling ----------------------------------------------------------
   /// Horvitz-Thompson estimate of the pre-sampling span count (== spans

@@ -399,6 +399,8 @@ OnlineSnapshot OnlineAnalyzer::snapshot() const {
   const auto& table = common::StringTable::global();
   snap.interned_strings = table.size();
   snap.interned_bytes = table.approx_bytes();
+  snap.strtab_budget_bytes = table.budget_bytes();
+  snap.rejected_interns = table.rejected_interns();
   return snap;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -34,6 +35,13 @@ class StringTable {
   static constexpr std::uint32_t kShardBits = 4;
   static constexpr std::uint32_t kShardCount = 1u << kShardBits;
 
+  /// Hard per-shard slot ceiling: one more slot and `slot << kShardBits`
+  /// would wrap the 32-bit id space and hand out colliding StrIds.
+  static constexpr std::uint32_t kMaxSlotsPerShard = 1u << (32 - kShardBits);
+
+  /// The string the reserved over-budget sentinel id resolves to.
+  static constexpr std::string_view kSentinel = "<interned-cap>";
+
   /// The process-wide table all StrIds resolve against.
   static StringTable& global();
 
@@ -42,7 +50,43 @@ class StringTable {
   StringTable& operator=(const StringTable&) = delete;
 
   /// Intern `s`, returning its stable id. The empty string is always id 0.
+  /// Bounded: once the configured byte budget (set_budget_bytes) is
+  /// reached — or a shard runs out of id space — new strings are NOT
+  /// interned; the call returns sentinel_id() and bumps
+  /// rejected_interns() instead of growing. Already-interned strings
+  /// keep resolving to their real ids regardless of the budget.
   std::uint32_t intern(std::string_view s);
+
+  /// Cap the table at roughly `budget` bytes as measured by
+  /// approx_bytes(); 0 (the default) means unbounded. Lowering the
+  /// budget below current usage rejects all further inserts but never
+  /// evicts — ids stay stable for the process lifetime. May be changed
+  /// at any time from any thread.
+  void set_budget_bytes(std::size_t budget) noexcept {
+    budget_bytes_.store(budget, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t budget_bytes() const noexcept {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+
+  /// Lifetime count of intern() calls rejected by the budget or the
+  /// per-shard slot ceiling. Monotonic; each rejected call counts once
+  /// (rejections are never cached, so repeated calls keep counting).
+  [[nodiscard]] std::uint64_t rejected_interns() const noexcept {
+    return rejected_interns_.load(std::memory_order_relaxed);
+  }
+
+  /// The id every rejected intern() resolves to; interned at
+  /// construction (before any budget applies), so it is always a real,
+  /// stable entry that resolves to kSentinel.
+  [[nodiscard]] std::uint32_t sentinel_id() const noexcept { return sentinel_id_; }
+
+  /// Test seam: lower the per-shard slot ceiling so the id-space
+  /// overflow guard is exercisable without interning 2^28 strings.
+  /// Production code must never call this.
+  void set_slot_limit_for_testing(std::uint32_t limit) noexcept {
+    slot_limit_.store(limit, std::memory_order_relaxed);
+  }
 
   /// Resolve an id. Valid for the lifetime of the table (the global table
   /// never evicts, so resolved references are stable).
@@ -58,7 +102,8 @@ class StringTable {
   /// insert — so it is cheap enough to sample every snapshot. The table
   /// never evicts, so this only grows: it is the telemetry a long-running
   /// multi-model service watches to see interned-annotation growth
-  /// (dynamically composed tag values: grid/block dims, shapes).
+  /// (dynamically composed tag values: grid/block dims, shapes). Under a
+  /// byte budget (set_budget_bytes) it plateaus at the budget instead.
   [[nodiscard]] std::size_t approx_bytes() const;
 
   /// Per-entry overhead charged by approx_bytes() on top of character
@@ -115,6 +160,16 @@ class StringTable {
   };
 
   std::array<Shard, kShardCount> shards_;
+
+  /// Sum of (char bytes + kApproxEntryOverhead) across all non-reserved
+  /// entries — kept equal to approx_bytes() so the budget check is one
+  /// relaxed load instead of a 16-shard lock walk (which would also
+  /// invert lock order against a concurrent insert on another shard).
+  std::atomic<std::size_t> total_bytes_{0};
+  std::atomic<std::size_t> budget_bytes_{0};
+  std::atomic<std::uint64_t> rejected_interns_{0};
+  std::atomic<std::uint32_t> slot_limit_{kMaxSlotsPerShard};
+  std::uint32_t sentinel_id_ = 0;
 };
 
 /// Interned string id. Implicitly constructible from any string-ish value

@@ -25,6 +25,19 @@ StringTable::StringTable() : uid_(next_table_uid()) {
   auto& shard = shards_[0];
   shard.strings.emplace_back();
   shard.index.emplace(std::string_view(shard.strings.back()), 0u);
+  // Reserve the over-budget sentinel up front, before any budget can
+  // apply: a rejected intern must always have a real, stable id to
+  // return. Inserted directly (not via intern()) so that, like the
+  // empty string, it is excluded from the size()/approx_bytes()
+  // telemetry — but unlike id 0 it IS delivered by for_each_since,
+  // exactly once, so cross-process decoders can resolve it.
+  const std::size_t hash = std::hash<std::string_view>{}(kSentinel);
+  const auto sentinel_shard_idx = static_cast<std::uint32_t>(hash & (kShardCount - 1));
+  auto& sentinel_shard = shards_[sentinel_shard_idx];
+  const auto slot = static_cast<std::uint32_t>(sentinel_shard.strings.size());
+  sentinel_shard.strings.emplace_back(kSentinel);
+  sentinel_id_ = (slot << kShardBits) | sentinel_shard_idx;
+  sentinel_shard.index.emplace(std::string_view(sentinel_shard.strings.back()), sentinel_id_);
 }
 
 namespace {
@@ -76,6 +89,28 @@ std::uint32_t StringTable::intern(std::string_view s) {
       id = it->second;
     } else {
       const auto slot = static_cast<std::uint32_t>(shard.strings.size());
+      // Id-space guard: at slot_limit_ the shifted slot would wrap into
+      // another shard's id range and collide. Saturate to the sentinel.
+      if (slot >= slot_limit_.load(std::memory_order_relaxed)) {
+        rejected_interns_.fetch_add(1, std::memory_order_relaxed);
+        return sentinel_id_;
+      }
+      // Budget guard: charge first, back out on overshoot so two
+      // racing inserts can't both squeeze under the line. Shard byte
+      // totals (what approx_bytes() reports) only grow on a real
+      // insert, so steady-state approx_bytes() never exceeds a budget
+      // that was in force when the table crossed it.
+      const std::size_t cost = s.size() + kApproxEntryOverhead;
+      const std::size_t budget = budget_bytes_.load(std::memory_order_relaxed);
+      const std::size_t prev = total_bytes_.fetch_add(cost, std::memory_order_relaxed);
+      if (budget != 0 && prev + cost > budget) {
+        total_bytes_.fetch_sub(cost, std::memory_order_relaxed);
+        rejected_interns_.fetch_add(1, std::memory_order_relaxed);
+        // Deliberately NOT cached: a later budget raise must let this
+        // exact string intern for real, and rejected_interns stays an
+        // exact per-call count.
+        return sentinel_id_;
+      }
       shard.strings.emplace_back(s);
       shard.bytes += s.size();
       id = (slot << kShardBits) | shard_idx;
@@ -99,8 +134,8 @@ std::size_t StringTable::size() const {
     std::shared_lock lk(shard.mu);
     total += shard.strings.size();
   }
-  // Subtract the reserved empty string.
-  return total - 1;
+  // Subtract the reserved entries (empty string + sentinel).
+  return total - 2;
 }
 
 std::size_t StringTable::approx_bytes() const {
@@ -109,8 +144,10 @@ std::size_t StringTable::approx_bytes() const {
     std::shared_lock lk(shard.mu);
     total += shard.bytes + shard.strings.size() * kApproxEntryOverhead;
   }
-  // Exclude the reserved empty string, mirroring size().
-  return total - kApproxEntryOverhead;
+  // Exclude the reserved entries (empty string + sentinel), mirroring
+  // size(); the sentinel's character bytes were never added to
+  // shard.bytes, so entry overheads are the whole correction.
+  return total - 2 * kApproxEntryOverhead;
 }
 
 }  // namespace xsp::common

@@ -1,0 +1,123 @@
+#include "xsp/metrics/exposition.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace xsp::metrics {
+
+namespace {
+
+bool is_space(char c) { return c == ' ' || c == '\t'; }
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && (is_space(s.back()) || s.back() == '\r')) s.remove_suffix(1);
+  return s;
+}
+
+/// Index one past the closing '}' of a label block starting at `s[0] ==
+/// '{'`, honoring quoted values (which may contain spaces, commas, and
+/// braces) and backslash escapes inside them; npos when unterminated.
+std::size_t label_block_end(std::string_view s) {
+  bool in_quotes = false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_quotes) {
+      if (c == '\\') {
+        ++i;  // escaped char, even an escaped quote
+      } else if (c == '"') {
+        in_quotes = false;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == '}') {
+      return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+}  // namespace
+
+bool parse_exposition_line(std::string_view line, ExpositionSample& out) {
+  line = trim(line);
+  if (line.empty() || line.front() == '#') return false;
+
+  // Name: up to the label block or the first whitespace.
+  std::size_t name_end = 0;
+  while (name_end < line.size() && line[name_end] != '{' && !is_space(line[name_end])) {
+    ++name_end;
+  }
+  if (name_end == 0) return false;
+  out.name = line.substr(0, name_end);
+  std::string_view rest = line.substr(name_end);
+
+  out.labels = {};
+  if (!rest.empty() && rest.front() == '{') {
+    const std::size_t end = label_block_end(rest);
+    if (end == std::string_view::npos) return false;
+    out.labels = rest.substr(1, end - 2);
+    rest.remove_prefix(end);
+  }
+
+  while (!rest.empty() && is_space(rest.front())) rest.remove_prefix(1);
+  if (rest.empty()) return false;  // a name alone is not a sample
+
+  // Value token: strtod accepts the exposition's full value grammar
+  // (decimals, scientific notation, +Inf/-Inf/NaN) but must consume the
+  // whole token — "12abc" is malformed, not 12.
+  std::size_t value_end = 0;
+  while (value_end < rest.size() && !is_space(rest[value_end])) ++value_end;
+  const std::string value_token(rest.substr(0, value_end));
+  char* end = nullptr;
+  errno = 0;
+  out.value = std::strtod(value_token.c_str(), &end);
+  if (end != value_token.c_str() + value_token.size() || end == value_token.c_str()) {
+    return false;
+  }
+  rest.remove_prefix(value_end);
+
+  // Optional timestamp (milliseconds). Anything after it is garbage.
+  while (!rest.empty() && is_space(rest.front())) rest.remove_prefix(1);
+  out.has_timestamp = false;
+  out.timestamp_ms = 0;
+  if (!rest.empty()) {
+    const std::string ts_token(rest);
+    errno = 0;
+    const long long ts = std::strtoll(ts_token.c_str(), &end, 10);
+    if (end != ts_token.c_str() + ts_token.size() || errno == ERANGE) return false;
+    out.has_timestamp = true;
+    out.timestamp_ms = ts;
+  }
+  return true;
+}
+
+std::optional<std::string> label_value(std::string_view labels, std::string_view key) {
+  std::size_t pos = 0;
+  while (pos < labels.size()) {
+    // Key runs to '='; values are always quoted by the writers we read.
+    const std::size_t eq = labels.find('=', pos);
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view k = trim(labels.substr(pos, eq - pos));
+    std::size_t vstart = eq + 1;
+    if (vstart >= labels.size() || labels[vstart] != '"') return std::nullopt;
+    ++vstart;
+    std::string value;
+    std::size_t i = vstart;
+    for (; i < labels.size() && labels[i] != '"'; ++i) {
+      char c = labels[i];
+      if (c == '\\' && i + 1 < labels.size()) {
+        ++i;
+        c = labels[i] == 'n' ? '\n' : labels[i];
+      }
+      value += c;
+    }
+    if (i >= labels.size()) return std::nullopt;  // unterminated value
+    if (k == key) return value;
+    pos = i + 1;
+    if (pos < labels.size() && labels[pos] == ',') ++pos;
+  }
+  return std::nullopt;
+}
+
+}  // namespace xsp::metrics

@@ -5,6 +5,8 @@
 #include <string_view>
 #include <utility>
 
+#include "xsp/common/string_table.hpp"
+
 namespace xsp::net {
 
 namespace {
@@ -232,6 +234,9 @@ void CollectorService::parse_frames(Connection& conn) {
       wire::Header header{};
       std::memcpy(&header, data.data(), sizeof header);
       conn.version = trace::WireDecoder::validate_header(header);
+      // A v1–v3 producer may stream the legacy (pre-inline-tag) span
+      // record; the decoder widens each one during batch decode.
+      conn.decoder.set_span_size(header.span_size);
       conn.rx.consume(sizeof header);
       conn.got_header = true;
       continue;
@@ -278,8 +283,9 @@ void CollectorService::parse_frames(Connection& conn) {
         break;
       }
       case wire::FrameType::kFooter: {
-        // v1 producers send the 11-field footer prefix; the v2-only
-        // fields decode as zero (see BinaryReader's matching rule).
+        // Older producers send shorter footer prefixes (11 fields for
+        // v1, 13 for v2/v3); the later-version fields decode as zero
+        // (see BinaryReader's matching rule).
         if (payload_size != wire::footer_size(conn.version))
           throw WireError("xsp collector: footer payload length mismatch");
         wire::Footer footer{};
@@ -483,6 +489,22 @@ void CollectorService::build_metrics_text(std::string& out) {
                        "Producer connections currently open", Kind::kGauge);
   append_sample_line(out, "xsp_collector_open_connections", {},
                      static_cast<std::uint64_t>(conns_.size()));
+
+  // Bounded-interning health of the collector's own global table — the
+  // table every producer stream re-interns into. CI's multi-process smoke
+  // asserts xsp_strtab_bytes stays under the configured budget while
+  // producers publish high-cardinality inline tags.
+  {
+    const auto& table = common::StringTable::global();
+    append_family_header(out, "xsp_strtab_bytes",
+                         "Approximate resident bytes in the global string table",
+                         Kind::kGauge);
+    append_sample_line(out, "xsp_strtab_bytes", {},
+                       static_cast<std::uint64_t>(table.approx_bytes()));
+    family("xsp_strtab_rejected_total",
+           "Interns rejected by the string-table byte budget or slot ceiling",
+           Kind::kCounter, table.rejected_interns());
+  }
 
   // Per-connection ingest series, one sample per open connection. The
   // label is the monotonic accept id: closed connections disappear from

@@ -126,6 +126,15 @@ struct ProfileOptions {
   /// SpaceSaving top-k (0 = exact, unbounded). Applies when the analyzer
   /// is created — the first live_stats run on this session.
   std::size_t top_k_kernels = 0;
+  /// Byte budget for the process-global StringTable (0 = unbounded).
+  /// Applied at the start of the run via StringTable::set_budget_bytes:
+  /// past the budget, intern() stops growing the table and returns the
+  /// reserved "<interned-cap>" sentinel id instead, counting the miss in
+  /// rejected_interns. The budget is process-global state — the last run
+  /// to set a non-zero value wins, and it persists after the run (a
+  /// service sets it once). High-cardinality values belong in inline
+  /// tags (Tracer::tag_inline), which never touch the table at all.
+  std::size_t strtab_budget_bytes = 0;
 
   [[nodiscard]] std::string level_string() const;  // "M", "M/L", "M/L/G"
 
@@ -201,13 +210,22 @@ struct RunTrace {
   /// sampled_dropped, the invariant the admission tests pin.
   std::uint64_t sampled_kept = 0;
   std::uint64_t sampled_dropped = 0;
+  /// Bounded-interning telemetry sampled at the end of the run, alongside
+  /// interned_strings/interned_bytes: the budget in force (0 = unbounded)
+  /// and the global table's *lifetime* count of interns rejected at the
+  /// budget or slot ceiling (monotone across runs, like the table itself).
+  /// A non-zero rejected_interns means some StrIds in the trace resolve
+  /// to the "<interned-cap>" sentinel string.
+  std::uint64_t strtab_budget_bytes = 0;
+  std::uint64_t rejected_interns = 0;
 
   /// Export metadata for to_span_json(timeline, meta).
   [[nodiscard]] trace::TraceMeta trace_meta() const noexcept {
     return {dropped_annotations, trace_shards,  interned_strings,
             interned_bytes,      live_slots,    retired_slots,
             slot_bytes,          remote_dropped_spans, remote_reconnects,
-            sampled_kept,        sampled_dropped};
+            sampled_kept,        sampled_dropped,      strtab_budget_bytes,
+            rejected_interns};
   }
 };
 
@@ -322,6 +340,10 @@ class Session {
   /// sink, and re-applied by profile() after reconfiguration.
   metrics::Registry* metrics_registry_ = nullptr;
   metrics::Labels metrics_labels_;
+  /// Bounded-interning series (xsp_strtab_*): callback series over the
+  /// process-global StringTable, registered once per bind_metrics call —
+  /// unlike the fleet series they never need rebinding on fleet swaps.
+  std::vector<metrics::CallbackHandle> strtab_series_;
 };
 
 }  // namespace xsp::profile

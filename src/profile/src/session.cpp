@@ -19,11 +19,17 @@ const SpanKeys& keys() { return span_keys(); }
 // Keep the span's fidelity signal honest: a capacity-rejected annotation
 // must increment dropped_annotations here exactly as Tracer::add_tag does.
 void set_tag(trace::Span& s, trace::StrId key, trace::StrId value) {
-  if (!s.tags.set(key, value)) ++s.dropped_annotations;
+  if (!s.tags.set(key, value)) s.note_dropped();
+}
+
+/// Inline variant for dynamically composed, high-cardinality values
+/// (grid/block dims): the bytes ride in the span, never the StringTable.
+void set_inline_tag(trace::Span& s, trace::StrId key, std::string_view value) {
+  if (!s.inline_tags.set(key, value)) s.note_dropped();
 }
 
 void set_metric(trace::Span& s, trace::StrId key, double value) {
-  if (!s.metrics.set(key, value)) ++s.dropped_annotations;
+  if (!s.metrics.set(key, value)) s.note_dropped();
 }
 
 }  // namespace
@@ -79,6 +85,7 @@ SlotTelemetry Session::slot_telemetry() const {
 void Session::bind_metrics(metrics::Registry* registry, metrics::Labels labels) {
   metrics_registry_ = registry;
   metrics_labels_ = std::move(labels);
+  strtab_series_.clear();
   if (metrics_registry_ == nullptr) return;
   // Bind whatever exists now; profile() re-applies the binding whenever
   // it swaps the fleet or the sink (the dying component released its
@@ -86,6 +93,18 @@ void Session::bind_metrics(metrics::Registry* registry, metrics::Labels labels) 
   std::lock_guard lk(server_mu_);
   if (server_ != nullptr) server_->bind_metrics(*metrics_registry_, metrics_labels_);
   if (remote_ != nullptr) remote_->bind_metrics(*metrics_registry_, metrics_labels_);
+  // Bounded-interning health: the process-global table's footprint and its
+  // lifetime rejection count. Samples are two relaxed atomic loads (plus
+  // sharded shared locks for approx_bytes), scrape-time only.
+  strtab_series_.push_back(metrics_registry_->callback(
+      "xsp_strtab_bytes", "Approximate resident bytes in the global string table",
+      metrics::Kind::kGauge, metrics_labels_,
+      [] { return static_cast<double>(common::StringTable::global().approx_bytes()); }));
+  strtab_series_.push_back(metrics_registry_->callback(
+      "xsp_strtab_rejected_total",
+      "Interns rejected by the string-table byte budget or slot ceiling",
+      metrics::Kind::kCounter, metrics_labels_,
+      [] { return static_cast<double>(common::StringTable::global().rejected_interns()); }));
 }
 
 trace::SpanId Session::start_span(trace::StrId name, trace::SpanId parent) {
@@ -98,6 +117,12 @@ void Session::finish_span(trace::SpanId id) {
 }
 
 RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& options) {
+  // Bounded interning: arm the budget before anything in this run interns.
+  // 0 leaves the table's current setting alone (the budget is process
+  // state, not per-run state — see ProfileOptions::strtab_budget_bytes).
+  if (options.strtab_budget_bytes != 0) {
+    common::StringTable::global().set_budget_bytes(options.strtab_budget_bytes);
+  }
   // One (possibly sharded) collection fleet, one fresh tracer per
   // profiler per run. trace_shards == 1 is the plain single-server shape;
   // 0 lets the fleet size itself to the hardware. The fleet is reused
@@ -375,12 +400,17 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
       s.end = act.end;
       s.correlation_id = act.correlation_id;
       if (act.type == sim::ActivityRecord::Type::kKernel) {
-        set_tag(s, keys().grid, "[" + std::to_string(act.kernel.grid.x) + "," +
-                                    std::to_string(act.kernel.grid.y) + "," +
-                                    std::to_string(act.kernel.grid.z) + "]");
-        set_tag(s, keys().block, "[" + std::to_string(act.kernel.block.x) + "," +
-                                     std::to_string(act.kernel.block.y) + "," +
-                                     std::to_string(act.kernel.block.z) + "]");
+        // Grid/block dims are the canonical high-cardinality composed
+        // values (the ROADMAP's unbounded-interning concern): inline
+        // tags keep them out of the process-lifetime StringTable. No
+        // aggregation keys on them (analysis keys on kernel/layer_type/
+        // shape), so nothing downstream loses its StrId.
+        set_inline_tag(s, keys().grid, "[" + std::to_string(act.kernel.grid.x) + "," +
+                                           std::to_string(act.kernel.grid.y) + "," +
+                                           std::to_string(act.kernel.grid.z) + "]");
+        set_inline_tag(s, keys().block, "[" + std::to_string(act.kernel.block.x) + "," +
+                                            std::to_string(act.kernel.block.y) + "," +
+                                            std::to_string(act.kernel.block.z) + "]");
         set_tag(s, keys().kind, keys().kind_kernel);
       } else {
         set_tag(s, keys().kind, keys().kind_memcpy);
@@ -415,6 +445,8 @@ RunTrace Session::profile(const framework::Graph& graph, const ProfileOptions& o
     const auto& table = common::StringTable::global();
     result.interned_strings = table.size();
     result.interned_bytes = table.approx_bytes();
+    result.strtab_budget_bytes = table.budget_bytes();
+    result.rejected_interns = table.rejected_interns();
   }
   // Slot health after the final flush above: worker threads that died
   // during the run have been reclaimed by now, so live_slots reports live

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -65,6 +67,103 @@ using TagMap = common::FlatMap<StrId, 6>;
 /// Numeric annotations (GPU counters, allocated bytes, ...).
 using MetricMap = common::FlatMap<double, 6>;
 
+/// Inline value tags: the value bytes live IN the span, not in the
+/// process-wide StringTable. This is the annotation channel for
+/// high-cardinality values (grid/block dims, per-request ids) — every
+/// distinct interned value costs table memory for the process lifetime,
+/// while an inline value costs nothing beyond the span it rides in.
+/// Keys are still interned StrIds (keys are low-cardinality by design).
+///
+/// Fixed capacity keeps Span trivially copyable: kCapacity entries of
+/// kValueCapacity bytes each. set() truncates overlong values to
+/// kValueCapacity bytes and returns false only when the map is full,
+/// mirroring FlatMap's overflow contract.
+class InlineTagMap {
+ public:
+  static constexpr std::uint32_t kCapacity = 2;
+  static constexpr std::uint32_t kValueCapacity = 27;
+
+  /// One key + inline value payload; 32 bytes, trivially copyable.
+  struct Entry {
+    StrId key;
+    std::uint8_t size = 0;
+    char data[kValueCapacity];
+    [[nodiscard]] std::string_view value() const noexcept { return {data, size}; }
+  };
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return kCapacity; }
+
+  [[nodiscard]] const Entry* begin() const noexcept { return entries_; }
+  [[nodiscard]] const Entry* end() const noexcept { return entries_ + count_; }
+
+  /// Insert or overwrite; truncates `value` to kValueCapacity bytes.
+  /// Returns false (dropping the entry) only when full and `key` absent.
+  bool set(StrId key, std::string_view value) noexcept {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      if (entries_[i].key == key) {
+        store(entries_[i], value);
+        return true;
+      }
+    }
+    if (count_ == kCapacity) return false;
+    entries_[count_].key = key;
+    store(entries_[count_], value);
+    ++count_;
+    return true;
+  }
+
+  /// Value lookup; `fallback` when absent.
+  [[nodiscard]] std::string_view value_or(StrId key,
+                                          std::string_view fallback = {}) const noexcept {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      if (entries_[i].key == key) return entries_[i].value();
+    }
+    return fallback;
+  }
+
+  [[nodiscard]] std::size_t count(StrId key) const noexcept {
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      if (entries_[i].key == key) return 1;
+    }
+    return 0;
+  }
+
+  void clear() noexcept { count_ = 0; }
+
+  /// True when count and every entry's size are within capacity. An
+  /// InlineTagMap memcpy'd from an untrusted byte stream
+  /// (trace::BinaryReader) must pass this before iteration — value()
+  /// trusts size.
+  [[nodiscard]] bool valid() const noexcept {
+    if (count_ > kCapacity) return false;
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      if (entries_[i].size > kValueCapacity) return false;
+    }
+    return true;
+  }
+
+  /// Rewrite every key in place: key_i = fn(key_i). The wire decoder's
+  /// re-interning hook; values are inline bytes and pass through
+  /// untouched (nothing to re-intern — that is the point).
+  template <typename Fn>
+  void remap_keys(Fn&& fn) {
+    for (std::uint32_t i = 0; i < count_; ++i) entries_[i].key = fn(entries_[i].key);
+  }
+
+ private:
+  static void store(Entry& e, std::string_view value) noexcept {
+    const std::size_t n =
+        value.size() < kValueCapacity ? value.size() : std::size_t{kValueCapacity};
+    e.size = static_cast<std::uint8_t>(n);
+    if (n != 0) std::memcpy(e.data, value.data(), n);
+  }
+
+  Entry entries_[kCapacity] = {};
+  std::uint32_t count_ = 0;
+};
+
 /// A single profiled event converted into distributed-tracing form.
 struct Span {
   SpanId id = kNoSpan;
@@ -83,11 +182,24 @@ struct Span {
   std::uint64_t correlation_id = 0;
   TagMap tags;
   MetricMap metrics;
-  /// Annotations rejected because tags/metrics hit capacity. Non-zero
-  /// means the trace lost fidelity for this span; exporters surface it.
+  /// Annotations rejected because tags/metrics/inline_tags hit capacity.
+  /// Non-zero means the trace lost fidelity for this span; exporters
+  /// surface it. Saturates at 0xFFFF (see note_dropped) — "at least
+  /// 65535 drops" must never wrap back to "clean".
   std::uint16_t dropped_annotations = 0;
+  /// Non-interned value tags. NOTE: new members ride after this point;
+  /// the wire's legacy-decode path (v1–v3) copies exactly the bytes up
+  /// to `inline_tags` (see wire.cpp), so everything before it is frozen
+  /// at the v1 layout.
+  InlineTagMap inline_tags;
 
   [[nodiscard]] Ns duration() const noexcept { return end - begin; }
+
+  /// Record `n` annotation drops, saturating at 0xFFFF.
+  void note_dropped(std::uint32_t n = 1) noexcept {
+    const std::uint32_t total = dropped_annotations + n;
+    dropped_annotations = total > 0xFFFF ? std::uint16_t{0xFFFF} : static_cast<std::uint16_t>(total);
+  }
 
   /// Tag lookup; the empty StrId when absent.
   [[nodiscard]] StrId tag_or(StrId key, StrId fallback = {}) const noexcept {

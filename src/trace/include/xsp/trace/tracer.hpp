@@ -47,6 +47,13 @@ class Tracer {
   /// Attach a string tag to an open span.
   void add_tag(SpanId id, StrId key, StrId value);
 
+  /// Attach an inline value tag to an open span: the value bytes are
+  /// stored in the span itself and never interned. Use this for
+  /// high-cardinality values (grid/block dims, request ids) so a
+  /// long-running service's StringTable stays bounded; values longer
+  /// than InlineTagMap::kValueCapacity are truncated.
+  void tag_inline(SpanId id, StrId key, std::string_view value);
+
   /// Attach a numeric metric to an open span.
   void add_metric(SpanId id, StrId key, double value);
 
@@ -109,6 +116,12 @@ class ScopedSpan {
   ScopedSpan& operator=(ScopedSpan&&) = delete;
 
   [[nodiscard]] SpanId id() const noexcept { return id_; }
+
+  /// Attach an inline value tag to the guarded span (see
+  /// Tracer::tag_inline); no-op on a relinquished/disabled span.
+  void tag_inline(StrId key, std::string_view value) {
+    if (id_ != kNoSpan) tracer_->tag_inline(id_, key, value);
+  }
 
  private:
   Tracer* tracer_;

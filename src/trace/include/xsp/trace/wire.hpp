@@ -1,8 +1,8 @@
-// XSP binary span-batch wire format (v3; v1/v2 accepted) and the
+// XSP binary span-batch wire format (v4; v1–v3 accepted) and the
 // format-agnostic serialization core shared by every exporter backend.
 //
 // The JSON path (StreamingExporter) tops out around 2.8M spans/s because
-// every span is re-formatted as text. Spans are trivially copyable 184-byte
+// every span is re-formatted as text. Spans are trivially copyable fixed-size
 // PODs whose strings are interned 32-bit StrIds, so the binary format moves
 // whole sealed batches with memcpy and ships string bytes exactly once, as
 // deltas of the process-wide StringTable — an order of magnitude more
@@ -95,6 +95,15 @@ struct TraceMeta {
   /// footer fields; a v1 stream decodes with both zero.
   std::uint64_t sampled_kept = 0;
   std::uint64_t sampled_dropped = 0;
+  /// Bounded-interning accounting (wire v4 footer fields): the string
+  /// table's configured byte budget (0 = unbounded) and the lifetime
+  /// count of intern() calls rejected at the budget or the id-space cap
+  /// (each resolved to the `<interned-cap>` sentinel instead of growing
+  /// the table). Non-zero rejected_interns means some annotation values
+  /// in the trace read as the sentinel. v1–v3 streams decode with both
+  /// zero.
+  std::uint64_t strtab_budget_bytes = 0;
+  std::uint64_t rejected_interns = 0;
 };
 
 /// Bounded-buffer byte sink: the serialization core's output seam. Bytes
@@ -187,12 +196,23 @@ inline constexpr char kMagic[4] = {'X', 'S', 'P', 'B'};
 /// Format version this build writes. v2 extended the v1 Footer with the
 /// sampling accounting fields (sampled_kept / sampled_dropped); v3 adds the
 /// Heartbeat frame type (periodic producer-side counters, the wire-level
-/// producer-health signal a collector turns into per-producer staleness).
-/// Frames and header layout are otherwise identical across versions.
-inline constexpr std::uint16_t kVersion = 3;
-/// Oldest version this build still reads: v1/v2 streams decode normally,
-/// with later-version footer fields reported as zero and no heartbeats.
+/// producer-health signal a collector turns into per-producer staleness);
+/// v4 widens the span record with the inline-tag map (non-interned value
+/// bytes riding in the span) and appends the bounded-interning footer
+/// fields (strtab_budget_bytes / rejected_interns). Frames and header
+/// layout are otherwise identical across versions.
+inline constexpr std::uint16_t kVersion = 4;
+/// Oldest version this build still reads: v1–v3 streams decode normally,
+/// with later-version footer fields reported as zero, no heartbeats
+/// (pre-v3), and every span's inline-tag map empty (pre-v4).
 inline constexpr std::uint16_t kMinVersion = 1;
+/// The span record size every pre-v4 producer wrote (the v1 layout,
+/// frozen: everything in Span up to and excluding `inline_tags`, plus
+/// trailing padding). A v1–v3 stream header carries this span_size; the
+/// decoder widens each legacy record into the current Span by copying its
+/// legacy prefix and leaving the inline-tag map empty. Pinned by
+/// static_asserts in wire.cpp against the live Span layout.
+inline constexpr std::size_t kLegacySpanSize = 200;
 /// Endianness marker as written by the producer; a consumer reading the
 /// byte-swapped value rejects the stream (frames are host-endian memcpy).
 inline constexpr std::uint16_t kEndianMark = 0xFEFF;
@@ -261,24 +281,46 @@ struct Footer {
   /// (readers zero-fill when decoding a v1 stream).
   std::uint64_t sampled_kept;
   std::uint64_t sampled_dropped;
+  /// v4 fields — bounded-interning accounting, appended under the same
+  /// prefix rule (v1–v3 readers never see them; v4 readers zero-fill
+  /// when decoding older streams).
+  std::uint64_t strtab_budget_bytes;
+  std::uint64_t rejected_interns;
 };
 static_assert(std::is_trivially_copyable_v<Footer>);
 
 /// Byte size of the 11-field v1 footer payload (a prefix of Footer).
 inline constexpr std::size_t kFooterSizeV1 = 11 * sizeof(std::uint64_t);
-static_assert(sizeof(Footer) == kFooterSizeV1 + 2 * sizeof(std::uint64_t));
+/// Byte size of the 13-field v2/v3 footer payload (also a prefix).
+inline constexpr std::size_t kFooterSizeV2 = 13 * sizeof(std::uint64_t);
+static_assert(kFooterSizeV2 == kFooterSizeV1 + 2 * sizeof(std::uint64_t));
+static_assert(sizeof(Footer) == kFooterSizeV2 + 2 * sizeof(std::uint64_t));
 
 /// Footer payload size a stream of the given version carries. Shared by
 /// every decode driver (BinaryReader, the collector daemon) so the
 /// version-to-size rule cannot drift between them.
 [[nodiscard]] inline constexpr std::size_t footer_size(std::uint16_t version) noexcept {
-  return version <= 1 ? kFooterSizeV1 : sizeof(Footer);
+  if (version <= 1) return kFooterSizeV1;
+  if (version <= 3) return kFooterSizeV2;
+  return sizeof(Footer);
 }
 
-/// Validate a SpanBatch frame's span count against its payload size;
-/// returns the count. Shared by every decode driver so the bounds logic
-/// cannot drift between them. Throws WireError.
-std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count);
+/// Validate a SpanBatch frame's span count against its payload size,
+/// given the stream's validated per-span record size (the header's
+/// span_size: sizeof(Span) for v4 streams, kLegacySpanSize for v1–v3
+/// producers); returns the count. Shared by every decode driver so the
+/// bounds logic cannot drift between them. Throws WireError.
+std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count,
+                                 std::size_t span_size = sizeof(Span));
+
+/// Materialize `count` spans from `raw` (exactly count * span_size raw
+/// record bytes) into `out` (overwritten). For the current record size
+/// this is one whole memcpy; for kLegacySpanSize records each span's
+/// legacy prefix is copied and its inline-tag map left empty (the v1–v3
+/// widening path). `span_size` must be a value validate_header accepted.
+/// Throws WireError on a size mismatch.
+void materialize_spans(std::string_view raw, std::uint32_t count, std::size_t span_size,
+                       SpanBatch& out);
 
 /// v3 heartbeat payload: a producer's live transport/sampling counters,
 /// cumulative since the producer started (monotonic per stream except
@@ -415,9 +457,18 @@ class WireDecoder {
 
   /// Validate a stream header (magic/version/endianness/span size) and
   /// return the stream's format version (kMinVersion..kVersion — drivers
-  /// keep it to size the footer frame, wire::footer_size). Throws
-  /// WireError on any mismatch.
+  /// keep it to size the footer frame, wire::footer_size). A v4 header
+  /// must declare span_size == sizeof(Span); a v1–v3 header may instead
+  /// declare wire::kLegacySpanSize (a pre-inline-tag producer), which
+  /// drivers record via set_span_size so batch decode widens each legacy
+  /// record. Throws WireError on any mismatch.
   static std::uint16_t validate_header(const wire::Header& header);
+
+  /// Record the stream's validated per-span record size (the header's
+  /// span_size). Defaults to sizeof(Span); drivers call this right after
+  /// validate_header so decode_span_batch sizes and widens correctly.
+  void set_span_size(std::uint32_t span_size) noexcept { span_size_ = span_size; }
+  [[nodiscard]] std::uint32_t span_size() const noexcept { return span_size_; }
 
   /// Parse a StringDelta payload: re-intern every entry into this
   /// process's global StringTable and extend the remap. A repeated id is
@@ -473,6 +524,7 @@ class WireDecoder {
   void remap_span(Span& span) const;
 
   std::unordered_map<std::uint32_t, std::uint32_t> remap_;
+  std::uint32_t span_size_ = static_cast<std::uint32_t>(sizeof(Span));
   bool saw_footer_ = false;
   wire::Footer footer_{};
   wire::Heartbeat heartbeat_{};
@@ -545,6 +597,10 @@ class BinaryReader {
   WireDecoder decoder_;
   std::string payload_;  ///< delta-payload scratch, reused across frames
   std::uint16_t version_ = wire::kVersion;
+  /// The stream's per-span record size (validated header value); when it
+  /// is wire::kLegacySpanSize, batches read via scratch + widen instead
+  /// of the zero-copy path.
+  std::uint32_t span_size_ = static_cast<std::uint32_t>(sizeof(Span));
   bool done_ = false;
 };
 

@@ -114,6 +114,16 @@ void append_args(std::string& out, const Span& span) {
     out += ':';
     append_escaped(out, e.value.view());
   }
+  // Inline value tags read exactly like interned tags in the JSON — the
+  // storage difference (span-resident bytes vs StringTable ids) is a
+  // producer-side memory decision, not a consumer-visible one.
+  for (const auto& e : span.inline_tags) {
+    if (!first) out += ',';
+    first = false;
+    append_escaped(out, e.key.view());
+    out += ':';
+    append_escaped(out, e.value());
+  }
   for (const auto& e : span.metrics) {
     if (!first) out += ',';
     first = false;
@@ -327,6 +337,10 @@ void StreamingExporter::finish() {
       append_uint(out, meta_.sampled_kept);
       out += ",\"sampled_dropped\":";
       append_uint(out, meta_.sampled_dropped);
+      out += ",\"strtab_budget_bytes\":";
+      append_uint(out, meta_.strtab_budget_bytes);
+      out += ",\"rejected_interns\":";
+      append_uint(out, meta_.rejected_interns);
       out += ",\"span_count\":";
       append_uint(out, spans_written_);
       out += ",\"export_format\":";

@@ -72,16 +72,21 @@ Timeline Timeline::assemble(const SpanBatches& batches, const AssembleOptions& o
       // Preserve launch-side annotations that the execution side lacks.
       for (const auto& e : launch.tags) {
         if (n.span.tags.count(e.key) == 0 && !n.span.tags.set(e.key, e.value)) {
-          ++n.span.dropped_annotations;
+          n.span.note_dropped();
         }
       }
       for (const auto& e : launch.metrics) {
         if (n.span.metrics.count(e.key) == 0 && !n.span.metrics.set(e.key, e.value)) {
-          ++n.span.dropped_annotations;
+          n.span.note_dropped();
         }
       }
-      n.span.dropped_annotations =
-          static_cast<std::uint16_t>(n.span.dropped_annotations + launch.dropped_annotations);
+      for (const auto& e : launch.inline_tags) {
+        if (n.span.inline_tags.count(e.key) == 0 &&
+            !n.span.inline_tags.set(e.key, e.value())) {
+          n.span.note_dropped();
+        }
+      }
+      n.span.note_dropped(launch.dropped_annotations);
       pending_launch.erase(it);
       ++tl.correlated_async_;
     } else {

@@ -26,13 +26,19 @@ SpanId Tracer::start_span(StrId span_name, TimePoint t, SpanId parent, SpanKind 
 
 void Tracer::add_tag(SpanId id, StrId key, StrId value) {
   if (Span* s = find_open(id)) {
-    if (!s->tags.set(key, value)) ++s->dropped_annotations;
+    if (!s->tags.set(key, value)) s->note_dropped();
+  }
+}
+
+void Tracer::tag_inline(SpanId id, StrId key, std::string_view value) {
+  if (Span* s = find_open(id)) {
+    if (!s->inline_tags.set(key, value)) s->note_dropped();
   }
 }
 
 void Tracer::add_metric(SpanId id, StrId key, double value) {
   if (Span* s = find_open(id)) {
-    if (!s->metrics.set(key, value)) ++s->dropped_annotations;
+    if (!s->metrics.set(key, value)) s->note_dropped();
   }
 }
 

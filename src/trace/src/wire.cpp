@@ -1,11 +1,25 @@
 #include "xsp/trace/wire.hpp"
 
 #include <cassert>
+#include <cstddef>
 #include <istream>
 #include <ostream>
 #include <utility>
 
 namespace xsp::trace {
+
+// The legacy-decode contract: a pre-v4 span record is exactly the bytes
+// of the current Span up to `inline_tags` plus trailing padding. Widening
+// copies offsetof(Span, inline_tags) bytes per record — never the full
+// legacy record, whose tail padding would overwrite the (zeroed)
+// inline-tag map. These pins fail the build the moment a Span edit breaks
+// either assumption.
+static_assert(offsetof(Span, inline_tags) <= wire::kLegacySpanSize,
+              "inline_tags must start within the legacy span record");
+static_assert(offsetof(Span, inline_tags) > offsetof(Span, dropped_annotations),
+              "inline_tags must ride after every legacy field");
+static_assert(sizeof(Span) > wire::kLegacySpanSize,
+              "the current span record must be a strict widening of the legacy one");
 
 // --- FrameSink --------------------------------------------------------------
 
@@ -259,6 +273,8 @@ void BinaryWriter::finish() {
   footer.remote_reconnects = meta_.remote_reconnects;
   footer.sampled_kept = meta_.sampled_kept;
   footer.sampled_dropped = meta_.sampled_dropped;
+  footer.strtab_budget_bytes = meta_.strtab_budget_bytes;
+  footer.rejected_interns = meta_.rejected_interns;
   wire::FrameHeader fh{};
   fh.type = static_cast<std::uint8_t>(wire::FrameType::kFooter);
   fh.payload_size = static_cast<std::uint32_t>(sizeof footer);
@@ -289,15 +305,37 @@ std::size_t BinaryWriter::sink_pending_bytes() const {
 
 namespace wire {
 
-std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count) {
+std::uint32_t checked_span_count(std::size_t payload_size, std::uint32_t count,
+                                 std::size_t span_size) {
   if (count > kMaxSpansPerFrame) {
     throw WireError("xsp wire: span-batch count " + std::to_string(count) +
                     " exceeds the per-frame bound");
   }
-  if (payload_size != sizeof count + static_cast<std::size_t>(count) * sizeof(Span)) {
+  if (payload_size != sizeof count + static_cast<std::size_t>(count) * span_size) {
     throw WireError("xsp wire: span-batch payload length does not match its span count");
   }
   return count;
+}
+
+void materialize_spans(std::string_view raw, std::uint32_t count, std::size_t span_size,
+                       SpanBatch& out) {
+  if (raw.size() != static_cast<std::size_t>(count) * span_size) {
+    throw WireError("xsp wire: span payload length does not match its span count");
+  }
+  if (span_size == sizeof(Span)) {
+    out.resize(count);
+    if (count > 0) std::memcpy(out.data(), raw.data(), raw.size());
+    return;
+  }
+  // Legacy (v1–v3) records: widen each one — copy the legacy field prefix
+  // and leave the appended inline-tag map in its value-initialized empty
+  // state. assign() (not resize()) so recycled output buffers cannot leak
+  // a previous batch's inline tags into the widened spans.
+  constexpr std::size_t kLegacyPrefix = offsetof(Span, inline_tags);
+  out.assign(count, Span{});
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::memcpy(&out[i], raw.data() + static_cast<std::size_t>(i) * span_size, kLegacyPrefix);
+  }
 }
 
 Heartbeat checked_heartbeat(std::string_view payload, std::uint16_t version) {
@@ -332,7 +370,14 @@ std::uint16_t WireDecoder::validate_header(const wire::Header& header) {
                     " (this build reads v" + std::to_string(wire::kMinVersion) + "..v" +
                     std::to_string(wire::kVersion) + ")");
   }
-  if (header.span_size != sizeof(Span)) {
+  // v4 streams must carry the current span record exactly; a v1–v3
+  // producer may instead declare the frozen legacy record size, which
+  // the batch decoder widens (drivers record it via set_span_size).
+  // Anything else is a build whose Span layout this one cannot read.
+  const bool span_size_ok =
+      header.span_size == sizeof(Span) ||
+      (header.version < 4 && header.span_size == wire::kLegacySpanSize);
+  if (!span_size_ok) {
     throw WireError("xsp wire: span struct size mismatch (stream " +
                     std::to_string(header.span_size) + ", this build " +
                     std::to_string(sizeof(Span)) + ")");
@@ -389,12 +434,8 @@ void WireDecoder::decode_span_batch(std::string_view payload, SpanBatch& out) {
     throw WireError("xsp wire: span-batch frame too small for its span count");
   }
   std::memcpy(&count, payload.data(), sizeof count);
-  wire::checked_span_count(payload.size(), count);
-  out.resize(count);
-  if (count > 0) {
-    std::memcpy(out.data(), payload.data() + sizeof count,
-                static_cast<std::size_t>(count) * sizeof(Span));
-  }
+  wire::checked_span_count(payload.size(), count, span_size_);
+  wire::materialize_spans(payload.substr(sizeof count), count, span_size_, out);
   remap_batch(out);
 }
 
@@ -405,8 +446,9 @@ void WireDecoder::remap_batch(SpanBatch& batch) {
 
 void WireDecoder::remap_span(Span& span) const {
   // A memcpy'd FlatMap's inline count is untrusted until checked —
-  // iteration beyond capacity would read past the inline arrays.
-  if (!span.tags.valid() || !span.metrics.valid()) {
+  // iteration beyond capacity would read past the inline arrays. The
+  // inline-tag map additionally bounds each entry's value size.
+  if (!span.tags.valid() || !span.metrics.valid() || !span.inline_tags.valid()) {
     throw WireError("xsp wire: span annotation count exceeds capacity");
   }
   if (static_cast<std::uint8_t>(span.kind) > static_cast<std::uint8_t>(SpanKind::kExecution)) {
@@ -419,6 +461,10 @@ void WireDecoder::remap_span(Span& span) const {
   span.tags.remap_keys(remap);
   span.tags.remap_values(remap);
   span.metrics.remap_keys(remap);
+  // Inline tags: keys are producer StrIds and remap like any other; the
+  // value bytes ride in the span itself and pass through untouched —
+  // high-cardinality values never touch this process's StringTable.
+  span.inline_tags.remap_keys(remap);
 }
 
 TraceMeta WireDecoder::meta() const noexcept {
@@ -434,6 +480,8 @@ TraceMeta WireDecoder::meta() const noexcept {
   m.remote_reconnects = footer_.remote_reconnects;
   m.sampled_kept = footer_.sampled_kept;
   m.sampled_dropped = footer_.sampled_dropped;
+  m.strtab_budget_bytes = footer_.strtab_budget_bytes;
+  m.rejected_interns = footer_.rejected_interns;
   return m;
 }
 
@@ -443,6 +491,8 @@ BinaryReader::BinaryReader(std::istream& in) : in_(in) {
   wire::Header header{};
   read_exact(&header, sizeof header, "stream header");
   version_ = WireDecoder::validate_header(header);
+  span_size_ = header.span_size;
+  decoder_.set_span_size(span_size_);
 }
 
 void BinaryReader::read_exact(void* dst, std::size_t n, const char* what) {
@@ -484,11 +534,19 @@ bool BinaryReader::next_batch(SpanBatch& out) {
           throw WireError("xsp wire: span-batch frame too small for its span count");
         }
         read_exact(&count, sizeof count, "span-batch count");
-        wire::checked_span_count(payload_size, count);
-        // Decode straight into the caller's buffer: one read into span
-        // memory, then in-place StrId rewrites — no intermediate copy.
-        out.resize(count);
-        read_exact(out.data(), count * sizeof(Span), "span-batch payload");
+        wire::checked_span_count(payload_size, count, span_size_);
+        if (span_size_ == sizeof(Span)) {
+          // Decode straight into the caller's buffer: one read into span
+          // memory, then in-place StrId rewrites — no intermediate copy.
+          out.resize(count);
+          read_exact(out.data(), count * sizeof(Span), "span-batch payload");
+        } else {
+          // Legacy (v1–v3) records are narrower than Span: read them
+          // into scratch and widen each one (wire::materialize_spans).
+          payload_.resize(static_cast<std::size_t>(count) * span_size_);
+          read_exact(payload_.data(), payload_.size(), "span-batch payload");
+          wire::materialize_spans(payload_, count, span_size_, out);
+        }
         decoder_.remap_batch(out);
         if (count > 0) return true;
         break;  // an empty batch frame is legal; keep scanning
@@ -501,9 +559,10 @@ bool BinaryReader::next_batch(SpanBatch& out) {
       }
       case wire::FrameType::kFooter: {
         // The footer size follows the stream's declared version: a v1
-        // stream carries the 11-field prefix (the v2-only fields decode
-        // as zero), a v2+ stream the full struct. Anything else —
-        // truncated or oversized — is corruption, not data.
+        // stream carries the 11-field prefix, v2/v3 the 13-field one,
+        // and a v4 stream the full struct (later-version fields decode
+        // as zero on older streams). Anything else — truncated or
+        // oversized — is corruption, not data.
         const std::size_t expect = wire::footer_size(version_);
         if (payload_size != expect) {
           throw WireError("xsp wire: footer payload length mismatch (v" +

@@ -8,7 +8,15 @@
 # Prometheus exposition) on a loopback TCP port: the script scrapes it
 # mid-run, requires the exposition to parse, and asserts the wire-level
 # accounting invariant — xsp_ingested_spans_total equals the same fleet
-# sum — then drives one xsp_top --daemon scrape against it. Run by CI's
+# sum — then drives one xsp_top --daemon scrape against it.
+#
+# Bounded interning rides the same harness: the daemon runs with a
+# string-table byte budget and every producer also streams a
+# high-cardinality synthetic workload (--inline-tags: unique request-id
+# values carried as inline tag bytes, not interned strings). The final
+# scrape asserts xsp_strtab_bytes stayed under the budget and
+# xsp_strtab_rejected_total stayed zero — the values never touched the
+# table, and legitimate names never hit the ceiling. Run by CI's
 # multiproc job and usable locally:
 #
 #   tests/ci/multiproc_smoke.sh [BUILD_DIR] [PRODUCERS] [RUNS]
@@ -17,6 +25,11 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 PRODUCERS="${2:-4}"
 RUNS="${3:-2}"
+# Comfortable headroom for the fleet's real vocabulary (kernel/layer
+# names, tag keys) and far less than PRODUCERS*RUNS*INLINE_TAGS unique
+# values would cost if they interned.
+STRTAB_BUDGET=262144
+INLINE_TAGS=64
 
 SOCK="/tmp/xsp_multiproc_$$.sock"
 OUT_DIR="$(mktemp -d /tmp/xsp_multiproc_out.XXXXXX)"
@@ -57,6 +70,7 @@ with urllib.request.urlopen(sys.argv[1], timeout=10) as r:
 "$BUILD_DIR/tools/xsp_collectd" \
   --listen "unix:$SOCK" --out "$OUT_DIR/fleet.xspb" --online --shards 2 \
   --metrics tcp://127.0.0.1:0 --stats-json --stats-interval-ms 200 \
+  --strtab-budget "$STRTAB_BUDGET" \
   > "$OUT_DIR/collectd.out" 2> "$OUT_DIR/collectd.err" &
 DPID=$!
 
@@ -86,6 +100,7 @@ pids=()
 for p in $(seq 1 "$PRODUCERS"); do
   "$BUILD_DIR/examples/example_remote_producer" \
     --endpoint "unix:$SOCK" --runs "$RUNS" --batch 1 \
+    --inline-tags "$INLINE_TAGS" \
     > "$OUT_DIR/producer_$p.out" &
   pids+=("$!")
 done
@@ -119,13 +134,17 @@ for pid in "${pids[@]}"; do
   wait "$pid" || fail "a producer exited non-zero"
 done
 
-# Fleet-side accounting: what must have reached the daemon.
+# Fleet-side accounting: what must have reached the daemon — the
+# session stream plus each producer's inline-tag side channel.
 expected=0
 for p in $(seq 1 "$PRODUCERS"); do
   published="$(field published "$OUT_DIR/producer_$p.out")"
   dropped="$(field dropped "$OUT_DIR/producer_$p.out")"
+  inline_published="$(field inline_published "$OUT_DIR/producer_$p.out")"
+  inline_dropped="$(field inline_dropped "$OUT_DIR/producer_$p.out")"
   [ -n "$published" ] || fail "producer $p printed no accounting"
-  expected=$((expected + published - dropped))
+  [ -n "$inline_published" ] || fail "producer $p printed no inline accounting"
+  expected=$((expected + published - dropped + inline_published - inline_dropped))
 done
 
 # The accounting invariant on the live endpoint: with the fleet drained,
@@ -136,6 +155,19 @@ scraped_ingested="$(grep '^xsp_ingested_spans_total ' "$OUT_DIR/metrics_final.tx
   | awk '{print $2}')"
 [ "$scraped_ingested" = "$expected" ] \
   || fail "/metrics xsp_ingested_spans_total $scraped_ingested != fleet published-dropped $expected"
+
+# Bounded interning: the high-cardinality inline-tag values rode inside
+# the spans, so the daemon's string table must sit under its budget with
+# zero rejections (the budget is a backstop, not a tripwire, here).
+scraped_strtab="$(grep '^xsp_strtab_bytes ' "$OUT_DIR/metrics_final.txt" | awk '{print $2}')"
+scraped_rejected="$(grep '^xsp_strtab_rejected_total ' "$OUT_DIR/metrics_final.txt" \
+  | awk '{print $2}')"
+[ -n "$scraped_strtab" ] || fail "/metrics lacks xsp_strtab_bytes"
+[ -n "$scraped_rejected" ] || fail "/metrics lacks xsp_strtab_rejected_total"
+[ "$scraped_strtab" -le "$STRTAB_BUDGET" ] \
+  || fail "xsp_strtab_bytes $scraped_strtab exceeds the $STRTAB_BUDGET budget"
+[ "$scraped_rejected" -eq 0 ] \
+  || fail "xsp_strtab_rejected_total $scraped_rejected != 0: legitimate interns were capped"
 
 # One fleet-view scrape through the dashboard's daemon mode.
 "$BUILD_DIR/tools/xsp_top" --daemon "tcp://127.0.0.1:$METRICS_PORT" --runs 1 \
@@ -156,7 +188,10 @@ ingested="$(field spans_ingested "$OUT_DIR/collectd.err")"
 footers="$(field footers_seen "$OUT_DIR/collectd.err")"
 errored="$(field errored "$OUT_DIR/collectd.err")"
 [ "$ingested" -eq "$expected" ] || fail "ingested $ingested != fleet published-dropped $expected"
-[ "$footers" -eq "$PRODUCERS" ] || fail "footers_seen $footers != $PRODUCERS"
+# Two streams per producer: the session's RemoteSink and the inline-tag
+# side channel each close with their own footer.
+[ "$footers" -eq $((2 * PRODUCERS)) ] \
+  || fail "footers_seen $footers != $((2 * PRODUCERS)) (2 per producer)"
 [ "$errored" -eq 0 ] || fail "daemon counted $errored errored connections"
 grep '^{' "$OUT_DIR/collectd.out" > "$OUT_DIR/stats_json.out" \
   || fail "--stats-json printed no snapshots"
@@ -180,4 +215,5 @@ decoded="$(grep -o 'decoded [0-9]*' "$OUT_DIR/decode.out" | cut -d' ' -f2)"
 [ "$decoded" -eq "$ingested" ] || fail "decode saw $decoded spans, daemon ingested $ingested"
 
 echo "multiproc_smoke: OK — $PRODUCERS producers, $ingested spans ingested," \
-     "$footers footers, /metrics invariant holds, decode matches"
+     "$footers footers, /metrics invariant holds, strtab $scraped_strtab B" \
+     "under $STRTAB_BUDGET B budget, decode matches"

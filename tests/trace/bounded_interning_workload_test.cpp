@@ -1,0 +1,90 @@
+// Acceptance workload for bounded interning, on the PROCESS-GLOBAL
+// string table and the real publish path: a high-cardinality tag stream
+// must plateau approx_bytes() at the configured budget with exact
+// rejection accounting, and the same stream carried as inline value tags
+// must intern nothing at all. The global budget is process-wide state —
+// every test here restores set_budget_bytes(0) before returning so the
+// rest of the binary sees an unbounded table.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "xsp/common/string_table.hpp"
+#include "xsp/trace/span.hpp"
+#include "xsp/trace/trace_server.hpp"
+#include "xsp/trace/tracer.hpp"
+
+namespace xsp::trace {
+namespace {
+
+constexpr int kRequests = 4000;
+
+TEST(BoundedInterningWorkload, ApproxBytesPlateausAtBudgetWithExactRejections) {
+  auto& table = common::StringTable::global();
+  const std::size_t base_bytes = table.approx_bytes();
+  const std::uint64_t base_rejected = table.rejected_interns();
+  // Headroom for a handful of admissions, then a hard ceiling well below
+  // what kRequests unique values would cost unbounded.
+  const std::size_t budget = base_bytes + 2048;
+  table.set_budget_bytes(budget);
+
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "workload", kKernelLevel);
+  const StrId key{"request_id"};
+  std::uint64_t sentinel_hits = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    const SpanId id = tracer.start_span("hc_kernel", static_cast<Ns>(i));
+    // The interning path: every unique value tries the table. Past the
+    // budget each attempt resolves to the sentinel and counts.
+    const StrId value{"hc-value-" + std::to_string(i)};
+    if (value.raw() == table.sentinel_id()) ++sentinel_hits;
+    tracer.add_tag(id, key, value);
+    tracer.finish_span(id, static_cast<Ns>(i) + 1);
+  }
+  const std::size_t plateau = table.approx_bytes();
+  const std::uint64_t rejected = table.rejected_interns() - base_rejected;
+  table.set_budget_bytes(0);
+
+  EXPECT_LE(plateau, budget) << "approx_bytes must plateau at the budget";
+  EXPECT_GT(sentinel_hits, 0u) << "the budget never bit; raise kRequests";
+  // Exactness: every sentinel handed back corresponds to one counted
+  // rejection — no TLS-cached rejections, no double counting.
+  EXPECT_EQ(rejected, sentinel_hits);
+  EXPECT_EQ(server.take_trace().size(), static_cast<std::size_t>(kRequests));
+}
+
+TEST(BoundedInterningWorkload, InlineTagWorkloadInternsZeroNewStrings) {
+  auto& table = common::StringTable::global();
+  table.set_budget_bytes(0);  // unbounded: any leak would grow the table
+
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "workload", kKernelLevel);
+  // The constants intern once, up front; the measured loop must add none.
+  const StrId name{"hc_inline_kernel"};
+  const StrId key{"request_id"};
+  const std::size_t before_size = table.size();
+  const std::size_t before_bytes = table.approx_bytes();
+  const std::uint64_t before_rejected = table.rejected_interns();
+
+  for (int i = 0; i < kRequests; ++i) {
+    const SpanId id = tracer.start_span(name, static_cast<Ns>(i));
+    char rid[InlineTagMap::kValueCapacity + 1];
+    std::snprintf(rid, sizeof rid, "req-%08d", i);
+    tracer.tag_inline(id, key, rid);
+    tracer.finish_span(id, static_cast<Ns>(i) + 1);
+  }
+
+  EXPECT_EQ(table.size(), before_size);
+  EXPECT_EQ(table.approx_bytes(), before_bytes);
+  EXPECT_EQ(table.rejected_interns(), before_rejected);
+
+  const auto trace = server.take_trace();
+  ASSERT_EQ(trace.size(), static_cast<std::size_t>(kRequests));
+  EXPECT_EQ(trace.front().inline_tags.value_or(key), "req-00000000");
+  EXPECT_EQ(trace.back().inline_tags.value_or(key),
+            "req-" + std::string(4, '0') + "3999");
+}
+
+}  // namespace
+}  // namespace xsp::trace

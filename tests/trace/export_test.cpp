@@ -94,6 +94,8 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
   meta.remote_reconnects = 2;
   meta.sampled_kept = 750;
   meta.sampled_dropped = 250;
+  meta.strtab_budget_bytes = 1 << 20;
+  meta.rejected_interns = 31;
   const auto json = to_span_json(sample_timeline(), meta);
   // Metadata lives in the footer — the streaming layout, where telemetry
   // totals are only final after the last span has been written.
@@ -103,6 +105,7 @@ TEST(Export, SpanJsonWithMetaWrapsSpansAndSurfacesTelemetry) {
                       "\"live_slots\":3,\"retired_slots\":9999,\"slot_bytes\":154624,"
                       "\"remote_dropped_spans\":42,\"remote_reconnects\":2,"
                       "\"sampled_kept\":750,\"sampled_dropped\":250,"
+                      "\"strtab_budget_bytes\":1048576,\"rejected_interns\":31,"
                       "\"span_count\":2,\"export_format\":\"span_json\","
                       "\"export_bytes\":"),
             std::string::npos);

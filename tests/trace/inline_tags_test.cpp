@@ -1,0 +1,170 @@
+// Inline value tags (Span::inline_tags / InlineTagMap) and the
+// dropped_annotations saturation guard. Inline tags carry small
+// high-cardinality values (grid/block dims, request ids) inside the span
+// itself so they never touch the process-lifetime StringTable; the map
+// mirrors FlatMap's fixed-capacity discipline, and overflow feeds the
+// same dropped_annotations fidelity signal tags/metrics use — which in
+// turn must saturate at 0xFFFF, never wrap back to "clean".
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "xsp/common/string_table.hpp"
+#include "xsp/trace/span.hpp"
+#include "xsp/trace/trace_server.hpp"
+#include "xsp/trace/tracer.hpp"
+
+namespace xsp::trace {
+namespace {
+
+std::size_t global_interned() { return common::StringTable::global().size(); }
+
+TEST(InlineTagMap, SetGetOverwriteAndCapacity) {
+  InlineTagMap m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.capacity(), InlineTagMap::kCapacity);
+
+  const StrId grid{"grid"};
+  const StrId block{"block"};
+  EXPECT_TRUE(m.set(grid, "[4,1,1]"));
+  EXPECT_TRUE(m.set(block, "[256,1,1]"));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.value_or(grid), "[4,1,1]");
+  EXPECT_EQ(m.value_or(block), "[256,1,1]");
+  EXPECT_EQ(m.count(grid), 1u);
+
+  // Overwriting an existing key succeeds even at capacity.
+  EXPECT_TRUE(m.set(grid, "[8,2,1]"));
+  EXPECT_EQ(m.value_or(grid), "[8,2,1]");
+  EXPECT_EQ(m.size(), 2u);
+
+  // A third distinct key reports rejection, leaving the map intact.
+  EXPECT_FALSE(m.set(StrId{"overflow"}, "x"));
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.value_or(StrId{"overflow"}, "fallback"), "fallback");
+}
+
+TEST(InlineTagMap, ValuesTruncateAtValueCapacity) {
+  InlineTagMap m;
+  const std::string long_value(InlineTagMap::kValueCapacity + 16, 'x');
+  EXPECT_TRUE(m.set(StrId{"k"}, long_value));
+  const std::string_view stored = m.value_or(StrId{"k"});
+  EXPECT_EQ(stored.size(), InlineTagMap::kValueCapacity);
+  EXPECT_EQ(stored, long_value.substr(0, InlineTagMap::kValueCapacity));
+}
+
+TEST(InlineTagMap, ValidRejectsHostileCounts) {
+  InlineTagMap m;
+  m.set(StrId{"k"}, "v");
+  EXPECT_TRUE(m.valid());
+  // A wire-decoded span is untrusted bytes: memcpy a corrupted image the
+  // way the decoder would receive one and check valid() catches it. The
+  // count is the map's trailing std::uint32_t.
+  InlineTagMap hostile;
+  unsigned char raw[sizeof(InlineTagMap)];
+  std::memcpy(raw, &m, sizeof raw);
+  const std::uint32_t bad_count = 0xFF;  // > kCapacity
+  std::memcpy(raw + sizeof raw - sizeof bad_count, &bad_count, sizeof bad_count);
+  std::memcpy(&hostile, raw, sizeof hostile);
+  EXPECT_FALSE(hostile.valid());
+}
+
+TEST(InlineTagMap, RemapKeysRewritesKeysOnly) {
+  InlineTagMap m;
+  const StrId a{"remap-a"};
+  const StrId b{"remap-b"};
+  m.set(a, "va");
+  m.set(b, "vb");
+  m.remap_keys([](StrId k) { return StrId::from_raw(k.raw() + 1000); });
+  EXPECT_EQ(m.count(a), 0u);
+  EXPECT_EQ(m.value_or(StrId::from_raw(a.raw() + 1000)), "va");
+  EXPECT_EQ(m.value_or(StrId::from_raw(b.raw() + 1000)), "vb");
+}
+
+TEST(Tracer, TagInlineAttachesWithoutInterningValues) {
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "gpu", kKernelLevel);
+  const StrId key{"request_id"};  // the key interns once, here
+  const SpanId id = tracer.start_span("kernel", 0);
+
+  const std::size_t before = global_interned();
+  // High-cardinality values: none of these bytes may reach the table.
+  tracer.tag_inline(id, key, "req-000042");
+  tracer.finish_span(id, 10);
+  EXPECT_EQ(global_interned(), before);
+
+  auto trace = server.take_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].inline_tags.value_or(key), "req-000042");
+  EXPECT_EQ(trace[0].dropped_annotations, 0u);
+}
+
+TEST(Tracer, TagInlineOverflowCountsAsDroppedAnnotation) {
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "gpu", kKernelLevel);
+  const SpanId id = tracer.start_span("kernel", 0);
+  tracer.tag_inline(id, StrId{"k1"}, "a");
+  tracer.tag_inline(id, StrId{"k2"}, "b");
+  tracer.tag_inline(id, StrId{"k3"}, "c");  // over capacity
+  tracer.finish_span(id, 10);
+
+  auto trace = server.take_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].inline_tags.size(), InlineTagMap::kCapacity);
+  EXPECT_EQ(trace[0].dropped_annotations, 1u);
+}
+
+TEST(ScopedSpan, TagInlineForwardsToGuardedSpan) {
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "model", kModelLevel);
+  const StrId key{"request_id"};
+  {
+    Ns t = 0;
+    ScopedSpan span(tracer, "request", [&t] { return t += 10; });
+    span.tag_inline(key, "req-7");
+  }
+  auto trace = server.take_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].inline_tags.value_or(key), "req-7");
+}
+
+TEST(Span, NoteDroppedSaturatesAtMax) {
+  Span s;
+  s.note_dropped();
+  EXPECT_EQ(s.dropped_annotations, 1u);
+  // 65535 more single drops would wrap a bare uint16 increment to 0 —
+  // the "at least 65535 drops" signal must stick instead.
+  for (int i = 0; i < 0x10000; ++i) s.note_dropped();
+  EXPECT_EQ(s.dropped_annotations, 0xFFFFu);
+  s.note_dropped();
+  EXPECT_EQ(s.dropped_annotations, 0xFFFFu);
+  // Bulk accounting (timeline merge folding a launch span's drops into
+  // the execution span) saturates the same way.
+  Span bulk;
+  bulk.note_dropped(3);
+  EXPECT_EQ(bulk.dropped_annotations, 3u);
+  bulk.note_dropped(0x10000);
+  EXPECT_EQ(bulk.dropped_annotations, 0xFFFFu);
+}
+
+TEST(Tracer, DroppedAnnotationsSaturateThroughAddTag) {
+  TraceServer server(PublishMode::kSync);
+  Tracer tracer(server, "t", kLayerLevel);
+  const SpanId id = tracer.start_span("span", 0);
+  // Fill the tag map with distinct keys (anything past capacity already
+  // drops), then push one rejected key far past the uint16 range.
+  const StrId value{"v"};
+  for (int i = 0; i < 64; ++i) tracer.add_tag(id, StrId{"satkey-" + std::to_string(i)}, value);
+  const StrId overflow_key{"satkey-overflow"};
+  for (int n = 0; n < 0x10001; ++n) tracer.add_tag(id, overflow_key, value);
+  tracer.finish_span(id, 1);
+
+  auto trace = server.take_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].dropped_annotations, 0xFFFFu);
+}
+
+}  // namespace
+}  // namespace xsp::trace

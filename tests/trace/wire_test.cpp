@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <sstream>
 #include <string>
@@ -17,6 +18,7 @@
 
 #include "json_check.hpp"
 #include "test_alloc_count.hpp"
+#include "xsp/common/string_table.hpp"
 #include "xsp/trace/export.hpp"
 #include "xsp/trace/sharded_trace_server.hpp"
 #include "xsp/trace/timeline.hpp"
@@ -71,6 +73,13 @@ SpanBatches random_batches(std::uint64_t seed, std::size_t span_count) {
     const std::size_t metrics = next() % (metric_keys.size() + 1);
     for (std::size_t m = 0; m < metrics; ++m) {
       s.metrics.set(metric_keys[m], static_cast<double>(next()) * 1.25 - 1e9);
+    }
+    if (next() % 3 == 0) {
+      // Inline value tags: per-span unique bytes that ride inside the
+      // record (wire v4) rather than the string table.
+      char rid[InlineTagMap::kValueCapacity + 1];
+      std::snprintf(rid, sizeof rid, "rv-%llu", static_cast<unsigned long long>(next()));
+      s.inline_tags.set(tag_keys[0], rid);
     }
     s.dropped_annotations = next() % 16 == 0 ? 2 : 0;
     batch.push_back(s);
@@ -222,6 +231,8 @@ TEST(BinaryWire, FooterCarriesTelemetryAndByteAccounting) {
   meta.live_slots = 2;
   meta.retired_slots = 40;
   meta.slot_bytes = 4096;
+  meta.strtab_budget_bytes = 1 << 20;
+  meta.rejected_interns = 99;
   const SpanBatches batches = {{make_span(1, 100), make_span(2, 200)}};
   const std::string bytes = encode(batches, &meta);
 
@@ -238,6 +249,8 @@ TEST(BinaryWire, FooterCarriesTelemetryAndByteAccounting) {
   EXPECT_EQ(f.live_slots, 2u);
   EXPECT_EQ(f.retired_slots, 40u);
   EXPECT_EQ(f.slot_bytes, 4096u);
+  EXPECT_EQ(f.strtab_budget_bytes, static_cast<std::uint64_t>(1 << 20));
+  EXPECT_EQ(f.rejected_interns, 99u);
   // export_bytes counts everything before the footer frame.
   EXPECT_EQ(f.export_bytes, bytes.size() - sizeof(wire::FrameHeader) - sizeof(wire::Footer));
 }
@@ -735,7 +748,7 @@ TEST(WireVersionCompat, RejectsOversizedV2Footer) {
   expect_wire_error(bytes, "footer payload length mismatch");
 }
 
-// --- wire v3 heartbeats -----------------------------------------------------
+// --- wire v4 inline tags & legacy-record widening ---------------------------
 
 std::string versioned_header_bytes(std::uint16_t version) {
   wire::Header h = valid_header();
@@ -744,6 +757,223 @@ std::string versioned_header_bytes(std::uint16_t version) {
   put_pod(out, h);
   return out;
 }
+
+/// A v1–v3 producer's batch payload: each span truncated to the frozen
+/// 200-byte legacy record (the field prefix up to inline_tags, zero-padded
+/// to kLegacySpanSize).
+std::string legacy_span_payload(const std::vector<Span>& spans) {
+  std::string out;
+  put_pod(out, static_cast<std::uint32_t>(spans.size()));
+  for (const Span& s : spans) {
+    char rec[wire::kLegacySpanSize] = {};
+    std::memcpy(rec, &s, offsetof(Span, inline_tags));
+    out.append(rec, sizeof rec);
+  }
+  return out;
+}
+
+std::string legacy_header_bytes(std::uint16_t version) {
+  wire::Header h = valid_header();
+  h.version = version;
+  h.span_size = static_cast<std::uint32_t>(wire::kLegacySpanSize);
+  std::string out;
+  put_pod(out, h);
+  return out;
+}
+
+TEST(WireInlineTags, RoundTripInlineValuesThroughWriterAndReader) {
+  const StrId key{"request_id"};
+  Span a = make_span(1, 0);
+  a.inline_tags.set(key, "req-000041");
+  Span b = make_span(2, 50);
+  b.inline_tags.set(key, "req-000042");
+  b.inline_tags.set(StrId{"grid"}, "[128,1,1]");
+
+  std::istringstream in(encode({{a, b}}));
+  BinaryReader reader(in);
+  const SpanBatches decoded = reader.read_all();
+  ASSERT_EQ(decoded.size(), 1u);
+  ASSERT_EQ(decoded[0].size(), 2u);
+  EXPECT_EQ(decoded[0][0].inline_tags.value_or(key), "req-000041");
+  EXPECT_EQ(decoded[0][1].inline_tags.value_or(key), "req-000042");
+  EXPECT_EQ(decoded[0][1].inline_tags.value_or(StrId{"grid"}), "[128,1,1]");
+}
+
+TEST(WireInlineTags, RemapsForeignKeysAndPassesValueBytesThrough) {
+  // Cross-process: the key id remaps through the delta like any StrId;
+  // the value bytes ride inside the record and must arrive untouched —
+  // and must NOT intern into this process's table.
+  constexpr std::uint32_t kName = 0x00DEF120;
+  constexpr std::uint32_t kTracer = 0x00DEF130;
+  constexpr std::uint32_t kInlineKey = 0x00DEF140;
+  std::string delta;
+  delta += delta_entry(kName, "wire_inline_span");
+  delta += delta_entry(kTracer, "wire_inline_tracer");
+  delta += delta_entry(kInlineKey, "wire_inline_key");
+
+  Span s;
+  s.id = 42;
+  s.begin = 0;
+  s.end = 1;
+  s.name = StrId::from_raw(kName);
+  s.tracer = StrId::from_raw(kTracer);
+  s.inline_tags.set(StrId::from_raw(kInlineKey), "unique-value-9001");
+
+  std::string bytes = header_bytes();
+  bytes += frame(wire::FrameType::kStringDelta, delta);
+  bytes += frame(wire::FrameType::kSpanBatch, span_batch_payload({s}));
+
+  const std::size_t interned_before = common::StringTable::global().size();
+  std::istringstream in(bytes);
+  BinaryReader reader(in);
+  const SpanBatches decoded = reader.read_all();
+  ASSERT_EQ(decoded.size(), 1u);
+  const Span& d = decoded[0][0];
+  EXPECT_EQ(d.name, "wire_inline_span");
+  EXPECT_EQ(d.inline_tags.value_or(StrId{"wire_inline_key"}), "unique-value-9001");
+  // The three delta strings re-intern (idempotently); the value does not.
+  EXPECT_EQ(common::StringTable::global().str(
+                common::StringTable::global().intern("wire_inline_key")),
+            "wire_inline_key");
+  EXPECT_LE(common::StringTable::global().size(), interned_before + 3);
+}
+
+TEST(WireInlineTags, RejectsInlineTagCountBeyondCapacity) {
+  Span s;
+  s.id = 1;
+  s.begin = 0;
+  s.end = 1;
+  std::string payload = span_batch_payload({s});
+  // The inline-tag map's count is its trailing std::uint32_t.
+  constexpr std::size_t kCountOffset =
+      offsetof(Span, inline_tags) + sizeof(InlineTagMap) - sizeof(std::uint32_t);
+  payload[sizeof(std::uint32_t) + kCountOffset] = 0x7F;
+  std::string bytes = header_bytes();
+  bytes += frame(wire::FrameType::kSpanBatch, payload);
+  expect_wire_error(bytes, "annotation count exceeds capacity");
+}
+
+TEST(WireVersionCompat, LegacySpanRecordsWidenWithEmptyInlineTags) {
+  // Every pre-v4 version: 200-byte records decode field-for-field, the
+  // appended inline-tag map comes back empty.
+  for (const std::uint16_t version : {std::uint16_t{1}, std::uint16_t{2}, std::uint16_t{3}}) {
+    Span s = make_span(21, 50);
+    s.tags.set(StrId{"legacy_key"}, StrId{"legacy_val"});
+    s.dropped_annotations = 9;
+    std::string delta = delta_entry(s.name.raw(), "wire_op");
+    delta += delta_entry(s.tracer.raw(), "wire_test");
+    delta += delta_entry(StrId{"legacy_key"}.raw(), "legacy_key");
+    delta += delta_entry(StrId{"legacy_val"}.raw(), "legacy_val");
+    std::string bytes = legacy_header_bytes(version);
+    bytes += frame(wire::FrameType::kStringDelta, delta);
+    bytes += frame(wire::FrameType::kSpanBatch, legacy_span_payload({s}));
+
+    std::istringstream in(bytes);
+    BinaryReader reader(in);
+    const SpanBatches decoded = reader.read_all();
+    ASSERT_EQ(decoded.size(), 1u) << "v" << version;
+    const Span& d = decoded[0][0];
+    EXPECT_EQ(d.id, 21u);
+    EXPECT_EQ(d.begin, 50);
+    EXPECT_EQ(d.name, "wire_op");
+    EXPECT_EQ(d.tag_or("legacy_key"), "legacy_val");
+    EXPECT_EQ(d.dropped_annotations, 9u);
+    EXPECT_TRUE(d.inline_tags.empty());
+    EXPECT_EQ(reader.spans_read(), 1u);
+  }
+}
+
+TEST(WireVersionCompat, LegacyRecordWideningDoesNotLeakRecycledInlineTags) {
+  // The same reader decodes a v4-shaped batch (inline tags present) and
+  // then widened legacy records must not inherit the recycled buffer's
+  // tags. Two readers share one SpanBatch via next_batch.
+  Span modern = make_span(3, 0);
+  modern.inline_tags.set(StrId{"grid"}, "[64,1,1]");
+  SpanBatch out;
+  {
+    std::istringstream in(encode({{modern}}));
+    BinaryReader reader(in);
+    ASSERT_TRUE(reader.next_batch(out));
+    EXPECT_FALSE(out[0].inline_tags.empty());
+  }
+  Span legacy = make_span(4, 10);
+  std::string bytes = legacy_header_bytes(3);
+  bytes += frame(wire::FrameType::kStringDelta,
+                 delta_entry(legacy.name.raw(), "wire_op") +
+                     delta_entry(legacy.tracer.raw(), "wire_test"));
+  bytes += frame(wire::FrameType::kSpanBatch, legacy_span_payload({legacy}));
+  std::istringstream in(bytes);
+  BinaryReader reader(in);
+  ASSERT_TRUE(reader.next_batch(out));
+  EXPECT_TRUE(out[0].inline_tags.empty()) << "stale inline tags leaked through widening";
+}
+
+TEST(WireVersionCompat, RejectsLegacySpanSizeOnV4Stream) {
+  // v4 promised the widened record; the legacy size on a v4 header is a
+  // layout mismatch, not compatibility.
+  wire::Header h = valid_header();
+  h.span_size = static_cast<std::uint32_t>(wire::kLegacySpanSize);
+  std::string bytes;
+  put_pod(bytes, h);
+  expect_wire_error(bytes, "span struct size mismatch");
+}
+
+TEST(WireVersionCompat, ModernSpanSizeAcceptedOnPreV4Streams) {
+  // A rebuilt v3 producer may already carry the widened record; the
+  // header's span_size, not the version, drives batch decode.
+  Span s = make_span(6, 0);
+  s.inline_tags.set(StrId{"grid"}, "[32,1,1]");
+  std::string delta = delta_entry(s.name.raw(), "wire_op");
+  delta += delta_entry(s.tracer.raw(), "wire_test");
+  delta += delta_entry(StrId{"grid"}.raw(), "grid");
+  std::string bytes = versioned_header_bytes(3);
+  bytes += frame(wire::FrameType::kStringDelta, delta);
+  bytes += frame(wire::FrameType::kSpanBatch, span_batch_payload({s}));
+  std::istringstream in(bytes);
+  BinaryReader reader(in);
+  const SpanBatches decoded = reader.read_all();
+  ASSERT_EQ(decoded.size(), 1u);
+  EXPECT_EQ(decoded[0][0].inline_tags.value_or(StrId{"grid"}), "[32,1,1]");
+}
+
+TEST(WireVersionCompat, FooterSizeFollowsStreamVersion) {
+  // v1 → 88-byte prefix, v2/v3 → 104, v4 → the full 120-byte struct; the
+  // strtab fields zero-fill on pre-v4 streams.
+  EXPECT_EQ(wire::footer_size(1), wire::kFooterSizeV1);
+  EXPECT_EQ(wire::footer_size(2), wire::kFooterSizeV2);
+  EXPECT_EQ(wire::footer_size(3), wire::kFooterSizeV2);
+  EXPECT_EQ(wire::footer_size(4), sizeof(wire::Footer));
+
+  for (const std::uint16_t version : {std::uint16_t{2}, std::uint16_t{3}}) {
+    wire::Footer f{};
+    f.span_count = 0;
+    f.sampled_kept = 5;
+    std::string bytes = versioned_header_bytes(version);
+    bytes += frame(wire::FrameType::kFooter,
+                   std::string(reinterpret_cast<const char*>(&f), wire::kFooterSizeV2));
+    std::istringstream in(bytes);
+    BinaryReader reader(in);
+    (void)reader.read_all();
+    ASSERT_TRUE(reader.saw_footer()) << "v" << version;
+    EXPECT_EQ(reader.footer().sampled_kept, 5u);
+    EXPECT_EQ(reader.footer().strtab_budget_bytes, 0u);
+    EXPECT_EQ(reader.footer().rejected_interns, 0u);
+  }
+}
+
+TEST(WireVersionCompat, RejectsFullFooterOnV3Stream) {
+  std::string bytes = versioned_header_bytes(3);
+  bytes += frame(wire::FrameType::kFooter, std::string(sizeof(wire::Footer), '\0'));
+  expect_wire_error(bytes, "footer payload length mismatch");
+}
+
+TEST(WireVersionCompat, RejectsV2SizedFooterOnV4Stream) {
+  std::string bytes = header_bytes();
+  bytes += frame(wire::FrameType::kFooter, std::string(wire::kFooterSizeV2, '\0'));
+  expect_wire_error(bytes, "footer payload length mismatch");
+}
+
+// --- wire v3 heartbeats -----------------------------------------------------
 
 wire::Heartbeat sample_heartbeat(std::uint64_t seq) {
   wire::Heartbeat hb{};

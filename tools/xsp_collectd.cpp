@@ -20,6 +20,12 @@
 //   --stats-json         emit one JSON stats object per interval on stdout
 //   --stats-interval-ms N  cadence of --stats-json objects (default 1000)
 //   --shards N           trace-server shards (default 1; 0 = per-core)
+//   --strtab-budget N    byte budget for the collector's global string
+//                        table (0 = unbounded): past it, re-interns from
+//                        producer streams resolve to the "<interned-cap>"
+//                        sentinel instead of growing the table, keeping a
+//                        long-lived daemon's memory bounded against
+//                        high-cardinality producers
 //   --drain-timeout-ms N grace for connected producers after SIGTERM
 //                        (default 5000)
 //   --max-frame-bytes N  per-connection frame bound (default 64 MiB)
@@ -73,6 +79,7 @@ struct Options {
   bool stats_json = false;
   int stats_interval_ms = 1000;
   std::size_t shards = 1;
+  std::size_t strtab_budget = 0;
   int drain_timeout_ms = 5000;
   std::size_t max_frame_bytes = trace::wire::kMaxFramePayload;
 };
@@ -81,7 +88,7 @@ void print_usage() {
   std::fprintf(stderr,
                "usage: xsp_collectd --listen URI [--out FILE.xspb] [--json FILE.json]\n"
                "                    [--online] [--metrics URI] [--stats-json]\n"
-               "                    [--stats-interval-ms N] [--shards N]\n"
+               "                    [--stats-interval-ms N] [--shards N] [--strtab-budget N]\n"
                "                    [--drain-timeout-ms N] [--max-frame-bytes N]\n");
 }
 
@@ -133,6 +140,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
       const char* v = next("--shards");
       if (!v || !parse_int(v, n) || n < 0) return false;
       opts.shards = static_cast<std::size_t>(n);
+    } else if (arg == "--strtab-budget") {
+      const char* v = next("--strtab-budget");
+      if (!v || !parse_int(v, n) || n < 0) return false;
+      opts.strtab_budget = static_cast<std::size_t>(n);
     } else if (arg == "--drain-timeout-ms") {
       const char* v = next("--drain-timeout-ms");
       if (!v || !parse_int(v, n) || n < 0) return false;
@@ -198,6 +209,12 @@ int run(const Options& opts) {
   // appends them to /metrics after its ingest counters. Declared before
   // the service so it outlives every scrape.
   metrics::Registry registry;
+  // Bounded interning: arm the budget before the first producer stream
+  // re-interns anything. A long-lived daemon fed by high-cardinality
+  // producers plateaus here instead of growing without bound.
+  if (opts.strtab_budget > 0) {
+    common::StringTable::global().set_budget_bytes(opts.strtab_budget);
+  }
   trace::ShardedTraceServer server(opts.shards);
   net::CollectorOptions copts;
   copts.max_frame_payload = opts.max_frame_bytes;
@@ -297,6 +314,8 @@ int run(const Options& opts) {
   const auto& table = common::StringTable::global();
   meta.interned_strings = table.size();
   meta.interned_bytes = table.approx_bytes();
+  meta.strtab_budget_bytes = table.budget_bytes();
+  meta.rejected_interns = table.rejected_interns();
   meta.live_slots = server.live_slot_count();
   meta.retired_slots = server.retired_slot_count();
   meta.slot_bytes = server.approx_slot_bytes();
@@ -328,6 +347,10 @@ int run(const Options& opts) {
                static_cast<unsigned long long>(stats.spans_ingested),
                static_cast<unsigned long long>(stats.strings_reinterned),
                static_cast<unsigned long long>(stats.bytes_received));
+  std::fprintf(stderr, "stats: strtab_bytes=%llu strtab_budget=%llu rejected_interns=%llu\n",
+               static_cast<unsigned long long>(meta.interned_bytes),
+               static_cast<unsigned long long>(meta.strtab_budget_bytes),
+               static_cast<unsigned long long>(meta.rejected_interns));
   std::fprintf(stderr,
                "stats: footers_seen=%llu producer_dropped_spans=%llu producer_reconnects=%llu\n",
                static_cast<unsigned long long>(stats.footers_seen),

@@ -66,6 +66,7 @@
 #include <vector>
 
 #include "xsp/analysis/online.hpp"
+#include "xsp/metrics/exposition.hpp"
 #include "xsp/models/registry.hpp"
 #include "xsp/net/endpoint.hpp"
 #include "xsp/net/socket.hpp"
@@ -232,6 +233,14 @@ void render_dashboard(const Options& opts, const analysis::OnlineSnapshot& snap,
   std::printf("slots: live %" PRIu64 ", retired %" PRIu64 ", pooled %" PRIu64 ", ~%" PRIu64
               " B\n",
               slots.live_slots, slots.retired_slots, slots.pooled_slots, slots.slot_bytes);
+  // Bounded interning: the budget in force and how often intern() hit it.
+  if (snap.strtab_budget_bytes > 0) {
+    std::printf("strtab: ~%" PRIu64 " B / budget %" PRIu64 " B, rejected %" PRIu64 "\n",
+                snap.interned_bytes, snap.strtab_budget_bytes, snap.rejected_interns);
+  } else {
+    std::printf("strtab: ~%" PRIu64 " B, unbounded, rejected %" PRIu64 "\n",
+                snap.interned_bytes, snap.rejected_interns);
+  }
   // Always emitted (the CI smoke greps for it): rate 1 with no sheds
   // renders as "off".
   if (snap.sampling_rate < 1.0 || snap.sampled_dropped > 0 || snap.kernel_row_limit > 0) {
@@ -347,25 +356,18 @@ FleetView parse_exposition(const std::string& body) {
     if (eol == std::string::npos) eol = body.size();
     const std::string_view line(body.data() + pos, eol - pos);
     pos = eol + 1;
-    if (line.empty() || line[0] == '#') continue;
-    const auto sp = line.rfind(' ');
-    if (sp == std::string_view::npos) continue;
-    const double value = std::strtod(std::string(line.substr(sp + 1)).c_str(), nullptr);
-    std::string_view name_part = line.substr(0, sp);
-    const auto brace = name_part.find('{');
-    if (brace == std::string_view::npos) {
-      view.scalars[std::string(name_part)] = value;
+    // The shared parser handles the optional trailing timestamp and
+    // quoted label values; comments and malformed lines report false.
+    metrics::ExpositionSample sample;
+    if (!metrics::parse_exposition_line(line, sample)) continue;
+    if (sample.labels.empty()) {
+      view.scalars[std::string(sample.name)] = sample.value;
       continue;
     }
-    const std::string name(name_part.substr(0, brace));
-    const std::string_view labels = name_part.substr(brace);
     // Only the conn="..." label matters for the fleet table.
-    const auto conn_pos = labels.find("conn=\"");
-    if (conn_pos == std::string_view::npos) continue;
-    const auto vstart = conn_pos + 6;
-    const auto vend = labels.find('"', vstart);
-    if (vend == std::string_view::npos) continue;
-    view.per_conn[std::string(labels.substr(vstart, vend - vstart))][name] = value;
+    const auto conn = metrics::label_value(sample.labels, "conn");
+    if (!conn.has_value()) continue;
+    view.per_conn[*conn][std::string(sample.name)] = sample.value;
   }
   return view;
 }
@@ -390,6 +392,8 @@ void render_fleet(const FleetView& view, std::int64_t scrape, std::int64_t total
               scalar("xsp_collector_frames_total"), scalar("xsp_collector_heartbeats_total"),
               scalar("xsp_collector_producer_dropped_spans_total"),
               scalar("xsp_collector_producer_reconnects_total"));
+  std::printf("strtab: ~%.0f B, rejected %.0f\n", scalar("xsp_strtab_bytes"),
+              scalar("xsp_strtab_rejected_total"));
   if (!view.per_conn.empty()) {
     report::TextTable table(
         {"conn", "published", "sent", "dropped", "outbox", "hb age", "stale"});
